@@ -1,0 +1,260 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation and times the code that produces them.
+
+   Part 1 prints the reproductions (Tab. 2, Tab. 3, Fig. 5 a-h plus the
+   cross-device aggregates of Fig. 5 i-j, Fig. 6, Tab. 4, and the
+   Sec. 5.1 tuning-cost comparison) at the configured scale — set
+   MCM_SCALE=1.0 MCM_ENVS=150 for the paper's full-size sweep.
+
+   Part 2 registers one Bechamel micro-benchmark per experiment (plus the
+   DESIGN.md ablations) so the cost of each moving part is tracked. *)
+
+module Suite = Mcm_core.Suite
+module Merge = Mcm_core.Merge
+module Litmus = Mcm_litmus.Litmus
+module Enumerate = Mcm_litmus.Enumerate
+module Library = Mcm_litmus.Library
+module Profile = Mcm_gpu.Profile
+module Device = Mcm_gpu.Device
+module Gpu_instance = Mcm_gpu.Instance
+module Bug = Mcm_gpu.Bug
+module Params = Mcm_testenv.Params
+module Runner = Mcm_testenv.Runner
+module Tuning = Mcm_harness.Tuning
+module Experiments = Mcm_harness.Experiments
+module Table = Mcm_util.Table
+module Prng = Mcm_util.Prng
+module Pearson = Mcm_stats.Pearson
+
+let section title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '-')
+
+(* ------------------------------------------------------------------ *)
+(* Part 1: the reproductions                                            *)
+
+let print_reproductions () =
+  section "Table 2: mutators and generated tests";
+  Table.print (Experiments.table2 ());
+
+  section "Table 3: simulated devices";
+  Table.print (Experiments.table3 ());
+
+  let config = Tuning.default_config () in
+  Printf.printf
+    "\ntuning sweep: %d envs/category, %d SITE iterations, %d PTE iterations, scale %.3f\n%!"
+    config.Tuning.n_envs config.Tuning.site_iterations config.Tuning.pte_iterations
+    config.Tuning.scale;
+  let runs = Tuning.sweep config in
+
+  List.iter
+    (fun (title, t) ->
+      section ("Figure 5 " ^ title);
+      Table.print t)
+    (Experiments.Fig5.all_tables runs);
+
+  section "Figure 5 (i)/(j): cross-device aggregates";
+  let agg = Table.create [ "Metric"; "SITE-baseline"; "SITE"; "PTE-baseline"; "PTE" ] in
+  Table.add_row agg
+    ("mutation score"
+    :: List.map
+         (fun c -> Table.pct_cell (Experiments.Fig5.mutation_score runs c))
+         Tuning.all_categories);
+  Table.add_row agg
+    ("avg death rate (/s)"
+    :: List.map
+         (fun c -> Table.rate_cell (Experiments.Fig5.avg_death_rate runs c))
+         Tuning.all_categories);
+  Table.print agg;
+
+  section "Sec. 5.1: simulated tuning cost per category";
+  List.iter
+    (fun (name, s) -> Printf.printf "  %-14s %12.2f simulated seconds\n" name s)
+    (Experiments.Fig5.tuning_time runs);
+
+  section "Figure 6: reproducible mutation score vs per-test time budget";
+  Table.print (Experiments.Fig6.table runs);
+
+  section "Table 4: correlation between mutant kills and injected bugs";
+  Table.print (Experiments.Table4.table (Experiments.Table4.compute ()));
+
+  section "Ablation: pairing permutation (Sec. 4.1)";
+  (* The paper argues the coprime permutation beats the degenerate
+     v -> v mapping; compare kill rates with everything else fixed. *)
+  let device = Device.make Profile.nvidia in
+  let mutant = (Option.get (Suite.find "MP-CO-m")).Suite.test in
+  let base_env = Params.scaled Params.pte_baseline config.Tuning.scale in
+  let abl = Table.create [ "Pairing"; "Kills"; "Rate (/s)" ] in
+  List.iter
+    (fun (label, p2) ->
+      let env = { base_env with Params.permute_second = p2 } in
+      let r = Runner.run ~device ~env ~test:mutant ~iterations:10 ~seed:4242 in
+      Table.add_row abl [ label; string_of_int r.Runner.kills; Table.rate_cell r.Runner.rate ])
+    [ ("identity (v -> v)", 1); ("coprime permutation", 1031) ];
+  Table.print abl;
+
+  section "Ablation: weak-memory mechanisms (DESIGN.md)";
+  (* Disable each operational mechanism in turn and measure which mutants
+     each one carries. *)
+  let weak_full =
+    Gpu_instance.effective_params Profile.nvidia
+      ~amplification:(Runner.amplification device base_env ~roles:2)
+  in
+  let count_kills weak test =
+    let g = Prng.create 99 in
+    let kills = ref 0 in
+    for _ = 1 to 3000 do
+      let starts = [| Prng.float g 40.; Prng.float g 40. |] in
+      let o = Gpu_instance.run ~prng:(Prng.split g) ~weak ~bugs:Bug.none ~test ~starts in
+      if test.Litmus.target o then incr kills
+    done;
+    !kills
+  in
+  let abl_pruning () =
+    section "Sec. 3.4: pruning against implementation models";
+    let t = Table.create [ "Implementation model"; "Mutants kept"; "Pruned" ] in
+    List.iter
+      (fun cat ->
+        let verdict = Mcm_core.Prune.prune_suite ~implementation:cat () in
+        Table.add_row t
+          [
+            cat.Mcm_memmodel.Cat.name;
+            string_of_int (List.length verdict.Mcm_core.Prune.kept);
+            string_of_int (List.length verdict.Mcm_core.Prune.pruned);
+          ])
+      Mcm_memmodel.Cat.all;
+    Table.print t
+  in
+  abl_pruning ();
+
+  let abl2 = Table.create [ "Mechanism configuration"; "CoRR-m"; "MP-CO-m"; "LB-CO-m" ] in
+  let corr_m = (Option.get (Suite.find "CoRR-m")).Suite.test in
+  let lb_m = (Option.get (Suite.find "LB-CO-m")).Suite.test in
+  List.iter
+    (fun (label, weak) ->
+      Table.add_row abl2
+        [
+          label;
+          string_of_int (count_kills weak corr_m);
+          string_of_int (count_kills weak mutant);
+          string_of_int (count_kills weak lb_m);
+        ])
+    [
+      ("all mechanisms", weak_full);
+      ("no store-visibility delay", { weak_full with Gpu_instance.vis_delay_mean_ns = 0. });
+      ("no load staleness", { weak_full with Gpu_instance.p_stale = 0. });
+      ("no out-of-order window", { weak_full with Gpu_instance.p_ooo = 0. });
+      ( "interleaving only",
+        { weak_full with Gpu_instance.vis_delay_mean_ns = 0.; p_stale = 0.; p_ooo = 0. } );
+    ];
+  Table.print abl2
+
+(* ------------------------------------------------------------------ *)
+(* Part 2: Bechamel micro-benchmarks                                    *)
+
+open Bechamel
+open Toolkit
+
+let bench_tests () =
+  let nvidia = Device.make Profile.nvidia in
+  let small_env = Params.scaled Params.pte_baseline 0.005 in
+  let mutant = (Option.get (Suite.find "MP-relacq-m3")).Suite.test in
+  let conf = (Option.get (Suite.find "MP-relacq")).Suite.test in
+  let tiny_config =
+    { Tuning.n_envs = 2; site_iterations = 10; pte_iterations = 2; scale = 0.005; seed = 1 }
+  in
+  let weak = Gpu_instance.effective_params Profile.nvidia ~amplification:20. in
+  let g = Prng.create 11 in
+  [
+    (* Table 2: the generator pipeline (templates, derivation by
+       enumeration, all three mutators). *)
+    Test.make ~name:"table2/suite-generation"
+      (Staged.stage (fun () -> ignore (Suite.generate ())));
+    (* Table 3 is static; its cost proxy is profile table rendering. *)
+    Test.make ~name:"table3/render" (Staged.stage (fun () -> ignore (Experiments.table3 ())));
+    (* Fig. 5's unit of work: one testing campaign of one mutant in one
+       environment on one device. *)
+    Test.make ~name:"fig5/pte-campaign"
+      (Staged.stage (fun () ->
+           ignore (Runner.run ~device:nvidia ~env:small_env ~test:mutant ~iterations:1 ~seed:3)));
+    Test.make ~name:"fig5/site-campaign"
+      (Staged.stage (fun () ->
+           ignore
+             (Runner.run ~device:nvidia ~env:Params.site_baseline ~test:mutant ~iterations:10
+                ~seed:3)));
+    (* Fig. 6's unit of work: one Algorithm-1 merge over a rate matrix. *)
+    Test.make ~name:"fig6/merge-environments"
+      (Staged.stage
+         (let table = Array.init 150 (fun e -> Array.init 4 (fun d -> float_of_int (e + d))) in
+          fun () ->
+            ignore
+              (Merge.choose
+                 ~rate:(fun ~env ~device -> table.(env).(device))
+                 ~n_envs:150 ~n_devices:4 ~target:0.99999 ~budget:64.)));
+    (* Table 4's unit of work: a Pearson correlation over 150 pairs. *)
+    Test.make ~name:"table4/pearson-150"
+      (Staged.stage
+         (let xs = Array.init 150 (fun i -> float_of_int i) in
+          let ys = Array.init 150 (fun i -> float_of_int (i * i)) in
+          fun () -> ignore (Pearson.p_value ~r:(Pearson.pcc xs ys) ~n:150)));
+    (* The operational core: a single litmus-test instance execution. *)
+    Test.make ~name:"substrate/instance-run"
+      (Staged.stage (fun () ->
+           ignore
+             (Gpu_instance.run ~prng:g ~weak ~bugs:Bug.none ~test:conf ~starts:[| 0.; 10. |])));
+    (* The axiomatic core: enumerate-and-classify a 6-event test. *)
+    Test.make ~name:"substrate/enumerate-mp-relacq"
+      (Staged.stage (fun () -> ignore (Enumerate.consistent_outcomes conf.Litmus.model conf)));
+    (* The textual format round-trip. *)
+    Test.make ~name:"substrate/parse-roundtrip"
+      (Staged.stage
+         (let src = Mcm_litmus.Parse.to_source conf in
+          fun () -> ignore (Mcm_litmus.Parse.parse src)));
+    (* WGSL shader emission. *)
+    Test.make ~name:"substrate/wgsl-emit"
+      (Staged.stage (fun () -> ignore (Mcm_wgsl.Wgsl.shader conf ~env:small_env)));
+    (* Outcome classification setup (one enumeration + thread orders). *)
+    Test.make ~name:"substrate/classifier-build"
+      (Staged.stage (fun () ->
+           let classify = Mcm_litmus.Classify.classifier conf in
+           ignore (classify (Litmus.empty_outcome conf))));
+    (* Sec. 3.4 observability of one mutant under TSO. *)
+    Test.make ~name:"prune/observable-under-tso"
+      (Staged.stage (fun () ->
+           ignore
+             (Mcm_core.Prune.observable ~implementation:Mcm_memmodel.Cat.tso mutant)));
+    (* A whole miniature tuning sweep (the fig5+fig6 driver). *)
+    Test.make ~name:"harness/mini-sweep"
+      (Staged.stage (fun () ->
+           ignore
+             (Tuning.sweep
+                ~devices:[ nvidia ]
+                ~tests:
+                  (List.filter
+                     (fun (e : Suite.entry) -> e.Suite.test.Litmus.name = "MP-CO-m")
+                     (Suite.mutants ()))
+                tiny_config)));
+  ]
+
+let run_benchmarks () =
+  let ols = Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |] in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:false () in
+  section "Bechamel micro-benchmarks (ns per run)";
+  List.iter
+    (fun test ->
+      let results = Benchmark.all cfg instances test in
+      let analyzed = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "  %-34s %14.1f ns/run\n%!" name est
+          | _ -> Printf.printf "  %-34s (no estimate)\n%!" name)
+        analyzed)
+    (List.map (fun t -> Test.make_grouped ~name:"" [ t ]) (bench_tests ()))
+
+let () =
+  print_endline "MC Mutants reproduction: evaluation harness";
+  print_reproductions ();
+  run_benchmarks ();
+  print_newline ();
+  print_endline "done."

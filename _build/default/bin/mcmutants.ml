@@ -1,0 +1,601 @@
+(* The mcmutants command-line interface.
+
+   Subcommands mirror the paper's workflow: inspect the generated suite
+   (list/show/enumerate), run individual tests in chosen environments on
+   simulated devices (run), and regenerate every table and figure of the
+   evaluation (table2/table3/fig5/fig6/table4), plus the CTS-curation
+   story of Sec. 4.2 (cts). *)
+
+module Model = Mcm_memmodel.Model
+module Litmus = Mcm_litmus.Litmus
+module Enumerate = Mcm_litmus.Enumerate
+module Library = Mcm_litmus.Library
+module Suite = Mcm_core.Suite
+module Mutator = Mcm_core.Mutator
+module Confidence = Mcm_core.Confidence
+module MergeAlg = Mcm_core.Merge
+module Profile = Mcm_gpu.Profile
+module Device = Mcm_gpu.Device
+module Bug = Mcm_gpu.Bug
+module Params = Mcm_testenv.Params
+module Runner = Mcm_testenv.Runner
+module Tuning = Mcm_harness.Tuning
+module Experiments = Mcm_harness.Experiments
+module Table = Mcm_util.Table
+module Prng = Mcm_util.Prng
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* Shared arguments                                                     *)
+
+let test_arg =
+  let doc = "Test name (generated suite first, then the classic library)." in
+  Arg.(required & pos 0 (some string) None & info [] ~docv:"TEST" ~doc)
+
+let find_test name =
+  match Suite.find name with
+  | Some e -> Ok e.Suite.test
+  | None -> (
+      match Library.find name with
+      | Some t -> Ok t
+      | None -> Error (Printf.sprintf "unknown test %S (try `mcmutants list`)" name))
+
+let device_arg =
+  let doc = "Simulated device: nvidia, amd, intel or m1." in
+  Arg.(value & opt string "nvidia" & info [ "d"; "device" ] ~docv:"DEVICE" ~doc)
+
+let find_device name =
+  match Profile.find name with
+  | Some p -> Ok p
+  | None -> Error (Printf.sprintf "unknown device %S (nvidia|amd|intel|m1)" name)
+
+let env_arg =
+  let doc =
+    "Testing environment: site-baseline, pte-baseline, site:N or pte:N (the Nth random \
+     environment of that kind)."
+  in
+  Arg.(value & opt string "pte-baseline" & info [ "e"; "env" ] ~docv:"ENV" ~doc)
+
+let seed_arg =
+  let doc = "Random seed (all runs are deterministic in it)." in
+  Arg.(value & opt int 20230325 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let iterations_arg =
+  let doc = "Testing iterations (kernel launches)." in
+  Arg.(value & opt int 10 & info [ "n"; "iterations" ] ~docv:"N" ~doc)
+
+let scale_arg =
+  let doc = "Environment size scale factor in (0,1]; 1.0 is paper scale." in
+  Arg.(value & opt (some float) None & info [ "scale" ] ~docv:"S" ~doc)
+
+let bugs_arg =
+  let doc = "Inject the vendor's paper bug into the device (Sec. 5.4)." in
+  Arg.(value & flag & info [ "bugs" ] ~doc)
+
+let histogram_arg =
+  let doc = "Classify every executed instance (sequential/interleaved/weak/forbidden)." in
+  Arg.(value & flag & info [ "histogram" ] ~doc)
+
+let effective_scale scale =
+  match scale with
+  | Some s -> s
+  | None -> (
+      match Sys.getenv_opt "MCM_SCALE" with
+      | Some v -> ( match float_of_string_opt v with Some f -> f | None -> 0.02)
+      | None -> 0.02)
+
+let parse_env name seed scale =
+  let scale = effective_scale scale in
+  let lower = String.lowercase_ascii name in
+  let random mode index =
+    let g = Prng.create (Prng.mix seed (Hashtbl.hash (lower, "env"))) in
+    let envs = List.init (index + 1) (fun _ -> Params.random g mode) in
+    Params.scaled (List.nth envs index) scale
+  in
+  match String.split_on_char ':' lower with
+  | [ "site-baseline" ] -> Ok Params.site_baseline
+  | [ "pte-baseline" ] -> Ok (Params.scaled Params.pte_baseline scale)
+  | [ "site" ] -> Ok (random Params.Single 0)
+  | [ "pte" ] -> Ok (random Params.Parallel 0)
+  | [ "site"; n ] | [ "pte"; n ] as parts -> (
+      match int_of_string_opt n with
+      | Some i when i >= 0 ->
+          let mode = if List.hd parts = "site" then Params.Single else Params.Parallel in
+          Ok (random mode i)
+      | _ -> Error (Printf.sprintf "bad environment index in %S" name))
+  | _ -> Error (Printf.sprintf "unknown environment %S" name)
+
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("mcmutants: " ^ msg);
+      exit 1
+
+(* ------------------------------------------------------------------ *)
+(* list                                                                 *)
+
+let list_cmd =
+  let run () =
+    let t =
+      Table.create
+        ~aligns:[ Table.Left; Table.Left; Table.Left; Table.Left ]
+        [ "Name"; "Role"; "Mutator"; "Model" ]
+    in
+    List.iter
+      (fun (e : Suite.entry) ->
+        Table.add_row t
+          [
+            e.Suite.test.Litmus.name;
+            (match e.Suite.role with
+            | Suite.Conformance -> "conformance"
+            | Suite.Mutant_of c -> "mutant of " ^ c);
+            Mutator.kind_name e.Suite.mutator;
+            Model.name e.Suite.test.Litmus.model;
+          ])
+      (Suite.all ());
+    Table.print t;
+    Printf.printf "\nClassic library: %s\n"
+      (String.concat ", " (List.map (fun t -> t.Litmus.name) Library.all))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the generated suite (20 conformance tests, 32 mutants)")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* show                                                                 *)
+
+let show_cmd =
+  let run name =
+    let test = or_die (find_test name) in
+    print_endline (Litmus.to_string test);
+    let total, consistent = Enumerate.count_candidates test in
+    Printf.printf "\ncandidate executions: %d (%d consistent under %s)\n" total consistent
+      (Model.name test.Litmus.model);
+    (match Enumerate.forbidden_cycle test with
+    | Some cycle -> Printf.printf "target disallowed; forbidden hb cycle: %s\n" cycle
+    | None ->
+        if Enumerate.target_allowed test.Litmus.model test then
+          print_endline "target allowed under the test's model (a mutant-style behaviour)")
+  in
+  Cmd.v
+    (Cmd.info "show" ~doc:"Print a test's program, target and enumeration facts")
+    Term.(const run $ test_arg)
+
+(* ------------------------------------------------------------------ *)
+(* enumerate                                                            *)
+
+let enumerate_cmd =
+  let run name =
+    let test = or_die (find_test name) in
+    List.iter
+      (fun m ->
+        let outcomes = Enumerate.consistent_outcomes m test in
+        Printf.printf "%-20s %d allowed outcomes:\n" (Model.name m) (List.length outcomes);
+        List.iter (fun o -> Printf.printf "  %s\n" (Litmus.outcome_to_string o)) outcomes)
+      Model.all
+  in
+  Cmd.v
+    (Cmd.info "enumerate" ~doc:"Enumerate allowed outcomes under each memory model")
+    Term.(const run $ test_arg)
+
+(* ------------------------------------------------------------------ *)
+(* run                                                                  *)
+
+let run_cmd =
+  let run name device env iterations seed bugs scale histogram =
+    let test = or_die (find_test name) in
+    let profile = or_die (find_device device) in
+    let env = or_die (parse_env env seed scale) in
+    let device =
+      if bugs then
+        match Bug.paper_bug profile with
+        | Some b ->
+            Printf.printf "injected: %s\n" (Bug.describe b);
+            Device.make ~bugs:[ b ] profile
+        | None ->
+            Printf.printf "(%s has no associated paper bug; running correct device)\n"
+              profile.Profile.short_name;
+            Device.make profile
+      else Device.make profile
+    in
+    Printf.printf "device: %s\nenvironment: %s\n" (Device.name device)
+      (Format.asprintf "%a" Params.pp env);
+    let r, breakdown =
+      if histogram then
+        let r, h = Runner.run_with_histogram ~device ~env ~test ~iterations ~seed in
+        (r, Some h)
+      else (Runner.run ~device ~env ~test ~iterations ~seed, None)
+    in
+    Printf.printf
+      "iterations: %d\ninstances: %d\ntarget observed: %d\nsimulated time: %.6f s\nrate: %s /s\n"
+      r.Runner.iterations r.Runner.instances r.Runner.kills r.Runner.sim_time_s
+      (Table.rate_cell r.Runner.rate);
+    (match breakdown with
+    | None -> ()
+    | Some h ->
+        Printf.printf
+          "behaviours: %d sequential, %d interleaved, %d weak, %d forbidden (%d skipped as \
+           non-overlapping)\n"
+          h.Runner.sequential h.Runner.interleaved h.Runner.weak h.Runner.forbidden
+          h.Runner.skipped);
+    if r.Runner.kills > 0 then
+      Printf.printf "reproducibility of this campaign: %.5f\n"
+        (Confidence.reproducibility ~kills:(float_of_int r.Runner.kills))
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Run one test in a testing environment on a simulated device")
+    Term.(const run $ test_arg $ device_arg $ env_arg $ iterations_arg $ seed_arg $ bugs_arg
+          $ scale_arg $ histogram_arg)
+
+(* ------------------------------------------------------------------ *)
+(* parse / export: the textual litmus format                            *)
+
+let parse_cmd =
+  let run path =
+    match Mcm_litmus.Parse.parse_file path with
+    | Error e ->
+        prerr_endline ("mcmutants: " ^ path ^ ": " ^ e);
+        exit 1
+    | Ok test ->
+        print_endline (Litmus.to_string test);
+        let total, consistent = Enumerate.count_candidates test in
+        Printf.printf "\ncandidate executions: %d (%d consistent under %s)\n" total consistent
+          (Model.name test.Litmus.model);
+        (match Enumerate.forbidden_cycle test with
+        | Some cycle -> Printf.printf "target disallowed; forbidden hb cycle: %s\n" cycle
+        | None ->
+            if Enumerate.target_allowed test.Litmus.model test then
+              print_endline "target allowed under the test's model")
+  in
+  let path =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"FILE" ~doc:"Litmus source file.")
+  in
+  Cmd.v
+    (Cmd.info "parse" ~doc:"Parse a litmus test from its textual format and analyse it")
+    Term.(const run $ path)
+
+let export_cmd =
+  let run name =
+    let test = or_die (find_test name) in
+    print_string (Mcm_litmus.Parse.to_source test)
+  in
+  Cmd.v
+    (Cmd.info "export" ~doc:"Print a test in the parseable textual litmus format")
+    Term.(const run $ test_arg)
+
+(* ------------------------------------------------------------------ *)
+(* wgsl                                                                 *)
+
+let wgsl_cmd =
+  let run name env seed scale =
+    let test = or_die (find_test name) in
+    let env = or_die (parse_env env seed scale) in
+    let src = Mcm_wgsl.Wgsl.shader test ~env in
+    (match Mcm_wgsl.Wgsl.validate src with
+    | Ok () -> ()
+    | Error e -> prerr_endline ("warning: generated shader failed validation: " ^ e));
+    print_string src
+  in
+  Cmd.v
+    (Cmd.info "wgsl" ~doc:"Emit the WebGPU (WGSL) compute shader for a test in a PTE")
+    Term.(const run $ test_arg $ env_arg $ seed_arg $ scale_arg)
+
+(* ------------------------------------------------------------------ *)
+(* tables and figures                                                   *)
+
+let table2_cmd =
+  let run () = Table.print (Experiments.table2 ()) in
+  Cmd.v (Cmd.info "table2" ~doc:"Reproduce Table 2 (mutator inventory)") Term.(const run $ const ())
+
+let table3_cmd =
+  let run () = Table.print (Experiments.table3 ()) in
+  Cmd.v (Cmd.info "table3" ~doc:"Reproduce Table 3 (device inventory)") Term.(const run $ const ())
+
+let sweep_of_config () =
+  let config = Tuning.default_config () in
+  Printf.printf
+    "tuning sweep: %d envs/category, %d SITE iters, %d PTE iters, scale %.3f, seed %d\n%!"
+    config.Tuning.n_envs config.Tuning.site_iterations config.Tuning.pte_iterations
+    config.Tuning.scale config.Tuning.seed;
+  Tuning.sweep config
+
+let fig5_cmd =
+  let run () =
+    let runs = sweep_of_config () in
+    List.iter
+      (fun (title, t) ->
+        print_newline ();
+        print_endline title;
+        Table.print t)
+      (Experiments.Fig5.all_tables runs);
+    print_newline ();
+    print_endline "Simulated tuning time per category (Sec. 5.1):";
+    List.iter
+      (fun (name, s) -> Printf.printf "  %-14s %10.1f simulated seconds\n" name s)
+      (Experiments.Fig5.tuning_time runs)
+  in
+  Cmd.v
+    (Cmd.info "fig5" ~doc:"Reproduce Figure 5 (mutation scores and death rates)")
+    Term.(const run $ const ())
+
+let fig6_cmd =
+  let run () =
+    let runs = sweep_of_config () in
+    print_newline ();
+    print_endline "Figure 6: mutation score vs per-test time budget (merged environments, Alg. 1)";
+    Table.print (Experiments.Fig6.table runs)
+  in
+  Cmd.v
+    (Cmd.info "fig6" ~doc:"Reproduce Figure 6 (reproducible mutation score vs time budget)")
+    Term.(const run $ const ())
+
+let table4_cmd =
+  let run scale =
+    let rows = Experiments.Table4.compute ?scale () in
+    Table.print (Experiments.Table4.table rows)
+  in
+  Cmd.v
+    (Cmd.info "table4" ~doc:"Reproduce Table 4 (mutant kills vs real-bug correlation)")
+    Term.(const run $ scale_arg)
+
+(* ------------------------------------------------------------------ *)
+(* models: print the axiomatic models in CAT style                      *)
+
+let models_cmd =
+  let run () =
+    List.iter
+      (fun m ->
+        Format.printf "%a@.@." Mcm_memmodel.Cat.pp m)
+      Mcm_memmodel.Cat.all
+  in
+  Cmd.v
+    (Cmd.info "models" ~doc:"Print the axiomatic memory models (CAT style)")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* emit-suite: write the CTS artifact (litmus sources + WGSL shaders)   *)
+
+let emit_suite_cmd =
+  let run dir env_name seed scale =
+    let env = or_die (parse_env env_name seed scale) in
+    (try if not (Sys.is_directory dir) then failwith (dir ^ " is not a directory")
+     with Sys_error _ -> Sys.mkdir dir 0o755);
+    let sanitise name = String.map (fun c -> if c = '/' || c = '+' then '_' else c) name in
+    let write path contents =
+      let oc = open_out_bin path in
+      output_string oc contents;
+      close_out oc
+    in
+    let count = ref 0 in
+    List.iter
+      (fun (e : Suite.entry) ->
+        let test = e.Suite.test in
+        let base = Filename.concat dir (sanitise test.Litmus.name) in
+        write (base ^ ".litmus") (Mcm_litmus.Parse.to_source test);
+        let shader = Mcm_wgsl.Wgsl.shader test ~env in
+        (match Mcm_wgsl.Wgsl.validate shader with
+        | Ok () -> ()
+        | Error err -> Printf.eprintf "warning: %s shader: %s\n" test.Litmus.name err);
+        write (base ^ ".wgsl") shader;
+        incr count)
+      (Suite.all ());
+    Printf.printf "wrote %d tests (litmus + wgsl) to %s/\n" !count dir
+  in
+  let dir =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "emit-suite"
+       ~doc:"Write the full generated suite as .litmus sources and PTE .wgsl shaders")
+    Term.(const run $ dir $ env_arg $ seed_arg $ scale_arg)
+
+(* ------------------------------------------------------------------ *)
+(* prune: Sec. 3.4 — drop mutants the implementation cannot exhibit     *)
+
+let prune_cmd =
+  let run impl =
+    let implementation =
+      match Mcm_memmodel.Cat.find impl with
+      | Some m -> m
+      | None ->
+          prerr_endline
+            ("mcmutants: unknown implementation model " ^ impl
+           ^ " (sc|tso|rel-acq-sc-per-loc|sc-per-loc)");
+          exit 1
+    in
+    let verdict = Mcm_core.Prune.prune_suite ~implementation () in
+    let t =
+      Table.create ~aligns:[ Table.Left; Table.Left; Table.Left ]
+        [ "Mutant"; "Mutator"; "Verdict" ]
+    in
+    let add verdict_name (e : Suite.entry) =
+      Table.add_row t
+        [ e.Suite.test.Litmus.name; Mutator.kind_name e.Suite.mutator; verdict_name ]
+    in
+    List.iter (add "kept") verdict.Mcm_core.Prune.kept;
+    List.iter (add "pruned") verdict.Mcm_core.Prune.pruned;
+    Table.print t;
+    Printf.printf
+      "\n%d mutants kept, %d pruned: their behaviours are unobservable under %s (Sec. 3.4)\n"
+      (List.length verdict.Mcm_core.Prune.kept)
+      (List.length verdict.Mcm_core.Prune.pruned)
+      implementation.Mcm_memmodel.Cat.name
+  in
+  let impl =
+    Arg.(
+      value & opt string "tso"
+      & info [ "impl" ] ~docv:"MODEL" ~doc:"Implementation architecture model (e.g. tso).")
+  in
+  Cmd.v
+    (Cmd.info "prune"
+       ~doc:"Prune mutants whose behaviour an implementation model cannot exhibit (Sec. 3.4)")
+    Term.(const run $ impl)
+
+(* ------------------------------------------------------------------ *)
+(* tune: run the sweep and save the artifact-style JSON                 *)
+
+let tune_cmd =
+  let run save =
+    let runs = sweep_of_config () in
+    let records = Mcm_harness.Results.of_runs runs in
+    Printf.printf "%d measurements\n" (List.length records);
+    match save with
+    | None -> print_endline "(use --save FILE to write the JSON results)"
+    | Some path -> (
+        match Mcm_harness.Results.save path records with
+        | Ok () -> Printf.printf "saved %s\n" path
+        | Error e ->
+            prerr_endline ("mcmutants: " ^ e);
+            exit 1)
+  in
+  let save =
+    Arg.(value & opt (some string) None & info [ "save" ] ~docv:"FILE" ~doc:"Write results JSON.")
+  in
+  Cmd.v
+    (Cmd.info "tune" ~doc:"Run the tuning sweep and optionally save results as JSON")
+    Term.(const run $ save)
+
+(* ------------------------------------------------------------------ *)
+(* analysis: the artifact's analysis.py, over saved JSON                *)
+
+let analysis_cmd =
+  let run action stats_path category rep budget tests =
+    let records =
+      match Mcm_harness.Results.load stats_path with
+      | Ok r -> r
+      | Error e ->
+          prerr_endline ("mcmutants: " ^ stats_path ^ ": " ^ e);
+          exit 1
+    in
+    match action with
+    | "mutation-score" ->
+        let t = Table.create [ "Mutator"; "Mutation score"; "Avg death rate (/s)" ] in
+        List.iter
+          (fun (label, score, rate) ->
+            Table.add_row t [ label; Table.pct_cell score; Table.rate_cell rate ])
+          (Mcm_harness.Results.mutation_score records ~category);
+        Table.print t
+    | "merge" ->
+        let score =
+          Mcm_harness.Results.merge_score records ~category ~target:(rep /. 100.) ~budget
+        in
+        Printf.printf
+          "%s of tests reproducible on all devices at %g%% within %gs per test (category %s)\n"
+          (Table.pct_cell score) rep budget category
+    | "correlation" ->
+        let tests =
+          match tests with
+          | [] -> Mcm_harness.Results.tests records
+          | ts -> ts
+        in
+        let matrix = Mcm_harness.Results.correlation_matrix records ~category ~tests in
+        let t = Table.create ("" :: tests) in
+        List.iteri
+          (fun i name ->
+            Table.add_row t
+              (name
+              :: Array.to_list (Array.map (fun r -> Table.float_cell ~decimals:3 r) matrix.(i))))
+          tests;
+        Table.print t
+    | other ->
+        prerr_endline ("mcmutants: unknown action " ^ other ^ " (mutation-score|merge|correlation)");
+        exit 1
+  in
+  let action =
+    Arg.(
+      value
+      & opt string "mutation-score"
+      & info [ "action" ] ~docv:"ACTION" ~doc:"mutation-score, merge or correlation.")
+  in
+  let stats =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "stats" ] ~docv:"FILE" ~doc:"Results JSON written by `mcmutants tune --save`.")
+  in
+  let category =
+    Arg.(value & opt string "PTE" & info [ "category" ] ~docv:"CAT" ~doc:"Environment category.")
+  in
+  let rep =
+    Arg.(value & opt float 95. & info [ "rep" ] ~docv:"R" ~doc:"Reproducibility target in percent.")
+  in
+  let budget =
+    Arg.(value & opt float 1.0 & info [ "budget" ] ~docv:"B" ~doc:"Per-test budget in seconds.")
+  in
+  let tests =
+    Arg.(value & opt_all string [] & info [ "test" ] ~docv:"TEST" ~doc:"Tests to correlate.")
+  in
+  Cmd.v
+    (Cmd.info "analysis" ~doc:"Analyse saved tuning results (the artifact's analysis.py)")
+    Term.(const run $ action $ stats $ category $ rep $ budget $ tests)
+
+(* ------------------------------------------------------------------ *)
+(* cts: the Sec. 4.2 curation story                                     *)
+
+let cts_cmd =
+  let run target budget =
+    let runs = sweep_of_config () in
+    let devices = List.map (fun p -> p.Profile.short_name) Profile.all in
+    let n_devices = List.length devices in
+    let n_envs =
+      List.length (Tuning.envs_for (Tuning.default_config ()) Tuning.Pte)
+    in
+    let t =
+      Table.create
+        ~aligns:[ Table.Left; Table.Right; Table.Right; Table.Right ]
+        [ "Mutant"; "Chosen env"; "Devices at ceiling"; "Min rate (/s)" ]
+    in
+    let chosen =
+      List.filter_map
+        (fun (e : Suite.entry) ->
+          let name = e.Suite.test.Litmus.name in
+          let rate ~env ~device =
+            Tuning.rate runs Tuning.Pte ~test:name ~device:(List.nth devices device)
+              ~env_index:env
+          in
+          match MergeAlg.choose ~rate ~n_envs ~n_devices ~target ~budget with
+          | None ->
+              Table.add_row t [ name; "-"; "0"; "0" ];
+              None
+          | Some c ->
+              Table.add_row t
+                [
+                  name;
+                  string_of_int c.MergeAlg.env;
+                  string_of_int c.MergeAlg.devices_at_ceiling;
+                  Table.rate_cell c.MergeAlg.min_positive_rate;
+                ];
+              Some c)
+        (Suite.mutants ())
+    in
+    Table.print t;
+    let full = List.filter (fun c -> c.MergeAlg.devices_at_ceiling = n_devices) chosen in
+    let mutants = List.length (Suite.mutants ()) in
+    Printf.printf
+      "\n%d/%d mutants reproducible on all devices at %.5g%% within %gs per test\n"
+      (List.length full) mutants (100. *. target) budget;
+    Printf.printf "total suite budget: %g s for %d conformance tests\n"
+      (budget *. float_of_int (List.length (Suite.conformance_tests ())))
+      (List.length (Suite.conformance_tests ()));
+    Printf.printf "total reproducibility across the suite: %.4f%%\n"
+      (100. *. Confidence.total_reproducibility ~per_test:target ~tests:mutants)
+  in
+  let target =
+    Arg.(value & opt float 0.99999 & info [ "rep" ] ~docv:"R" ~doc:"Reproducibility target in (0,1).")
+  in
+  let budget =
+    Arg.(value & opt float 4.0 & info [ "budget" ] ~docv:"B" ~doc:"Per-test time budget in seconds.")
+  in
+  Cmd.v
+    (Cmd.info "cts" ~doc:"Curate per-test environments for a conformance test suite (Alg. 1)")
+    Term.(const run $ target $ budget)
+
+let main =
+  let doc = "MC Mutants: mutation testing for memory consistency specifications (ASPLOS '23)" in
+  Cmd.group (Cmd.info "mcmutants" ~version:"1.0.0" ~doc)
+    [
+      list_cmd; show_cmd; enumerate_cmd; run_cmd; parse_cmd; export_cmd; wgsl_cmd; table2_cmd; table3_cmd; fig5_cmd;
+      fig6_cmd; table4_cmd; tune_cmd; analysis_cmd; cts_cmd; prune_cmd; emit_suite_cmd; models_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

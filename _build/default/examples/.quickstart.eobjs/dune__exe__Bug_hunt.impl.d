@@ -1,0 +1,1 @@
+examples/bug_hunt.ml: Float Format Hashtbl List Mcm_core Mcm_gpu Mcm_litmus Mcm_testenv Mcm_util Option Printf String

@@ -1,0 +1,1 @@
+examples/cts_curation.ml: List Mcm_core Mcm_gpu Mcm_harness Mcm_litmus Mcm_util Printf

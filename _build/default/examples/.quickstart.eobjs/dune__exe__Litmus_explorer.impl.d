@@ -1,0 +1,1 @@
+examples/litmus_explorer.ml: List Mcm_litmus Mcm_memmodel Mcm_util Printf String

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Mcm_core Mcm_gpu Mcm_litmus Mcm_memmodel Mcm_testenv Printf

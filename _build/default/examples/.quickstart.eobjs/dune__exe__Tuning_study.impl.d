@@ -1,0 +1,1 @@
+examples/tuning_study.ml: List Mcm_core Mcm_gpu Mcm_litmus Mcm_testenv Mcm_util Option Printf

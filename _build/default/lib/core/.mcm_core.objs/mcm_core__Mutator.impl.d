@@ -1,0 +1,1 @@
+lib/core/mutator.ml: Array Hashtbl List Mcm_litmus Mcm_memmodel Result Template

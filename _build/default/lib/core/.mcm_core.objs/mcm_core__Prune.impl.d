@@ -1,0 +1,1 @@
+lib/core/prune.ml: List Mcm_litmus Suite

@@ -1,0 +1,1 @@
+lib/core/prune.mli: Mcm_litmus Mcm_memmodel Suite

@@ -1,0 +1,1 @@
+lib/core/suite.ml: Lazy List Mcm_litmus Mutator Result String

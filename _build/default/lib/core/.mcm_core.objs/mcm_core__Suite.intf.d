@@ -1,0 +1,1 @@
+lib/core/suite.mli: Mcm_litmus Mutator

@@ -1,0 +1,1 @@
+lib/core/template.ml: Array List Mcm_litmus Mcm_memmodel Printf String

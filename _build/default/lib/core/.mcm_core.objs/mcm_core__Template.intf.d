@@ -1,0 +1,1 @@
+lib/core/template.mli: Mcm_litmus Mcm_memmodel

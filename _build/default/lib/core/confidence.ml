@@ -1,0 +1,16 @@
+let reproducibility ~kills = if kills <= 0. then 0. else 1. -. exp (-.kills)
+
+let required_kills ~target =
+  if target <= 0. || target >= 1. then invalid_arg "Confidence.required_kills: target must be in (0,1)";
+  int_of_float (ceil (-.log (1. -. target)))
+
+let ceiling_rate ~target ~budget =
+  if budget <= 0. then invalid_arg "Confidence.ceiling_rate: budget must be positive";
+  float_of_int (required_kills ~target) /. budget
+
+let budget_for ~target ~rate =
+  if rate <= 0. then infinity else float_of_int (required_kills ~target) /. rate
+
+let total_reproducibility ~per_test ~tests = per_test ** float_of_int tests
+
+let meets ~rate ~target ~budget = rate >= ceiling_rate ~target ~budget

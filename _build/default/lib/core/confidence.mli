@@ -1,0 +1,38 @@
+(** MCS Test Confidence (Sec. 4.2).
+
+    If a behaviour of interest was observed [x] times in a testing run,
+    the probability that an identical subsequent run observes it at least
+    once is [1 - e^(-x)] (Kirkham et al., adopted by the paper). This
+    {e reproducibility score} lets a conformance-suite curator trade
+    testing time against confidence: a target score [r] and a time budget
+    [b] translate into a {e ceiling rate} [ceil(-ln(1-r)) / b] that a
+    testing environment's mutant death rate must reach. *)
+
+val reproducibility : kills:float -> float
+(** [reproducibility ~kills] is [1 - e^(-kills)], the probability that a
+    rerun of the same length observes the behaviour again. [0.] for
+    non-positive [kills]. *)
+
+val required_kills : target:float -> int
+(** [required_kills ~target] is [ceil(-ln(1-target))] — the observation
+    count needed within one budget to reach reproducibility [target].
+    E.g. 3 kills give 95%.
+    @raise Invalid_argument unless [0 < target < 1]. *)
+
+val ceiling_rate : target:float -> budget:float -> float
+(** [ceiling_rate ~target ~budget] is [required_kills ~target ∕ budget]
+    (line 7 of Alg. 1): the minimum death rate, in kills per second, at
+    which a test run of [budget] seconds reaches the target.
+    @raise Invalid_argument unless [budget > 0]. *)
+
+val budget_for : target:float -> rate:float -> float
+(** [budget_for ~target ~rate] is the testing time needed to reach the
+    target at the given death rate; [infinity] when [rate <= 0]. *)
+
+val total_reproducibility : per_test:float -> tests:int -> float
+(** [total_reproducibility ~per_test ~tests] is [per_test ^ tests] — the
+    probability that a CTS run reproduces {e all} tests (Sec. 4.2's
+    discussion: 95% per test over 20 tests is only 35.8% total). *)
+
+val meets : rate:float -> target:float -> budget:float -> bool
+(** [meets ~rate ~target ~budget] tests [rate >= ceiling_rate]. *)

@@ -1,0 +1,34 @@
+type choice = { env : int; devices_at_ceiling : int; min_positive_rate : float }
+
+let ceiling_rate = Confidence.ceiling_rate
+
+(* A direct transcription of Algorithm 1. The running best starts as the
+   empty environment (n_r = 0, minRate_r = ∞); an environment only
+   replaces it with strictly more devices at the ceiling, or as many and a
+   strictly larger minimum non-zero rate — so if every environment has
+   zero rates everywhere the result stays empty. *)
+let choose ~rate ~n_envs ~n_devices ~target ~budget =
+  let ceiling = ceiling_rate ~target ~budget in
+  let best = ref None in
+  let best_n = ref 0 and best_min = ref infinity in
+  for e = 0 to n_envs - 1 do
+    let n_c = ref 0 and min_c = ref infinity in
+    for d = 0 to n_devices - 1 do
+      let r = rate ~env:e ~device:d in
+      if r >= ceiling then incr n_c;
+      if r > 0. then min_c := min !min_c r
+    done;
+    if !n_c > !best_n || (!n_c = !best_n && !min_c > !best_min) then begin
+      best := Some e;
+      best_n := !n_c;
+      best_min := !min_c
+    end
+  done;
+  match !best with
+  | None -> None
+  | Some env -> Some { env; devices_at_ceiling = !best_n; min_positive_rate = !best_min }
+
+let reproducible_on_all ~rate ~n_envs ~n_devices ~target ~budget =
+  match choose ~rate ~n_envs ~n_devices ~target ~budget with
+  | None -> false
+  | Some c -> c.devices_at_ceiling = n_devices

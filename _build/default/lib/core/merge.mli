@@ -1,0 +1,47 @@
+(** Algorithm 1: merging test environments (Sec. 4.2).
+
+    When curating a conformance test suite, one environment must be
+    chosen per test that works across devices unknown in advance. Given
+    the death rate of a mutant in every (environment, device) pair,
+    Algorithm 1 picks the environment that maximises the number of
+    devices whose rate reaches the ceiling rate derived from the
+    reproducibility target and time budget, breaking ties by the largest
+    minimum non-zero rate (which makes the choice {e stable}: loosening
+    the target or extending the budget never changes a fully-passing
+    choice). *)
+
+type choice = {
+  env : int;  (** index of the selected environment *)
+  devices_at_ceiling : int;
+      (** how many devices meet the ceiling rate under that environment *)
+  min_positive_rate : float;
+      (** the smallest non-zero death rate across devices, [infinity] if
+          every rate is zero *)
+}
+
+val ceiling_rate : target:float -> budget:float -> float
+(** Line 7 of Alg. 1 — re-exported from {!Confidence.ceiling_rate}. *)
+
+val choose :
+  rate:(env:int -> device:int -> float) ->
+  n_envs:int ->
+  n_devices:int ->
+  target:float ->
+  budget:float ->
+  choice option
+(** [choose ~rate ~n_envs ~n_devices ~target ~budget] runs Algorithm 1
+    over environments [0 .. n_envs-1] and devices [0 .. n_devices-1].
+    Returns [None] when no environment ever killed the mutant (every rate
+    zero) — the algorithm's [e_r = ∅] case — or when [n_envs = 0].
+    @raise Invalid_argument unless [0 < target < 1] and [budget > 0]. *)
+
+val reproducible_on_all :
+  rate:(env:int -> device:int -> float) ->
+  n_envs:int ->
+  n_devices:int ->
+  target:float ->
+  budget:float ->
+  bool
+(** [reproducible_on_all ...] holds when the chosen environment meets the
+    ceiling rate on {e every} device — the per-mutant success criterion
+    behind Fig. 6's curves. *)

@@ -1,0 +1,254 @@
+module Model = Mcm_memmodel.Model
+module Relation = Mcm_memmodel.Relation
+module Execution = Mcm_memmodel.Execution
+module Litmus = Mcm_litmus.Litmus
+module Instr = Mcm_litmus.Instr
+
+type kind = Reversing_po_loc | Weakening_po_loc | Weakening_sw
+
+let kind_name = function
+  | Reversing_po_loc -> "reversing-po-loc"
+  | Weakening_po_loc -> "weakening-po-loc"
+  | Weakening_sw -> "weakening-sw"
+
+let all_kinds = [ Reversing_po_loc; Weakening_po_loc; Weakening_sw ]
+
+type pair = { conformance : Litmus.t; mutants : Litmus.t list }
+
+let ( let* ) = Result.bind
+
+(* Access kinds for template slots: read, write, read-modify-write. *)
+type access = R | W | U
+
+(* Build one instruction per template slot, in conformance event order.
+   Writes get unique increasing values per location; registers number
+   sequentially per thread — the paper's concretisation (Sec. 3.1). *)
+let make_instrs roles =
+  let next_value = Hashtbl.create 4 and next_reg = Hashtbl.create 4 in
+  let fresh tbl key =
+    let v = try Hashtbl.find tbl key with Not_found -> 0 in
+    Hashtbl.replace tbl key (v + 1);
+    v
+  in
+  List.map
+    (fun (tid, access, loc) ->
+      match access with
+      | R -> Instr.Load { reg = fresh next_reg tid; loc }
+      | W -> Instr.Store { loc; value = 1 + fresh next_value loc }
+      | U -> Instr.Rmw { reg = fresh next_reg tid; loc; value = 1 + fresh next_value loc })
+    roles
+
+let com_edge rels a b = Relation.mem rels.Execution.com a b
+let rf_edge rels a b = Relation.mem rels.Execution.rf a b
+
+(* ------------------------------------------------------------------ *)
+(* Mutator 1: reversing po-loc on three events (Fig. 3a).              *)
+(*   T0: a; b   (po-loc)      T1: c                                    *)
+(*   cycle: b -com-> c -com-> a -po-loc-> b                            *)
+(* ------------------------------------------------------------------ *)
+
+let m1_pattern ~a ~b ~c _x rels = com_edge rels b c && com_edge rels c a
+
+let m1_build ~name (ka, kb, kc) =
+  match make_instrs [ (0, ka, 0); (0, kb, 0); (1, kc, 0) ] with
+  | [ ia; ib; ic ] ->
+      let conf_threads = [| [ ia; ib ]; [ ic ] |] in
+      let mut_threads = [| [ ib; ia ]; [ ic ] |] in
+      (* All-plain-writes instantiations must observe a specific co chain
+         through an observer thread (Sec. 3.1). *)
+      let require_observer = (ka, kb, kc) = (W, W, W) in
+      let* conformance =
+        Template.derive_first ~name ~family:(kind_name Reversing_po_loc)
+          ~model:Model.Sc_per_location ~nlocs:1
+          ~pattern:(m1_pattern ~a:0 ~b:1 ~c:2)
+          ~polarity:Template.Conformance
+          (Template.observer_ladder ~require_observer ~obs_loc:0 conf_threads)
+      in
+      let* mutant =
+        Template.derive_first ~name:(name ^ "-m") ~family:(kind_name Reversing_po_loc)
+          ~model:Model.Sc_per_location ~nlocs:1
+          ~pattern:(m1_pattern ~a:1 ~b:0 ~c:2)
+          ~polarity:Template.Mutant
+          (Template.observer_ladder ~require_observer ~obs_loc:0 mut_threads)
+      in
+      Ok { conformance; mutants = [ mutant ] }
+  | _ -> Error (name ^ ": internal: wrong instruction count")
+
+(* All non-empty subsets of [slots], largest first (then generation
+   order) — used to find the maximum-RMW variant the paper includes. *)
+let nonempty_subsets slots =
+  let rec powerset = function
+    | [] -> [ [] ]
+    | s :: rest ->
+        let tails = powerset rest in
+        List.map (fun t -> s :: t) tails @ tails
+  in
+  let nonempty = List.filter (fun s -> s <> []) (powerset slots) in
+  List.stable_sort (fun s1 s2 -> compare (List.length s2) (List.length s1)) nonempty
+
+let m1_rmw_variant ~name (ka, kb, kc) =
+  (* A read in slot a cannot become an RMW: its trailing write would sit
+     in po-loc between a and b and interfere with the cycle (Sec. 3.1).
+     Slots b and c may be upgraded; take the largest upgrade for which
+     both the conformance test and the mutant still derive. *)
+  let upgradable = (if ka = W then [ `A ] else []) @ [ `B; `C ] in
+  let apply subset =
+    let up slot k = if List.mem slot subset then U else k in
+    (up `A ka, up `B kb, up `C kc)
+  in
+  let rec try_subsets = function
+    | [] -> Error (name ^ "-rmw: no RMW upgrade derives")
+    | subset :: rest -> (
+        match m1_build ~name:(name ^ "-rmw") (apply subset) with
+        | Ok pair -> Ok pair
+        | Error _ -> try_subsets rest)
+  in
+  try_subsets (nonempty_subsets upgradable)
+
+let mutator1 () =
+  let bases = [ ((R, R, W), "CoRR"); ((W, R, W), "CoWR"); ((R, W, W), "CoRW"); ((W, W, W), "CoWW") ] in
+  List.fold_left
+    (fun acc (combo, name) ->
+      let* pairs = acc in
+      let* base = m1_build ~name combo in
+      let* rmw = m1_rmw_variant ~name combo in
+      Ok (pairs @ [ base; rmw ]))
+    (Ok []) bases
+
+(* ------------------------------------------------------------------ *)
+(* Mutator 2: weakening po-loc on four events (Fig. 3b).               *)
+(*   T0: a; b   T1: c; d      all on x                                 *)
+(*   cycle: a -po-loc-> b -com-> c -po-loc-> d -com-> a                *)
+(*   disruptor: b and c move to location y (po-loc weakens to po)      *)
+(* ------------------------------------------------------------------ *)
+
+let m2_pattern _x rels = com_edge rels 1 2 && com_edge rels 3 0
+
+let m2_combos =
+  (* Each com edge needs at least one write: (b,c) and (d,a) cannot both
+     be reads. Deduplicate under the thread-swap symmetry
+     (a,b,c,d) ~ (c,d,a,b). *)
+  let accesses = [ R; W ] in
+  let all =
+    List.concat_map
+      (fun a ->
+        List.concat_map
+          (fun b ->
+            List.concat_map
+              (fun c -> List.map (fun d -> (a, b, c, d)) accesses)
+              accesses)
+          accesses)
+      accesses
+  in
+  let valid (a, b, c, d) = not (b = R && c = R) && not (d = R && a = R) in
+  let canonical (a, b, c, d) = min (a, b, c, d) (c, d, a, b) in
+  List.sort_uniq compare (List.map canonical (List.filter valid all))
+
+let m2_name combo =
+  (* Structure names follow the classic tests the disruptor recreates. *)
+  match combo with
+  | W, W, R, R | R, R, W, W -> "MP-CO"
+  | R, W, R, W -> "LB-CO"
+  | W, R, W, R -> "SB-CO"
+  | W, W, W, W -> "2+2W-CO"
+  | W, W, R, W | R, W, W, W -> "S-CO"
+  | W, W, W, R | W, R, W, W -> "R-CO"
+  | _ -> "m2-unknown"
+
+let m2_build (ka, kb, kc, kd) =
+  let name = m2_name (ka, kb, kc, kd) in
+  let build_threads locs =
+    match make_instrs [ (0, ka, locs.(0)); (0, kb, locs.(1)); (1, kc, locs.(2)); (1, kd, locs.(3)) ] with
+    | [ ia; ib; ic; id ] -> Ok [| [ ia; ib ]; [ ic; id ] |]
+    | _ -> Error (name ^ ": internal: wrong instruction count")
+  in
+  let* conf_threads = build_threads [| 0; 0; 0; 0 |] in
+  let* mut_threads = build_threads [| 0; 1; 1; 0 |] in
+  let require_observer = (ka, kb, kc, kd) = (W, W, W, W) in
+  let* conformance =
+    Template.derive_first ~name ~family:(kind_name Weakening_po_loc)
+      ~model:Model.Sc_per_location ~nlocs:1 ~pattern:m2_pattern
+      ~polarity:Template.Conformance
+      (Template.observer_ladder ~require_observer ~obs_loc:0 conf_threads)
+  in
+  let* mutant =
+    Template.derive_first ~name:(name ^ "-m") ~family:(kind_name Weakening_po_loc)
+      ~model:Model.Sc_per_location ~nlocs:2 ~pattern:m2_pattern
+      ~polarity:Template.Mutant
+      (Template.observer_ladder ~obs_loc:0 mut_threads
+      @ (match Template.observer_ladder ~obs_loc:1 mut_threads with
+        | _ :: with_obs -> with_obs
+        | [] -> []))
+  in
+  Ok { conformance; mutants = [ mutant ] }
+
+let mutator2 () =
+  List.fold_left
+    (fun acc combo ->
+      let* pairs = acc in
+      let* pair = m2_build combo in
+      Ok (pairs @ [ pair ]))
+    (Ok []) m2_combos
+
+(* ------------------------------------------------------------------ *)
+(* Mutator 3: weakening sw on four events (Fig. 3c).                   *)
+(*   T0: a; F; b    T1: c; F; d                                        *)
+(*   b (after the releasing fence) must write, c (before the acquiring *)
+(*   fence) must read, and b -rf-> c establishes sw; d -com-> a closes *)
+(*   the cycle. RMWs in slots b/c recover SB, R and 2+2W (Sec. 3.3).   *)
+(*   disruptor: remove one or both fences.                             *)
+(* ------------------------------------------------------------------ *)
+
+let m3_structures =
+  [
+    ("MP-relacq", (W, 0), (W, 1), (R, 1), (R, 0));
+    ("LB-relacq", (R, 0), (W, 1), (R, 1), (W, 0));
+    ("S-relacq", (W, 0), (W, 1), (R, 1), (W, 0));
+    ("SB-relacq", (W, 0), (U, 1), (U, 1), (R, 0));
+    ("R-relacq", (W, 0), (W, 1), (U, 1), (R, 0));
+    ("2+2W-relacq", (W, 0), (W, 1), (U, 1), (W, 0));
+  ]
+
+let m3_pattern ~a ~b ~c ~d _x rels = rf_edge rels b c && com_edge rels d a
+
+let m3_build (name, (ka, la), (kb, lb), (kc, lc), (kd, ld)) =
+  match make_instrs [ (0, ka, la); (0, kb, lb); (1, kc, lc); (1, kd, ld) ] with
+  | [ ia; ib; ic; id ] ->
+      let threads ~fence0 ~fence1 =
+        let seq first fence second = if fence then [ first; Instr.Fence; second ] else [ first; second ] in
+        [| seq ia fence0 ib; seq ic fence1 id |]
+      in
+      (* Event ids depend on which fences remain. *)
+      let ids ~fence0 ~fence1 =
+        let b = if fence0 then 2 else 1 in
+        let c = b + 1 in
+        let d = if fence1 then c + 2 else c + 1 in
+        (0, b, c, d)
+      in
+      let derive ~fence0 ~fence1 ~polarity name =
+        let a, b, c, d = ids ~fence0 ~fence1 in
+        Template.derive_first ~name ~family:(kind_name Weakening_sw)
+          ~model:Model.Relacq_sc_per_location ~nlocs:2
+          ~pattern:(m3_pattern ~a ~b ~c ~d)
+          ~polarity
+          (Template.observer_ladder ~obs_loc:0 (threads ~fence0 ~fence1))
+      in
+      let* conformance = derive ~fence0:true ~fence1:true ~polarity:Template.Conformance name in
+      let* m1 = derive ~fence0:false ~fence1:true ~polarity:Template.Mutant (name ^ "-m1") in
+      let* m2 = derive ~fence0:true ~fence1:false ~polarity:Template.Mutant (name ^ "-m2") in
+      let* m3 = derive ~fence0:false ~fence1:false ~polarity:Template.Mutant (name ^ "-m3") in
+      Ok { conformance; mutants = [ m1; m2; m3 ] }
+  | _ -> Error (name ^ ": internal: wrong instruction count")
+
+let mutator3 () =
+  List.fold_left
+    (fun acc structure ->
+      let* pairs = acc in
+      let* pair = m3_build structure in
+      Ok (pairs @ [ pair ]))
+    (Ok []) m3_structures
+
+let instantiate = function
+  | Reversing_po_loc -> mutator1 ()
+  | Weakening_po_loc -> mutator2 ()
+  | Weakening_sw -> mutator3 ()

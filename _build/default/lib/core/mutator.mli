@@ -1,0 +1,46 @@
+(** The three MC Mutants mutators (Sec. 3.1–3.3, Fig. 3).
+
+    Each mutator owns an abstract happens-before cycle template and an
+    edge disruptor. Instantiating the template over all combinations of
+    reads, writes and RMWs yields the {e conformance tests}; applying the
+    disruptor yields the {e mutants}. Target behaviours are derived, not
+    hand-written: every produced test is machine-checked by enumeration
+    (via {!Template}) so that conformance targets are disallowed and
+    mutant targets allowed under the test's MCS.
+
+    Expected totals (paper Tab. 2):
+    {ul
+    {- reversing [po-loc]: 8 conformance tests, 8 mutants;}
+    {- weakening [po-loc]: 6 conformance tests, 6 mutants;}
+    {- weakening [sw]: 6 conformance tests, 18 mutants.}} *)
+
+type kind =
+  | Reversing_po_loc
+      (** Fig. 3a: three events, two threads; swaps the [po-loc]-ordered
+          pair of thread 0, legalising the behaviour under plain SC. A
+          testing environment kills these mutants with fine-grained
+          interleaving alone. *)
+  | Weakening_po_loc
+      (** Fig. 3b: four events on one location; the disruptor moves the
+          inner pair to a second location, weakening [po-loc] to [po] and
+          turning the test into a classic two-location weak-memory test. *)
+  | Weakening_sw
+      (** Fig. 3c: four events plus two release/acquire fences; the
+          disruptor removes one or both fences, breaking [sw]. *)
+
+val kind_name : kind -> string
+(** ["reversing-po-loc"], ["weakening-po-loc"], ["weakening-sw"] — also
+    used as the [family] field of generated tests. *)
+
+val all_kinds : kind list
+
+(** A conformance test paired with its mutants. *)
+type pair = {
+  conformance : Mcm_litmus.Litmus.t;
+  mutants : Mcm_litmus.Litmus.t list;
+}
+
+val instantiate : kind -> (pair list, string) result
+(** [instantiate k] generates every instantiation of mutator [k]. An
+    [Error] indicates a generator bug (an underivable target), never a
+    user error. *)

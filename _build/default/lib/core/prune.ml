@@ -1,0 +1,18 @@
+module Enumerate = Mcm_litmus.Enumerate
+
+type verdict = { kept : Suite.entry list; pruned : Suite.entry list }
+
+let observable ~implementation t = Enumerate.target_allowed_cat implementation t
+
+let prune ~implementation entries =
+  let mutants =
+    List.filter
+      (fun (e : Suite.entry) -> match e.Suite.role with Suite.Mutant_of _ -> true | _ -> false)
+      entries
+  in
+  let kept, pruned =
+    List.partition (fun (e : Suite.entry) -> observable ~implementation e.Suite.test) mutants
+  in
+  { kept; pruned }
+
+let prune_suite ~implementation () = prune ~implementation (Suite.all ())

@@ -1,0 +1,27 @@
+(** Pruning mutants by implementation observability (Sec. 3.4).
+
+    A mutation score only measures a testing environment when the mutant
+    behaviours are observable on the device under test. When the
+    implementation's architecture model is stronger than the
+    specification — the paper's example is C++ on x86 — unobservable
+    mutants must be pruned: they would depress the score no matter how
+    good the environment is. Given a precise model of the implementation
+    (as a {!Mcm_memmodel.Cat} model, e.g. TSO for x86), a mutant is kept
+    exactly when its target behaviour is allowed by that model. *)
+
+type verdict = {
+  kept : Suite.entry list;  (** mutants observable on the implementation *)
+  pruned : Suite.entry list;  (** mutants the implementation cannot exhibit *)
+}
+
+val observable : implementation:Mcm_memmodel.Cat.t -> Mcm_litmus.Litmus.t -> bool
+(** [observable ~implementation t] holds when [t]'s target behaviour has
+    a consistent candidate execution under the implementation model. *)
+
+val prune : implementation:Mcm_memmodel.Cat.t -> Suite.entry list -> verdict
+(** [prune ~implementation entries] splits the mutants of [entries] by
+    observability; conformance tests are never pruned and are excluded
+    from the result. *)
+
+val prune_suite : implementation:Mcm_memmodel.Cat.t -> unit -> verdict
+(** [prune_suite ~implementation ()] prunes the full generated suite. *)

@@ -1,0 +1,50 @@
+module Litmus = Mcm_litmus.Litmus
+
+type role = Conformance | Mutant_of of string
+
+type entry = { test : Litmus.t; role : role; mutator : Mutator.kind }
+
+let generate () =
+  let ( let* ) = Result.bind in
+  List.fold_left
+    (fun acc kind ->
+      let* entries = acc in
+      let* pairs = Mutator.instantiate kind in
+      let of_pair p =
+        { test = p.Mutator.conformance; role = Conformance; mutator = kind }
+        :: List.map
+             (fun m -> { test = m; role = Mutant_of p.Mutator.conformance.Litmus.name; mutator = kind })
+             p.Mutator.mutants
+      in
+      Ok (entries @ List.concat_map of_pair pairs))
+    (Ok []) Mutator.all_kinds
+
+let memoised =
+  lazy
+    (match generate () with
+    | Ok entries -> entries
+    | Error e -> failwith ("Suite generation failed: " ^ e))
+
+let all () = Lazy.force memoised
+
+let conformance_tests () = List.filter (fun e -> e.role = Conformance) (all ())
+
+let mutants () = List.filter (fun e -> match e.role with Mutant_of _ -> true | Conformance -> false) (all ())
+
+let mutants_of name =
+  List.filter (fun e -> match e.role with Mutant_of c -> c = name | Conformance -> false) (all ())
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun e -> String.lowercase_ascii e.test.Litmus.name = lower) (all ())
+
+let table2 () =
+  let count kind =
+    let entries = List.filter (fun e -> e.mutator = kind) (all ()) in
+    let conf = List.length (List.filter (fun e -> e.role = Conformance) entries) in
+    (Mutator.kind_name kind, conf, List.length entries - conf)
+  in
+  let rows = List.map count Mutator.all_kinds in
+  let total_conf = List.fold_left (fun acc (_, c, _) -> acc + c) 0 rows in
+  let total_mut = List.fold_left (fun acc (_, _, m) -> acc + m) 0 rows in
+  rows @ [ ("Combined", total_conf, total_mut) ]

@@ -1,0 +1,40 @@
+(** The generated MC Mutants test suite (Sec. 3, Tab. 2).
+
+    Running all three mutators yields 20 conformance tests and 32 mutants.
+    The suite is generated once and memoised; generation is deterministic
+    and every entry's target has been machine-checked by derivation
+    (see {!Template}). *)
+
+(** Whether an entry is a conformance test or a mutant, and for mutants,
+    which conformance test it was derived from. *)
+type role = Conformance | Mutant_of of string
+
+type entry = {
+  test : Mcm_litmus.Litmus.t;
+  role : role;
+  mutator : Mutator.kind;  (** the mutator that generated this entry *)
+}
+
+val generate : unit -> (entry list, string) result
+(** [generate ()] runs all three mutators. [Error] indicates a generator
+    bug; the memoised accessors below raise [Failure] in that case. *)
+
+val all : unit -> entry list
+(** Every entry, conformance tests and mutants, in generation order. *)
+
+val conformance_tests : unit -> entry list
+(** The 20 conformance tests. *)
+
+val mutants : unit -> entry list
+(** The 32 mutants. *)
+
+val mutants_of : string -> entry list
+(** [mutants_of conformance_name] lists the mutants derived from the named
+    conformance test (1 for mutators 1–2, 3 for mutator 3). *)
+
+val find : string -> entry option
+(** Look an entry up by test name (case-insensitive). *)
+
+val table2 : unit -> (string * int * int) list
+(** Rows of the paper's Tab. 2: mutator name, conformance-test count,
+    mutant count — plus a final ["Combined"] row. *)

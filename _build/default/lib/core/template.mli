@@ -1,0 +1,75 @@
+(** Deriving litmus tests from happens-before cycle templates (Sec. 3).
+
+    A mutator instantiates an abstract cycle template into a concrete
+    program; what remains is attaching the {e target behaviour}. This
+    module derives targets by exhaustive candidate enumeration instead of
+    trusting hand-written postconditions:
+
+    - the {e pattern} of a template is the set of communication edges its
+      cycle requires (e.g. [b -com-> c] and [c -com-> a] for Fig. 3a);
+    - for a {b conformance} test, the target outcome set is
+      {e (outcomes of candidates matching the pattern) minus (outcomes of
+      candidates consistent under the MCS)} — observing any of them is
+      therefore a definite MCS violation;
+    - for a {b mutant}, it is the set of outcomes that, among consistent
+      executions, arise {e only} from executions matching the pattern —
+      the closely-related behaviour the MCS allows, whose observation
+      unambiguously kills the mutant.
+
+    Derivation fails (returns [Error]) when the set is empty: an empty
+    conformance set means the cycle is not actually forbidden (a generator
+    bug); an empty mutant set means the disruption did not legalise the
+    behaviour. The paper's special case — an observer thread is needed
+    when a coherence chain is otherwise unobservable — is handled by
+    passing a ladder of program variants and taking the first that
+    derives. *)
+
+type polarity = Conformance | Mutant
+(** Whether the target must be disallowed ([Conformance]) or allowed
+    ([Mutant]) under the model. *)
+
+type pattern = Mcm_memmodel.Execution.t -> Mcm_memmodel.Execution.relations -> bool
+(** A predicate recognising candidate executions that exhibit the
+    template's cycle edges. It receives the candidate and its derived
+    relations. Event ids are positional: thread 0's events first, in
+    program order, then thread 1's, etc. — appending an observer thread
+    never renumbers the test threads' events. *)
+
+val derive :
+  name:string ->
+  family:string ->
+  model:Mcm_memmodel.Model.t ->
+  nlocs:int ->
+  pattern:pattern ->
+  polarity:polarity ->
+  Mcm_litmus.Instr.t list array ->
+  (Mcm_litmus.Litmus.t, string) result
+(** [derive ~name ~family ~model ~nlocs ~pattern ~polarity threads] builds
+    the test and computes its target outcome set by enumeration. The
+    resulting [target] is membership in that set and [target_desc] lists
+    it. Errors when the program is ill-formed or the set is empty. *)
+
+val derive_first :
+  name:string ->
+  family:string ->
+  model:Mcm_memmodel.Model.t ->
+  nlocs:int ->
+  pattern:pattern ->
+  polarity:polarity ->
+  Mcm_litmus.Instr.t list array list ->
+  (Mcm_litmus.Litmus.t, string) result
+(** [derive_first ... variants] tries [derive] on each program variant in
+    order (typically: without observer, then with observers of increasing
+    size) and returns the first success, or the last error. *)
+
+val observer_ladder :
+  ?require_observer:bool ->
+  obs_loc:int ->
+  Mcm_litmus.Instr.t list array ->
+  Mcm_litmus.Instr.t list array list
+(** [observer_ladder ~obs_loc threads] is the standard ladder: the program
+    as-is, then with an extra thread performing two loads of [obs_loc],
+    then three — the observer whose coherent reads witness a chain of
+    [co] (Sec. 3.1). With [~require_observer:true] the bare program is
+    skipped — the paper always includes an observer when every memory
+    event of a one-location test is a plain write. *)

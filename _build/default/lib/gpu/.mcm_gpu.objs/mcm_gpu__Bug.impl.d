@@ -1,0 +1,1 @@
+lib/gpu/bug.ml: List Printf Profile

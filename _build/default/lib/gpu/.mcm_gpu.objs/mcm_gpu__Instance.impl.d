@@ -1,0 +1,1 @@
+lib/gpu/instance.ml: Array Bug Float Hashtbl List Mcm_litmus Mcm_util Profile

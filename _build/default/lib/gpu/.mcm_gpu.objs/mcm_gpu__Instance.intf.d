@@ -1,0 +1,1 @@
+lib/gpu/instance.mli: Bug Mcm_litmus Mcm_util Profile

@@ -1,0 +1,1 @@
+lib/gpu/profile.ml: Float Format List String

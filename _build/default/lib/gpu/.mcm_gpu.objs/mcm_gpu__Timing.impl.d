@@ -1,0 +1,1 @@
+lib/gpu/timing.ml: Float Mcm_util Profile

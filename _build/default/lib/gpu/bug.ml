@@ -1,0 +1,39 @@
+type t =
+  | Corr_reorder of float
+  | Fence_weakened of float
+  | Coherence_alias of float
+
+type effect = {
+  p_corr_reorder : float;
+  p_fence_drop : float;
+  p_coherence_alias : float;
+}
+
+let none = { p_corr_reorder = 0.; p_fence_drop = 0.; p_coherence_alias = 0. }
+
+(* Independent chances combine as 1 - (1-p)(1-q). *)
+let combine p q = 1. -. ((1. -. p) *. (1. -. q))
+
+let effect_of bugs =
+  List.fold_left
+    (fun acc bug ->
+      match bug with
+      | Corr_reorder p -> { acc with p_corr_reorder = combine acc.p_corr_reorder p }
+      | Fence_weakened p -> { acc with p_fence_drop = combine acc.p_fence_drop p }
+      | Coherence_alias p -> { acc with p_coherence_alias = combine acc.p_coherence_alias p })
+    none bugs
+
+let paper_bug (p : Profile.t) =
+  match p.Profile.vendor with
+  | Profile.Intel -> Some (Corr_reorder 0.35)
+  | Profile.Amd -> Some (Fence_weakened 0.30)
+  | Profile.Nvidia -> Some (Coherence_alias 0.50)
+  | Profile.M1 -> None
+
+let describe = function
+  | Corr_reorder p ->
+      Printf.sprintf "same-location load-load reordering (p=%.2f) — the Intel CoRR bug" p
+  | Fence_weakened p ->
+      Printf.sprintf "release/acquire fences dropped (p=%.2f) — the AMD MP-relacq bug" p
+  | Coherence_alias p ->
+      Printf.sprintf "per-location coherence not enforced (p=%.2f) — the Kepler MP-CO bug" p

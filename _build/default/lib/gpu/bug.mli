@@ -1,0 +1,52 @@
+(** Injectable memory-consistency bugs.
+
+    The paper's validation (Sec. 5.4, Tab. 4) relies on three real bugs.
+    Our substitute devices expose the same failure modes as injections,
+    each weakening exactly the mechanism whose mutator the paper pairs it
+    with:
+
+    - {!Corr_reorder} — same-location load-load reordering, the CoRR
+      violation seen through Chrome/Metal on Intel (reversing [po-loc]);
+    - {!Fence_weakened} — release/acquire fences silently dropped, the
+      AMD Vulkan compiler bug behind MP-relacq (weakening [sw]);
+    - {!Coherence_alias} — per-location coherence tracking skipped, the
+      NVIDIA Kepler incoherent-cache behaviour behind MP-CO (weakening
+      [po-loc]).
+
+    Each carries the probability that one test instance is affected. *)
+
+type t =
+  | Corr_reorder of float
+      (** with this probability, a same-location load-load pair in one
+          thread executes out of order *)
+  | Fence_weakened of float
+      (** with this probability, each fence of an instance compiles to a
+          no-op *)
+  | Coherence_alias of float
+      (** with this probability, an instance runs without same-location
+          coherence enforcement (stale same-location reads, unordered
+          same-thread writes) *)
+
+(** The per-instance effect of the active bug set, consumed by
+    {!Instance.run}. *)
+type effect = {
+  p_corr_reorder : float;
+  p_fence_drop : float;
+  p_coherence_alias : float;
+}
+
+val none : effect
+(** A correct implementation: all probabilities zero. *)
+
+val effect_of : t list -> effect
+(** [effect_of bugs] folds a bug list into an {!effect}; repeated bugs of
+    one kind combine as independent failure chances. *)
+
+val paper_bug : Profile.t -> t option
+(** [paper_bug p] is the bug the paper associates with this device's
+    vendor — used by the Table 4 correlation study and the bug-hunt
+    example: Intel ↦ [Corr_reorder], AMD ↦ [Fence_weakened],
+    NVIDIA ↦ [Coherence_alias] (standing in for the Kepler-era part),
+    M1 ↦ [None]. *)
+
+val describe : t -> string

@@ -1,0 +1,15 @@
+type t = { profile : Profile.t; bugs : Bug.t list }
+
+let make ?(bugs = []) profile = { profile; bugs }
+
+let effect d = Bug.effect_of d.bugs
+
+let name d =
+  if d.bugs = [] then d.profile.Profile.short_name else d.profile.Profile.short_name ^ "+bugs"
+
+let all_correct () = List.map make Profile.all
+
+let with_paper_bugs () =
+  List.map
+    (fun p -> match Bug.paper_bug p with None -> make p | Some b -> make ~bugs:[ b ] p)
+    Profile.all

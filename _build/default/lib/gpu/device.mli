@@ -1,0 +1,27 @@
+(** A simulated device: a profile plus any injected bugs.
+
+    This is the object testing environments run against. A correct device
+    is a bare profile; the Table 4 correlation study and the bug-hunt
+    example attach {!Bug.paper_bug} injections. *)
+
+type t = {
+  profile : Profile.t;
+  bugs : Bug.t list;
+}
+
+val make : ?bugs:Bug.t list -> Profile.t -> t
+(** [make profile] is a correct device; add [~bugs] for a buggy one. *)
+
+val effect : t -> Bug.effect
+(** The folded per-instance bug effect. *)
+
+val name : t -> string
+(** The profile's short name, suffixed with ["+bugs"] when injections are
+    present. *)
+
+val all_correct : unit -> t list
+(** The four study devices (Tab. 3), bug-free. *)
+
+val with_paper_bugs : unit -> t list
+(** The four study devices, each carrying the bug the paper associates
+    with its vendor (M1 remains correct). *)

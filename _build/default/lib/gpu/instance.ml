@@ -1,0 +1,218 @@
+module Prng = Mcm_util.Prng
+module Litmus = Mcm_litmus.Litmus
+module Instr = Mcm_litmus.Instr
+
+type weak_params = {
+  instr_latency_ns : float;
+  issue_jitter : float;
+  p_ooo : float;
+  vis_delay_mean_ns : float;
+  p_stale : float;
+  stale_mean_ns : float;
+}
+
+let clamp_prob p = Float.min 0.95 p
+
+let effective_params (p : Profile.t) ~amplification =
+  let a = 1. +. Float.max 0. amplification in
+  {
+    instr_latency_ns = p.Profile.instr_latency_ns;
+    issue_jitter = 0.3;
+    p_ooo = clamp_prob (p.Profile.ooo_base *. a);
+    vis_delay_mean_ns = p.Profile.vis_delay_base_ns *. a;
+    p_stale = clamp_prob (p.Profile.stale_prob_base *. a);
+    stale_mean_ns = p.Profile.stale_window_ns *. a;
+  }
+
+(* One flattened event. [po] is the index within the issuing thread;
+   fences carry [active = false] when dropped by Fence_weakened. *)
+type ev = {
+  thread : int;
+  po : int;
+  kind : kind;
+  loc : int;  (* -1 for fences *)
+  value : int;  (* written value, 0 otherwise *)
+  reg : int;  (* destination register, -1 otherwise *)
+  mutable time : float;
+  mutable active : bool;
+  mutable vis : float;
+  mutable co_pos : int;
+  mutable post_acquire : bool;
+}
+
+and kind = K_load | K_store | K_rmw | K_fence
+
+let is_mem e = e.kind <> K_fence
+let is_write e = e.kind = K_store || e.kind = K_rmw
+
+let run ~prng ~weak ~(bugs : Bug.effect) ~(test : Litmus.t) ~starts =
+  let nthreads = Litmus.nthreads test in
+  if Array.length starts <> nthreads then invalid_arg "Instance.run: starts length mismatch";
+  let coherent = not (Prng.bernoulli prng bugs.Bug.p_coherence_alias) in
+  (* Flatten to events with issue timestamps; dropped fences become
+     inactive no-ops that neither order accesses nor take time. *)
+  let events = ref [] in
+  Array.iteri
+    (fun tid instrs ->
+      let clock = ref starts.(tid) in
+      List.iteri
+        (fun po instr ->
+          let mk kind loc value reg active =
+            events :=
+              {
+                thread = tid;
+                po;
+                kind;
+                loc;
+                value;
+                reg;
+                time = !clock;
+                active;
+                vis = 0.;
+                co_pos = -1;
+                post_acquire = false;
+              }
+              :: !events
+          in
+          (match instr with
+          | Instr.Load { reg; loc } -> mk K_load loc 0 reg true
+          | Instr.Store { loc; value } -> mk K_store loc value (-1) true
+          | Instr.Rmw { reg; loc; value } -> mk K_rmw loc value reg true
+          | Instr.Fence -> mk K_fence (-1) 0 (-1) (not (Prng.bernoulli prng bugs.Bug.p_fence_drop)));
+          clock :=
+            !clock +. (weak.instr_latency_ns *. (1. +. (weak.issue_jitter *. Prng.float prng 1.))))
+        instrs)
+    test.Litmus.threads;
+  let events = Array.of_list (List.rev !events) in
+  let n = Array.length events in
+  (* Per-thread program-order sequences of memory events and active
+     fences (dropped fences vanish, so accesses around them become
+     adjacent and reorderable). *)
+  let per_thread = Array.make nthreads [] in
+  for i = n - 1 downto 0 do
+    let e = events.(i) in
+    if is_mem e || e.active then per_thread.(e.thread) <- e :: per_thread.(e.thread)
+  done;
+  Array.iter
+    (fun seq ->
+      (* Out-of-order window: adjacent memory pairs may swap issue times —
+         different locations with probability p_ooo, same-location load
+         pairs only under the Corr_reorder injection. Active fences are
+         part of the sequence, so no access crosses one; and swaps are
+         disjoint (after a swap the next pair is skipped), so no two
+         same-location accesses can pass each other transitively. *)
+      let rec ooo = function
+        | e1 :: (e2 :: rest2 as rest) ->
+            let swapped =
+              is_mem e1 && is_mem e2
+              &&
+              let swap_p =
+                if e1.loc <> e2.loc then weak.p_ooo
+                else if e1.kind = K_load && e2.kind = K_load then bugs.Bug.p_corr_reorder
+                else 0.
+              in
+              if Prng.bernoulli prng swap_p then begin
+                let t = e1.time in
+                e1.time <- e2.time;
+                e2.time <- t;
+                true
+              end
+              else false
+            in
+            if swapped then ooo rest2 else ooo rest
+        | [] | [ _ ] -> ()
+      in
+      ooo seq;
+      (* Acquire side: loads program-order after an active fence read
+         fresh memory (no staleness). *)
+      let seen_fence = ref false in
+      List.iter
+        (fun e ->
+          if e.kind = K_fence && e.active then seen_fence := true
+          else if !seen_fence then e.post_acquire <- true)
+        seq)
+    per_thread;
+  (* Store visibility: exponential propagation delay; RMWs publish
+     instantly; release fences cap earlier stores' visibility; coherent
+     same-thread same-location stores publish in order. *)
+  Array.iter
+    (fun e ->
+      if e.kind = K_store then e.vis <- e.time +. Prng.exponential prng weak.vis_delay_mean_ns
+      else if e.kind = K_rmw then e.vis <- e.time)
+    events;
+  Array.iter
+    (fun seq ->
+      List.iter
+        (fun f ->
+          if f.kind = K_fence && f.active then
+            List.iter
+              (fun e -> if is_write e && e.po < f.po then e.vis <- Float.min e.vis f.time)
+              seq)
+        seq)
+    per_thread;
+  if coherent then
+    Array.iter
+      (fun seq ->
+        let last_vis = Hashtbl.create 2 in
+        List.iter
+          (fun e ->
+            if is_write e then begin
+              (match Hashtbl.find_opt last_vis e.loc with
+              | Some v when e.vis <= v -> e.vis <- v +. 1e-6
+              | _ -> ());
+              Hashtbl.replace last_vis e.loc e.vis
+            end)
+          seq)
+      per_thread;
+  (* Coherence order per location = visibility order of its writes. *)
+  let co = Array.make test.Litmus.nlocs [||] in
+  for l = 0 to test.Litmus.nlocs - 1 do
+    let writes =
+      Array.of_list (List.filter (fun e -> is_write e && e.loc = l) (Array.to_list events))
+    in
+    Array.sort (fun a b -> compare (a.vis, a.time) (b.vis, b.time)) writes;
+    Array.iteri (fun i e -> e.co_pos <- i) writes;
+    co.(l) <- writes
+  done;
+  (* Reads, processed in global execution order with per-thread coherence
+     floors (a thread's view of a location never moves backwards in co). *)
+  let order = Array.init n (fun i -> i) in
+  Array.sort (fun i j -> compare (events.(i).time, i) (events.(j).time, j)) order;
+  let floors = Array.make_matrix nthreads test.Litmus.nlocs (-1) in
+  let outcome = Litmus.empty_outcome test in
+  let last_visible_pos loc eff ~self_pos =
+    let writes = co.(loc) in
+    let best = ref (-1) in
+    Array.iteri (fun i e -> if i <> self_pos && e.vis <= eff then best := i) writes;
+    !best
+  in
+  Array.iter
+    (fun i ->
+      let e = events.(i) in
+      match e.kind with
+      | K_fence -> ()
+      | K_store ->
+          if coherent then floors.(e.thread).(e.loc) <- max floors.(e.thread).(e.loc) e.co_pos
+      | K_load | K_rmw ->
+          let eff =
+            if e.kind = K_rmw || e.post_acquire then e.time
+            else if Prng.bernoulli prng weak.p_stale then
+              Float.max 0. (e.time -. Prng.exponential prng weak.stale_mean_ns)
+            else e.time
+          in
+          let self_pos = if e.kind = K_rmw then e.co_pos else -2 in
+          let pos = last_visible_pos e.loc eff ~self_pos in
+          let pos = if coherent then max pos floors.(e.thread).(e.loc) else pos in
+          let value = if pos < 0 then 0 else (co.(e.loc)).(pos).value in
+          if e.reg >= 0 then outcome.Litmus.regs.(e.thread).(e.reg) <- value;
+          if coherent then begin
+            floors.(e.thread).(e.loc) <- max floors.(e.thread).(e.loc) pos;
+            if e.kind = K_rmw then
+              floors.(e.thread).(e.loc) <- max floors.(e.thread).(e.loc) e.co_pos
+          end)
+    order;
+  for l = 0 to test.Litmus.nlocs - 1 do
+    let writes = co.(l) in
+    if Array.length writes > 0 then outcome.Litmus.final.(l) <- writes.(Array.length writes - 1).value
+  done;
+  outcome

@@ -1,0 +1,58 @@
+(** Operational execution of one litmus-test instance.
+
+    This is the heart of the simulated GPU. An instance is one copy of a
+    litmus test whose role threads have been mapped to physical threads
+    (by the testing environment) and therefore have concrete start times.
+    Execution uses a timestamp semantics:
+
+    - each instruction issues at its thread's running clock (instruction
+      latency plus jitter);
+    - adjacent independent accesses may swap issue order (out-of-order
+      window) — the source of load-buffering-style weakness and, under
+      the {!Bug.Corr_reorder} injection, of same-location reordering;
+    - a store becomes globally visible some exponential delay after
+      issue (store buffering / propagation) — the source of MP/SB-style
+      weakness; same-thread same-location stores stay in order;
+    - a load may read a stale snapshot of memory (bounded staleness);
+    - a release/acquire fence caps the visibility delay of earlier
+      stores at the fence time and clears staleness of later loads,
+      which provably forbids the fenced weak behaviours (unless the
+      {!Bug.Fence_weakened} injection drops the fence);
+    - per-location coherence is enforced by clamping each thread's reads
+      to never go backwards in coherence order (skipped under
+      {!Bug.Coherence_alias});
+    - an RMW executes at a single instant: it reads the latest visible
+      write and its own write becomes visible immediately.
+
+    The coherence order of a location is the visibility order of its
+    writes; the outcome reports final values from it. *)
+
+(** Per-instance weak-memory parameters, after a testing environment's
+    amplification has been applied. *)
+type weak_params = {
+  instr_latency_ns : float;
+  issue_jitter : float;  (** fractional jitter on per-instruction latency *)
+  p_ooo : float;  (** adjacent independent pair reorder probability *)
+  vis_delay_mean_ns : float;  (** mean store visibility delay *)
+  p_stale : float;  (** probability a load reads a stale snapshot *)
+  stale_mean_ns : float;  (** mean staleness window *)
+}
+
+val effective_params : Profile.t -> amplification:float -> weak_params
+(** [effective_params p ~amplification] scales the profile's base
+    propensities by [1 + amplification] (probabilities are clamped to
+    0.95). Amplification comes from {!Profile.occupancy_amplifier} and
+    {!Profile.stress_amplifier}. *)
+
+val run :
+  prng:Mcm_util.Prng.t ->
+  weak:weak_params ->
+  bugs:Bug.effect ->
+  test:Mcm_litmus.Litmus.t ->
+  starts:float array ->
+  Mcm_litmus.Litmus.outcome
+(** [run ~prng ~weak ~bugs ~test ~starts] executes one instance of
+    [test] whose thread [i] begins at simulated time [starts.(i)] (ns)
+    and returns the observed outcome.
+    @raise Invalid_argument if [starts] does not have one entry per
+    thread. *)

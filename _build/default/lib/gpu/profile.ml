@@ -1,0 +1,153 @@
+type vendor = Nvidia | Amd | Intel | M1
+
+type t = {
+  vendor : vendor;
+  chip : string;
+  short_name : string;
+  compute_units : int;
+  integrated : bool;
+  max_threads_per_workgroup : int;
+  instr_latency_ns : float;
+  workgroup_spacing_ns : float;
+  start_jitter_ns : float;
+  kernel_launch_overhead_ns : float;
+  ooo_base : float;
+  vis_delay_base_ns : float;
+  stale_prob_base : float;
+  stale_window_ns : float;
+  occupancy_half_instances : float;
+  occupancy_gain : float;
+  stress_gain : float;
+  stress_slowdown : float;
+  stress_jitter_gain : float;
+}
+
+(* Calibration notes (Sec. 5.2 shapes):
+   - NVIDIA: discrete and fast (low latency, low launch overhead), the
+     highest death rates; weak behaviour and interleaving need very high
+     occupancy (large occupancy_half), and stress adds almost nothing.
+   - AMD: discrete, mid rates; both occupancy and stress help.
+   - Intel: integrated and slow; the one device where fine-grained
+     interleaving shows without stress (tiny workgroup spacing and
+     jitter); stress is very effective, letting single-instance
+     environments compete with parallel ones.
+   - M1: integrated; weakness only at very high occupancy, and stress
+     helps scores but slows kernels markedly (rates drop). *)
+
+let nvidia =
+  {
+    vendor = Nvidia;
+    chip = "GeForce RTX 2080";
+    short_name = "NVIDIA";
+    compute_units = 64;
+    integrated = false;
+    max_threads_per_workgroup = 256;
+    instr_latency_ns = 4.;
+    workgroup_spacing_ns = 900.;
+    start_jitter_ns = 3_000.;
+    kernel_launch_overhead_ns = 150_000.;
+    ooo_base = 0.004;
+    vis_delay_base_ns = 0.5;
+    stale_prob_base = 0.004;
+    stale_window_ns = 1.0;
+    occupancy_half_instances = 420.;
+    occupancy_gain = 34.;
+    stress_gain = 0.9;
+    stress_slowdown = 0.55;
+    stress_jitter_gain = 0.35;
+  }
+
+let amd =
+  {
+    vendor = Amd;
+    chip = "Radeon Pro 5500M";
+    short_name = "AMD";
+    compute_units = 24;
+    integrated = false;
+    max_threads_per_workgroup = 256;
+    instr_latency_ns = 7.;
+    workgroup_spacing_ns = 1_300.;
+    start_jitter_ns = 2_000.;
+    kernel_launch_overhead_ns = 700_000.;
+    ooo_base = 0.006;
+    vis_delay_base_ns = 1.0;
+    stale_prob_base = 0.006;
+    stale_window_ns = 8.;
+    occupancy_half_instances = 150.;
+    occupancy_gain = 12.;
+    stress_gain = 20.;
+    stress_slowdown = 0.8;
+    stress_jitter_gain = 0.8;
+  }
+
+let intel =
+  {
+    vendor = Intel;
+    chip = "Iris Plus Graphics";
+    short_name = "Intel";
+    compute_units = 48;
+    integrated = true;
+    max_threads_per_workgroup = 256;
+    instr_latency_ns = 14.;
+    workgroup_spacing_ns = 260.;
+    start_jitter_ns = 150.;
+    kernel_launch_overhead_ns = 3_000_000.;
+    ooo_base = 0.008;
+    vis_delay_base_ns = 1.4;
+    stale_prob_base = 0.008;
+    stale_window_ns = 12.;
+    occupancy_half_instances = 60.;
+    occupancy_gain = 6.;
+    stress_gain = 25.;
+    stress_slowdown = 1.1;
+    stress_jitter_gain = 1.6;
+  }
+
+let m1 =
+  {
+    vendor = M1;
+    chip = "M1";
+    short_name = "M1";
+    compute_units = 128;
+    integrated = true;
+    max_threads_per_workgroup = 256;
+    instr_latency_ns = 9.;
+    workgroup_spacing_ns = 1_700.;
+    start_jitter_ns = 4_000.;
+    kernel_launch_overhead_ns = 2_000_000.;
+    ooo_base = 0.003;
+    vis_delay_base_ns = 0.35;
+    stale_prob_base = 0.003;
+    stale_window_ns = 2.;
+    occupancy_half_instances = 900.;
+    occupancy_gain = 18.;
+    stress_gain = 8.;
+    stress_slowdown = 3.2;
+    stress_jitter_gain = 0.9;
+  }
+
+let all = [ nvidia; amd; intel; m1 ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun p -> String.lowercase_ascii p.short_name = lower) all
+
+let occupancy_amplifier p ~instances =
+  if instances <= 0 then 0.
+  else p.occupancy_gain *. (1. -. exp (-.float_of_int instances /. p.occupancy_half_instances))
+
+let stress_amplifier p ~intensity =
+  let intensity = Float.max 0. (Float.min 1. intensity) in
+  p.stress_gain *. intensity
+
+let vendor_name = function Nvidia -> "NVIDIA" | Amd -> "AMD" | Intel -> "Intel" | M1 -> "Apple"
+
+let table3 () =
+  List.map
+    (fun p ->
+      (vendor_name p.vendor, p.chip, p.compute_units, if p.integrated then "Integrated" else "Discrete"))
+    all
+
+let pp fmt p =
+  Format.fprintf fmt "%s (%s, %d CUs, %s)" p.short_name p.chip p.compute_units
+    (if p.integrated then "integrated" else "discrete")

@@ -1,0 +1,79 @@
+(** Simulated GPU device profiles.
+
+    The paper evaluates four physical GPUs (Tab. 3). This reproduction has
+    no hardware, so each device is a {e profile}: the identity data of
+    Tab. 3 plus the parameters of an operational timing/weak-memory model
+    (see {!Instance}) and per-vendor {e response curves} describing how
+    occupancy and synthetic stress amplify weak behaviour. The response
+    curves are calibrated to the paper's qualitative findings:
+
+    - fine-grained interleaving is observable without stress on only one
+      device (Intel, Sec. 3.1);
+    - single-instance testing cannot expose weakening-[po-loc] behaviour
+      on NVIDIA and M1 (Sec. 5.2.2) — weakness there needs occupancy;
+    - stress barely helps PTE on NVIDIA, helps on Intel/AMD, and on M1
+      raises scores while lowering rates because it slows the kernel;
+    - discrete cards run faster overall, giving NVIDIA its very high
+      death rates.
+
+    Simulated time is tracked in nanoseconds. *)
+
+type vendor = Nvidia | Amd | Intel | M1
+
+type t = {
+  vendor : vendor;
+  chip : string;  (** marketing name, per Tab. 3 *)
+  short_name : string;  (** the name used in figures: NVIDIA, AMD, Intel, M1 *)
+  compute_units : int;  (** CU count, per Tab. 3 *)
+  integrated : bool;
+  max_threads_per_workgroup : int;
+  (* Timing model *)
+  instr_latency_ns : float;  (** cost of one atomic access *)
+  workgroup_spacing_ns : float;
+      (** time between successive workgroup-wave launches; within a wave,
+          workgroups start almost together *)
+  start_jitter_ns : float;  (** scale of random per-thread start skew *)
+  kernel_launch_overhead_ns : float;  (** fixed host-side cost per iteration *)
+  (* Weak-memory propensities (per instruction, before amplification) *)
+  ooo_base : float;  (** probability an adjacent independent pair reorders *)
+  vis_delay_base_ns : float;  (** mean extra store-visibility delay *)
+  stale_prob_base : float;  (** probability a load reads a stale snapshot *)
+  stale_window_ns : float;  (** mean staleness window *)
+  (* Response curves *)
+  occupancy_half_instances : float;
+      (** test-instance count at which the occupancy amplifier reaches
+          half of its maximum — lower means weak behaviour appears at low
+          parallelism *)
+  occupancy_gain : float;  (** maximum amplification from occupancy *)
+  stress_gain : float;  (** maximum amplification from memory stress *)
+  stress_slowdown : float;
+      (** multiplier on kernel time per unit of stress intensity *)
+  stress_jitter_gain : float;
+      (** how much stress increases start-time jitter (helps interleaving) *)
+}
+
+val nvidia : t
+val amd : t
+val intel : t
+val m1 : t
+
+val all : t list
+(** The four study devices, in the paper's order: NVIDIA, AMD, Intel, M1. *)
+
+val find : string -> t option
+(** Case-insensitive lookup by [short_name]. *)
+
+val occupancy_amplifier : t -> instances:int -> float
+(** [occupancy_amplifier p ~instances] is the saturating amplification of
+    weak behaviour contributed by running [instances] concurrent test
+    instances: [occupancy_gain · (1 - exp (-instances / half))],
+    normalised so one instance on a forgiving device contributes little. *)
+
+val stress_amplifier : t -> intensity:float -> float
+(** [stress_amplifier p ~intensity] is the amplification contributed by
+    memory-stress intensity in [\[0, 1\]]: [stress_gain · intensity]. *)
+
+val table3 : unit -> (string * string * int * string) list
+(** Rows of Tab. 3: vendor, chip, CUs, type (Discrete/Integrated). *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+let warp_width = 32
+
+let workgroup_duration_ns (p : Profile.t) ~threads_per_workgroup ~instrs_per_thread ~stress_intensity =
+  let warp_slots = Mcm_util.Numbers.ceil_div threads_per_workgroup warp_width in
+  let work = float_of_int (instrs_per_thread * warp_slots) *. p.Profile.instr_latency_ns in
+  work *. (1. +. (p.Profile.stress_slowdown *. Float.max 0. (Float.min 1. stress_intensity)))
+
+let iteration_time_ns (p : Profile.t) ~workgroups ~threads_per_workgroup ~instrs_per_thread
+    ~stress_intensity =
+  let waves = max 1 (Mcm_util.Numbers.ceil_div workgroups p.Profile.compute_units) in
+  let wg = workgroup_duration_ns p ~threads_per_workgroup ~instrs_per_thread ~stress_intensity in
+  p.Profile.kernel_launch_overhead_ns
+  +. (float_of_int waves *. (p.Profile.workgroup_spacing_ns +. wg))
+
+let to_seconds ns = ns *. 1e-9

@@ -1,0 +1,26 @@
+(** Simulated kernel timing.
+
+    Death rates (mutant kills per second, Sec. 5.2) need a clock. Each
+    testing iteration is one kernel launch; its simulated duration is a
+    standard occupancy model: a fixed host-side launch overhead, plus the
+    workgroups executing in waves of [compute_units], each wave costing
+    the workgroup spacing plus the per-thread work, inflated by memory
+    stress ({!Profile.t.stress_slowdown}). *)
+
+val workgroup_duration_ns :
+  Profile.t -> threads_per_workgroup:int -> instrs_per_thread:int -> stress_intensity:float -> float
+(** Duration of one workgroup's work: the per-thread instruction cost
+    times the number of warp slots the workgroup occupies, stretched by
+    stress. *)
+
+val iteration_time_ns :
+  Profile.t ->
+  workgroups:int ->
+  threads_per_workgroup:int ->
+  instrs_per_thread:int ->
+  stress_intensity:float ->
+  float
+(** Simulated duration of one testing iteration (one kernel launch). *)
+
+val to_seconds : float -> float
+(** Nanoseconds to seconds. *)

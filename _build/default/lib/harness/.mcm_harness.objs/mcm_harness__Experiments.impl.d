@@ -1,0 +1,1 @@
+lib/harness/experiments.ml: Array Float Hashtbl List Mcm_core Mcm_gpu Mcm_litmus Mcm_stats Mcm_testenv Mcm_util Printf Sys Tuning

@@ -1,0 +1,1 @@
+lib/harness/experiments.mli: Mcm_core Mcm_util Tuning

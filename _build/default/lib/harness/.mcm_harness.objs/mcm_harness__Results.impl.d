@@ -1,0 +1,1 @@
+lib/harness/results.ml: Array Float List Mcm_core Mcm_gpu Mcm_stats Mcm_testenv Mcm_util Option Result Tuning

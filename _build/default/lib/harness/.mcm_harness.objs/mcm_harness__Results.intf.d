@@ -1,0 +1,1 @@
+lib/harness/results.mli: Mcm_util Tuning

@@ -1,0 +1,1 @@
+lib/harness/tuning.ml: Hashtbl List Mcm_core Mcm_gpu Mcm_litmus Mcm_testenv Mcm_util Sys

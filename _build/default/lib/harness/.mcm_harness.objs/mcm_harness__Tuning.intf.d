@@ -1,0 +1,1 @@
+lib/harness/tuning.mli: Mcm_core Mcm_gpu Mcm_testenv

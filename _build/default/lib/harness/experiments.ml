@@ -1,0 +1,312 @@
+module Table = Mcm_util.Table
+module Prng = Mcm_util.Prng
+module Suite = Mcm_core.Suite
+module Mutator = Mcm_core.Mutator
+module Merge = Mcm_core.Merge
+module Litmus = Mcm_litmus.Litmus
+module Device = Mcm_gpu.Device
+module Profile = Mcm_gpu.Profile
+module Bug = Mcm_gpu.Bug
+module Params = Mcm_testenv.Params
+module Runner = Mcm_testenv.Runner
+module Pearson = Mcm_stats.Pearson
+
+let table2 () =
+  let t = Table.create [ "Mutator"; "Conformance Tests"; "Mutants" ] in
+  let rows = Suite.table2 () in
+  List.iter
+    (fun (name, conf, mut) ->
+      if name = "Combined" then Table.add_rule t;
+      Table.add_row t [ name; string_of_int conf; string_of_int mut ])
+    rows;
+  t
+
+let table3 () =
+  let t = Table.create ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Left ]
+      [ "Vendor"; "Chip"; "CUs"; "Type" ]
+  in
+  List.iter
+    (fun (vendor, chip, cus, ty) -> Table.add_row t [ vendor; chip; string_of_int cus; ty ])
+    (Profile.table3 ());
+  t
+
+let device_names = List.map (fun p -> p.Profile.short_name) Profile.all
+
+let mutant_names ?mutator () =
+  List.filter_map
+    (fun (e : Suite.entry) ->
+      match mutator with
+      | Some m when e.Suite.mutator <> m -> None
+      | _ -> Some e.Suite.test.Litmus.name)
+    (Suite.mutants ())
+
+module Fig5 = struct
+  let runs_for runs ?mutator ~device category =
+    List.filter
+      (fun (r : Tuning.run) ->
+        r.Tuning.category = category
+        && (match mutator with Some m -> r.Tuning.mutator = m | None -> true)
+        && Device.name r.Tuning.device = device)
+      runs
+
+  let per_device_score runs ?mutator ~device category =
+    let names = mutant_names ?mutator () in
+    let relevant = runs_for runs ?mutator ~device category in
+    let killed name =
+      List.exists
+        (fun (r : Tuning.run) -> r.Tuning.test_name = name && r.Tuning.result.Runner.kills > 0)
+        relevant
+    in
+    match names with
+    | [] -> 0.
+    | _ ->
+        float_of_int (List.length (List.filter killed names)) /. float_of_int (List.length names)
+
+  let per_device_rate runs ?mutator ~device category =
+    let names = mutant_names ?mutator () in
+    let relevant = runs_for runs ?mutator ~device category in
+    let max_rate name =
+      List.fold_left
+        (fun acc (r : Tuning.run) ->
+          if r.Tuning.test_name = name then Float.max acc r.Tuning.result.Runner.rate else acc)
+        0. relevant
+    in
+    match names with
+    | [] -> 0.
+    | _ ->
+        List.fold_left (fun acc name -> acc +. max_rate name) 0. names
+        /. float_of_int (List.length names)
+
+  let average f = List.fold_left (fun acc d -> acc +. f d) 0. device_names
+                  /. float_of_int (List.length device_names)
+
+  let mutation_score runs ?mutator ?device category =
+    match device with
+    | Some d -> per_device_score runs ?mutator ~device:d category
+    | None -> average (fun d -> per_device_score runs ?mutator ~device:d category)
+
+  let avg_death_rate runs ?mutator ?device category =
+    match device with
+    | Some d -> per_device_rate runs ?mutator ~device:d category
+    | None -> average (fun d -> per_device_rate runs ?mutator ~device:d category)
+
+  let score_table runs ?mutator () =
+    let t = Table.create ([ "Device" ] @ List.map Tuning.category_name Tuning.all_categories) in
+    List.iter
+      (fun d ->
+        Table.add_row t
+          (d
+          :: List.map
+               (fun c -> Table.pct_cell (mutation_score runs ?mutator ~device:d c))
+               Tuning.all_categories))
+      device_names;
+    Table.add_rule t;
+    Table.add_row t
+      ("All"
+      :: List.map (fun c -> Table.pct_cell (mutation_score runs ?mutator c)) Tuning.all_categories);
+    t
+
+  let rate_table runs ?mutator () =
+    let t = Table.create ([ "Device" ] @ List.map Tuning.category_name Tuning.all_categories) in
+    List.iter
+      (fun d ->
+        Table.add_row t
+          (d
+          :: List.map
+               (fun c -> Table.rate_cell (avg_death_rate runs ?mutator ~device:d c))
+               Tuning.all_categories))
+      device_names;
+    Table.add_rule t;
+    Table.add_row t
+      ("All"
+      :: List.map (fun c -> Table.rate_cell (avg_death_rate runs ?mutator c)) Tuning.all_categories);
+    t
+
+  let all_tables runs =
+    let per_mutator =
+      List.concat_map
+        (fun (m, score_title, rate_title) ->
+          [
+            (score_title, score_table runs ~mutator:m ());
+            (rate_title, rate_table runs ~mutator:m ());
+          ])
+        [
+          (Mutator.Reversing_po_loc, "(a) reversing po-loc: mutation score",
+           "(b) reversing po-loc: mutant death rate (/s)");
+          (Mutator.Weakening_po_loc, "(c) weakening po-loc: mutation score",
+           "(d) weakening po-loc: mutant death rate (/s)");
+          (Mutator.Weakening_sw, "(e) weakening sw: mutation score",
+           "(f) weakening sw: mutant death rate (/s)");
+        ]
+    in
+    per_mutator
+    @ [
+        ("(g) all mutators: mutation score", score_table runs ());
+        ("(h) all mutators: mutant death rate (/s)", rate_table runs ());
+      ]
+
+  let tuning_time runs =
+    List.map
+      (fun c ->
+        let total =
+          List.fold_left
+            (fun acc (r : Tuning.run) ->
+              if r.Tuning.category = c then acc +. r.Tuning.result.Runner.sim_time_s else acc)
+            0. runs
+        in
+        (Tuning.category_name c, total))
+      Tuning.all_categories
+end
+
+module Fig6 = struct
+  let budgets = [ 1. /. 1024.; 1. /. 256.; 1. /. 64.; 1. /. 16.; 1. /. 4.; 1.; 4.; 16.; 64. ]
+
+  let targets = [ 0.95; 0.99999 ]
+
+  let score runs category ~target ~budget =
+    let names = mutant_names () in
+    let n_envs =
+      1
+      + List.fold_left
+          (fun acc (r : Tuning.run) ->
+            if r.Tuning.category = category then max acc r.Tuning.env_index else acc)
+          (-1) runs
+    in
+    if n_envs = 0 then 0.
+    else begin
+      let devices = Array.of_list device_names in
+      let reproducible name =
+        let rate ~env ~device =
+          Tuning.rate runs category ~test:name ~device:devices.(device) ~env_index:env
+        in
+        Merge.reproducible_on_all ~rate ~n_envs ~n_devices:(Array.length devices) ~target ~budget
+      in
+      float_of_int (List.length (List.filter reproducible names))
+      /. float_of_int (List.length names)
+    end
+
+  let budget_label b = if b >= 1. then Printf.sprintf "%.0f" b else Printf.sprintf "1/%.0f" (1. /. b)
+
+  let table runs =
+    let headers =
+      "Budget (s)"
+      :: List.concat_map
+           (fun c ->
+             List.map
+               (fun target -> Printf.sprintf "%s@%g%%" (Tuning.category_name c) (100. *. target))
+               targets)
+           [ Tuning.Site; Tuning.Pte ]
+    in
+    let t = Table.create headers in
+    List.iter
+      (fun b ->
+        Table.add_row t
+          (budget_label b
+          :: List.concat_map
+               (fun c ->
+                 List.map
+                   (fun target -> Table.pct_cell (score runs c ~target ~budget:b))
+                   targets)
+               [ Tuning.Site; Tuning.Pte ]))
+      budgets;
+    t
+end
+
+module Table4 = struct
+  type row = {
+    vendor : string;
+    failed_test : string;
+    mutant_type : string;
+    best_mutant : string;
+    pcc : float;
+    p_value : float;
+    n_envs : int;
+  }
+
+  (* The three (vendor, conformance test) case studies of Sec. 5.4. *)
+  let cases =
+    [
+      (Profile.intel, "CoRR", "Reversing po-loc");
+      (Profile.amd, "MP-relacq", "Weakening sw");
+      (Profile.nvidia, "MP-CO", "Weakening po-loc");
+    ]
+
+  let compute ?n_envs ?iterations ?scale ?(seed = 20230325) () =
+    let scale =
+      match scale with
+      | Some s -> s
+      | None -> (
+          match Sys.getenv_opt "MCM_SCALE" with
+          | Some v -> ( match float_of_string_opt v with Some f -> f | None -> 0.02)
+          | None -> 0.02)
+    in
+    let n_envs = match n_envs with Some n -> n | None -> if scale >= 1. then 150 else 40 in
+    let iterations = match iterations with Some i -> i | None -> if scale >= 1. then 100 else 8 in
+    List.map
+      (fun (profile, conf_name, mutant_type) ->
+        let device =
+          match Bug.paper_bug profile with
+          | Some bug -> Device.make ~bugs:[ bug ] profile
+          | None -> Device.make profile
+        in
+        let conf =
+          match Suite.find conf_name with
+          | Some e -> e.Suite.test
+          | None -> failwith ("Table4: unknown test " ^ conf_name)
+        in
+        let mutants = List.map (fun e -> e.Suite.test) (Suite.mutants_of conf_name) in
+        let g = Prng.create (Prng.mix seed (Hashtbl.hash conf_name)) in
+        let envs =
+          List.init n_envs (fun _ -> Params.scaled (Params.random g Params.Parallel) scale)
+        in
+        let rates test =
+          Array.of_list
+            (List.mapi
+               (fun i env ->
+                 let seed = Prng.mix seed (Hashtbl.hash (conf_name, test.Litmus.name, i)) in
+                 (Runner.run ~device ~env ~test ~iterations ~seed).Runner.rate)
+               envs)
+        in
+        let conf_rates = rates conf in
+        let best =
+          List.fold_left
+            (fun acc mutant ->
+              let r = Pearson.pcc conf_rates (rates mutant) in
+              let r = if Float.is_nan r then -2. else r in
+              match acc with
+              | Some (_, best_r) when best_r >= r -> acc
+              | _ -> Some (mutant.Litmus.name, r))
+            None mutants
+        in
+        let best_mutant, pcc = match best with Some (n, r) -> (n, r) | None -> ("-", Float.nan) in
+        {
+          vendor = profile.Profile.short_name;
+          failed_test = conf_name;
+          mutant_type;
+          best_mutant;
+          pcc;
+          p_value = Pearson.p_value ~r:pcc ~n:n_envs;
+          n_envs;
+        })
+      cases
+
+  let table rows =
+    let t =
+      Table.create
+        ~aligns:[ Table.Left; Table.Left; Table.Left; Table.Left; Table.Right; Table.Right ]
+        [ "Vendor"; "Failed Test"; "Mutant Type"; "Best Mutant"; "PCC"; "p-value" ]
+    in
+    List.iter
+      (fun r ->
+        Table.add_row t
+          [
+            r.vendor;
+            r.failed_test;
+            r.mutant_type;
+            r.best_mutant;
+            Table.float_cell ~decimals:3 r.pcc;
+            Printf.sprintf "%.2e" r.p_value;
+          ])
+      rows;
+    t
+end

@@ -1,0 +1,93 @@
+(** Experiment drivers: one per table and figure of the paper.
+
+    Each driver returns renderable {!Mcm_util.Table.t} values whose rows
+    match what the paper reports; the bench executable and the
+    [mcmutants] CLI print them. See EXPERIMENTS.md for the paper-vs-
+    measured record. *)
+
+module Table : sig
+  include module type of Mcm_util.Table
+end
+
+val table2 : unit -> Mcm_util.Table.t
+(** Tab. 2: conformance tests and mutants per mutator. *)
+
+val table3 : unit -> Mcm_util.Table.t
+(** Tab. 3: the simulated device inventory. *)
+
+(** Fig. 5: mutation scores and average mutant death rates, per mutator
+    (a–f), combined (g–h), and averaged across devices (i–j). *)
+module Fig5 : sig
+  val mutation_score :
+    Tuning.run list ->
+    ?mutator:Mcm_core.Mutator.kind ->
+    ?device:string ->
+    Tuning.category ->
+    float
+  (** Fraction of mutants killed in at least one environment of the
+      category (restricted to a mutator and/or device when given;
+      without [device], the per-device scores are averaged). *)
+
+  val avg_death_rate :
+    Tuning.run list ->
+    ?mutator:Mcm_core.Mutator.kind ->
+    ?device:string ->
+    Tuning.category ->
+    float
+  (** Mean over mutants of each mutant's maximum death rate across the
+      category's environments (averaged across devices if none given). *)
+
+  val score_table : Tuning.run list -> ?mutator:Mcm_core.Mutator.kind -> unit -> Mcm_util.Table.t
+  (** One of Figs. 5a/5c/5e/5g: rows = devices (plus All), columns = the
+      four environment categories, cells = mutation scores. *)
+
+  val rate_table : Tuning.run list -> ?mutator:Mcm_core.Mutator.kind -> unit -> Mcm_util.Table.t
+  (** One of Figs. 5b/5d/5f/5h: same layout with death rates. *)
+
+  val all_tables : Tuning.run list -> (string * Mcm_util.Table.t) list
+  (** Every Fig. 5 panel, titled (a)–(j). *)
+
+  val tuning_time : Tuning.run list -> (string * float) list
+  (** Simulated tuning time per category in seconds — the Sec. 5.1
+      tuning-cost comparison. *)
+end
+
+(** Fig. 6: mutation score under a single merged per-test environment
+    (Alg. 1) as a function of the per-test time budget, for
+    reproducibility targets 95% and 99.999%, for SITE and PTE. *)
+module Fig6 : sig
+  val budgets : float list
+  (** The swept per-test budgets in seconds: 4⁻⁵ (≈1/1024 s) … 4³ (64 s). *)
+
+  val targets : float list
+  (** 0.95 and 0.99999. *)
+
+  val score :
+    Tuning.run list -> Tuning.category -> target:float -> budget:float -> float
+  (** Fraction of mutants whose Alg.-1-chosen environment reaches the
+      ceiling rate on all four devices. *)
+
+  val table : Tuning.run list -> Mcm_util.Table.t
+  (** Rows = budgets, columns = category × target series. *)
+end
+
+(** Tab. 4: Pearson correlation between killing a mutant and observing a
+    real (injected) bug across random parallel testing environments. *)
+module Table4 : sig
+  type row = {
+    vendor : string;
+    failed_test : string;  (** the conformance test revealing the bug *)
+    mutant_type : string;  (** the paired mutator's name *)
+    best_mutant : string;  (** the mutant variant with the highest PCC *)
+    pcc : float;
+    p_value : float;  (** Student's t-test significance *)
+    n_envs : int;
+  }
+
+  val compute : ?n_envs:int -> ?iterations:int -> ?scale:float -> ?seed:int -> unit -> row list
+  (** Runs the correlation study (paper: 150 environments, 100
+      iterations; defaults here are bench-scale and read [MCM_SCALE]).
+      Devices carry their {!Mcm_gpu.Bug.paper_bug} injection. *)
+
+  val table : row list -> Mcm_util.Table.t
+end

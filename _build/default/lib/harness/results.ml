@@ -1,0 +1,183 @@
+module Jsonw = Mcm_util.Jsonw
+module Jsonp = Mcm_util.Jsonp
+module Runner = Mcm_testenv.Runner
+module Device = Mcm_gpu.Device
+module Merge = Mcm_core.Merge
+module Mutator = Mcm_core.Mutator
+module Pearson = Mcm_stats.Pearson
+
+type record = {
+  category : string;
+  env_index : int;
+  device : string;
+  test : string;
+  mutator : string;
+  kills : int;
+  instances : int;
+  iterations : int;
+  sim_time_s : float;
+  rate : float;
+}
+
+let of_runs runs =
+  List.map
+    (fun (r : Tuning.run) ->
+      {
+        category = Tuning.category_name r.Tuning.category;
+        env_index = r.Tuning.env_index;
+        device = Device.name r.Tuning.device;
+        test = r.Tuning.test_name;
+        mutator = Mutator.kind_name r.Tuning.mutator;
+        kills = r.Tuning.result.Runner.kills;
+        instances = r.Tuning.result.Runner.instances;
+        iterations = r.Tuning.result.Runner.iterations;
+        sim_time_s = r.Tuning.result.Runner.sim_time_s;
+        rate = r.Tuning.result.Runner.rate;
+      })
+    runs
+
+let record_to_json r =
+  Jsonw.Obj
+    [
+      ("category", Jsonw.String r.category);
+      ("envIndex", Jsonw.Int r.env_index);
+      ("device", Jsonw.String r.device);
+      ("test", Jsonw.String r.test);
+      ("mutator", Jsonw.String r.mutator);
+      ("kills", Jsonw.Int r.kills);
+      ("instances", Jsonw.Int r.instances);
+      ("iterations", Jsonw.Int r.iterations);
+      ("simTimeS", Jsonw.Float r.sim_time_s);
+      ("rate", Jsonw.Float r.rate);
+    ]
+
+let to_json records = Jsonw.Obj [ ("runs", Jsonw.List (List.map record_to_json records)) ]
+
+let record_of_json v =
+  let str key = Option.bind (Jsonp.member key v) Jsonp.to_string_opt in
+  let num key = Option.bind (Jsonp.member key v) Jsonp.to_float in
+  let int key = Option.bind (Jsonp.member key v) Jsonp.to_int in
+  match (str "category", int "envIndex", str "device", str "test") with
+  | Some category, Some env_index, Some device, Some test ->
+      Ok
+        {
+          category;
+          env_index;
+          device;
+          test;
+          mutator = Option.value ~default:"-" (str "mutator");
+          kills = Option.value ~default:0 (int "kills");
+          instances = Option.value ~default:0 (int "instances");
+          iterations = Option.value ~default:0 (int "iterations");
+          sim_time_s = Option.value ~default:0. (num "simTimeS");
+          rate = Option.value ~default:0. (num "rate");
+        }
+  | _ -> Error "record missing category/envIndex/device/test"
+
+let of_json v =
+  match Jsonp.member "runs" v with
+  | None -> Error "missing \"runs\" array"
+  | Some runs ->
+      let rec go acc = function
+        | [] -> Ok (List.rev acc)
+        | item :: rest -> (
+            match record_of_json item with Ok r -> go (r :: acc) rest | Error e -> Error e)
+      in
+      go [] (Jsonp.to_list runs)
+
+let save path records =
+  try
+    let oc = open_out_bin path in
+    Jsonw.to_channel oc (to_json records);
+    close_out oc;
+    Ok ()
+  with Sys_error e -> Error e
+
+let load path = Result.bind (Jsonp.parse_file path) of_json
+
+let distinct field records =
+  List.rev
+    (List.fold_left
+       (fun acc r ->
+         let v = field r in
+         if List.mem v acc then acc else v :: acc)
+       [] records)
+
+let devices records = distinct (fun r -> r.device) records
+let tests records = distinct (fun r -> r.test) records
+
+let rate records ~category ~test ~device ~env_index =
+  match
+    List.find_opt
+      (fun r ->
+        r.category = category && r.test = test && r.device = device && r.env_index = env_index)
+      records
+  with
+  | Some r -> r.rate
+  | None -> 0.
+
+let in_category records category = List.filter (fun r -> r.category = category) records
+
+let mutation_score records ~category =
+  let records = in_category records category in
+  let device_names = devices records in
+  let mutators = distinct (fun r -> r.mutator) records in
+  let row label keep =
+    let tests_of =
+      distinct (fun r -> r.test) (List.filter keep records)
+    in
+    if tests_of = [] || device_names = [] then (label, 0., 0.)
+    else begin
+      let per_device device =
+        let killed t =
+          List.exists (fun r -> keep r && r.test = t && r.device = device && r.kills > 0) records
+        in
+        let max_rate t =
+          List.fold_left
+            (fun acc r ->
+              if keep r && r.test = t && r.device = device then Float.max acc r.rate else acc)
+            0. records
+        in
+        let n = List.length tests_of in
+        ( float_of_int (List.length (List.filter killed tests_of)) /. float_of_int n,
+          List.fold_left (fun acc t -> acc +. max_rate t) 0. tests_of /. float_of_int n )
+      in
+      let scores, rates = List.split (List.map per_device device_names) in
+      let avg xs = List.fold_left ( +. ) 0. xs /. float_of_int (List.length xs) in
+      (label, avg scores, avg rates)
+    end
+  in
+  List.map (fun m -> row m (fun r -> r.mutator = m)) mutators @ [ row "Combined" (fun _ -> true) ]
+
+let merge_score records ~category ~target ~budget =
+  let records = in_category records category in
+  let device_names = Array.of_list (devices records) in
+  let all_tests = tests records in
+  let n_envs = 1 + List.fold_left (fun acc r -> max acc r.env_index) (-1) records in
+  if all_tests = [] || n_envs = 0 || Array.length device_names = 0 then 0.
+  else begin
+    let reproducible t =
+      Merge.reproducible_on_all
+        ~rate:(fun ~env ~device ->
+          rate records ~category ~test:t ~device:device_names.(device) ~env_index:env)
+        ~n_envs ~n_devices:(Array.length device_names) ~target ~budget
+    in
+    float_of_int (List.length (List.filter reproducible all_tests))
+    /. float_of_int (List.length all_tests)
+  end
+
+let correlation_matrix records ~category ~tests =
+  let records = in_category records category in
+  (* Sample points are (env_index, device) pairs, in a fixed order. *)
+  let points =
+    List.sort_uniq compare (List.map (fun r -> (r.env_index, r.device)) records)
+  in
+  let series t =
+    Array.of_list
+      (List.map
+         (fun (env_index, device) -> rate records ~category ~test:t ~device ~env_index)
+         points)
+  in
+  let columns = Array.of_list (List.map series tests) in
+  let n = Array.length columns in
+  Array.init n (fun i -> Array.init n (fun j -> Pearson.pcc columns.(i) columns.(j)))

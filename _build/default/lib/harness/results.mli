@@ -1,0 +1,60 @@
+(** Persistent tuning results and their analyses.
+
+    The published artifact stores each tuning run as a JSON file and
+    ships an [analysis.py] with three actions — mutation scores, merging
+    test environments, and correlation — over those files (Appendix A.6).
+    This module is that pipeline: {!of_runs} flattens a sweep into
+    records, {!save}/{!load} round-trip them through JSON, and the
+    analysis functions reproduce the three actions. *)
+
+(** One (category, environment, device, test) measurement, in a form
+    that survives serialisation. *)
+type record = {
+  category : string;  (** e.g. ["PTE"] — see {!Tuning.category_name} *)
+  env_index : int;
+  device : string;
+  test : string;
+  mutator : string;  (** the generating mutator's name, or ["-"] *)
+  kills : int;
+  instances : int;
+  iterations : int;
+  sim_time_s : float;
+  rate : float;
+}
+
+val of_runs : Tuning.run list -> record list
+(** Flatten a sweep. *)
+
+val to_json : record list -> Mcm_util.Jsonw.t
+val of_json : Mcm_util.Jsonw.t -> (record list, string) result
+
+val save : string -> record list -> (unit, string) result
+(** [save path records] writes the JSON file. *)
+
+val load : string -> (record list, string) result
+(** [load path] parses a file written by {!save}. *)
+
+val devices : record list -> string list
+(** Distinct device names, in first-appearance order. *)
+
+val tests : record list -> string list
+(** Distinct test names, in first-appearance order. *)
+
+val rate : record list -> category:string -> test:string -> device:string -> env_index:int -> float
+(** Rate lookup; [0.] when absent. *)
+
+(** [analysis.py --action mutation-score]: mutation score and average
+    death rate per mutator plus a combined row, for one category,
+    averaged across the devices present. Rows are
+    [(label, score, avg_rate)]. *)
+val mutation_score : record list -> category:string -> (string * float * float) list
+
+(** [analysis.py --action merge]: the fraction of tests whose Alg.-1
+    merged environment reaches the ceiling rate on every device. *)
+val merge_score : record list -> category:string -> target:float -> budget:float -> float
+
+(** [analysis.py --action correlation]: the Pearson correlation matrix
+    between the named tests' rates across environments (and devices) of
+    one category. Returns the matrix in the order of [tests]; entries
+    are [nan] when degenerate. *)
+val correlation_matrix : record list -> category:string -> tests:string list -> float array array

@@ -1,0 +1,121 @@
+module Params = Mcm_testenv.Params
+module Runner = Mcm_testenv.Runner
+module Device = Mcm_gpu.Device
+module Suite = Mcm_core.Suite
+module Litmus = Mcm_litmus.Litmus
+module Prng = Mcm_util.Prng
+
+type category = Site_baseline | Site | Pte_baseline | Pte
+
+let category_name = function
+  | Site_baseline -> "SITE-baseline"
+  | Site -> "SITE"
+  | Pte_baseline -> "PTE-baseline"
+  | Pte -> "PTE"
+
+let all_categories = [ Site_baseline; Site; Pte_baseline; Pte ]
+
+type config = {
+  n_envs : int;
+  site_iterations : int;
+  pte_iterations : int;
+  scale : float;
+  seed : int;
+}
+
+let env_var_float name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match float_of_string_opt v with Some f -> f | None -> default)
+  | None -> default
+
+let env_var_int name default =
+  match Sys.getenv_opt name with
+  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
+  | None -> default
+
+let default_config () =
+  let scale = env_var_float "MCM_SCALE" 0.02 in
+  {
+    n_envs = env_var_int "MCM_ENVS" (if scale >= 1. then 150 else 16);
+    site_iterations = env_var_int "MCM_SITE_ITERS" (if scale >= 1. then 300 else 120);
+    pte_iterations = env_var_int "MCM_PTE_ITERS" (if scale >= 1. then 100 else 10);
+    scale;
+    seed = env_var_int "MCM_SEED" 20230325;
+  }
+
+let category_mode = function
+  | Site_baseline | Site -> Params.Single
+  | Pte_baseline | Pte -> Params.Parallel
+
+let envs_for config category =
+  match category with
+  | Site_baseline -> [ Params.scaled Params.site_baseline config.scale ]
+  | Pte_baseline -> [ Params.scaled Params.pte_baseline config.scale ]
+  | Site | Pte ->
+      let g = Prng.create (Prng.mix config.seed (Hashtbl.hash (category_name category))) in
+      List.init config.n_envs (fun _ ->
+          Params.scaled (Params.random g (category_mode category)) config.scale)
+
+let iterations_for config = function
+  | Site_baseline | Site -> config.site_iterations
+  | Pte_baseline | Pte -> config.pte_iterations
+
+type run = {
+  category : category;
+  env_index : int;
+  env : Params.t;
+  device : Device.t;
+  test_name : string;
+  mutator : Mcm_core.Mutator.kind;
+  result : Runner.result;
+}
+
+let sweep ?devices ?tests config =
+  let devices = match devices with Some d -> d | None -> Device.all_correct () in
+  let tests = match tests with Some t -> t | None -> Suite.mutants () in
+  let runs = ref [] in
+  List.iter
+    (fun category ->
+      let envs = envs_for config category in
+      let iterations = iterations_for config category in
+      List.iteri
+        (fun env_index env ->
+          List.iter
+            (fun device ->
+              List.iter
+                (fun (entry : Suite.entry) ->
+                  let test = entry.Suite.test in
+                  let seed =
+                    Prng.mix config.seed
+                      (Hashtbl.hash
+                         (category_name category, env_index, Device.name device, test.Litmus.name))
+                  in
+                  let result = Runner.run ~device ~env ~test ~iterations ~seed in
+                  runs :=
+                    {
+                      category;
+                      env_index;
+                      env;
+                      device;
+                      test_name = test.Litmus.name;
+                      mutator = entry.Suite.mutator;
+                      result;
+                    }
+                    :: !runs)
+                tests)
+            devices)
+        envs)
+    all_categories;
+  List.rev !runs
+
+let rate runs category ~test ~device ~env_index =
+  match
+    List.find_opt
+      (fun r ->
+        r.category = category && r.test_name = test
+        && Device.name r.device = device
+        && r.env_index = env_index)
+      runs
+  with
+  | Some r -> r.result.Runner.rate
+  | None -> 0.

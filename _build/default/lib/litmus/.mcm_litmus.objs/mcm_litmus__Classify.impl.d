@@ -1,0 +1,1 @@
+lib/litmus/classify.ml: Array Enumerate Hashtbl Instr List Litmus Mcm_memmodel

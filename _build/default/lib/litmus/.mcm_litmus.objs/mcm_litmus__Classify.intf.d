@@ -1,0 +1,1 @@
+lib/litmus/classify.mli: Litmus

@@ -1,0 +1,1 @@
+lib/litmus/enumerate.ml: Array Hashtbl List Litmus Mcm_memmodel

@@ -1,0 +1,1 @@
+lib/litmus/enumerate.mli: Litmus Mcm_memmodel

@@ -1,0 +1,1 @@
+lib/litmus/instr.mli: Format

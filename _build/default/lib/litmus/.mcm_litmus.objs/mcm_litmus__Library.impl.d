@@ -1,0 +1,1 @@
+lib/litmus/library.ml: Array Instr List Litmus Mcm_memmodel String

@@ -1,0 +1,1 @@
+lib/litmus/litmus.ml: Array Buffer Format Hashtbl Instr List Mcm_memmodel Printf

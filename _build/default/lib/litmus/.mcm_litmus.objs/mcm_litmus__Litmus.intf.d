@@ -1,0 +1,1 @@
+lib/litmus/litmus.mli: Format Instr Mcm_memmodel

@@ -1,0 +1,1 @@
+lib/litmus/parse.ml: Array Buffer Enumerate Instr List Litmus Mcm_memmodel Printf String

@@ -1,0 +1,63 @@
+module Model = Mcm_memmodel.Model
+
+type behaviour = Sequential | Interleaved | Weak | Forbidden
+
+let behaviour_name = function
+  | Sequential -> "sequential"
+  | Interleaved -> "interleaved"
+  | Weak -> "weak"
+  | Forbidden -> "forbidden"
+
+(* Execute the threads one after another in the given order with a plain
+   sequential memory: loads read the current value, stores replace it. *)
+let run_sequentially test order =
+  let memory = Array.make test.Litmus.nlocs 0 in
+  let outcome = Litmus.empty_outcome test in
+  List.iter
+    (fun tid ->
+      List.iter
+        (fun instr ->
+          match instr with
+          | Instr.Load { reg; loc } -> outcome.Litmus.regs.(tid).(reg) <- memory.(loc)
+          | Instr.Store { loc; value } -> memory.(loc) <- value
+          | Instr.Rmw { reg; loc; value } ->
+              outcome.Litmus.regs.(tid).(reg) <- memory.(loc);
+              memory.(loc) <- value
+          | Instr.Fence -> ())
+        test.Litmus.threads.(tid))
+    order;
+  Array.blit memory 0 outcome.Litmus.final 0 test.Litmus.nlocs;
+  outcome
+
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let sequential_outcomes test =
+  let tids = List.init (Litmus.nthreads test) (fun i -> i) in
+  List.sort_uniq compare (List.map (run_sequentially test) (permutations tids))
+
+let classifier test =
+  let sequential = sequential_outcomes test in
+  let sc = Enumerate.consistent_outcomes Model.Sc test in
+  let allowed = Enumerate.consistent_outcomes test.Litmus.model test in
+  let table = Hashtbl.create 32 in
+  (* Later insertions must not override stronger classifications, so fill
+     from weakest knowledge to strongest. *)
+  List.iter
+    (fun o ->
+      let b =
+        if List.mem o sequential then Sequential
+        else if List.mem o sc then Interleaved
+        else if List.mem o allowed then Weak
+        else Forbidden
+      in
+      Hashtbl.replace table o b)
+    (List.sort_uniq compare
+       (List.map (Litmus.outcome_of_execution test) (Enumerate.candidates test)));
+  fun outcome -> match Hashtbl.find_opt table outcome with Some b -> b | None -> Forbidden

@@ -1,0 +1,110 @@
+module Event = Mcm_memmodel.Event
+module Execution = Mcm_memmodel.Execution
+module Model = Mcm_memmodel.Model
+
+(* All permutations of a list; locations have at most 4 writes so this
+   stays tiny. *)
+let rec permutations = function
+  | [] -> [ [] ]
+  | l ->
+      List.concat_map
+        (fun x ->
+          let rest = List.filter (fun y -> y <> x) l in
+          List.map (fun p -> x :: p) (permutations rest))
+        l
+
+let candidates t =
+  let compiled = Litmus.compile t in
+  let events = compiled.Litmus.events in
+  let n = Array.length events in
+  let reads = ref [] in
+  let writes_by_loc = Hashtbl.create 4 in
+  Array.iter
+    (fun e ->
+      if Event.is_read e then reads := e.Event.id :: !reads;
+      if Event.is_write e then
+        match Event.loc e with
+        | Some l ->
+            let cur = try Hashtbl.find writes_by_loc l with Not_found -> [] in
+            Hashtbl.replace writes_by_loc l (cur @ [ e.Event.id ])
+        | None -> ())
+    events;
+  let reads = List.rev !reads in
+  (* rf choices per read: initial state or any same-location write other
+     than the read itself (an RMW cannot read its own write). *)
+  let rf_choices r =
+    let e = events.(r) in
+    match Event.loc e with
+    | None -> [ None ]
+    | Some l ->
+        let ws = try Hashtbl.find writes_by_loc l with Not_found -> [] in
+        None :: List.filter_map (fun w -> if w = r then None else Some (Some w)) ws
+  in
+  let rec assign_rf acc = function
+    | [] -> [ List.rev acc ]
+    | r :: rest -> List.concat_map (fun c -> assign_rf ((r, c) :: acc) rest) (rf_choices r)
+  in
+  let rf_assignments = assign_rf [] reads in
+  let co_orders =
+    let per_loc = Hashtbl.fold (fun l ws acc -> (l, permutations ws) :: acc) writes_by_loc [] in
+    let rec product = function
+      | [] -> [ [] ]
+      | (l, orders) :: rest ->
+          let tails = product rest in
+          List.concat_map (fun o -> List.map (fun tl -> (l, o) :: tl) tails) orders
+    in
+    product (List.sort compare per_loc)
+  in
+  List.concat_map
+    (fun rf_pairs ->
+      let rf = Array.make n None in
+      List.iter (fun (r, c) -> rf.(r) <- c) rf_pairs;
+      List.map (fun co -> { Execution.events; rf; co }) co_orders)
+    rf_assignments
+
+let consistent_outcomes m t =
+  let outs =
+    List.filter_map
+      (fun x -> if Model.consistent m x then Some (Litmus.outcome_of_execution t x) else None)
+      (candidates t)
+  in
+  List.sort_uniq compare outs
+
+let witness m t =
+  List.find_opt
+    (fun x -> Model.consistent m x && t.Litmus.target (Litmus.outcome_of_execution t x))
+    (candidates t)
+
+let target_allowed m t = witness m t <> None
+
+let target_allowed_cat cat t =
+  List.exists
+    (fun x ->
+      Mcm_memmodel.Cat.consistent cat x && t.Litmus.target (Litmus.outcome_of_execution t x))
+    (candidates t)
+
+let consistent_outcomes_cat cat t =
+  List.filter_map
+    (fun x ->
+      if Mcm_memmodel.Cat.consistent cat x then Some (Litmus.outcome_of_execution t x) else None)
+    (candidates t)
+  |> List.sort_uniq compare
+
+let forbidden_cycle t =
+  if target_allowed t.Litmus.model t then None
+  else
+    let exhibiting =
+      List.filter (fun x -> t.Litmus.target (Litmus.outcome_of_execution t x)) (candidates t)
+    in
+    (* Prefer a candidate whose only problem is the hb cycle (atomicity
+       holds), so the reported cycle is the interesting one. *)
+    let atomic = List.filter Model.rmw_atomic exhibiting in
+    let pool = if atomic <> [] then atomic else exhibiting in
+    List.fold_left
+      (fun acc x -> match acc with Some _ -> acc | None -> Model.hb_cycle t.Litmus.model x)
+      None pool
+
+let count_candidates t =
+  let all = candidates t in
+  let consistent = List.filter (Model.consistent t.Litmus.model) all in
+  (List.length all, List.length consistent)

@@ -1,0 +1,24 @@
+type t =
+  | Load of { reg : int; loc : int }
+  | Store of { loc : int; value : int }
+  | Rmw of { reg : int; loc : int; value : int }
+  | Fence
+
+let uses_loc = function
+  | Load { loc; _ } | Store { loc; _ } | Rmw { loc; _ } -> Some loc
+  | Fence -> None
+
+let defines_reg = function
+  | Load { reg; _ } | Rmw { reg; _ } -> Some reg
+  | Store _ | Fence -> None
+
+let is_memory_access = function Load _ | Store _ | Rmw _ -> true | Fence -> false
+
+let pp ~loc_names fmt = function
+  | Load { reg; loc } -> Format.fprintf fmt "r%d = atomicLoad(%s)" reg (loc_names loc)
+  | Store { loc; value } -> Format.fprintf fmt "atomicStore(%s, %d)" (loc_names loc) value
+  | Rmw { reg; loc; value } ->
+      Format.fprintf fmt "r%d = atomicExchange(%s, %d)" reg (loc_names loc) value
+  | Fence -> Format.fprintf fmt "storageBarrier()"
+
+let to_string ~loc_names i = Format.asprintf "%a" (pp ~loc_names) i

@@ -1,0 +1,33 @@
+(** The litmus-test instruction set — a WGSL-like atomic IR.
+
+    This is the subset of WGSL the paper tests: atomic loads, atomic
+    stores, atomic read-modify-writes, and the release/acquire fence
+    (WGSL's [storageBarrier] in its earlier, fence-semantics reading).
+    Locations and registers are small test-local integers; the testing
+    environment maps virtual locations to physical memory at run time
+    (Sec. 4.1). *)
+
+type t =
+  | Load of { reg : int; loc : int }
+      (** [reg := atomicLoad(&mem\[loc\])] *)
+  | Store of { loc : int; value : int }
+      (** [atomicStore(&mem\[loc\], value)] *)
+  | Rmw of { reg : int; loc : int; value : int }
+      (** [reg := atomicExchange(&mem\[loc\], value)] — reads the old value
+          and writes [value] indivisibly *)
+  | Fence  (** release/acquire fence across workgroups *)
+
+val uses_loc : t -> int option
+(** [uses_loc i] is the virtual location the instruction touches, [None]
+    for fences. *)
+
+val defines_reg : t -> int option
+(** [defines_reg i] is the register the instruction writes, if any. *)
+
+val is_memory_access : t -> bool
+(** [is_memory_access i] holds for loads, stores and RMWs. *)
+
+val pp : loc_names:(int -> string) -> Format.formatter -> t -> unit
+(** Pretty-prints in the paper's style, e.g. ["r0 = atomicLoad(x)"]. *)
+
+val to_string : loc_names:(int -> string) -> t -> string

@@ -1,0 +1,225 @@
+module Model = Mcm_memmodel.Model
+open Instr
+
+let x = 0
+let y = 1
+
+let mk name family model threads nlocs target target_desc =
+  { Litmus.name; family; model; threads = Array.of_list threads; nlocs; target; target_desc }
+
+let corr =
+  mk "CoRR" "classic" Model.Sc_per_location
+    [ [ Load { reg = 0; loc = x }; Load { reg = 1; loc = x } ]; [ Store { loc = x; value = 1 } ] ]
+    1
+    (fun o -> o.Litmus.regs.(0).(0) = 1 && o.Litmus.regs.(0).(1) = 0)
+    "t0.r0 = 1 && t0.r1 = 0"
+
+let cowr =
+  mk "CoWR" "classic" Model.Sc_per_location
+    [ [ Store { loc = x; value = 1 }; Load { reg = 0; loc = x } ]; [ Store { loc = x; value = 2 } ] ]
+    1
+    (fun o -> o.Litmus.regs.(0).(0) = 2 && o.Litmus.final.(x) = 1)
+    "t0.r0 = 2 && x = 1"
+
+let corw =
+  mk "CoRW" "classic" Model.Sc_per_location
+    [ [ Load { reg = 0; loc = x }; Store { loc = x; value = 1 } ]; [ Store { loc = x; value = 2 } ] ]
+    1
+    (fun o -> o.Litmus.regs.(0).(0) = 2 && o.Litmus.final.(x) = 2)
+    "t0.r0 = 2 && x = 2"
+
+let coww =
+  mk "CoWW" "classic" Model.Sc_per_location
+    [
+      [ Store { loc = x; value = 1 }; Store { loc = x; value = 2 } ];
+      [ Store { loc = x; value = 3 } ];
+      [ Load { reg = 0; loc = x }; Load { reg = 1; loc = x } ];
+    ]
+    1
+    (fun o -> o.Litmus.regs.(2).(0) = 2 && o.Litmus.regs.(2).(1) = 3 && o.Litmus.final.(x) = 1)
+    "observer sees 2 then 3 && x = 1"
+
+let mp_threads ~fences =
+  let fence l = if fences then [ Fence ] @ l else l in
+  [
+    Store { loc = x; value = 1 } :: fence [ Store { loc = y; value = 1 } ];
+    Load { reg = 0; loc = y } :: fence [ Load { reg = 1; loc = x } ];
+  ]
+
+let mp_target o = o.Litmus.regs.(1).(0) = 1 && o.Litmus.regs.(1).(1) = 0
+let mp_desc = "t1.r0 = 1 && t1.r1 = 0"
+
+let mp = mk "MP" "classic" Model.Sc_per_location (mp_threads ~fences:false) 2 mp_target mp_desc
+
+let mp_relacq =
+  mk "MP-relacq" "classic" Model.Relacq_sc_per_location (mp_threads ~fences:true) 2 mp_target mp_desc
+
+let mp_co =
+  mk "MP-CO" "classic" Model.Sc_per_location
+    [
+      [ Store { loc = x; value = 1 }; Store { loc = x; value = 2 } ];
+      [ Load { reg = 0; loc = x }; Load { reg = 1; loc = x } ];
+    ]
+    1
+    (fun o -> o.Litmus.regs.(1).(0) = 2 && o.Litmus.regs.(1).(1) = 1)
+    "t1.r0 = 2 && t1.r1 = 1"
+
+let lb_threads ~fences =
+  let fence l = if fences then [ Fence ] @ l else l in
+  [
+    Load { reg = 0; loc = x } :: fence [ Store { loc = y; value = 1 } ];
+    Load { reg = 0; loc = y } :: fence [ Store { loc = x; value = 1 } ];
+  ]
+
+let lb_target o = o.Litmus.regs.(0).(0) = 1 && o.Litmus.regs.(1).(0) = 1
+let lb_desc = "t0.r0 = 1 && t1.r0 = 1"
+
+let lb = mk "LB" "classic" Model.Sc_per_location (lb_threads ~fences:false) 2 lb_target lb_desc
+
+let lb_relacq =
+  mk "LB-relacq" "classic" Model.Relacq_sc_per_location (lb_threads ~fences:true) 2 lb_target lb_desc
+
+let sb =
+  mk "SB" "classic" Model.Sc_per_location
+    [
+      [ Store { loc = x; value = 1 }; Load { reg = 0; loc = y } ];
+      [ Store { loc = y; value = 1 }; Load { reg = 0; loc = x } ];
+    ]
+    2
+    (fun o -> o.Litmus.regs.(0).(0) = 0 && o.Litmus.regs.(1).(0) = 0)
+    "t0.r0 = 0 && t1.r0 = 0"
+
+let sb_relacq_rmw =
+  mk "SB-relacq-rmw" "classic" Model.Relacq_sc_per_location
+    [
+      [ Store { loc = x; value = 1 }; Fence; Rmw { reg = 0; loc = y; value = 1 } ];
+      [ Rmw { reg = 0; loc = y; value = 2 }; Fence; Load { reg = 1; loc = x } ];
+    ]
+    2
+    (fun o ->
+      o.Litmus.regs.(0).(0) = 0 && o.Litmus.regs.(1).(0) = 1 && o.Litmus.regs.(1).(1) = 0)
+    "t0.r0 = 0 && t1.r0 = 1 && t1.r1 = 0"
+
+let s_threads ~fences =
+  let fence l = if fences then [ Fence ] @ l else l in
+  [
+    Store { loc = x; value = 2 } :: fence [ Store { loc = y; value = 1 } ];
+    [ Load { reg = 0; loc = y }; Store { loc = x; value = 1 } ];
+  ]
+
+let s_target o = o.Litmus.regs.(1).(0) = 1 && o.Litmus.final.(x) = 2
+let s_desc = "t1.r0 = 1 && x = 2"
+
+let s = mk "S" "classic" Model.Sc_per_location (s_threads ~fences:false) 2 s_target s_desc
+
+let s_relacq =
+  (* Thread 1 needs its own fence between the read and the write for the
+     release/acquire chain of Fig. 3c. *)
+  mk "S-relacq" "classic" Model.Relacq_sc_per_location
+    [
+      [ Store { loc = x; value = 2 }; Fence; Store { loc = y; value = 1 } ];
+      [ Load { reg = 0; loc = y }; Fence; Store { loc = x; value = 1 } ];
+    ]
+    2 s_target s_desc
+
+let r =
+  mk "R" "classic" Model.Sc_per_location
+    [
+      [ Store { loc = x; value = 1 }; Store { loc = y; value = 1 } ];
+      [ Store { loc = y; value = 2 }; Load { reg = 0; loc = x } ];
+    ]
+    2
+    (fun o -> o.Litmus.regs.(1).(0) = 0 && o.Litmus.final.(y) = 2)
+    "t1.r0 = 0 && y = 2"
+
+let r_relacq_rmw =
+  mk "R-relacq-rmw" "classic" Model.Relacq_sc_per_location
+    [
+      [ Store { loc = x; value = 1 }; Fence; Store { loc = y; value = 1 } ];
+      [ Rmw { reg = 0; loc = y; value = 2 }; Fence; Load { reg = 1; loc = x } ];
+    ]
+    2
+    (fun o -> o.Litmus.regs.(1).(0) = 1 && o.Litmus.regs.(1).(1) = 0)
+    "t1.r0 = 1 && t1.r1 = 0"
+
+let two_plus_two_w =
+  mk "2+2W" "classic" Model.Sc_per_location
+    [
+      [ Store { loc = x; value = 1 }; Store { loc = y; value = 1 } ];
+      [ Store { loc = y; value = 2 }; Store { loc = x; value = 2 } ];
+    ]
+    2
+    (fun o -> o.Litmus.final.(x) = 1 && o.Litmus.final.(y) = 2)
+    "x = 1 && y = 2"
+
+let two_plus_two_w_relacq_rmw =
+  mk "2+2W-relacq-rmw" "classic" Model.Relacq_sc_per_location
+    [
+      [ Store { loc = x; value = 1 }; Fence; Store { loc = y; value = 1 } ];
+      [ Rmw { reg = 0; loc = y; value = 2 }; Fence; Store { loc = x; value = 2 } ];
+    ]
+    2
+    (fun o -> o.Litmus.regs.(1).(0) = 1 && o.Litmus.final.(x) = 1)
+    "t1.r0 = 1 && x = 1"
+
+let z = 2
+
+let iriw =
+  mk "IRIW" "classic" Model.Sc_per_location
+    [
+      [ Store { loc = x; value = 1 } ];
+      [ Store { loc = y; value = 1 } ];
+      [ Load { reg = 0; loc = x }; Load { reg = 1; loc = y } ];
+      [ Load { reg = 0; loc = y }; Load { reg = 1; loc = x } ];
+    ]
+    2
+    (fun o ->
+      o.Litmus.regs.(2).(0) = 1 && o.Litmus.regs.(2).(1) = 0 && o.Litmus.regs.(3).(0) = 1
+      && o.Litmus.regs.(3).(1) = 0)
+    "t2 sees x first, t3 sees y first"
+
+let wrc =
+  mk "WRC" "classic" Model.Sc_per_location
+    [
+      [ Store { loc = x; value = 1 } ];
+      [ Load { reg = 0; loc = x }; Store { loc = y; value = 1 } ];
+      [ Load { reg = 0; loc = y }; Load { reg = 1; loc = x } ];
+    ]
+    2
+    (fun o ->
+      o.Litmus.regs.(1).(0) = 1 && o.Litmus.regs.(2).(0) = 1 && o.Litmus.regs.(2).(1) = 0)
+    "t1.r0 = 1 && t2.r0 = 1 && t2.r1 = 0"
+
+let isa2 =
+  mk "ISA2" "classic" Model.Sc_per_location
+    [
+      [ Store { loc = x; value = 1 }; Store { loc = y; value = 1 } ];
+      [ Load { reg = 0; loc = y }; Store { loc = z; value = 1 } ];
+      [ Load { reg = 0; loc = z }; Load { reg = 1; loc = x } ];
+    ]
+    3
+    (fun o ->
+      o.Litmus.regs.(1).(0) = 1 && o.Litmus.regs.(2).(0) = 1 && o.Litmus.regs.(2).(1) = 0)
+    "t1.r0 = 1 && t2.r0 = 1 && t2.r1 = 0"
+
+let rwc =
+  mk "RWC" "classic" Model.Sc_per_location
+    [
+      [ Store { loc = x; value = 1 } ];
+      [ Load { reg = 0; loc = x }; Load { reg = 1; loc = y } ];
+      [ Store { loc = y; value = 1 }; Load { reg = 0; loc = x } ];
+    ]
+    2
+    (fun o ->
+      o.Litmus.regs.(1).(0) = 1 && o.Litmus.regs.(1).(1) = 0 && o.Litmus.regs.(2).(0) = 0)
+    "t1.r0 = 1 && t1.r1 = 0 && t2.r0 = 0"
+
+let all =
+  [
+    corr; cowr; corw; coww; mp; mp_relacq; mp_co; lb; lb_relacq; sb; sb_relacq_rmw; s; s_relacq;
+    r; r_relacq_rmw; two_plus_two_w; two_plus_two_w_relacq_rmw; iriw; wrc; isa2; rwc;
+  ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun t -> String.lowercase_ascii t.Litmus.name = lower) all

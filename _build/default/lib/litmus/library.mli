@@ -1,0 +1,114 @@
+(** Hand-written classic litmus tests.
+
+    These are the named tests the paper discusses directly — CoRR and
+    MP-relacq from Fig. 1, MP-CO from Sec. 5.4, and the standard
+    two-thread four-event weak-memory shapes (MP, LB, SB, S, R, 2+2W) from
+    Alglave et al. that the mutators reconstruct. They serve as
+    documentation, as example inputs, and as ground truth the generated
+    suite (in [Mcm_core]) is cross-checked against.
+
+    Conventions: location 0 is [x], location 1 is [y]; stored values are
+    distinct and increase per location; each test's [target] is the weak /
+    disallowed behaviour in the paper's figures. Whether the target is
+    actually allowed under the test's [model] is checked by enumeration in
+    the test suite — e.g. {!corr}'s target is disallowed while {!mp}'s is
+    allowed. *)
+
+val corr : Litmus.t
+(** Coherence of Read-Read (Fig. 1a): thread 0 reads [x] twice, thread 1
+    stores [x=1]; target — first read sees the new value, second the old.
+    Disallowed under SC-per-location. *)
+
+val cowr : Litmus.t
+(** Coherence write-read: thread 0 stores [x=1] then reads [x]; thread 1
+    stores [x=2]; target — the read sees 2 while 1 is coherence-last. *)
+
+val corw : Litmus.t
+(** Coherence read-write: thread 0 reads [x] then stores [x=1]; thread 1
+    stores [x=2]; target — the read sees 2 and 2 is coherence-last. *)
+
+val coww : Litmus.t
+(** Coherence write-write with an observer thread witnessing the
+    coherence chain; target — observer sees 2 then 3 while 1 is final. *)
+
+val mp : Litmus.t
+(** Message passing, no fences; target — flag read 1, data read 0.
+    Allowed under SC-per-location (a weak behaviour). *)
+
+val mp_relacq : Litmus.t
+(** Message passing with release/acquire fences (Fig. 1b); same target,
+    disallowed under rel-acq-SC-per-location. *)
+
+val mp_co : Litmus.t
+(** Message passing through one location (Sec. 5.4): thread 0 stores 1
+    then 2; thread 1 reads twice; target — reads see 2 then 1.
+    Disallowed under SC-per-location; the NVIDIA Kepler coherence bug. *)
+
+val lb : Litmus.t
+(** Load buffering; target — both loads observe the other thread's
+    po-later store. Allowed under SC-per-location. *)
+
+val lb_relacq : Litmus.t
+(** Load buffering with fences; disallowed under rel-acq. *)
+
+val sb : Litmus.t
+(** Store buffering; target — both loads see 0. Allowed. *)
+
+val sb_relacq_rmw : Litmus.t
+(** Store buffering where the [y] accesses are RMWs so the fences
+    synchronise (Sec. 3.3); disallowed under rel-acq. *)
+
+val s : Litmus.t
+(** The S shape; target — message received but thread 1's store loses the
+    coherence race. Allowed under SC-per-location. *)
+
+val s_relacq : Litmus.t
+(** S with fences; disallowed under rel-acq. *)
+
+val r : Litmus.t
+(** The R shape; target — thread 1's store wins coherence yet its load
+    sees 0. Allowed under SC-per-location. *)
+
+val r_relacq_rmw : Litmus.t
+(** R with the [y] write of thread 1 as an RMW so the fences synchronise;
+    disallowed under rel-acq. *)
+
+val two_plus_two_w : Litmus.t
+(** 2+2W; target — each location's first store is coherence-last.
+    Allowed under SC-per-location. *)
+
+val two_plus_two_w_relacq_rmw : Litmus.t
+(** 2+2W with thread 1's [y] write as an RMW; disallowed under rel-acq. *)
+
+(** {2 Multi-thread shapes}
+
+    Beyond the two-thread templates the mutators use, these classic
+    three- and four-thread tests exercise the enumerator and simulator
+    on wider programs. All of their targets are allowed under
+    SC-per-location (they need multi-copy atomicity or cumulativity to
+    forbid, which that model does not provide) and disallowed under
+    SC. *)
+
+val iriw : Litmus.t
+(** Independent Reads of Independent Writes: two writers to different
+    locations, two readers observing them in opposite orders. *)
+
+val wrc : Litmus.t
+(** Write-to-Read Causality: a write seen by a middleman thread whose
+    subsequent flag write is seen by a reader that misses the original
+    write. *)
+
+val isa2 : Litmus.t
+(** The ISA2 shape: a three-thread message-passing chain through two
+    flags, with the final read missing the original data. *)
+
+val rwc : Litmus.t
+(** Read-to-Write Causality: a reader observes thread 0's write but not
+    thread 2's, while thread 2, after writing, fails to observe
+    thread 0's write. *)
+
+val all : Litmus.t list
+(** Every test above. Names are unique. *)
+
+val find : string -> Litmus.t option
+(** [find name] looks a test up by (case-insensitive) name. *)

@@ -1,0 +1,130 @@
+module Event = Mcm_memmodel.Event
+module Execution = Mcm_memmodel.Execution
+
+type outcome = { regs : int array array; final : int array }
+
+type t = {
+  name : string;
+  family : string;
+  model : Mcm_memmodel.Model.t;
+  threads : Instr.t list array;
+  nlocs : int;
+  target : outcome -> bool;
+  target_desc : string;
+}
+
+let nthreads t = Array.length t.threads
+
+let nregs t =
+  let per_thread instrs =
+    List.fold_left
+      (fun acc i -> match Instr.defines_reg i with Some r -> max acc (r + 1) | None -> acc)
+      0 instrs
+  in
+  Array.map per_thread t.threads
+
+let well_formed t =
+  if Array.length t.threads = 0 then Error (Printf.sprintf "test %s has no threads" t.name)
+  else begin
+    let problem = ref None in
+    let note fmt = Printf.ksprintf (fun s -> if !problem = None then problem := Some s) fmt in
+    let values = Hashtbl.create 8 in
+    Array.iteri
+      (fun tid instrs ->
+        let written = Hashtbl.create 4 in
+        let check i =
+          (match Instr.uses_loc i with
+          | Some l when l < 0 || l >= t.nlocs ->
+              note "thread %d uses location %d >= nlocs %d" tid l t.nlocs
+          | _ -> ());
+          (match Instr.defines_reg i with
+          | Some r ->
+              if Hashtbl.mem written r then note "thread %d writes register r%d twice" tid r;
+              Hashtbl.replace written r ()
+          | None -> ());
+          match i with
+          | Instr.Store { loc; value } | Instr.Rmw { loc; value; _ } ->
+              if value = 0 then note "thread %d stores value 0 (reserved for the initial state)" tid;
+              if Hashtbl.mem values (loc, value) then
+                note "value %d stored twice to location %d" value loc;
+              Hashtbl.replace values (loc, value) ()
+          | Instr.Load _ | Instr.Fence -> ()
+        in
+        List.iter check instrs)
+      t.threads;
+    match !problem with None -> Ok () | Some s -> Error s
+  end
+
+type compiled = {
+  events : Event.t array;
+  reg_of_event : (int * int) option array;
+}
+
+let compile t =
+  let events = ref [] in
+  let regs = ref [] in
+  let id = ref 0 in
+  Array.iteri
+    (fun tid instrs ->
+      List.iteri
+        (fun idx i ->
+          let kind, reg =
+            match i with
+            | Instr.Load { reg; loc } -> (Event.Read { loc }, Some (tid, reg))
+            | Instr.Store { loc; value } -> (Event.Write { loc; value }, None)
+            | Instr.Rmw { reg; loc; value } -> (Event.Rmw { loc; value }, Some (tid, reg))
+            | Instr.Fence -> (Event.Fence, None)
+          in
+          events := { Event.id = !id; tid; idx; kind } :: !events;
+          regs := reg :: !regs;
+          incr id)
+        instrs)
+    t.threads;
+  { events = Array.of_list (List.rev !events); reg_of_event = Array.of_list (List.rev !regs) }
+
+let empty_outcome t = { regs = Array.map (fun n -> Array.make n 0) (nregs t); final = Array.make t.nlocs 0 }
+
+let outcome_of_execution t (x : Execution.t) =
+  let compiled = compile t in
+  let out = empty_outcome t in
+  Array.iteri
+    (fun id binding ->
+      match binding with
+      | Some (tid, reg) ->
+          if Event.is_read compiled.events.(id) then out.regs.(tid).(reg) <- Execution.value_read x id
+      | None -> ())
+    compiled.reg_of_event;
+  List.iter
+    (fun (l, order) ->
+      match List.rev order with
+      | [] -> ()
+      | last :: _ -> (
+          match Event.written_value x.Execution.events.(last) with
+          | Some v -> out.final.(l) <- v
+          | None -> ()))
+    x.Execution.co;
+  out
+
+let loc_name l = match l with 0 -> "x" | 1 -> "y" | 2 -> "z" | n -> "l" ^ string_of_int n
+
+let outcome_to_string o =
+  let buf = Buffer.create 32 in
+  Array.iteri
+    (fun tid rs ->
+      Array.iteri (fun r v -> Buffer.add_string buf (Printf.sprintf "t%d.r%d:%d " tid r v)) rs)
+    o.regs;
+  Buffer.add_string buf "|";
+  Array.iteri (fun l v -> Buffer.add_string buf (Printf.sprintf " %s=%d" (loc_name l) v)) o.final;
+  Buffer.contents buf
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>%s (family %s, model %s)@," t.name t.family
+    (Mcm_memmodel.Model.name t.model);
+  Array.iteri
+    (fun tid instrs ->
+      Format.fprintf fmt "thread %d:@," tid;
+      List.iter (fun i -> Format.fprintf fmt "  %a@," (Instr.pp ~loc_names:loc_name) i) instrs)
+    t.threads;
+  Format.fprintf fmt "target: %s@]" t.target_desc
+
+let to_string t = Format.asprintf "%a" pp t

@@ -1,0 +1,1 @@
+lib/memmodel/cat.ml: Array Event Execution Format List Model Printf Relation String

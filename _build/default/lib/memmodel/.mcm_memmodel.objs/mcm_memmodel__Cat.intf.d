@@ -1,0 +1,1 @@
+lib/memmodel/cat.mli: Execution Format Model Relation

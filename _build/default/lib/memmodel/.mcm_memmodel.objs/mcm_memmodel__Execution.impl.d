@@ -1,0 +1,1 @@
+lib/memmodel/execution.ml: Array Char Event Format Hashtbl List Printf Relation String

@@ -1,0 +1,1 @@
+lib/memmodel/execution.mli: Event Format Relation

@@ -1,0 +1,1 @@
+lib/memmodel/model.ml: Array Event Execution List Relation String

@@ -1,0 +1,1 @@
+lib/memmodel/relation.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/memmodel/relation.mli: Format

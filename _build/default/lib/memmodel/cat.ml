@@ -1,0 +1,172 @@
+type evset = All | Reads | Writes | Rmws | Fences
+
+type rel_expr =
+  | Po
+  | Po_loc
+  | Rf
+  | Co
+  | Fr
+  | Com
+  | Sw
+  | Empty
+  | Union of rel_expr * rel_expr
+  | Inter of rel_expr * rel_expr
+  | Diff of rel_expr * rel_expr
+  | Seq of rel_expr * rel_expr
+  | Inverse of rel_expr
+  | Closure of rel_expr
+  | Internal of rel_expr
+  | External of rel_expr
+  | Restrict of evset * rel_expr * evset
+
+type axiom =
+  | Acyclic of string * rel_expr
+  | Irreflexive of string * rel_expr
+  | Empty_rel of string * rel_expr
+
+type t = { name : string; axioms : axiom list }
+
+let in_set events set i =
+  let e = events.(i) in
+  match set with
+  | All -> true
+  | Reads -> Event.is_read e
+  | Writes -> Event.is_write e
+  | Rmws -> Event.is_rmw e
+  | Fences -> Event.is_fence e
+
+let diff r s = Relation.restrict r (fun a b -> not (Relation.mem s a b))
+
+let rec eval_with rels (x : Execution.t) = function
+  | Po -> rels.Execution.po
+  | Po_loc -> rels.Execution.po_loc
+  | Rf -> rels.Execution.rf
+  | Co -> rels.Execution.co
+  | Fr -> rels.Execution.fr
+  | Com -> rels.Execution.com
+  | Sw -> rels.Execution.sw
+  | Empty -> Relation.empty (Array.length x.Execution.events)
+  | Union (a, b) -> Relation.union (eval_with rels x a) (eval_with rels x b)
+  | Inter (a, b) -> Relation.inter (eval_with rels x a) (eval_with rels x b)
+  | Diff (a, b) -> diff (eval_with rels x a) (eval_with rels x b)
+  | Seq (a, b) -> Relation.compose (eval_with rels x a) (eval_with rels x b)
+  | Inverse a -> Relation.inverse (eval_with rels x a)
+  | Closure a -> Relation.transitive_closure (eval_with rels x a)
+  | Internal a ->
+      Relation.restrict (eval_with rels x a) (fun i j ->
+          x.Execution.events.(i).Event.tid = x.Execution.events.(j).Event.tid)
+  | External a ->
+      Relation.restrict (eval_with rels x a) (fun i j ->
+          x.Execution.events.(i).Event.tid <> x.Execution.events.(j).Event.tid)
+  | Restrict (d, a, g) ->
+      Relation.restrict (eval_with rels x a) (fun i j ->
+          in_set x.Execution.events d i && in_set x.Execution.events g j)
+
+let eval expr x = eval_with (Execution.relations x) x expr
+
+let check_axiom rels x = function
+  | Acyclic (_, e) -> Relation.is_acyclic (eval_with rels x e)
+  | Irreflexive (_, e) ->
+      let r = eval_with rels x e in
+      let ok = ref true in
+      for i = 0 to Relation.size r - 1 do
+        if Relation.mem r i i then ok := false
+      done;
+      !ok
+  | Empty_rel (_, e) -> Relation.cardinal (eval_with rels x e) = 0
+
+let axiom_name = function Acyclic (n, _) | Irreflexive (n, _) | Empty_rel (n, _) -> n
+
+let failing_axiom m x =
+  if not (Model.rmw_atomic x) then Some "atomicity"
+  else begin
+    let rels = Execution.relations x in
+    let rec first = function
+      | [] -> None
+      | ax :: rest -> if check_axiom rels x ax then first rest else Some (axiom_name ax)
+    in
+    first m.axioms
+  end
+
+let consistent m x = failing_axiom m x = None
+
+let sc = { name = "SC"; axioms = [ Acyclic ("sc", Union (Po, Com)) ] }
+
+let sc_per_location =
+  { name = "SC-per-loc"; axioms = [ Acyclic ("coherence", Union (Po_loc, Com)) ] }
+
+let relacq =
+  {
+    name = "rel-acq-SC-per-loc";
+    axioms = [ Acyclic ("coherence-relacq", Union (Po_loc, Union (Com, Seq (Po, Seq (Sw, Po))))) ];
+  }
+
+(* x86-TSO: preserved program order is po without write-to-read pairs;
+   an mfence (our only fence, read as mfence here) restores it. Global
+   happens-before uses only external reads-from (store forwarding makes
+   internal rf unordered). *)
+let tso =
+  let ppo = Diff (Po, Restrict (Writes, Po, Reads)) in
+  let fence_order = Seq (Restrict (All, Po, Fences), Restrict (Fences, Po, All)) in
+  let ghb = Union (ppo, Union (fence_order, Union (External Rf, Union (Co, Fr)))) in
+  {
+    name = "TSO";
+    axioms = [ Acyclic ("coherence", Union (Po_loc, Com)); Acyclic ("ghb", ghb) ];
+  }
+
+let all = [ sc; tso; relacq; sc_per_location ]
+
+let find name =
+  let lower = String.lowercase_ascii name in
+  List.find_opt (fun m -> String.lowercase_ascii m.name = lower) all
+
+let of_model = function
+  | Model.Sc -> sc
+  | Model.Sc_per_location -> sc_per_location
+  | Model.Relacq_sc_per_location -> relacq
+
+let evset_name = function
+  | All -> "_"
+  | Reads -> "R"
+  | Writes -> "W"
+  | Rmws -> "RMW"
+  | Fences -> "F"
+
+(* Parenthesise by a rough precedence: closure/inverse bind tightest,
+   then seq, then inter/diff, then union. *)
+let rec expr_to_string = function
+  | Po -> "po"
+  | Po_loc -> "po-loc"
+  | Rf -> "rf"
+  | Co -> "co"
+  | Fr -> "fr"
+  | Com -> "com"
+  | Sw -> "sw"
+  | Empty -> "0"
+  | Union (a, b) -> Printf.sprintf "%s | %s" (expr_to_string a) (expr_to_string b)
+  | Inter (a, b) -> Printf.sprintf "%s & %s" (atom a) (atom b)
+  | Diff (a, b) -> Printf.sprintf "%s \\ %s" (atom a) (atom b)
+  | Seq (a, b) -> Printf.sprintf "%s;%s" (atom a) (atom b)
+  | Inverse a -> Printf.sprintf "%s^-1" (atom a)
+  | Closure a -> Printf.sprintf "%s+" (atom a)
+  | Internal a -> Printf.sprintf "int(%s)" (expr_to_string a)
+  | External a -> Printf.sprintf "ext(%s)" (expr_to_string a)
+  | Restrict (d, a, g) -> Printf.sprintf "[%s];%s;[%s]" (evset_name d) (atom a) (evset_name g)
+
+and atom e =
+  match e with
+  | Po | Po_loc | Rf | Co | Fr | Com | Sw | Empty | Inverse _ | Closure _ | Internal _
+  | External _ ->
+      expr_to_string e
+  | Union _ | Inter _ | Diff _ | Seq _ | Restrict _ -> "(" ^ expr_to_string e ^ ")"
+
+let pp fmt m =
+  Format.fprintf fmt "@[<v>model %s@," m.name;
+  List.iter
+    (fun ax ->
+      match ax with
+      | Acyclic (n, e) -> Format.fprintf fmt "  acyclic %s as %s@," (expr_to_string e) n
+      | Irreflexive (n, e) -> Format.fprintf fmt "  irreflexive %s as %s@," (expr_to_string e) n
+      | Empty_rel (n, e) -> Format.fprintf fmt "  empty %s as %s@," (expr_to_string e) n)
+    m.axioms;
+  Format.fprintf fmt "  (plus RMW atomicity)@]"

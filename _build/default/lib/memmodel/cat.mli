@@ -1,0 +1,92 @@
+(** Parameterized axiomatic memory models, in the style of the "herding
+    cats" framework the paper builds its formalism on (Sec. 2.1 cites
+    Alglave et al.'s parameterized models).
+
+    A model is a set of named axioms over relation expressions; a
+    relation expression combines the base relations of Tab. 1 with the
+    usual algebra (union, intersection, difference, sequencing,
+    inverse, transitive closure, internal/external restriction, and
+    restriction by event kind). {!consistent} evaluates all axioms over
+    a candidate execution, always together with RMW atomicity.
+
+    The predefined models {!sc}, {!sc_per_location} and {!relacq} are
+    definitionally equivalent to the direct implementations in {!Model}
+    (the test suite checks extensional equality over candidate spaces);
+    {!tso} adds the x86-TSO model used by the paper's Sec. 3.4
+    discussion of pruning mutants that an implementation cannot
+    exhibit. *)
+
+(** Event-kind sets for domain/range restriction. *)
+type evset = All | Reads | Writes | Rmws | Fences
+
+(** Relation expressions over one candidate execution. *)
+type rel_expr =
+  | Po  (** program order *)
+  | Po_loc  (** program order restricted to one location *)
+  | Rf  (** reads-from *)
+  | Co  (** coherence *)
+  | Fr  (** from-read *)
+  | Com  (** [rf ∪ co ∪ fr] *)
+  | Sw  (** synchronizes-with over fences *)
+  | Empty
+  | Union of rel_expr * rel_expr
+  | Inter of rel_expr * rel_expr
+  | Diff of rel_expr * rel_expr
+  | Seq of rel_expr * rel_expr  (** relational composition [;] *)
+  | Inverse of rel_expr
+  | Closure of rel_expr  (** transitive closure [+] *)
+  | Internal of rel_expr  (** restricted to same-thread pairs *)
+  | External of rel_expr  (** restricted to cross-thread pairs *)
+  | Restrict of evset * rel_expr * evset
+      (** [Restrict (d, r, g)] keeps pairs whose source is in [d] and
+          target in [g] — CAT's [\[d\]; r; \[g\]] *)
+
+type axiom =
+  | Acyclic of string * rel_expr  (** named acyclicity requirement *)
+  | Irreflexive of string * rel_expr
+  | Empty_rel of string * rel_expr  (** the relation must be empty *)
+
+type t = {
+  name : string;
+  axioms : axiom list;
+}
+
+val eval : rel_expr -> Execution.t -> Relation.t
+(** [eval e x] computes the expression over [x]'s derived relations. *)
+
+val consistent : t -> Execution.t -> bool
+(** [consistent m x] checks every axiom of [m] plus RMW atomicity. *)
+
+val failing_axiom : t -> Execution.t -> string option
+(** [failing_axiom m x] names the first violated axiom (["atomicity"]
+    for an RMW atomicity failure), or [None] when consistent. *)
+
+val sc : t
+(** [acyclic (po ∪ com)] — {!Model.Sc}. *)
+
+val sc_per_location : t
+(** [acyclic (po-loc ∪ com)] — {!Model.Sc_per_location}. *)
+
+val relacq : t
+(** [acyclic (po-loc ∪ com ∪ po;sw;po)] — {!Model.Relacq_sc_per_location}. *)
+
+val tso : t
+(** x86-TSO (Owens et al., cited by the paper): SC-per-location plus
+    [acyclic (ppo ∪ mfence-order ∪ rfe ∪ co ∪ fr)] where [ppo] is
+    program order without write-to-read pairs and fences restore the
+    dropped order. Allows store buffering; forbids MP, LB and IRIW
+    weaknesses. *)
+
+val all : t list
+
+val find : string -> t option
+(** Case-insensitive lookup by model name, e.g. ["tso"]. *)
+
+val of_model : Model.t -> t
+(** The CAT formulation of a direct {!Model.t}. *)
+
+val expr_to_string : rel_expr -> string
+(** CAT-style rendering, e.g. ["po \\ [W];po;[R]"] for TSO's ppo. *)
+
+val pp : Format.formatter -> t -> unit
+(** Prints the model's name and each axiom with its expression. *)

@@ -1,0 +1,41 @@
+type kind =
+  | Read of { loc : int }
+  | Write of { loc : int; value : int }
+  | Rmw of { loc : int; value : int }
+  | Fence
+
+type t = { id : int; tid : int; idx : int; kind : kind }
+
+let is_read e = match e.kind with Read _ | Rmw _ -> true | Write _ | Fence -> false
+let is_write e = match e.kind with Write _ | Rmw _ -> true | Read _ | Fence -> false
+let is_fence e = match e.kind with Fence -> true | Read _ | Write _ | Rmw _ -> false
+let is_rmw e = match e.kind with Rmw _ -> true | Read _ | Write _ | Fence -> false
+
+let loc e =
+  match e.kind with
+  | Read { loc } | Write { loc; _ } | Rmw { loc; _ } -> Some loc
+  | Fence -> None
+
+let written_value e =
+  match e.kind with
+  | Write { value; _ } | Rmw { value; _ } -> Some value
+  | Read _ | Fence -> None
+
+let same_loc a b =
+  match (loc a, loc b) with Some la, Some lb -> la = lb | _ -> false
+
+let loc_name l =
+  (* Locations 0, 1, 2... print as x, y, z, then l3, l4, ... *)
+  match l with 0 -> "x" | 1 -> "y" | 2 -> "z" | n -> "l" ^ string_of_int n
+
+let pp fmt e =
+  let body =
+    match e.kind with
+    | Read { loc } -> Printf.sprintf "R %s" (loc_name loc)
+    | Write { loc; value } -> Printf.sprintf "W %s=%d" (loc_name loc) value
+    | Rmw { loc; value } -> Printf.sprintf "RMW %s=%d" (loc_name loc) value
+    | Fence -> "F"
+  in
+  Format.fprintf fmt "[t%d.%d %s]" e.tid e.idx body
+
+let to_string e = Format.asprintf "%a" pp e

@@ -1,0 +1,53 @@
+(** Memory events, the atoms of candidate executions (paper Tab. 1).
+
+    An execution is a set of events — atomic reads ([R]), atomic writes
+    ([W]), atomic read-modify-writes ([RMW]) and release/acquire fences
+    ([F]) — plus relations over them. Events carry the thread that issued
+    them and their index in that thread's program order. Following the
+    paper's simplified WebGPU model there are no non-atomic accesses and no
+    memory-order parameters. *)
+
+type kind =
+  | Read of { loc : int }  (** atomic load; the value read is given by [rf] *)
+  | Write of { loc : int; value : int }  (** atomic store of [value] *)
+  | Rmw of { loc : int; value : int }
+      (** atomic read-modify-write: reads the old value (via [rf]) and
+          writes [value] in one indivisible action *)
+  | Fence  (** release/acquire fence *)
+
+type t = {
+  id : int;  (** unique within an execution; also the index used by {!Relation} *)
+  tid : int;  (** issuing thread *)
+  idx : int;  (** position in the issuing thread's program order *)
+  kind : kind;
+}
+
+val is_read : t -> bool
+(** [is_read e] holds for [Read] and [Rmw] events (anything that observes
+    a value). *)
+
+val is_write : t -> bool
+(** [is_write e] holds for [Write] and [Rmw] events (anything that produces
+    a value). *)
+
+val is_fence : t -> bool
+(** [is_fence e] holds exactly for [Fence] events. *)
+
+val is_rmw : t -> bool
+(** [is_rmw e] holds exactly for [Rmw] events. *)
+
+val loc : t -> int option
+(** [loc e] is the memory location of a memory event, [None] for fences. *)
+
+val written_value : t -> int option
+(** [written_value e] is the value stored by a [Write] or [Rmw]. *)
+
+val same_loc : t -> t -> bool
+(** [same_loc a b] holds when both are memory events on one location. *)
+
+val pp : Format.formatter -> t -> unit
+(** [pp fmt e] prints an event like ["W x=1"] or ["RMW y=2"], with thread
+    and index, for debugging and counter-example reports. *)
+
+val to_string : t -> string
+(** [to_string e] is [pp] rendered to a string. *)

@@ -1,0 +1,67 @@
+type t = Sc | Sc_per_location | Relacq_sc_per_location
+
+let all = [ Sc; Relacq_sc_per_location; Sc_per_location ]
+
+let name = function
+  | Sc -> "SC"
+  | Sc_per_location -> "SC-per-loc"
+  | Relacq_sc_per_location -> "rel-acq-SC-per-loc"
+
+let of_string s =
+  match String.lowercase_ascii s with
+  | "sc" -> Some Sc
+  | "sc-per-loc" | "sc-per-location" | "coherence" -> Some Sc_per_location
+  | "rel-acq-sc-per-loc" | "relacq" | "rel-acq" -> Some Relacq_sc_per_location
+  | _ -> None
+
+let hb m x =
+  let r = Execution.relations x in
+  match m with
+  | Sc -> Relation.union r.Execution.po r.Execution.com
+  | Sc_per_location -> Relation.union r.Execution.po_loc r.Execution.com
+  | Relacq_sc_per_location ->
+      Relation.union r.Execution.po_loc (Relation.union r.Execution.com r.Execution.po_sw_po)
+
+let rmw_atomic (x : Execution.t) =
+  let ok = ref true in
+  Array.iteri
+    (fun i e ->
+      if Event.is_rmw e then
+        match Event.loc e with
+        | None -> ()
+        | Some l ->
+            let order = try List.assoc l x.Execution.co with Not_found -> [] in
+            let position =
+              let rec find k = function
+                | [] -> None
+                | w :: rest -> if w = i then Some k else find (k + 1) rest
+              in
+              find 0 order
+            in
+            let expected =
+              match x.Execution.rf.(i) with
+              | None -> Some 0
+              | Some src ->
+                  let rec find k = function
+                    | [] -> None
+                    | w :: rest -> if w = src then Some (k + 1) else find (k + 1) rest
+                  in
+                  find 0 order
+            in
+            if position = None || expected = None || position <> expected then ok := false)
+    x.Execution.events;
+  !ok
+
+let consistent m x = rmw_atomic x && Relation.is_acyclic (hb m x)
+
+let hb_cycle m x =
+  match Relation.find_cycle (hb m x) with
+  | None -> None
+  | Some cycle ->
+      let names = List.map (Execution.event_name x) cycle in
+      let first = match names with [] -> "" | n :: _ -> n in
+      Some (String.concat " -> " (names @ [ first ]))
+
+let weaker_or_equal m m' =
+  let rank = function Sc_per_location -> 0 | Relacq_sc_per_location -> 1 | Sc -> 2 in
+  rank m <= rank m'

@@ -1,0 +1,193 @@
+type t = { n : int; m : bool array array }
+
+let empty n =
+  if n < 0 then invalid_arg "Relation.empty: negative size";
+  { n; m = Array.make_matrix n n false }
+
+let size r = r.n
+
+let check_index r i =
+  if i < 0 || i >= r.n then invalid_arg "Relation: index out of bounds"
+
+let copy r = { n = r.n; m = Array.map Array.copy r.m }
+
+let of_list n pairs =
+  let r = empty n in
+  let set (a, b) =
+    check_index r a;
+    check_index r b;
+    r.m.(a).(b) <- true
+  in
+  List.iter set pairs;
+  r
+
+let to_list r =
+  let acc = ref [] in
+  for a = r.n - 1 downto 0 do
+    for b = r.n - 1 downto 0 do
+      if r.m.(a).(b) then acc := (a, b) :: !acc
+    done
+  done;
+  !acc
+
+let mem r a b =
+  check_index r a;
+  check_index r b;
+  r.m.(a).(b)
+
+let add r a b =
+  check_index r a;
+  check_index r b;
+  let r' = copy r in
+  r'.m.(a).(b) <- true;
+  r'
+
+let cardinal r =
+  let c = ref 0 in
+  Array.iter (fun row -> Array.iter (fun b -> if b then incr c) row) r.m;
+  !c
+
+let check_same_size r s =
+  if r.n <> s.n then invalid_arg "Relation: carrier size mismatch"
+
+let union r s =
+  check_same_size r s;
+  let out = empty r.n in
+  for a = 0 to r.n - 1 do
+    for b = 0 to r.n - 1 do
+      out.m.(a).(b) <- r.m.(a).(b) || s.m.(a).(b)
+    done
+  done;
+  out
+
+let inter r s =
+  check_same_size r s;
+  let out = empty r.n in
+  for a = 0 to r.n - 1 do
+    for b = 0 to r.n - 1 do
+      out.m.(a).(b) <- r.m.(a).(b) && s.m.(a).(b)
+    done
+  done;
+  out
+
+let compose r s =
+  check_same_size r s;
+  let out = empty r.n in
+  for a = 0 to r.n - 1 do
+    for b = 0 to r.n - 1 do
+      if r.m.(a).(b) then
+        for c = 0 to r.n - 1 do
+          if s.m.(b).(c) then out.m.(a).(c) <- true
+        done
+    done
+  done;
+  out
+
+let inverse r =
+  let out = empty r.n in
+  for a = 0 to r.n - 1 do
+    for b = 0 to r.n - 1 do
+      out.m.(b).(a) <- r.m.(a).(b)
+    done
+  done;
+  out
+
+let restrict r keep =
+  let out = empty r.n in
+  for a = 0 to r.n - 1 do
+    for b = 0 to r.n - 1 do
+      out.m.(a).(b) <- r.m.(a).(b) && keep a b
+    done
+  done;
+  out
+
+let transitive_closure r =
+  let out = copy r in
+  for k = 0 to r.n - 1 do
+    for a = 0 to r.n - 1 do
+      if out.m.(a).(k) then
+        for b = 0 to r.n - 1 do
+          if out.m.(k).(b) then out.m.(a).(b) <- true
+        done
+    done
+  done;
+  out
+
+let is_acyclic r =
+  let c = transitive_closure r in
+  let cyclic = ref false in
+  for a = 0 to r.n - 1 do
+    if c.m.(a).(a) then cyclic := true
+  done;
+  not !cyclic
+
+let is_total_order_on r elems =
+  let closed = transitive_closure r in
+  let irreflexive = List.for_all (fun a -> not closed.m.(a).(a)) elems in
+  let comparable =
+    List.for_all
+      (fun a ->
+        List.for_all (fun b -> a = b || closed.m.(a).(b) || closed.m.(b).(a)) elems)
+      elems
+  in
+  (* Transitivity on the restriction: pairs of the original relation among
+     [elems] must already be transitively consistent, which the closure
+     check captures together with irreflexivity. *)
+  irreflexive && comparable
+
+let find_cycle r =
+  (* DFS with colors; on finding a back edge, extract the stack segment. *)
+  let color = Array.make r.n 0 in
+  (* 0 = white, 1 = on stack, 2 = done *)
+  let result = ref None in
+  let stack = ref [] in
+  let rec visit a =
+    if !result = None then begin
+      color.(a) <- 1;
+      stack := a :: !stack;
+      for b = 0 to r.n - 1 do
+        if !result = None && r.m.(a).(b) then
+          if color.(b) = 1 then begin
+            (* Back edge a -> b: the cycle is b ... a on the stack. *)
+            let rec take acc = function
+              | [] -> acc
+              | x :: rest -> if x = b then x :: acc else take (x :: acc) rest
+            in
+            result := Some (take [] !stack)
+          end
+          else if color.(b) = 0 then visit b
+      done;
+      if !result = None then begin
+        color.(a) <- 2;
+        stack := List.tl !stack
+      end
+    end
+  in
+  let a = ref 0 in
+  while !result = None && !a < r.n do
+    if color.(!a) = 0 then visit !a;
+    incr a
+  done;
+  !result
+
+let equal r s = r.n = s.n && r.m = s.m
+
+let subset r s =
+  check_same_size r s;
+  let ok = ref true in
+  for a = 0 to r.n - 1 do
+    for b = 0 to r.n - 1 do
+      if r.m.(a).(b) && not s.m.(a).(b) then ok := false
+    done
+  done;
+  !ok
+
+let pp ~names fmt r =
+  let pairs = to_list r in
+  Format.fprintf fmt "{";
+  List.iteri
+    (fun i (a, b) ->
+      if i > 0 then Format.fprintf fmt ", ";
+      Format.fprintf fmt "%s->%s" (names a) (names b))
+    pairs;
+  Format.fprintf fmt "}"

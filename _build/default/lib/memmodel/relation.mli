@@ -1,0 +1,78 @@
+(** Finite binary relations over event identifiers.
+
+    Candidate executions of litmus tests are tiny (≤ 16 events), so
+    relations are dense boolean matrices. This gives O(n³) transitive
+    closure and trivially correct set algebra, which is what the MCS
+    axioms (acyclicity of unions/compositions of relations) need. *)
+
+type t
+(** An immutable relation over the carrier [\[0, size)] — operations never
+    mutate their arguments. *)
+
+val empty : int -> t
+(** [empty n] is the empty relation over [n] elements.
+    @raise Invalid_argument if [n < 0]. *)
+
+val size : t -> int
+(** [size r] is the carrier size [r] was created with. *)
+
+val of_list : int -> (int * int) list -> t
+(** [of_list n pairs] is the relation containing exactly [pairs].
+    @raise Invalid_argument if any index is outside [\[0, n)]. *)
+
+val to_list : t -> (int * int) list
+(** [to_list r] lists the pairs of [r] in lexicographic order. *)
+
+val mem : t -> int -> int -> bool
+(** [mem r a b] tests whether [a → b] is in [r]. *)
+
+val add : t -> int -> int -> t
+(** [add r a b] is [r] with the pair [a → b]. *)
+
+val cardinal : t -> int
+(** [cardinal r] is the number of pairs. *)
+
+val union : t -> t -> t
+(** [union r s] is [r ∪ s]. Carriers must match. *)
+
+val inter : t -> t -> t
+(** [inter r s] is [r ∩ s]. Carriers must match. *)
+
+val compose : t -> t -> t
+(** [compose r s] is the relational composition [r ; s]:
+    [a → c] iff [∃ b. a →r b ∧ b →s c]. *)
+
+val inverse : t -> t
+(** [inverse r] swaps every pair. *)
+
+val restrict : t -> (int -> int -> bool) -> t
+(** [restrict r keep] retains only the pairs for which [keep a b]. *)
+
+val transitive_closure : t -> t
+(** [transitive_closure r] is the least transitive relation containing
+    [r] (Floyd–Warshall). *)
+
+val is_acyclic : t -> bool
+(** [is_acyclic r] holds when no element reaches itself through one or more
+    steps of [r]. Irreflexive-and-transitive-closure test; a self-loop
+    makes the relation cyclic. *)
+
+val is_total_order_on : t -> int list -> bool
+(** [is_total_order_on r elems] checks that [r] restricted to [elems] is a
+    strict total order (irreflexive, transitive, and any two distinct
+    elements comparable). *)
+
+val find_cycle : t -> int list option
+(** [find_cycle r] is [Some cycle] — a list of distinct elements
+    [e0; e1; ...; ek] with [ei → e(i+1)] and [ek → e0] — when [r] is
+    cyclic, [None] otherwise. Used to report the happens-before cycle that
+    makes a candidate execution inconsistent. *)
+
+val equal : t -> t -> bool
+(** Structural equality of relations over equal carriers. *)
+
+val subset : t -> t -> bool
+(** [subset r s] tests [r ⊆ s]. *)
+
+val pp : names:(int -> string) -> Format.formatter -> t -> unit
+(** [pp ~names fmt r] prints the pairs using [names] for elements. *)

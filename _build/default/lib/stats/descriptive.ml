@@ -1,0 +1,30 @@
+let mean a =
+  let n = Array.length a in
+  if n = 0 then Float.nan else Array.fold_left ( +. ) 0. a /. float_of_int n
+
+let variance a =
+  let n = Array.length a in
+  if n = 0 then Float.nan
+  else
+    let m = mean a in
+    Array.fold_left (fun acc x -> acc +. ((x -. m) *. (x -. m))) 0. a /. float_of_int n
+
+let stddev a = sqrt (variance a)
+
+let minimum a = Array.fold_left Float.min Float.infinity a
+let maximum a = Array.fold_left Float.max Float.neg_infinity a
+
+let geometric_mean a =
+  let logs = Array.to_list a |> List.filter (fun x -> x > 0.) |> List.map log in
+  match logs with
+  | [] -> Float.nan
+  | _ -> exp (List.fold_left ( +. ) 0. logs /. float_of_int (List.length logs))
+
+let median a =
+  let n = Array.length a in
+  if n = 0 then Float.nan
+  else begin
+    let sorted = Array.copy a in
+    Array.sort compare sorted;
+    if n mod 2 = 1 then sorted.(n / 2) else (sorted.((n / 2) - 1) +. sorted.(n / 2)) /. 2.
+  end

@@ -1,0 +1,20 @@
+(** Descriptive statistics over float arrays. *)
+
+val mean : float array -> float
+(** Arithmetic mean; [nan] on an empty array. *)
+
+val variance : float array -> float
+(** Population variance; [nan] on an empty array. *)
+
+val stddev : float array -> float
+(** Population standard deviation. *)
+
+val minimum : float array -> float
+val maximum : float array -> float
+
+val geometric_mean : float array -> float
+(** Geometric mean of positive values; zeros and negatives are skipped;
+    [nan] when nothing remains. *)
+
+val median : float array -> float
+(** Median (average of middle pair for even lengths); [nan] on empty. *)

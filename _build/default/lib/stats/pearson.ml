@@ -1,0 +1,87 @@
+let pcc xs ys =
+  let n = Array.length xs in
+  if n <> Array.length ys || n < 2 then Float.nan
+  else begin
+    let mx = Descriptive.mean xs and my = Descriptive.mean ys in
+    let sxy = ref 0. and sxx = ref 0. and syy = ref 0. in
+    for i = 0 to n - 1 do
+      let dx = xs.(i) -. mx and dy = ys.(i) -. my in
+      sxy := !sxy +. (dx *. dy);
+      sxx := !sxx +. (dx *. dx);
+      syy := !syy +. (dy *. dy)
+    done;
+    if !sxx = 0. || !syy = 0. then Float.nan else !sxy /. sqrt (!sxx *. !syy)
+  end
+
+let t_statistic ~r ~n =
+  let df = float_of_int (n - 2) in
+  r *. sqrt (df /. (1. -. (r *. r)))
+
+(* Log-gamma via the Lanczos approximation (g = 7, 9 coefficients). *)
+let lanczos =
+  [|
+    0.99999999999980993; 676.5203681218851; -1259.1392167224028; 771.32342877765313;
+    -176.61502916214059; 12.507343278686905; -0.13857109526572012; 9.9843695780195716e-6;
+    1.5056327351493116e-7;
+  |]
+
+let rec lgamma z =
+  if z < 0.5 then log (Float.pi /. sin (Float.pi *. z)) -. lgamma (1. -. z)
+  else begin
+    let z = z -. 1. in
+    let acc = ref lanczos.(0) in
+    for i = 1 to 8 do
+      acc := !acc +. (lanczos.(i) /. (z +. float_of_int i))
+    done;
+    let t = z +. 7.5 in
+    (0.5 *. log (2. *. Float.pi)) +. ((z +. 0.5) *. log t) -. t +. log !acc
+  end
+
+(* Regularised incomplete beta by the continued fraction of Numerical
+   Recipes (Lentz's method), with the symmetry transformation for
+   convergence. *)
+let rec incomplete_beta ~a ~b ~x =
+  if x <= 0. then 0.
+  else if x >= 1. then 1.
+  else if x > (a +. 1.) /. (a +. b +. 2.) then 1. -. incomplete_beta ~a:b ~b:a ~x:(1. -. x)
+  else begin
+    let log_beta = lgamma a +. lgamma b -. lgamma (a +. b) in
+    let front = exp ((a *. log x) +. (b *. log (1. -. x)) -. log_beta) /. a in
+    (* Lentz's algorithm, as in Numerical Recipes' betacf. *)
+    let tiny = 1e-30 in
+    let qab = a +. b and qap = a +. 1. and qam = a -. 1. in
+    let c = ref 1. in
+    let d = ref (1. -. (qab *. x /. qap)) in
+    if abs_float !d < tiny then d := tiny;
+    d := 1. /. !d;
+    let h = ref !d in
+    let step numerator =
+      d := 1. +. (numerator *. !d);
+      if abs_float !d < tiny then d := tiny;
+      d := 1. /. !d;
+      c := 1. +. (numerator /. !c);
+      if abs_float !c < tiny then c := tiny;
+      let delta = !d *. !c in
+      h := !h *. delta;
+      delta
+    in
+    (try
+       for m = 1 to 200 do
+         let fm = float_of_int m in
+         let m2 = 2. *. fm in
+         ignore (step (fm *. (b -. fm) *. x /. ((qam +. m2) *. (a +. m2))));
+         let delta = step (-.(a +. fm) *. (qab +. fm) *. x /. ((a +. m2) *. (qap +. m2))) in
+         if abs_float (delta -. 1.) < 1e-12 then raise Exit
+       done
+     with Exit -> ());
+    front *. !h
+  end
+
+let p_value ~r ~n =
+  if n < 3 || not (Float.is_finite r) then Float.nan
+  else if abs_float r >= 1. then 0.
+  else
+    let df = float_of_int (n - 2) in
+    let t = t_statistic ~r ~n in
+    (* Two-sided p-value from the t CDF: P(|T| > t) = I_{df/(df+t²)}(df/2, 1/2). *)
+    incomplete_beta ~a:(df /. 2.) ~b:0.5 ~x:(df /. (df +. (t *. t)))

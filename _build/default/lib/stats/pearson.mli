@@ -1,0 +1,27 @@
+(** Pearson correlation and its significance test (Sec. 5.4, Tab. 4).
+
+    The paper validates MC Mutants by correlating, across random testing
+    environments, a mutant's death rate with the rate at which a real bug
+    is observed — reporting the Pearson Correlation Coefficient and the
+    Student's t-test probability that such a correlation arises by
+    chance. *)
+
+val pcc : float array -> float array -> float
+(** [pcc xs ys] is the Pearson correlation coefficient of the paired
+    samples, in [\[-1, 1\]]. Returns [nan] when lengths differ, fewer
+    than two points are given, or either sample has zero variance. *)
+
+val t_statistic : r:float -> n:int -> float
+(** [t_statistic ~r ~n] is [r·sqrt((n-2) / (1-r²))], the test statistic
+    for the null hypothesis of zero correlation over [n] pairs. *)
+
+val p_value : r:float -> n:int -> float
+(** [p_value ~r ~n] is the two-sided probability, under the null
+    hypothesis, of a correlation at least as extreme as [r] — computed
+    from the Student's t distribution with [n-2] degrees of freedom via
+    the regularised incomplete beta function. [nan] when [n < 3] or [r]
+    is not finite; [0.] when [|r| = 1]. *)
+
+val incomplete_beta : a:float -> b:float -> x:float -> float
+(** The regularised incomplete beta function [I_x(a, b)], evaluated by
+    continued fraction (Lentz's algorithm) — exposed for testing. *)

@@ -1,0 +1,1 @@
+lib/testenv/assignment.ml: Array Mcm_gpu Mcm_util Params

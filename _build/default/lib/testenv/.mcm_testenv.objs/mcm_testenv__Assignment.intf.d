@@ -1,0 +1,1 @@
+lib/testenv/assignment.mli: Mcm_gpu Mcm_util Params

@@ -1,0 +1,1 @@
+lib/testenv/params.ml: Float Format Mcm_util

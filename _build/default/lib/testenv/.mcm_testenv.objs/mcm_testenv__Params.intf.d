@@ -1,0 +1,1 @@
+lib/testenv/params.mli: Format Mcm_util

@@ -1,0 +1,1 @@
+lib/testenv/runner.ml: Array Assignment List Mcm_gpu Mcm_litmus Mcm_util Params

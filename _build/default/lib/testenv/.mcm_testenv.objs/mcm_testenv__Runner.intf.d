@@ -1,0 +1,1 @@
+lib/testenv/runner.mli: Mcm_gpu Mcm_litmus Params

@@ -1,0 +1,84 @@
+module Prng = Mcm_util.Prng
+module Numbers = Mcm_util.Numbers
+module Profile = Mcm_gpu.Profile
+
+let warp_width = 32
+
+let physical_start ~prng ~(profile : Profile.t) ~(env : Params.t) ~wg ~lane =
+  let align = Params.alignment env in
+  let spacing = profile.Profile.workgroup_spacing_ns *. (1. -. (0.85 *. align)) in
+  let cus = profile.Profile.compute_units in
+  let wave = wg / cus and cu_slot = wg mod cus in
+  let cu_offset = spacing /. float_of_int (max 1 cus) in
+  let lane_offset = float_of_int (lane / warp_width) *. profile.Profile.instr_latency_ns *. 2. in
+  (* Barriers align the testing threads: both the structural spacing and
+     the random skew collapse as barrier_pct rises. *)
+  let jitter_mean =
+    profile.Profile.start_jitter_ns *. Params.jitter_scale env
+    *. (1. +. (profile.Profile.stress_jitter_gain *. Params.stress_intensity env))
+    *. (1. -. (0.95 *. align))
+  in
+  (float_of_int wave *. spacing)
+  +. (float_of_int cu_slot *. cu_offset)
+  +. lane_offset
+  +. Prng.exponential prng jitter_mean
+
+let slice_duration (profile : Profile.t) instrs =
+  (* A slice occupies its thread for its instructions plus a small
+     bookkeeping gap (index arithmetic of the permutation). *)
+  float_of_int (instrs + 2) *. profile.Profile.instr_latency_ns
+
+let role_starts ~prng ~(profile : Profile.t) ~(env : Params.t) ~slice_instrs ~instances =
+  let roles = Array.length slice_instrs in
+  let starts = Array.make_matrix instances roles 0. in
+  match (env.Params.mode, env.Params.scope) with
+  | Params.Single, Params.Inter_workgroup ->
+      (* One instance; roles spread across the workgroup grid. *)
+      let wgs = max roles env.Params.testing_workgroups in
+      for r = 0 to roles - 1 do
+        let wg = r * wgs / roles in
+        starts.(0).(r) <- physical_start ~prng ~profile ~env ~wg ~lane:0
+      done;
+      starts
+  | Params.Single, Params.Intra_workgroup ->
+      (* The future-work scope: roles are lanes of one workgroup. *)
+      for r = 0 to roles - 1 do
+        starts.(0).(r) <- physical_start ~prng ~profile ~env ~wg:0 ~lane:(r * warp_width)
+      done;
+      starts
+  | Params.Parallel, scope ->
+      let tpw = env.Params.threads_per_workgroup in
+      let n = instances in
+      (* The multiplier must be coprime to the carrier (all instances for
+         inter-workgroup pairing, one workgroup's worth for
+         intra-workgroup pairing) for the mapping to permute; when
+         scaling changed the carrier, snap to the nearest valid
+         multiplier rather than degrade to the identity. *)
+      let carrier = match scope with Params.Inter_workgroup -> n | Params.Intra_workgroup -> tpw in
+      let p = Numbers.coprime_towards env.Params.permute_second carrier in
+      (* Optional shuffle: remap workgroup launch order this iteration. *)
+      let shuffle = Prng.bernoulli prng (float_of_int env.Params.shuffle_pct /. 100.) in
+      let wg_count = Numbers.ceil_div n tpw in
+      let wg_order = Array.init wg_count (fun i -> i) in
+      if shuffle then Prng.shuffle_in_place prng wg_order;
+      for v = 0 to n - 1 do
+        let wg = wg_order.(v / tpw) and lane = v mod tpw in
+        let clock = ref (physical_start ~prng ~profile ~env ~wg ~lane) in
+        let inst = ref v in
+        for r = 0 to roles - 1 do
+          starts.(!inst).(r) <- !clock;
+          clock := !clock +. slice_duration profile slice_instrs.(r);
+          inst :=
+            (match scope with
+            | Params.Inter_workgroup -> Numbers.permute ~p ~n !inst
+            | Params.Intra_workgroup ->
+                (* Pair within the instance's own workgroup. *)
+                (v / tpw * tpw) + Numbers.permute ~p ~n:carrier (!inst mod tpw))
+        done
+      done;
+      starts
+
+let pairing_quality (env : Params.t) =
+  match env.Params.mode with
+  | Params.Single -> 1.
+  | Params.Parallel -> if env.Params.permute_second > 1 then 1.0 else 0.6

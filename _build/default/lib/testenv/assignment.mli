@@ -1,0 +1,50 @@
+(** Thread↔test-instance assignment and start-time synthesis (Sec. 4.1).
+
+    In a parallel testing environment every physical testing thread runs
+    one role slice of several instances back to back: thread [v] executes
+    role 0 of instance [v], then role 1 of instance [perm v], then role 2
+    of instance [perm (perm v)], where [perm] is the paper's coprime
+    modular permutation [v ↦ v·P mod N]. This pairs every instance's
+    roles on distinct, non-repeating threads with no divergent control
+    flow.
+
+    The physical start time of a thread encodes the simulated GPU's
+    scheduling: workgroups launch in waves of [compute_units], separated
+    by the profile's workgroup spacing (shrunk when barrier alignment is
+    on), plus a per-CU skew, a per-warp lane offset, and exponential
+    jitter (inflated by shuffling, pre-stress and memory-stress traffic).
+
+    In single-instance mode ([Params.Single]) there is exactly one
+    instance and its roles are placed in distinct workgroups spread over
+    the grid, as prior work does. *)
+
+val physical_start :
+  prng:Mcm_util.Prng.t ->
+  profile:Mcm_gpu.Profile.t ->
+  env:Params.t ->
+  wg:int ->
+  lane:int ->
+  float
+(** [physical_start ~prng ~profile ~env ~wg ~lane] is the simulated issue
+    time (ns) at which the thread at [(wg, lane)] begins its first
+    slice. *)
+
+val role_starts :
+  prng:Mcm_util.Prng.t ->
+  profile:Mcm_gpu.Profile.t ->
+  env:Params.t ->
+  slice_instrs:int array ->
+  instances:int ->
+  float array array
+(** [role_starts ~prng ~profile ~env ~slice_instrs ~instances] computes
+    [starts] with [starts.(i).(r)] the start time of role [r] of instance
+    [i], for one iteration. [slice_instrs.(r)] is the instruction count
+    of role [r], which determines how long each slice occupies its
+    thread. In parallel mode [instances] must equal the number of testing
+    threads; pairing uses [env.permute_second]. *)
+
+val pairing_quality : Params.t -> float
+(** How well the pairing permutation spreads thread interactions: [1.0]
+    for a non-trivial coprime multiplier, lower for the degenerate
+    [v ↦ v] mapping prior work found ineffective. Feeds the weak-memory
+    amplification in {!Runner}. *)

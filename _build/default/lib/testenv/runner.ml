@@ -1,0 +1,122 @@
+module Prng = Mcm_util.Prng
+module Litmus = Mcm_litmus.Litmus
+module Profile = Mcm_gpu.Profile
+module Device = Mcm_gpu.Device
+module Instance = Mcm_gpu.Instance
+module Timing = Mcm_gpu.Timing
+
+type result = {
+  kills : int;
+  instances : int;
+  iterations : int;
+  sim_time_s : float;
+  rate : float;
+}
+
+let amplification (device : Device.t) (env : Params.t) ~roles =
+  let profile = device.Device.profile in
+  let instances = Params.instances_per_iteration env ~roles in
+  let occupancy = Profile.occupancy_amplifier profile ~instances in
+  let stress = Profile.stress_amplifier profile ~intensity:(Params.stress_intensity env) in
+  (* Intra-workgroup roles communicate through the compute unit's own
+     cache level, where propagation is prompt — weak-memory amplification
+     halves, while the tighter scheduling (handled by Assignment) makes
+     interleavings easier. *)
+  let scope_factor = match env.Params.scope with
+    | Params.Inter_workgroup -> 1.0
+    | Params.Intra_workgroup -> 0.5
+  in
+  ((occupancy *. Assignment.pairing_quality env
+   *. (0.75 +. (0.5 *. Params.location_contention env)))
+  +. stress)
+  *. scope_factor
+
+type histogram = {
+  sequential : int;
+  interleaved : int;
+  weak : int;
+  forbidden : int;
+  skipped : int;
+}
+
+let run_impl ~on_outcome ~on_skip ~device ~env ~test ~iterations ~seed =
+  let profile = device.Device.profile in
+  let bugs = Device.effect device in
+  let roles = Litmus.nthreads test in
+  let instances = Params.instances_per_iteration env ~roles in
+  let slice_instrs = Array.map List.length test.Litmus.threads in
+  let max_slice = Array.fold_left max 0 slice_instrs in
+  let instrs_per_thread =
+    (match env.Params.mode with
+    | Params.Single -> max_slice
+    | Params.Parallel -> Array.fold_left ( + ) 0 slice_instrs)
+    + Params.extra_instrs_per_thread env
+  in
+  let weak =
+    Instance.effective_params profile ~amplification:(amplification device env ~roles)
+  in
+  (* Beyond this separation, roles cannot interact through any modelled
+     weak-memory mechanism; see the interface note. *)
+  let horizon =
+    (float_of_int (Array.fold_left ( + ) 0 slice_instrs) *. weak.Instance.instr_latency_ns *. 2.)
+    +. (30. *. (weak.Instance.vis_delay_mean_ns +. weak.Instance.stale_mean_ns))
+    +. (4. *. weak.Instance.instr_latency_ns)
+  in
+  let iteration_ns =
+    Timing.iteration_time_ns profile ~workgroups:env.Params.testing_workgroups
+      ~threads_per_workgroup:env.Params.threads_per_workgroup ~instrs_per_thread
+      ~stress_intensity:(Params.stress_intensity env)
+  in
+  let kills = ref 0 in
+  for it = 0 to iterations - 1 do
+    let prng = Prng.create (Prng.mix seed it) in
+    let starts = Assignment.role_starts ~prng ~profile ~env ~slice_instrs ~instances in
+    for i = 0 to instances - 1 do
+      let s = starts.(i) in
+      let lo = ref s.(0) and hi = ref s.(0) in
+      for r = 1 to roles - 1 do
+        if s.(r) < !lo then lo := s.(r);
+        if s.(r) > !hi then hi := s.(r)
+      done;
+      if !hi -. !lo <= horizon then begin
+        let outcome = Instance.run ~prng:(Prng.split prng) ~weak ~bugs ~test ~starts:s in
+        if test.Litmus.target outcome then incr kills;
+        on_outcome outcome
+      end
+      else on_skip ()
+    done
+  done;
+  let sim_time_s = Timing.to_seconds (float_of_int iterations *. iteration_ns) in
+  {
+    kills = !kills;
+    instances = instances * iterations;
+    iterations;
+    sim_time_s;
+    rate = (if sim_time_s > 0. then float_of_int !kills /. sim_time_s else 0.);
+  }
+
+let run ~device ~env ~test ~iterations ~seed =
+  run_impl ~on_outcome:ignore ~on_skip:ignore ~device ~env ~test ~iterations ~seed
+
+let run_with_histogram ~device ~env ~test ~iterations ~seed =
+  let classify = Mcm_litmus.Classify.classifier test in
+  let sequential = ref 0 and interleaved = ref 0 and weak = ref 0 in
+  let forbidden = ref 0 and skipped = ref 0 in
+  let on_outcome outcome =
+    match classify outcome with
+    | Mcm_litmus.Classify.Sequential -> incr sequential
+    | Mcm_litmus.Classify.Interleaved -> incr interleaved
+    | Mcm_litmus.Classify.Weak -> incr weak
+    | Mcm_litmus.Classify.Forbidden -> incr forbidden
+  in
+  let result =
+    run_impl ~on_outcome ~on_skip:(fun () -> incr skipped) ~device ~env ~test ~iterations ~seed
+  in
+  ( result,
+    {
+      sequential = !sequential;
+      interleaved = !interleaved;
+      weak = !weak;
+      forbidden = !forbidden;
+      skipped = !skipped;
+    } )

@@ -1,0 +1,65 @@
+(** Running litmus tests in a testing environment on a simulated device.
+
+    One call = one testing campaign: [iterations] kernel launches, each
+    executing the environment's full complement of test instances,
+    counting how many instances exhibit the test's target behaviour
+    ({e kills} for mutants, {e violations} for conformance tests) and
+    accumulating simulated time for death-rate computation (Sec. 5.2).
+
+    The weak-memory amplification applied to every instance combines the
+    device's occupancy response (more concurrent instances → more
+    contention), the memory-stress response, the pairing quality of the
+    coprime permutation, and location contention from the memory stride —
+    the mechanisms Sec. 4.1 credits for PTE's effectiveness and its
+    synergy with stress.
+
+    Performance note: instances whose role start times are separated by
+    more than the weak-memory horizon (slices plus 30 mean visibility and
+    staleness windows) are scored as non-kills without full simulation.
+    For every generated target this is exact — each target requires
+    cross-thread interaction within the horizon — up to a [e^-30]
+    tail approximation of the exponential delays. *)
+
+type result = {
+  kills : int;  (** instances that exhibited the target behaviour *)
+  instances : int;  (** total instances executed *)
+  iterations : int;  (** kernel launches performed *)
+  sim_time_s : float;  (** total simulated testing time, seconds *)
+  rate : float;  (** kills per simulated second — the mutant death rate *)
+}
+
+val run :
+  device:Mcm_gpu.Device.t ->
+  env:Params.t ->
+  test:Mcm_litmus.Litmus.t ->
+  iterations:int ->
+  seed:int ->
+  result
+(** [run ~device ~env ~test ~iterations ~seed] executes the campaign.
+    Fully deterministic in [seed] (and all other inputs). *)
+
+val amplification : Mcm_gpu.Device.t -> Params.t -> roles:int -> float
+(** The weak-memory amplification the campaign will apply — exposed for
+    reports and ablation benches. *)
+
+(** Per-behaviour outcome counts of a campaign, the breakdown MCS testing
+    tools report (see {!Mcm_litmus.Classify}). [skipped] counts instances
+    short-circuited by the weak-memory horizon; their roles never
+    overlapped, so their outcomes are sequential by construction. *)
+type histogram = {
+  sequential : int;
+  interleaved : int;
+  weak : int;
+  forbidden : int;
+  skipped : int;
+}
+
+val run_with_histogram :
+  device:Mcm_gpu.Device.t ->
+  env:Params.t ->
+  test:Mcm_litmus.Litmus.t ->
+  iterations:int ->
+  seed:int ->
+  result * histogram
+(** Like {!run} (identical [result] for identical arguments), but also
+    classifies every executed instance's outcome. *)

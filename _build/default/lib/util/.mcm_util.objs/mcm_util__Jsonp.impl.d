@@ -1,0 +1,1 @@
+lib/util/jsonp.ml: Buffer Char Jsonw List Printf String

@@ -1,0 +1,1 @@
+lib/util/jsonw.ml: Buffer Char Float List Printf String

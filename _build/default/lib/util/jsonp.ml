@@ -1,0 +1,201 @@
+type state = { src : string; mutable pos : int }
+
+exception Parse_error of int * string
+
+let error st msg = raise (Parse_error (st.pos, msg))
+
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some got when got = c -> advance st
+  | Some got -> error st (Printf.sprintf "expected %c, got %c" c got)
+  | None -> error st (Printf.sprintf "expected %c, got end of input" c)
+
+let literal st word value =
+  let n = String.length word in
+  if st.pos + n <= String.length st.src && String.sub st.src st.pos n = word then begin
+    st.pos <- st.pos + n;
+    value
+  end
+  else error st ("expected " ^ word)
+
+let parse_string_body st =
+  let buf = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> error st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' -> (
+        advance st;
+        match peek st with
+        | None -> error st "unterminated escape"
+        | Some c ->
+            advance st;
+            (match c with
+            | '"' -> Buffer.add_char buf '"'
+            | '\\' -> Buffer.add_char buf '\\'
+            | '/' -> Buffer.add_char buf '/'
+            | 'b' -> Buffer.add_char buf '\b'
+            | 'f' -> Buffer.add_char buf '\012'
+            | 'n' -> Buffer.add_char buf '\n'
+            | 'r' -> Buffer.add_char buf '\r'
+            | 't' -> Buffer.add_char buf '\t'
+            | 'u' ->
+                if st.pos + 4 > String.length st.src then error st "bad \\u escape";
+                let hex = String.sub st.src st.pos 4 in
+                st.pos <- st.pos + 4;
+                let code =
+                  match int_of_string_opt ("0x" ^ hex) with
+                  | Some c -> c
+                  | None -> error st "bad \\u escape"
+                in
+                (* Encode the code point as UTF-8 (BMP only). *)
+                if code < 0x80 then Buffer.add_char buf (Char.chr code)
+                else if code < 0x800 then begin
+                  Buffer.add_char buf (Char.chr (0xC0 lor (code lsr 6)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char buf (Char.chr (0xE0 lor (code lsr 12)));
+                  Buffer.add_char buf (Char.chr (0x80 lor ((code lsr 6) land 0x3F)));
+                  Buffer.add_char buf (Char.chr (0x80 lor (code land 0x3F)))
+                end
+            | c -> error st (Printf.sprintf "bad escape \\%c" c));
+            go ())
+    | Some c ->
+        if Char.code c < 0x20 then error st "control character in string";
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+  in
+  go ();
+  Buffer.contents buf
+
+let parse_number st =
+  let start = st.pos in
+  let is_float = ref false in
+  let rec go () =
+    match peek st with
+    | Some ('0' .. '9' | '-' | '+') ->
+        advance st;
+        go ()
+    | Some ('.' | 'e' | 'E') ->
+        is_float := true;
+        advance st;
+        go ()
+    | _ -> ()
+  in
+  go ();
+  let text = String.sub st.src start (st.pos - start) in
+  if !is_float then
+    match float_of_string_opt text with
+    | Some f -> Jsonw.Float f
+    | None -> error st ("bad number " ^ text)
+  else
+    match int_of_string_opt text with
+    | Some i -> Jsonw.Int i
+    | None -> (
+        (* Integer overflow: fall back to float. *)
+        match float_of_string_opt text with
+        | Some f -> Jsonw.Float f
+        | None -> error st ("bad number " ^ text))
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | None -> error st "unexpected end of input"
+  | Some '"' ->
+      advance st;
+      Jsonw.String (parse_string_body st)
+  | Some 't' -> literal st "true" (Jsonw.Bool true)
+  | Some 'f' -> literal st "false" (Jsonw.Bool false)
+  | Some 'n' -> literal st "null" Jsonw.Null
+  | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then begin
+        advance st;
+        Jsonw.List []
+      end
+      else begin
+        let items = ref [ parse_value st ] in
+        skip_ws st;
+        while peek st = Some ',' do
+          advance st;
+          items := parse_value st :: !items;
+          skip_ws st
+        done;
+        expect st ']';
+        Jsonw.List (List.rev !items)
+      end
+  | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then begin
+        advance st;
+        Jsonw.Obj []
+      end
+      else begin
+        let field () =
+          skip_ws st;
+          expect st '"';
+          let key = parse_string_body st in
+          skip_ws st;
+          expect st ':';
+          let value = parse_value st in
+          skip_ws st;
+          (key, value)
+        in
+        let fields = ref [ field () ] in
+        while peek st = Some ',' do
+          advance st;
+          fields := field () :: !fields
+        done;
+        expect st '}';
+        Jsonw.Obj (List.rev !fields)
+      end
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | Some c -> error st (Printf.sprintf "unexpected character %c" c)
+
+let parse s =
+  let st = { src = s; pos = 0 } in
+  try
+    let v = parse_value st in
+    skip_ws st;
+    if st.pos <> String.length s then Error (Printf.sprintf "trailing input at offset %d" st.pos)
+    else Ok v
+  with Parse_error (pos, msg) -> Error (Printf.sprintf "at offset %d: %s" pos msg)
+
+let parse_file path =
+  try
+    let ic = open_in_bin path in
+    let n = in_channel_length ic in
+    let s = really_input_string ic n in
+    close_in ic;
+    parse s
+  with Sys_error e -> Error e
+
+let member key = function
+  | Jsonw.Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+let to_list = function Jsonw.List items -> items | _ -> []
+
+let to_float = function
+  | Jsonw.Float f -> Some f
+  | Jsonw.Int i -> Some (float_of_int i)
+  | _ -> None
+
+let to_int = function Jsonw.Int i -> Some i | _ -> None
+
+let to_string_opt = function Jsonw.String s -> Some s | _ -> None

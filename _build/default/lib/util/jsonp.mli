@@ -1,0 +1,29 @@
+(** A small JSON parser (RFC 8259 subset) producing {!Jsonw.t} values.
+
+    The artifact stores tuning results as JSON files; the analysis
+    commands read them back through this parser. Supports objects,
+    arrays, strings with the standard escapes (including [\uXXXX] for
+    the basic multilingual plane), numbers, booleans and null. Numbers
+    without a fraction or exponent parse as [Int], everything else as
+    [Float]. *)
+
+val parse : string -> (Jsonw.t, string) result
+(** [parse s] parses exactly one JSON value (surrounded by optional
+    whitespace). The error string reports the byte offset of the first
+    problem. *)
+
+val parse_file : string -> (Jsonw.t, string) result
+(** [parse_file path] reads and parses a whole file. *)
+
+val member : string -> Jsonw.t -> Jsonw.t option
+(** [member key v] looks a key up in an object; [None] for absent keys
+    or non-objects. *)
+
+val to_list : Jsonw.t -> Jsonw.t list
+(** [to_list v] is the elements of a [List], or [[]] otherwise. *)
+
+val to_float : Jsonw.t -> float option
+(** Numeric coercion: [Int] and [Float] both convert. *)
+
+val to_int : Jsonw.t -> int option
+val to_string_opt : Jsonw.t -> string option

@@ -1,0 +1,22 @@
+(** A minimal JSON value type and serializer.
+
+    The paper's artifact stores tuning results as JSON; we mirror that so
+    experiment output can be saved and diffed. Only writing is needed —
+    analyses consume the in-memory records directly. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** [to_string v] is the compact JSON encoding of [v]. Strings are escaped
+    per RFC 8259; non-finite floats encode as strings ("inf", "nan") since
+    JSON has no representation for them. *)
+
+val to_channel : out_channel -> t -> unit
+(** [to_channel oc v] writes [to_string v] to [oc]. *)

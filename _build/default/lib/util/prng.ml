@@ -1,0 +1,63 @@
+type t = { mutable state : int64 }
+
+let golden = 0x9E3779B97F4A7C15L
+
+let create seed = { state = Int64.of_int seed }
+let of_int64 s = { state = s }
+let copy g = { state = g.state }
+
+(* SplitMix64 (Steele, Lea, Flood 2014): state advances by the 64-bit golden
+   ratio; output is the state pushed through two xor-shift-multiply rounds. *)
+let next_int64 g =
+  g.state <- Int64.add g.state golden;
+  let z = g.state in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = Int64.mul (Int64.logxor z (Int64.shift_right_logical z 27)) 0x94D049BB133111EBL in
+  Int64.logxor z (Int64.shift_right_logical z 31)
+
+let split g = { state = next_int64 g }
+
+let bits62 g = Int64.to_int (Int64.shift_right_logical (next_int64 g) 2)
+
+let int g n =
+  if n <= 0 then invalid_arg "Prng.int: bound must be positive";
+  (* Rejection sampling to avoid modulo bias. *)
+  let bound = n in
+  let max62 = (1 lsl 62) - 1 in
+  let limit = max62 - (max62 mod bound) in
+  let rec draw () =
+    let v = bits62 g in
+    if v >= limit then draw () else v mod bound
+  in
+  draw ()
+
+let float g x =
+  let v = Int64.to_float (Int64.shift_right_logical (next_int64 g) 11) in
+  x *. (v /. 9007199254740992.0 (* 2^53 *))
+
+let bool g = Int64.logand (next_int64 g) 1L = 1L
+
+let bernoulli g p = if p <= 0. then false else if p >= 1. then true else float g 1.0 < p
+
+let exponential g mean =
+  if mean <= 0. then 0.
+  else
+    let u = float g 1.0 in
+    let u = if u <= 0. then epsilon_float else u in
+    -.mean *. log u
+
+let shuffle_in_place g a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int g (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let pick g a =
+  if Array.length a = 0 then invalid_arg "Prng.pick: empty array";
+  a.(int g (Array.length a))
+
+let mix a b =
+  let g = { state = Int64.logxor (Int64.of_int a) (Int64.mul (Int64.of_int b) golden) } in
+  bits62 g

@@ -1,0 +1,58 @@
+(** Deterministic pseudo-random number generation.
+
+    The whole reproduction is driven by a SplitMix64 generator so that every
+    experiment is reproducible from a single seed. SplitMix64 is chosen over
+    [Stdlib.Random] because its state is a single [int64], it supports cheap
+    {e splitting} (deriving independent streams for sub-experiments from a
+    parent stream), and its output is identical across OCaml versions. *)
+
+type t
+(** A mutable generator. Generators are cheap (one heap word) — derive one
+    per (environment, device, test, iteration) rather than sharing. *)
+
+val create : int -> t
+(** [create seed] makes a generator from an integer seed. Equal seeds give
+    equal streams. *)
+
+val of_int64 : int64 -> t
+(** [of_int64 s] makes a generator with the exact 64-bit state [s]. *)
+
+val copy : t -> t
+(** [copy g] is an independent generator with [g]'s current state. *)
+
+val split : t -> t
+(** [split g] draws from [g] and returns a new generator whose stream is
+    statistically independent of [g]'s subsequent output. *)
+
+val next_int64 : t -> int64
+(** [next_int64 g] is the next raw 64-bit output. *)
+
+val bits62 : t -> int
+(** [bits62 g] is a uniform non-negative OCaml [int] (62 random bits). *)
+
+val int : t -> int -> int
+(** [int g n] is uniform in [\[0, n)]. @raise Invalid_argument if [n <= 0]. *)
+
+val float : t -> float -> float
+(** [float g x] is uniform in [\[0, x)]. *)
+
+val bool : t -> bool
+(** [bool g] is a fair coin flip. *)
+
+val bernoulli : t -> float -> bool
+(** [bernoulli g p] is [true] with probability [p] (clamped to [\[0,1\]]). *)
+
+val exponential : t -> float -> float
+(** [exponential g mean] samples an exponential with the given mean;
+    returns [0.] when [mean <= 0.]. *)
+
+val shuffle_in_place : t -> 'a array -> unit
+(** [shuffle_in_place g a] applies a uniform Fisher–Yates shuffle. *)
+
+val pick : t -> 'a array -> 'a
+(** [pick g a] is a uniformly chosen element. @raise Invalid_argument on an
+    empty array. *)
+
+val mix : int -> int -> int
+(** [mix a b] deterministically combines two integers into a seed, suitable
+    for deriving per-case seeds like [mix run_seed case_index]. *)

@@ -1,0 +1,85 @@
+type align = Left | Right
+
+type row = Cells of string list | Rule
+
+type t = {
+  headers : string list;
+  aligns : align list;
+  ncols : int;
+  mutable rows : row list; (* reversed *)
+}
+
+let create ?aligns headers =
+  let ncols = List.length headers in
+  let aligns =
+    match aligns with
+    | Some a ->
+        if List.length a <> ncols then invalid_arg "Table.create: aligns length mismatch";
+        a
+    | None -> List.mapi (fun i _ -> if i = 0 then Left else Right) headers
+  in
+  { headers; aligns; ncols; rows = [] }
+
+let add_row t cells =
+  let n = List.length cells in
+  if n > t.ncols then invalid_arg "Table.add_row: too many cells";
+  let cells = if n < t.ncols then cells @ List.init (t.ncols - n) (fun _ -> "") else cells in
+  t.rows <- Cells cells :: t.rows
+
+let add_rule t = t.rows <- Rule :: t.rows
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths = Array.of_list (List.map String.length t.headers) in
+  let measure = function
+    | Rule -> ()
+    | Cells cs -> List.iteri (fun i c -> if String.length c > widths.(i) then widths.(i) <- String.length c) cs
+  in
+  List.iter measure rows;
+  let pad align width s =
+    let n = width - String.length s in
+    if n <= 0 then s
+    else
+      match align with
+      | Left -> s ^ String.make n ' '
+      | Right -> String.make n ' ' ^ s
+  in
+  let line cells =
+    let padded = List.mapi (fun i (a, c) -> pad a widths.(i) c) (List.combine t.aligns cells) in
+    String.concat "  " padded
+  in
+  let rule () =
+    String.concat "--" (Array.to_list (Array.map (fun w -> String.make w '-') widths))
+  in
+  let buf = Buffer.create 256 in
+  Buffer.add_string buf (line t.headers);
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf (rule ());
+  Buffer.add_char buf '\n';
+  let emit = function
+    | Rule ->
+        Buffer.add_string buf (rule ());
+        Buffer.add_char buf '\n'
+    | Cells cs ->
+        Buffer.add_string buf (line cs);
+        Buffer.add_char buf '\n'
+  in
+  List.iter emit rows;
+  Buffer.contents buf
+
+let print t = print_string (render t)
+
+let float_cell ?(decimals = 2) x =
+  if Float.is_nan x then "nan"
+  else if x = Float.infinity then "inf"
+  else if x = Float.neg_infinity then "-inf"
+  else Printf.sprintf "%.*f" decimals x
+
+let rate_cell r =
+  if r = 0. then "0"
+  else if r >= 1_000_000. then Printf.sprintf "%.1fM" (r /. 1_000_000.)
+  else if r >= 1_000. then Printf.sprintf "%.1fK" (r /. 1_000.)
+  else if r >= 1. then Printf.sprintf "%.1f" r
+  else Printf.sprintf "%.4f" r
+
+let pct_cell f = Printf.sprintf "%.1f%%" (100. *. f)

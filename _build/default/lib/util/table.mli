@@ -1,0 +1,40 @@
+(** Plain-text table rendering for paper-style reports.
+
+    All experiment drivers print their rows through this module so the
+    benches and the CLI share one look: a header row, a rule, and
+    right-aligned numeric columns. *)
+
+type align = Left | Right
+
+type t
+(** A table under construction. *)
+
+val create : ?aligns:align list -> string list -> t
+(** [create headers] starts a table with the given column headers.
+    [aligns] defaults to [Left] for the first column and [Right] for the
+    rest, which suits "name, number, number, ..." layouts. *)
+
+val add_row : t -> string list -> unit
+(** [add_row t cells] appends a row. Rows shorter than the header are padded
+    with empty cells; longer rows raise [Invalid_argument]. *)
+
+val add_rule : t -> unit
+(** [add_rule t] appends a horizontal rule, e.g. before a totals row. *)
+
+val render : t -> string
+(** [render t] is the finished table, newline-terminated. *)
+
+val print : t -> unit
+(** [print t] writes [render t] to stdout. *)
+
+val float_cell : ?decimals:int -> float -> string
+(** [float_cell x] formats a float for a table cell ([decimals] defaults
+    to 2). Infinite and NaN values render as ["inf"]/["-inf"]/["nan"]. *)
+
+val rate_cell : float -> string
+(** [rate_cell r] formats a death rate: large rates render as e.g. ["35.2K"],
+    small ones with two decimals, zero as ["0"]. *)
+
+val pct_cell : float -> string
+(** [pct_cell f] renders fraction [f] as a percentage, e.g.
+    [pct_cell 0.836 = "83.6%"]. *)

@@ -1,0 +1,1 @@
+lib/wgsl/wgsl.ml: Array Buffer List Mcm_litmus Mcm_testenv Printf String

@@ -1,0 +1,1 @@
+lib/wgsl/wgsl.mli: Mcm_litmus Mcm_testenv

@@ -1,0 +1,42 @@
+(** WGSL shader generation.
+
+    The paper's tests ultimately run as WebGPU compute shaders; this
+    module emits that WGSL for any litmus test, wrapped in the parallel
+    testing environment of Sec. 4.1 — the same structure as the
+    published webgpu-litmus artifact:
+
+    - a storage buffer of atomic test locations, spread with the
+      [permute_first] coprime multiplier and the memory stride;
+    - a results buffer with one slot per captured register (plus the
+      final memory readback done host-side);
+    - a scratchpad buffer hammered by non-testing workgroups according
+      to the stress pattern parameters;
+    - per-thread role slices paired through
+      [permuted = (id * permute_second) % instances];
+    - an optional spin barrier aligning testing threads.
+
+    The generator is deliberately host-agnostic: it produces one
+    self-contained shader string per test/environment pair, suitable for
+    [device.createShaderModule] in any WebGPU host. *)
+
+val shader : Mcm_litmus.Litmus.t -> env:Mcm_testenv.Params.t -> string
+(** [shader test ~env] is the complete WGSL source. The test's threads
+    become role slices; registers [r] of thread [t] are written to
+    [results.value\[instance * nregs_total + slot(t, r)\]].
+    @raise Invalid_argument if the test is ill-formed. *)
+
+val result_slots : Mcm_litmus.Litmus.t -> (int * int * int) list
+(** [result_slots test] maps each captured register to its slot:
+    [(tid, reg, slot)] triples in slot order — the host-side decoding
+    contract for {!shader}'s results buffer. *)
+
+val instruction : loc_exprs:(int -> string) -> Mcm_litmus.Instr.t -> string
+(** [instruction ~loc_exprs i] is the WGSL statement for one litmus
+    instruction, e.g. ["let r0 = atomicLoad(&test_locations.value[x_0]);"].
+    Exposed for tests and documentation. *)
+
+val validate : string -> (unit, string) result
+(** [validate src] performs structural checks a WGSL front-end would do
+    first: balanced braces and parentheses, a single [@compute] entry
+    point, and a declared workgroup size. It is not a WGSL parser, but it
+    catches generator regressions. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Gen List Mcm_core Mcm_litmus Mcm_memmodel Option Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Array List Mcm_gpu Mcm_litmus Mcm_memmodel Mcm_util QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_harness.ml: Alcotest Array Filename Float Lazy List Mcm_core Mcm_gpu Mcm_harness Mcm_litmus Mcm_testenv Mcm_util Result String Sys

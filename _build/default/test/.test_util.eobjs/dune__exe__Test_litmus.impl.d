@@ -1,0 +1,1 @@
+test/test_litmus.ml: Alcotest Array List Mcm_litmus Mcm_memmodel Printf Result String

@@ -1,0 +1,1 @@
+test/test_memmodel.ml: Alcotest Array Format List Mcm_memmodel Printf QCheck QCheck_alcotest Result String

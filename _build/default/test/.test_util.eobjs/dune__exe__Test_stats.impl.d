@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Float Gen List Mcm_stats QCheck QCheck_alcotest

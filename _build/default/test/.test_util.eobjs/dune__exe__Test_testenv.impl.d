@@ -1,0 +1,1 @@
+test/test_testenv.ml: Alcotest Array Float Format Hashtbl List Mcm_core Mcm_gpu Mcm_litmus Mcm_testenv Mcm_util Option QCheck QCheck_alcotest String

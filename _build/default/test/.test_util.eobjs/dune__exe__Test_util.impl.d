@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float List Mcm_util Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,1 @@
+test/test_wgsl.ml: Alcotest Array List Mcm_core Mcm_litmus Mcm_testenv Mcm_wgsl Printf QCheck QCheck_alcotest Result String

@@ -1,0 +1,467 @@
+(* Tests for mcm_core: the mutators, suite generation (Table 2), target
+   derivation soundness, MCS test confidence, and Algorithm 1. The
+   heavyweight invariant here is machine-checked mutant validity: every
+   conformance target is disallowed under its model and every mutant
+   target is allowed — by exhaustive candidate enumeration. *)
+
+module Model = Mcm_memmodel.Model
+module Litmus = Mcm_litmus.Litmus
+module Instr = Mcm_litmus.Instr
+module Enumerate = Mcm_litmus.Enumerate
+module Library = Mcm_litmus.Library
+module Template = Mcm_core.Template
+module Mutator = Mcm_core.Mutator
+module Suite = Mcm_core.Suite
+module Confidence = Mcm_core.Confidence
+module Merge = Mcm_core.Merge
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+let check_float = Alcotest.(check (float 1e-9))
+
+(* -------------------------------------------------------------------- *)
+(* Suite shape: Table 2.                                                  *)
+
+let test_table2_counts () =
+  Alcotest.(check (list (triple string int int)))
+    "table 2"
+    [
+      ("reversing-po-loc", 8, 8);
+      ("weakening-po-loc", 6, 6);
+      ("weakening-sw", 6, 18);
+      ("Combined", 20, 32);
+    ]
+    (Suite.table2 ())
+
+let test_suite_sizes () =
+  check_int "20 conformance tests" 20 (List.length (Suite.conformance_tests ()));
+  check_int "32 mutants" 32 (List.length (Suite.mutants ()));
+  check_int "52 entries" 52 (List.length (Suite.all ()))
+
+let test_suite_names_unique () =
+  let names = List.map (fun e -> e.Suite.test.Litmus.name) (Suite.all ()) in
+  check_int "unique" (List.length names) (List.length (List.sort_uniq compare names))
+
+let test_every_mutant_has_conformance () =
+  List.iter
+    (fun e ->
+      match e.Suite.role with
+      | Suite.Conformance -> ()
+      | Suite.Mutant_of conf -> (
+          match Suite.find conf with
+          | Some parent -> check ("parent of " ^ e.Suite.test.Litmus.name) true
+              (parent.Suite.role = Suite.Conformance)
+          | None -> Alcotest.failf "missing conformance test %s" conf))
+    (Suite.all ())
+
+let test_mutants_of () =
+  check_int "CoRR has one mutant" 1 (List.length (Suite.mutants_of "CoRR"));
+  check_int "MP-relacq has three mutants" 3 (List.length (Suite.mutants_of "MP-relacq"));
+  check_int "unknown has none" 0 (List.length (Suite.mutants_of "nope"))
+
+let test_all_well_formed () =
+  List.iter
+    (fun e ->
+      match Litmus.well_formed e.Suite.test with
+      | Ok () -> ()
+      | Error err -> Alcotest.failf "%s: %s" e.Suite.test.Litmus.name err)
+    (Suite.all ())
+
+(* -------------------------------------------------------------------- *)
+(* Machine-checked mutant validity (the Sec. 3 soundness invariant).      *)
+
+let test_conformance_targets_disallowed () =
+  List.iter
+    (fun e ->
+      let t = e.Suite.test in
+      check
+        (Printf.sprintf "%s disallowed under %s" t.Litmus.name (Model.name t.Litmus.model))
+        false
+        (Enumerate.target_allowed t.Litmus.model t))
+    (Suite.conformance_tests ())
+
+let test_mutant_targets_allowed () =
+  List.iter
+    (fun e ->
+      let t = e.Suite.test in
+      check
+        (Printf.sprintf "%s allowed under %s" t.Litmus.name (Model.name t.Litmus.model))
+        true
+        (Enumerate.target_allowed t.Litmus.model t))
+    (Suite.mutants ())
+
+let test_mutant_targets_disallowed_under_sc () =
+  (* Weakening-po-loc and weakening-sw mutants exhibit genuinely weak
+     behaviour: still forbidden by sequential consistency. (Reversing
+     po-loc mutants are allowed even under SC — that is their point.) *)
+  List.iter
+    (fun e ->
+      let t = e.Suite.test in
+      match e.Suite.mutator with
+      | Mutator.Reversing_po_loc ->
+          check (t.Litmus.name ^ " SC-allowed") true (Enumerate.target_allowed Model.Sc t)
+      | Mutator.Weakening_po_loc | Mutator.Weakening_sw ->
+          check (t.Litmus.name ^ " SC-disallowed") false (Enumerate.target_allowed Model.Sc t))
+    (Suite.mutants ())
+
+let test_known_targets () =
+  (* Spot-check derived targets against the paper's figures. *)
+  let outcome_of name regs final =
+    match Suite.find name with
+    | None -> Alcotest.failf "missing %s" name
+    | Some e ->
+        let o = Litmus.empty_outcome e.Suite.test in
+        List.iteri (fun tid rs -> List.iteri (fun r v -> o.Litmus.regs.(tid).(r) <- v) rs) regs;
+        List.iteri (fun l v -> o.Litmus.final.(l) <- v) final;
+        (e.Suite.test, o)
+  in
+  (* CoRR (Fig. 1a): r0 = 1 && r1 = 0. *)
+  let t, o = outcome_of "CoRR" [ [ 1; 0 ]; [] ] [ 1 ] in
+  check "CoRR target hit" true (t.Litmus.target o);
+  let t, o = outcome_of "CoRR" [ [ 1; 1 ]; [] ] [ 1 ] in
+  check "CoRR non-target" false (t.Litmus.target o);
+  (* MP-relacq (Fig. 1b): flag seen, data stale. *)
+  let t, o = outcome_of "MP-relacq" [ []; [ 1; 0 ] ] [ 1; 1 ] in
+  check "MP-relacq target hit" true (t.Litmus.target o);
+  (* MP-CO: the reading thread is canonicalised to thread 0; it observes
+     2 then 1 while 2 stays coherence-last. *)
+  let t, o = outcome_of "MP-CO" [ [ 2; 1 ]; [] ] [ 2 ] in
+  check "MP-CO target hit" true (t.Litmus.target o)
+
+let test_mutant_programs_differ () =
+  (* A mutant's program must differ from its conformance test's, and for
+     weakening-sw, by fence count. *)
+  List.iter
+    (fun e ->
+      match e.Suite.role with
+      | Suite.Conformance -> ()
+      | Suite.Mutant_of conf_name ->
+          let conf = (Option.get (Suite.find conf_name)).Suite.test in
+          let mutant = e.Suite.test in
+          check (mutant.Litmus.name ^ " differs") true
+            (conf.Litmus.threads <> mutant.Litmus.threads);
+          if e.Suite.mutator = Mutator.Weakening_sw then begin
+            let fences t =
+              Array.fold_left
+                (fun acc instrs ->
+                  acc + List.length (List.filter (fun i -> i = Instr.Fence) instrs))
+                0 t.Litmus.threads
+            in
+            check (mutant.Litmus.name ^ " fewer fences") true (fences mutant < fences conf)
+          end)
+    (Suite.all ())
+
+let test_weakening_po_loc_mutants_use_two_locations () =
+  List.iter
+    (fun e ->
+      if e.Suite.mutator = Mutator.Weakening_po_loc then begin
+        match e.Suite.role with
+        | Suite.Conformance -> check_int (e.Suite.test.Litmus.name ^ " one loc") 1 e.Suite.test.Litmus.nlocs
+        | Suite.Mutant_of _ -> check_int (e.Suite.test.Litmus.name ^ " two locs") 2 e.Suite.test.Litmus.nlocs
+      end)
+    (Suite.all ())
+
+let test_corr_rmw_upgrades_second_read_only () =
+  (* Sec. 3.1: CoRR's second read may become an RMW, never the first. *)
+  match Suite.find "CoRR-rmw" with
+  | None -> Alcotest.fail "missing CoRR-rmw"
+  | Some e -> (
+      match e.Suite.test.Litmus.threads.(0) with
+      | [ first; second ] ->
+          check "first stays a load" true
+            (match first with Instr.Load _ -> true | _ -> false);
+          check "second is an RMW" true
+            (match second with Instr.Rmw _ -> true | _ -> false)
+      | _ -> Alcotest.fail "CoRR-rmw thread 0 should have two instructions")
+
+(* -------------------------------------------------------------------- *)
+(* Template derivation machinery.                                         *)
+
+let test_derive_rejects_ill_formed () =
+  let threads = [| [ Instr.Store { loc = 5; value = 1 } ] |] in
+  match
+    Template.derive ~name:"bad" ~family:"t" ~model:Model.Sc_per_location ~nlocs:1
+      ~pattern:(fun _ _ -> true) ~polarity:Template.Conformance threads
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected ill-formed error"
+
+let test_derive_empty_conformance_set () =
+  (* A pattern nothing matches yields an empty conformance set. *)
+  let threads = [| [ Instr.Load { reg = 0; loc = 0 } ]; [ Instr.Store { loc = 0; value = 1 } ] |] in
+  match
+    Template.derive ~name:"empty" ~family:"t" ~model:Model.Sc_per_location ~nlocs:1
+      ~pattern:(fun _ _ -> false) ~polarity:Template.Conformance threads
+  with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "expected empty target error"
+
+let test_derive_first_falls_through () =
+  let good = [| [ Instr.Load { reg = 0; loc = 0 } ]; [ Instr.Store { loc = 0; value = 1 } ] |] in
+  let bad = [| [ Instr.Store { loc = 9; value = 1 } ] |] in
+  match
+    Template.derive_first ~name:"fallthrough" ~family:"t" ~model:Model.Sc_per_location ~nlocs:1
+      ~pattern:(fun x rels ->
+        ignore x;
+        Mcm_memmodel.Relation.cardinal rels.Mcm_memmodel.Execution.rf > 0)
+      ~polarity:Template.Mutant [ bad; good ]
+  with
+  | Ok t -> check "derived from second variant" true (Array.length t.Litmus.threads = 2)
+  | Error e -> Alcotest.failf "unexpected error: %s" e
+
+let test_observer_ladder () =
+  let threads = [| [ Instr.Store { loc = 0; value = 1 } ] |] in
+  let ladder = Template.observer_ladder ~obs_loc:0 threads in
+  check_int "three variants" 3 (List.length ladder);
+  let with_required = Template.observer_ladder ~require_observer:true ~obs_loc:0 threads in
+  check_int "two variants when required" 2 (List.length with_required);
+  match with_required with
+  | first :: _ -> check_int "observer appended" 2 (Array.length first)
+  | [] -> Alcotest.fail "empty ladder"
+
+let test_instantiate_error_free () =
+  List.iter
+    (fun kind ->
+      match Mutator.instantiate kind with
+      | Ok pairs -> check (Mutator.kind_name kind) true (pairs <> [])
+      | Error e -> Alcotest.failf "%s: %s" (Mutator.kind_name kind) e)
+    Mutator.all_kinds
+
+(* -------------------------------------------------------------------- *)
+(* Pruning (Sec. 3.4).                                                    *)
+
+module Cat = Mcm_memmodel.Cat
+module Prune = Mcm_core.Prune
+
+let test_prune_under_spec_model_keeps_everything () =
+  (* An implementation exactly as weak as the specification can exhibit
+     every mutant (the suite validity invariant says each mutant target
+     is allowed under its own model, and SC-per-location is the weakest
+     model in play). *)
+  let verdict = Prune.prune_suite ~implementation:Cat.sc_per_location () in
+  check_int "nothing pruned" 0 (List.length verdict.Prune.pruned);
+  check_int "all mutants kept" 32 (List.length verdict.Prune.kept)
+
+let test_prune_under_sc_keeps_only_interleavings () =
+  (* A sequentially consistent implementation exhibits exactly the
+     reversing-po-loc mutants. *)
+  let verdict = Prune.prune_suite ~implementation:Cat.sc () in
+  check_int "eight kept" 8 (List.length verdict.Prune.kept);
+  List.iter
+    (fun e -> check "kept are reversing-po-loc" true (e.Suite.mutator = Mutator.Reversing_po_loc))
+    verdict.Prune.kept
+
+let test_prune_under_tso () =
+  (* On x86-TSO the interleaving mutants survive, plus exactly the
+     store-buffering-shaped weak mutants (the paper's C++-on-x86
+     example). *)
+  let verdict = Prune.prune_suite ~implementation:Cat.tso () in
+  let kept_names = List.map (fun e -> e.Suite.test.Litmus.name) verdict.Prune.kept in
+  check_int "fifteen kept" 15 (List.length kept_names);
+  List.iter
+    (fun name -> check (name ^ " kept") true (List.mem name kept_names))
+    [ "CoRR-m"; "SB-CO-m"; "R-CO-m"; "SB-relacq-m3"; "R-relacq-m2" ];
+  List.iter
+    (fun name -> check (name ^ " pruned") false (List.mem name kept_names))
+    [ "MP-CO-m"; "LB-CO-m"; "2+2W-CO-m"; "MP-relacq-m3"; "R-relacq-m1" ]
+
+let test_prune_never_touches_conformance () =
+  let verdict = Prune.prune ~implementation:Cat.sc (Suite.all ()) in
+  check_int "partition covers all mutants" 32
+    (List.length verdict.Prune.kept + List.length verdict.Prune.pruned);
+  List.iter
+    (fun e ->
+      check "only mutants in verdict" true
+        (match e.Suite.role with Suite.Mutant_of _ -> true | Suite.Conformance -> false))
+    (verdict.Prune.kept @ verdict.Prune.pruned)
+
+(* -------------------------------------------------------------------- *)
+(* Confidence (Sec. 4.2).                                                 *)
+
+let test_reproducibility () =
+  check_float "0 kills" 0. (Confidence.reproducibility ~kills:0.);
+  check "3 kills ≈ 95%" true (abs_float (Confidence.reproducibility ~kills:3. -. 0.9502) < 1e-3);
+  check "monotone" true
+    (Confidence.reproducibility ~kills:5. > Confidence.reproducibility ~kills:2.)
+
+let test_required_kills () =
+  check_int "95% needs 3" 3 (Confidence.required_kills ~target:0.95);
+  check_int "99.999% needs 12" 12 (Confidence.required_kills ~target:0.99999);
+  Alcotest.check_raises "target 0 invalid"
+    (Invalid_argument "Confidence.required_kills: target must be in (0,1)") (fun () ->
+      ignore (Confidence.required_kills ~target:0.))
+
+let test_ceiling_rate () =
+  check_float "3 kills over 3s" 1. (Confidence.ceiling_rate ~target:0.95 ~budget:3.);
+  check_float "12 kills over 64s" (12. /. 64.) (Confidence.ceiling_rate ~target:0.99999 ~budget:64.)
+
+let test_budget_for () =
+  check_float "rate 1 target 95%" 3. (Confidence.budget_for ~target:0.95 ~rate:1.);
+  check "zero rate infinite" true (Confidence.budget_for ~target:0.95 ~rate:0. = infinity)
+
+let test_total_reproducibility () =
+  (* Sec. 4.2: 95% per test over 20 tests is ~35.8% total; 99.999% is
+     ~99.98%. *)
+  check "0.95^20" true
+    (abs_float (Confidence.total_reproducibility ~per_test:0.95 ~tests:20 -. 0.358) < 1e-2);
+  check "0.99999^20" true
+    (Confidence.total_reproducibility ~per_test:0.99999 ~tests:20 > 0.9997)
+
+let test_meets () =
+  check "meets" true (Confidence.meets ~rate:1. ~target:0.95 ~budget:3.);
+  check "misses" false (Confidence.meets ~rate:0.9 ~target:0.95 ~budget:3.)
+
+(* -------------------------------------------------------------------- *)
+(* Algorithm 1.                                                           *)
+
+let rates_fn table ~env ~device = table.(env).(device)
+
+let test_merge_picks_most_devices () =
+  (* env 0 reaches the ceiling on one device, env 1 on two. *)
+  let table = [| [| 10.; 0.; 0. |]; [| 5.; 5.; 0. |] |] in
+  match Merge.choose ~rate:(rates_fn table) ~n_envs:2 ~n_devices:3 ~target:0.95 ~budget:3. with
+  | Some c ->
+      check_int "env 1 wins" 1 c.Merge.env;
+      check_int "two devices" 2 c.Merge.devices_at_ceiling
+  | None -> Alcotest.fail "expected a choice"
+
+let test_merge_tie_breaks_on_min_rate () =
+  (* Both reach the ceiling on one device; env 1 has the higher minimum
+     non-zero rate. *)
+  let table = [| [| 10.; 0.1; 0. |]; [| 10.; 0.5; 0. |] |] in
+  match Merge.choose ~rate:(rates_fn table) ~n_envs:2 ~n_devices:3 ~target:0.95 ~budget:3. with
+  | Some c -> check_int "env 1 wins tie" 1 c.Merge.env
+  | None -> Alcotest.fail "expected a choice"
+
+let test_merge_returns_none_when_never_killed () =
+  let table = [| [| 0.; 0. |]; [| 0.; 0. |] |] in
+  check "no choice" true
+    (Merge.choose ~rate:(rates_fn table) ~n_envs:2 ~n_devices:2 ~target:0.95 ~budget:3. = None)
+
+let test_merge_ignores_below_ceiling_only_envs () =
+  (* Alg. 1 keeps e_r = ∅ when no environment reaches the ceiling on any
+     device, even with positive rates. *)
+  let table = [| [| 0.1; 0.2 |] |] in
+  check "below ceiling everywhere" true
+    (Merge.choose ~rate:(rates_fn table) ~n_envs:1 ~n_devices:2 ~target:0.95 ~budget:3. = None)
+
+let test_merge_reproducible_on_all () =
+  let table = [| [| 10.; 10. |] |] in
+  check "all devices" true
+    (Merge.reproducible_on_all ~rate:(rates_fn table) ~n_envs:1 ~n_devices:2 ~target:0.95
+       ~budget:3.);
+  let table = [| [| 10.; 0.5 |] |] in
+  check "one device short" false
+    (Merge.reproducible_on_all ~rate:(rates_fn table) ~n_envs:1 ~n_devices:2 ~target:0.95
+       ~budget:3.)
+
+let test_merge_stability () =
+  (* If the chosen environment meets the ceiling on all devices, relaxing
+     the target or extending the budget must not change the choice. *)
+  let table = [| [| 5.; 4. |]; [| 3.; 2. |]; [| 0.; 9. |] |] in
+  let choose ~target ~budget =
+    Merge.choose ~rate:(rates_fn table) ~n_envs:3 ~n_devices:2 ~target ~budget
+  in
+  match (choose ~target:0.99999 ~budget:16., choose ~target:0.95 ~budget:64.) with
+  | Some a, Some b ->
+      check_int "stable env" a.Merge.env b.Merge.env;
+      check_int "fully passing" 2 a.Merge.devices_at_ceiling
+  | _ -> Alcotest.fail "expected choices"
+
+(* -------------------------------------------------------------------- *)
+(* Properties.                                                            *)
+
+let prop_reproducibility_in_unit_interval =
+  QCheck.Test.make ~count:300 ~name:"reproducibility is a probability"
+    QCheck.(float_bound_inclusive 1000.)
+    (fun kills ->
+      let r = Confidence.reproducibility ~kills in
+      r >= 0. && r <= 1.)
+
+let prop_ceiling_rate_antitone_in_budget =
+  QCheck.Test.make ~count:300 ~name:"ceiling rate decreases with budget"
+    QCheck.(pair (float_range 0.01 0.999) (float_range 0.001 100.))
+    (fun (target, budget) ->
+      Confidence.ceiling_rate ~target ~budget
+      >= Confidence.ceiling_rate ~target ~budget:(budget *. 2.))
+
+let prop_merge_choice_in_range =
+  QCheck.Test.make ~count:200 ~name:"merge picks a valid environment"
+    QCheck.(list_of_size (Gen.int_range 1 6) (list_of_size (Gen.return 3) (float_bound_exclusive 10.)))
+    (fun rows ->
+      QCheck.assume (rows <> []);
+      let table = Array.of_list (List.map Array.of_list rows) in
+      let n_envs = Array.length table in
+      match
+        Merge.choose
+          ~rate:(fun ~env ~device -> table.(env).(device))
+          ~n_envs ~n_devices:3 ~target:0.95 ~budget:3.
+      with
+      | None -> true
+      | Some c -> c.Merge.env >= 0 && c.Merge.env < n_envs)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "suite",
+        [
+          Alcotest.test_case "table 2 counts" `Quick test_table2_counts;
+          Alcotest.test_case "suite sizes" `Quick test_suite_sizes;
+          Alcotest.test_case "unique names" `Quick test_suite_names_unique;
+          Alcotest.test_case "mutants have parents" `Quick test_every_mutant_has_conformance;
+          Alcotest.test_case "mutants_of" `Quick test_mutants_of;
+          Alcotest.test_case "all well-formed" `Quick test_all_well_formed;
+        ] );
+      ( "validity",
+        [
+          Alcotest.test_case "conformance targets disallowed" `Slow
+            test_conformance_targets_disallowed;
+          Alcotest.test_case "mutant targets allowed" `Slow test_mutant_targets_allowed;
+          Alcotest.test_case "weak mutants disallowed under SC" `Slow
+            test_mutant_targets_disallowed_under_sc;
+          Alcotest.test_case "known targets" `Quick test_known_targets;
+          Alcotest.test_case "mutant programs differ" `Quick test_mutant_programs_differ;
+          Alcotest.test_case "weakening po-loc locations" `Quick
+            test_weakening_po_loc_mutants_use_two_locations;
+          Alcotest.test_case "CoRR-rmw structure" `Quick test_corr_rmw_upgrades_second_read_only;
+        ] );
+      ( "template",
+        [
+          Alcotest.test_case "rejects ill-formed" `Quick test_derive_rejects_ill_formed;
+          Alcotest.test_case "empty conformance set" `Quick test_derive_empty_conformance_set;
+          Alcotest.test_case "derive_first fallthrough" `Quick test_derive_first_falls_through;
+          Alcotest.test_case "observer ladder" `Quick test_observer_ladder;
+          Alcotest.test_case "mutators instantiate" `Quick test_instantiate_error_free;
+        ] );
+      ( "prune",
+        [
+          Alcotest.test_case "spec model keeps all" `Slow test_prune_under_spec_model_keeps_everything;
+          Alcotest.test_case "SC keeps interleavings" `Slow test_prune_under_sc_keeps_only_interleavings;
+          Alcotest.test_case "TSO keeps SB shapes" `Slow test_prune_under_tso;
+          Alcotest.test_case "conformance untouched" `Slow test_prune_never_touches_conformance;
+        ] );
+      ( "confidence",
+        [
+          Alcotest.test_case "reproducibility" `Quick test_reproducibility;
+          Alcotest.test_case "required kills" `Quick test_required_kills;
+          Alcotest.test_case "ceiling rate" `Quick test_ceiling_rate;
+          Alcotest.test_case "budget_for" `Quick test_budget_for;
+          Alcotest.test_case "total reproducibility" `Quick test_total_reproducibility;
+          Alcotest.test_case "meets" `Quick test_meets;
+        ] );
+      ( "merge",
+        [
+          Alcotest.test_case "most devices wins" `Quick test_merge_picks_most_devices;
+          Alcotest.test_case "tie-break on min rate" `Quick test_merge_tie_breaks_on_min_rate;
+          Alcotest.test_case "none when never killed" `Quick test_merge_returns_none_when_never_killed;
+          Alcotest.test_case "none below ceiling" `Quick test_merge_ignores_below_ceiling_only_envs;
+          Alcotest.test_case "reproducible on all" `Quick test_merge_reproducible_on_all;
+          Alcotest.test_case "stability" `Quick test_merge_stability;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_reproducibility_in_unit_interval; prop_ceiling_rate_antitone_in_budget;
+            prop_merge_choice_in_range;
+          ] );
+    ]

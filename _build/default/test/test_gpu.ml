@@ -1,0 +1,417 @@
+(* Tests for mcm_gpu: device profiles, bug injections, the timing model,
+   and — most importantly — the operational instance semantics: correct
+   devices never produce MCS-disallowed outcomes, fences enforce
+   release/acquire ordering under adversarial weak parameters, and each
+   bug injection produces exactly its associated violation. *)
+
+module Prng = Mcm_util.Prng
+module Litmus = Mcm_litmus.Litmus
+module Library = Mcm_litmus.Library
+module Enumerate = Mcm_litmus.Enumerate
+module Model = Mcm_memmodel.Model
+module Profile = Mcm_gpu.Profile
+module Bug = Mcm_gpu.Bug
+module Device = Mcm_gpu.Device
+module Instance = Mcm_gpu.Instance
+module Timing = Mcm_gpu.Timing
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* Aggressive weak parameters used to hammer the semantics. *)
+let wild =
+  {
+    Instance.instr_latency_ns = 4.;
+    issue_jitter = 0.3;
+    p_ooo = 0.5;
+    vis_delay_mean_ns = 20.;
+    p_stale = 0.5;
+    stale_mean_ns = 30.;
+  }
+
+let near_starts test =
+  Array.make (Litmus.nthreads test) 0.
+
+let run_many ?(n = 4000) ?(bugs = Bug.none) ?(weak = wild) ?(starts = None) test =
+  let g = Prng.create 7 in
+  List.init n (fun i ->
+      let starts =
+        match starts with
+        | Some s -> s
+        | None ->
+            (* Randomise starts within a tight window so threads overlap. *)
+            Array.map (fun _ -> Prng.float g 30.) (near_starts test)
+      in
+      ignore i;
+      Instance.run ~prng:(Prng.split g) ~weak ~bugs ~test ~starts)
+
+(* -------------------------------------------------------------------- *)
+(* Profiles                                                               *)
+
+let test_profiles_table3 () =
+  let rows = Profile.table3 () in
+  check_int "four devices" 4 (List.length rows);
+  Alcotest.(check (list string))
+    "vendors in paper order"
+    [ "NVIDIA"; "AMD"; "Intel"; "Apple" ]
+    (List.map (fun (v, _, _, _) -> v) rows);
+  List.iter
+    (fun (v, _, cus, ty) ->
+      check (v ^ " CUs positive") true (cus > 0);
+      check (v ^ " type") true (ty = "Discrete" || ty = "Integrated"))
+    rows
+
+let test_profile_find () =
+  check "find nvidia" true (Profile.find "nvidia" = Some Profile.nvidia);
+  check "find M1" true (Profile.find "m1" = Some Profile.m1);
+  check "find nothing" true (Profile.find "voodoo" = None)
+
+let test_occupancy_amplifier_monotone () =
+  List.iter
+    (fun p ->
+      check (p.Profile.short_name ^ " zero at zero") true
+        (Profile.occupancy_amplifier p ~instances:0 = 0.);
+      let prev = ref 0. in
+      List.iter
+        (fun i ->
+          let a = Profile.occupancy_amplifier p ~instances:i in
+          check (p.Profile.short_name ^ " monotone") true (a >= !prev);
+          prev := a)
+        [ 1; 10; 100; 1000; 10000 ];
+      check (p.Profile.short_name ^ " bounded") true (!prev <= p.Profile.occupancy_gain))
+    Profile.all
+
+let test_stress_amplifier_clamped () =
+  let p = Profile.intel in
+  check "negative clamps" true (Profile.stress_amplifier p ~intensity:(-1.) = 0.);
+  check "above one clamps" true
+    (Profile.stress_amplifier p ~intensity:2. = Profile.stress_amplifier p ~intensity:1.)
+
+(* -------------------------------------------------------------------- *)
+(* Bugs                                                                   *)
+
+let test_bug_effects_combine () =
+  let e = Bug.effect_of [ Bug.Corr_reorder 0.5; Bug.Corr_reorder 0.5 ] in
+  check "independent combination" true (abs_float (e.Bug.p_corr_reorder -. 0.75) < 1e-9);
+  let e = Bug.effect_of [ Bug.Fence_weakened 0.3; Bug.Coherence_alias 0.2 ] in
+  let close a b = abs_float (a -. b) < 1e-9 in
+  check "separate channels" true
+    (close e.Bug.p_fence_drop 0.3 && close e.Bug.p_coherence_alias 0.2 && e.Bug.p_corr_reorder = 0.)
+
+let test_paper_bugs () =
+  check "intel gets corr" true
+    (match Bug.paper_bug Profile.intel with Some (Bug.Corr_reorder _) -> true | _ -> false);
+  check "amd gets fence" true
+    (match Bug.paper_bug Profile.amd with Some (Bug.Fence_weakened _) -> true | _ -> false);
+  check "nvidia gets alias" true
+    (match Bug.paper_bug Profile.nvidia with Some (Bug.Coherence_alias _) -> true | _ -> false);
+  check "m1 correct" true (Bug.paper_bug Profile.m1 = None)
+
+let test_device_names () =
+  check "bare name" true (Device.name (Device.make Profile.amd) = "AMD");
+  check "bug suffix" true
+    (Device.name (Device.make ~bugs:[ Bug.Fence_weakened 0.1 ] Profile.amd) = "AMD+bugs")
+
+(* -------------------------------------------------------------------- *)
+(* Instance semantics: conformance on correct devices.                    *)
+
+(* Every outcome a correct simulated device produces must be consistent
+   with the test's MCS — checked against the enumerated allowed set. *)
+let assert_all_outcomes_allowed test =
+  let allowed = Enumerate.consistent_outcomes test.Litmus.model test in
+  List.iter
+    (fun o ->
+      if not (List.mem o allowed) then
+        Alcotest.failf "%s: disallowed outcome %s" test.Litmus.name (Litmus.outcome_to_string o))
+    (run_many test)
+
+let test_correct_device_respects_mcs () =
+  (* The simulator is adversarial (huge delays, staleness, reordering)
+     yet must stay within each test's MCS envelope. *)
+  List.iter assert_all_outcomes_allowed
+    [
+      Library.corr; Library.cowr; Library.corw; Library.mp_relacq; Library.mp_co;
+      Library.lb_relacq; Library.s_relacq;
+    ]
+
+let test_weak_behaviours_do_occur () =
+  (* On unfenced tests the weak outcomes must actually be observable —
+     otherwise the simulator could pass the check above trivially. *)
+  let hits test =
+    List.length (List.filter test.Litmus.target (run_many test))
+  in
+  check "MP weak observed" true (hits Library.mp > 0);
+  check "SB weak observed" true (hits Library.sb > 0);
+  check "LB weak observed" true (hits Library.lb > 0);
+  check "R weak observed" true (hits Library.r > 0);
+  check "2+2W weak observed" true (hits Library.two_plus_two_w > 0)
+
+let test_fences_block_weak_mp () =
+  (* MP-relacq's target must never fire on a correct device, while plain
+     MP's does — the fence semantics carry the difference. *)
+  let count test = List.length (List.filter test.Litmus.target (run_many test)) in
+  check_int "MP-relacq never" 0 (count Library.mp_relacq);
+  check "MP often" true (count Library.mp > 0)
+
+let test_sequential_when_separated () =
+  (* Threads far apart in time read each other's final values. *)
+  let test = Library.mp in
+  let outcomes = run_many ~starts:(Some [| 0.; 1_000_000. |]) test in
+  List.iter
+    (fun o ->
+      check "reader sees everything" true
+        (o.Litmus.regs.(1).(0) = 1 && o.Litmus.regs.(1).(1) = 1))
+    outcomes
+
+let test_determinism () =
+  let test = Library.mp in
+  let run seed =
+    let g = Prng.create seed in
+    List.init 100 (fun _ ->
+        Instance.run ~prng:(Prng.split g) ~weak:wild ~bugs:Bug.none ~test ~starts:[| 0.; 10. |])
+  in
+  check "same seed same outcomes" true (run 5 = run 5);
+  check "different seeds differ somewhere" true (run 5 <> run 6)
+
+let test_rmw_reads_captured () =
+  (* SB-relacq-rmw: thread 1's RMW must read thread 0's RMW value or the
+     initial state; never its own write. *)
+  List.iter
+    (fun o ->
+      let r0 = o.Litmus.regs.(1).(0) in
+      check "rmw read value sane" true (r0 = 0 || r0 = 1))
+    (run_many Library.sb_relacq_rmw)
+
+let test_final_memory_reported () =
+  List.iter
+    (fun o ->
+      check "final x written" true (o.Litmus.final.(0) = 1 || o.Litmus.final.(0) = 2);
+      check "final y written" true (o.Litmus.final.(1) = 1 || o.Litmus.final.(1) = 2))
+    (run_many Library.two_plus_two_w)
+
+let test_starts_length_checked () =
+  Alcotest.check_raises "wrong starts" (Invalid_argument "Instance.run: starts length mismatch")
+    (fun () ->
+      ignore
+        (Instance.run ~prng:(Prng.create 1) ~weak:wild ~bugs:Bug.none ~test:Library.mp
+           ~starts:[| 0. |]))
+
+(* -------------------------------------------------------------------- *)
+(* Bug injections produce their violations.                               *)
+
+let test_corr_bug_fires () =
+  let bugs = Bug.effect_of [ Bug.Corr_reorder 0.5 ] in
+  let kills = List.filter Library.corr.Litmus.target (run_many ~bugs Library.corr) in
+  check "CoRR violations observed" true (kills <> [])
+
+let test_fence_bug_fires () =
+  let bugs = Bug.effect_of [ Bug.Fence_weakened 0.5 ] in
+  let kills = List.filter Library.mp_relacq.Litmus.target (run_many ~bugs Library.mp_relacq) in
+  check "MP-relacq violations observed" true (kills <> [])
+
+let test_alias_bug_fires () =
+  let bugs = Bug.effect_of [ Bug.Coherence_alias 0.5 ] in
+  let kills = List.filter Library.mp_co.Litmus.target (run_many ~bugs Library.mp_co) in
+  check "MP-CO violations observed" true (kills <> [])
+
+let test_bugs_do_not_cross_fire () =
+  (* The fence bug must not make coherence tests fail, and the alias bug
+     must not break fenced message passing. *)
+  let count bugs test = List.length (List.filter test.Litmus.target (run_many ~bugs test)) in
+  check_int "fence bug leaves MP-CO alone" 0
+    (count (Bug.effect_of [ Bug.Fence_weakened 0.9 ]) Library.mp_co);
+  check_int "corr bug leaves MP-relacq alone" 0
+    (count (Bug.effect_of [ Bug.Corr_reorder 0.9 ]) Library.mp_relacq)
+
+(* -------------------------------------------------------------------- *)
+(* Timing model                                                           *)
+
+let test_timing_positive_and_monotone () =
+  List.iter
+    (fun p ->
+      let t wg stress =
+        Timing.iteration_time_ns p ~workgroups:wg ~threads_per_workgroup:64 ~instrs_per_thread:8
+          ~stress_intensity:stress
+      in
+      check (p.Profile.short_name ^ " positive") true (t 2 0. > 0.);
+      check (p.Profile.short_name ^ " more wgs slower") true (t 1024 0. > t 2 0.);
+      check (p.Profile.short_name ^ " stress slower") true (t 64 1. > t 64 0.))
+    Profile.all
+
+let test_timing_waves () =
+  let p = Profile.nvidia in
+  let t wg =
+    Timing.iteration_time_ns p ~workgroups:wg ~threads_per_workgroup:32 ~instrs_per_thread:4
+      ~stress_intensity:0.
+  in
+  (* Same wave count, same duration. *)
+  check "within one wave" true (t 2 = t 64);
+  check "next wave costs" true (t 65 > t 64)
+
+let test_to_seconds () =
+  Alcotest.(check (float 1e-12)) "ns to s" 1.5e-3 (Timing.to_seconds 1_500_000.)
+
+(* -------------------------------------------------------------------- *)
+(* Effective parameters                                                   *)
+
+let test_effective_params () =
+  let p = Profile.amd in
+  let base = Instance.effective_params p ~amplification:0. in
+  let amped = Instance.effective_params p ~amplification:10. in
+  check "ooo grows" true (amped.Instance.p_ooo > base.Instance.p_ooo);
+  check "vis grows" true (amped.Instance.vis_delay_mean_ns > base.Instance.vis_delay_mean_ns);
+  check "stale prob grows" true (amped.Instance.p_stale > base.Instance.p_stale);
+  check "probabilities clamped" true
+    ((Instance.effective_params p ~amplification:1e9).Instance.p_ooo <= 0.95);
+  check "negative amplification clamps to base" true
+    (Instance.effective_params p ~amplification:(-5.) = base)
+
+(* -------------------------------------------------------------------- *)
+(* Properties                                                             *)
+
+let prop_outcome_shape =
+  QCheck.Test.make ~count:100 ~name:"outcomes have the test's shape" QCheck.int (fun seed ->
+      let test = Library.mp_relacq in
+      let o =
+        Instance.run ~prng:(Prng.create seed) ~weak:wild ~bugs:Bug.none ~test ~starts:[| 0.; 5. |]
+      in
+      Array.length o.Litmus.regs = 2 && Array.length o.Litmus.final = 2)
+
+let prop_corr_coherent_without_bug =
+  QCheck.Test.make ~count:500 ~name:"CoRR never violated without bugs" QCheck.int (fun seed ->
+      let g = Prng.create seed in
+      let starts = [| Prng.float g 20.; Prng.float g 20. |] in
+      let o =
+        Instance.run ~prng:g ~weak:wild ~bugs:Bug.none ~test:Library.corr ~starts
+      in
+      not (Library.corr.Litmus.target o))
+
+(* Random well-formed litmus programs: 2-3 threads, 1-3 instructions
+   each, up to 2 locations, unique store values, optional fences. *)
+let arbitrary_program =
+  let open QCheck.Gen in
+  let gen =
+    let* nthreads = int_range 2 3 in
+    let* nlocs = int_range 1 2 in
+    let value_counter = ref 0 in
+    let gen_instr tid_regs =
+      let* choice = int_range 0 3 in
+      let* loc = int_range 0 (nlocs - 1) in
+      match choice with
+      | 0 ->
+          let reg = !tid_regs in
+          incr tid_regs;
+          return (Mcm_litmus.Instr.Load { reg; loc })
+      | 1 ->
+          incr value_counter;
+          return (Mcm_litmus.Instr.Store { loc; value = !value_counter })
+      | 2 ->
+          let reg = !tid_regs in
+          incr tid_regs;
+          incr value_counter;
+          return (Mcm_litmus.Instr.Rmw { reg; loc; value = !value_counter })
+      | _ -> return Mcm_litmus.Instr.Fence
+    in
+    let gen_thread =
+      let* len = int_range 1 3 in
+      let regs = ref 0 in
+      let rec go n acc = if n = 0 then return (List.rev acc) else gen_instr regs >>= fun i -> go (n - 1) (i :: acc) in
+      go len []
+    in
+    let rec threads n acc =
+      if n = 0 then return (Array.of_list (List.rev acc)) else gen_thread >>= fun t -> threads (n - 1) (t :: acc)
+    in
+    let* ts = threads nthreads [] in
+    return
+      {
+        Litmus.name = "random";
+        family = "random";
+        model = Mcm_memmodel.Model.Relacq_sc_per_location;
+        threads = ts;
+        nlocs;
+        target = (fun _ -> false);
+        target_desc = "-";
+      }
+  in
+  QCheck.make ~print:Litmus.to_string gen
+
+let prop_simulator_within_model =
+  (* The central soundness property of the substrate: on a correct
+     device, every outcome the operational simulator produces for a
+     random program is allowed by the axiomatic rel-acq model. *)
+  QCheck.Test.make ~count:60 ~name:"simulator outcomes within the axiomatic model"
+    (QCheck.pair arbitrary_program QCheck.small_int)
+    (fun (test, seed) ->
+      QCheck.assume (Litmus.well_formed test = Ok ());
+      let allowed = Enumerate.consistent_outcomes test.Litmus.model test in
+      let g = Prng.create seed in
+      let ok = ref true in
+      for _ = 1 to 60 do
+        let starts =
+          Array.init (Litmus.nthreads test) (fun _ -> Prng.float g 60.)
+        in
+        let o = Instance.run ~prng:(Prng.split g) ~weak:wild ~bugs:Bug.none ~test ~starts in
+        if not (List.mem o allowed) then ok := false
+      done;
+      !ok)
+
+let prop_values_from_program =
+  QCheck.Test.make ~count:300 ~name:"read values come from the program's writes" QCheck.int
+    (fun seed ->
+      let g = Prng.create seed in
+      let test = Library.mp_co in
+      let o =
+        Instance.run ~prng:g ~weak:wild ~bugs:Bug.none ~test
+          ~starts:[| Prng.float g 40.; Prng.float g 40. |]
+      in
+      let ok v = v = 0 || v = 1 || v = 2 in
+      ok o.Litmus.regs.(1).(0) && ok o.Litmus.regs.(1).(1) && ok o.Litmus.final.(0))
+
+let () =
+  Alcotest.run "gpu"
+    [
+      ( "profile",
+        [
+          Alcotest.test_case "table 3" `Quick test_profiles_table3;
+          Alcotest.test_case "find" `Quick test_profile_find;
+          Alcotest.test_case "occupancy amplifier" `Quick test_occupancy_amplifier_monotone;
+          Alcotest.test_case "stress amplifier clamp" `Quick test_stress_amplifier_clamped;
+        ] );
+      ( "bug",
+        [
+          Alcotest.test_case "effects combine" `Quick test_bug_effects_combine;
+          Alcotest.test_case "paper bugs" `Quick test_paper_bugs;
+          Alcotest.test_case "device names" `Quick test_device_names;
+        ] );
+      ( "semantics",
+        [
+          Alcotest.test_case "correct device respects MCS" `Slow test_correct_device_respects_mcs;
+          Alcotest.test_case "weak behaviours occur" `Quick test_weak_behaviours_do_occur;
+          Alcotest.test_case "fences block weak MP" `Quick test_fences_block_weak_mp;
+          Alcotest.test_case "sequential when separated" `Quick test_sequential_when_separated;
+          Alcotest.test_case "deterministic" `Quick test_determinism;
+          Alcotest.test_case "rmw reads" `Quick test_rmw_reads_captured;
+          Alcotest.test_case "final memory" `Quick test_final_memory_reported;
+          Alcotest.test_case "starts checked" `Quick test_starts_length_checked;
+        ] );
+      ( "bugs-fire",
+        [
+          Alcotest.test_case "corr bug" `Quick test_corr_bug_fires;
+          Alcotest.test_case "fence bug" `Quick test_fence_bug_fires;
+          Alcotest.test_case "alias bug" `Quick test_alias_bug_fires;
+          Alcotest.test_case "no cross-fire" `Quick test_bugs_do_not_cross_fire;
+        ] );
+      ( "timing",
+        [
+          Alcotest.test_case "positive and monotone" `Quick test_timing_positive_and_monotone;
+          Alcotest.test_case "waves" `Quick test_timing_waves;
+          Alcotest.test_case "to_seconds" `Quick test_to_seconds;
+        ] );
+      ("params", [ Alcotest.test_case "effective params" `Quick test_effective_params ]);
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_outcome_shape; prop_corr_coherent_without_bug; prop_simulator_within_model;
+            prop_values_from_program;
+          ] );
+    ]

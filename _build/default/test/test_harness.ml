@@ -1,0 +1,299 @@
+(* Tests for mcm_harness: tuning sweeps and the experiment drivers. These
+   run tiny sweeps and check the structural and directional claims the
+   paper's evaluation rests on (PTE beats SITE, bugs correlate with
+   mutants, table shapes). *)
+
+module Tuning = Mcm_harness.Tuning
+module Experiments = Mcm_harness.Experiments
+module Suite = Mcm_core.Suite
+module Mutator = Mcm_core.Mutator
+module Device = Mcm_gpu.Device
+module Profile = Mcm_gpu.Profile
+module Litmus = Mcm_litmus.Litmus
+module Runner = Mcm_testenv.Runner
+module Table = Mcm_util.Table
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let tiny_config =
+  { Tuning.n_envs = 3; site_iterations = 20; pte_iterations = 3; scale = 0.01; seed = 99 }
+
+(* A pruned sweep shared by the tests below: two devices, six mutants. *)
+let shared_runs =
+  lazy
+    (let devices = [ Device.make Profile.nvidia; Device.make Profile.intel ] in
+     let tests =
+       List.filter
+         (fun (e : Suite.entry) ->
+           List.mem e.Suite.test.Litmus.name
+             [ "CoRR-m"; "CoWR-m"; "MP-CO-m"; "SB-CO-m"; "MP-relacq-m2"; "MP-relacq-m3" ])
+         (Suite.mutants ())
+     in
+     Tuning.sweep ~devices ~tests tiny_config)
+
+let test_sweep_shape () =
+  let runs = Lazy.force shared_runs in
+  (* categories: 2 baselines (1 env) + 2 tuned (3 envs) = 8 envs; x 2
+     devices x 6 tests. *)
+  check_int "run count" (8 * 2 * 6) (List.length runs);
+  List.iter
+    (fun (r : Tuning.run) ->
+      check "instances positive" true (r.Tuning.result.Runner.instances > 0);
+      check "sim time positive" true (r.Tuning.result.Runner.sim_time_s > 0.))
+    runs
+
+let test_sweep_deterministic () =
+  let devices = [ Device.make Profile.amd ] in
+  let tests =
+    List.filter
+      (fun (e : Suite.entry) -> e.Suite.test.Litmus.name = "MP-CO-m")
+      (Suite.mutants ())
+  in
+  let go () =
+    List.map
+      (fun (r : Tuning.run) -> (r.Tuning.test_name, r.Tuning.env_index, r.Tuning.result))
+      (Tuning.sweep ~devices ~tests tiny_config)
+  in
+  check "deterministic" true (go () = go ())
+
+let test_envs_for () =
+  check_int "baseline has one env" 1 (List.length (Tuning.envs_for tiny_config Tuning.Site_baseline));
+  check_int "tuned has n_envs" 3 (List.length (Tuning.envs_for tiny_config Tuning.Pte));
+  (* Environments are drawn deterministically. *)
+  check "stable" true (Tuning.envs_for tiny_config Tuning.Pte = Tuning.envs_for tiny_config Tuning.Pte)
+
+let test_rate_lookup () =
+  let runs = Lazy.force shared_runs in
+  let found =
+    List.exists
+      (fun (r : Tuning.run) ->
+        Tuning.rate runs r.Tuning.category ~test:r.Tuning.test_name
+          ~device:(Device.name r.Tuning.device) ~env_index:r.Tuning.env_index
+        = r.Tuning.result.Runner.rate)
+      runs
+  in
+  check "lookup matches" true found;
+  check "missing is zero" true
+    (Tuning.rate runs Tuning.Pte ~test:"nope" ~device:"NVIDIA" ~env_index:0 = 0.)
+
+let test_category_names () =
+  Alcotest.(check (list string))
+    "names"
+    [ "SITE-baseline"; "SITE"; "PTE-baseline"; "PTE" ]
+    (List.map Tuning.category_name Tuning.all_categories)
+
+(* -------------------------------------------------------------------- *)
+(* Experiment drivers                                                     *)
+
+let test_table2_renders () =
+  let s = Table.render (Experiments.table2 ()) in
+  check "mentions combined row" true
+    (String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 0));
+  List.iter
+    (fun needle ->
+      let contains hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      check ("table2 has " ^ needle) true (contains s needle))
+    [ "reversing-po-loc"; "weakening-sw"; "Combined"; "20"; "32" ]
+
+let test_table3_renders () =
+  let s = Table.render (Experiments.table3 ()) in
+  List.iter
+    (fun needle ->
+      let contains hay needle =
+        let n = String.length needle and h = String.length hay in
+        let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+        go 0
+      in
+      check ("table3 has " ^ needle) true (contains s needle))
+    [ "GeForce RTX 2080"; "Radeon Pro 5500M"; "Iris Plus Graphics"; "M1"; "Discrete"; "Integrated" ]
+
+let test_fig5_scores_within_bounds () =
+  let runs = Lazy.force shared_runs in
+  List.iter
+    (fun category ->
+      let s = Experiments.Fig5.mutation_score runs category in
+      check "score in unit interval" true (s >= 0. && s <= 1.);
+      let r = Experiments.Fig5.avg_death_rate runs category in
+      check "rate non-negative" true (r >= 0.))
+    Tuning.all_categories
+
+let test_fig5_pte_beats_site_baseline () =
+  let runs = Lazy.force shared_runs in
+  check "PTE-baseline score >= SITE-baseline score" true
+    (Experiments.Fig5.mutation_score runs Tuning.Pte_baseline
+    >= Experiments.Fig5.mutation_score runs Tuning.Site_baseline);
+  check "PTE-baseline rate > SITE-baseline rate" true
+    (Experiments.Fig5.avg_death_rate runs Tuning.Pte_baseline
+    > Experiments.Fig5.avg_death_rate runs Tuning.Site_baseline)
+
+let test_fig5_tables_render () =
+  let runs = Lazy.force shared_runs in
+  let tables = Experiments.Fig5.all_tables runs in
+  check_int "eight panels" 8 (List.length tables);
+  List.iter (fun (title, t) -> check title true (String.length (Table.render t) > 0)) tables
+
+let test_fig5_device_filter () =
+  let runs = Lazy.force shared_runs in
+  let nv = Experiments.Fig5.mutation_score runs ~device:"NVIDIA" Tuning.Pte_baseline in
+  check "per-device score valid" true (nv >= 0. && nv <= 1.)
+
+let test_tuning_time_positive () =
+  let runs = Lazy.force shared_runs in
+  List.iter
+    (fun (name, t) -> check (name ^ " time positive") true (t > 0.))
+    (Experiments.Fig5.tuning_time runs)
+
+let test_fig6_monotone_in_budget () =
+  let runs = Lazy.force shared_runs in
+  List.iter
+    (fun target ->
+      let prev = ref 0. in
+      List.iter
+        (fun budget ->
+          let s = Experiments.Fig6.score runs Tuning.Pte ~target ~budget in
+          check "monotone in budget" true (s >= !prev -. 1e-9);
+          prev := s)
+        Experiments.Fig6.budgets)
+    Experiments.Fig6.targets
+
+let test_fig6_lower_target_easier () =
+  let runs = Lazy.force shared_runs in
+  List.iter
+    (fun budget ->
+      check "95% >= 99.999%" true
+        (Experiments.Fig6.score runs Tuning.Pte ~target:0.95 ~budget
+        >= Experiments.Fig6.score runs Tuning.Pte ~target:0.99999 ~budget -. 1e-9))
+    Experiments.Fig6.budgets
+
+let test_fig6_table_renders () =
+  let runs = Lazy.force shared_runs in
+  check "renders" true (String.length (Table.render (Experiments.Fig6.table runs)) > 0)
+
+let test_table4_correlations () =
+  (* A small correlation study: high PCC for each of the paper's three
+     bug cases, each statistically significant. *)
+  let rows = Experiments.Table4.compute ~n_envs:24 ~iterations:6 ~scale:0.02 () in
+  check_int "three cases" 3 (List.length rows);
+  List.iter
+    (fun (r : Experiments.Table4.row) ->
+      (* The NVIDIA/MP-CO case is the weakest correlation in the paper
+         too (.893); at test scale we accept anything strongly positive. *)
+      check (r.Experiments.Table4.vendor ^ " strong correlation") true
+        (r.Experiments.Table4.pcc > 0.75);
+      check (r.Experiments.Table4.vendor ^ " significant") true
+        (r.Experiments.Table4.p_value < 0.01))
+    rows;
+  check "renders" true (String.length (Table.render (Experiments.Table4.table rows)) > 0)
+
+(* -------------------------------------------------------------------- *)
+(* Results store (the artifact's JSON pipeline)                           *)
+
+module Results = Mcm_harness.Results
+
+let shared_records = lazy (Results.of_runs (Lazy.force shared_runs))
+
+let test_results_roundtrip () =
+  let records = Lazy.force shared_records in
+  let path = Filename.temp_file "mcm" ".json" in
+  (match Results.save path records with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "save: %s" e);
+  (match Results.load path with
+  | Ok loaded -> check "round-trip" true (loaded = records)
+  | Error e -> Alcotest.failf "load: %s" e);
+  Sys.remove path
+
+let test_results_of_json_rejects_garbage () =
+  check "not an object" true (Result.is_error (Results.of_json Mcm_util.Jsonw.Null));
+  check "runs not records" true
+    (Result.is_error (Results.of_json (Mcm_util.Jsonw.Obj [ ("runs", Mcm_util.Jsonw.List [ Mcm_util.Jsonw.Int 3 ]) ])))
+
+let test_results_distinct () =
+  let records = Lazy.force shared_records in
+  Alcotest.(check (list string)) "devices" [ "NVIDIA"; "Intel" ] (Results.devices records);
+  check_int "six tests" 6 (List.length (Results.tests records))
+
+let test_results_rate_lookup_matches_tuning () =
+  let runs = Lazy.force shared_runs in
+  let records = Lazy.force shared_records in
+  List.iter
+    (fun (r : Tuning.run) ->
+      let category = Tuning.category_name r.Tuning.category in
+      check "rates agree" true
+        (Results.rate records ~category ~test:r.Tuning.test_name
+           ~device:(Device.name r.Tuning.device) ~env_index:r.Tuning.env_index
+        = r.Tuning.result.Runner.rate))
+    runs
+
+let test_results_mutation_score () =
+  let records = Lazy.force shared_records in
+  let rows = Results.mutation_score records ~category:"PTE-baseline" in
+  check "has combined row" true (List.exists (fun (l, _, _) -> l = "Combined") rows);
+  List.iter
+    (fun (label, score, rate) ->
+      check (label ^ " score in unit") true (score >= 0. && score <= 1.);
+      check (label ^ " rate non-negative") true (rate >= 0.))
+    rows;
+  (* The combined row averages over all mutants of the pruned sweep. *)
+  match List.find_opt (fun (l, _, _) -> l = "Combined") rows with
+  | Some (_, score, _) -> check "some mutants killed" true (score > 0.)
+  | None -> Alcotest.fail "missing combined row"
+
+let test_results_merge_score () =
+  let records = Lazy.force shared_records in
+  let score = Results.merge_score records ~category:"PTE" ~target:0.95 ~budget:64. in
+  check "in unit interval" true (score >= 0. && score <= 1.);
+  let strict = Results.merge_score records ~category:"PTE" ~target:0.99999 ~budget:(1. /. 1024.) in
+  check "stricter never higher" true (strict <= score)
+
+let test_results_correlation_matrix () =
+  let records = Lazy.force shared_records in
+  let tests = [ "CoRR-m"; "MP-CO-m" ] in
+  let m = Results.correlation_matrix records ~category:"PTE" ~tests in
+  check_int "square" 2 (Array.length m);
+  check "diagonal is 1 (or nan)" true
+    (Float.is_nan m.(0).(0) || abs_float (m.(0).(0) -. 1.) < 1e-9);
+  check "symmetric" true
+    ((Float.is_nan m.(0).(1) && Float.is_nan m.(1).(0)) || abs_float (m.(0).(1) -. m.(1).(0)) < 1e-9)
+
+let () =
+  Alcotest.run "harness"
+    [
+      ( "tuning",
+        [
+          Alcotest.test_case "sweep shape" `Quick test_sweep_shape;
+          Alcotest.test_case "sweep deterministic" `Quick test_sweep_deterministic;
+          Alcotest.test_case "envs_for" `Quick test_envs_for;
+          Alcotest.test_case "rate lookup" `Quick test_rate_lookup;
+          Alcotest.test_case "category names" `Quick test_category_names;
+        ] );
+      ( "experiments",
+        [
+          Alcotest.test_case "table2 renders" `Quick test_table2_renders;
+          Alcotest.test_case "table3 renders" `Quick test_table3_renders;
+          Alcotest.test_case "fig5 bounds" `Quick test_fig5_scores_within_bounds;
+          Alcotest.test_case "fig5 PTE beats SITE baseline" `Quick test_fig5_pte_beats_site_baseline;
+          Alcotest.test_case "fig5 tables render" `Quick test_fig5_tables_render;
+          Alcotest.test_case "fig5 device filter" `Quick test_fig5_device_filter;
+          Alcotest.test_case "tuning time" `Quick test_tuning_time_positive;
+          Alcotest.test_case "fig6 monotone in budget" `Quick test_fig6_monotone_in_budget;
+          Alcotest.test_case "fig6 target ordering" `Quick test_fig6_lower_target_easier;
+          Alcotest.test_case "fig6 table renders" `Quick test_fig6_table_renders;
+          Alcotest.test_case "table4 correlations" `Slow test_table4_correlations;
+        ] );
+      ( "results",
+        [
+          Alcotest.test_case "round-trip" `Quick test_results_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_results_of_json_rejects_garbage;
+          Alcotest.test_case "distinct" `Quick test_results_distinct;
+          Alcotest.test_case "rate lookup" `Quick test_results_rate_lookup_matches_tuning;
+          Alcotest.test_case "mutation score" `Quick test_results_mutation_score;
+          Alcotest.test_case "merge score" `Quick test_results_merge_score;
+          Alcotest.test_case "correlation matrix" `Quick test_results_correlation_matrix;
+        ] );
+    ]

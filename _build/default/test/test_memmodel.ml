@@ -1,0 +1,485 @@
+(* Tests for mcm_memmodel: relation algebra, derived execution relations,
+   and the three MCS consistency checkers. *)
+
+module Event = Mcm_memmodel.Event
+module Relation = Mcm_memmodel.Relation
+module Execution = Mcm_memmodel.Execution
+module Model = Mcm_memmodel.Model
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+(* -------------------------------------------------------------------- *)
+(* Event helpers                                                          *)
+
+let ev id tid idx kind = { Event.id; tid; idx; kind }
+
+let test_event_predicates () =
+  let r = ev 0 0 0 (Event.Read { loc = 0 }) in
+  let w = ev 1 0 1 (Event.Write { loc = 0; value = 1 }) in
+  let u = ev 2 1 0 (Event.Rmw { loc = 0; value = 2 }) in
+  let f = ev 3 1 1 Event.Fence in
+  check "read is read" true (Event.is_read r);
+  check "read not write" false (Event.is_write r);
+  check "write is write" true (Event.is_write w);
+  check "rmw is read" true (Event.is_read u);
+  check "rmw is write" true (Event.is_write u);
+  check "rmw is rmw" true (Event.is_rmw u);
+  check "fence is fence" true (Event.is_fence f);
+  check "fence no loc" true (Event.loc f = None);
+  check "write value" true (Event.written_value w = Some 1);
+  check "read no value" true (Event.written_value r = None);
+  check "same loc" true (Event.same_loc r w);
+  check "fence same_loc false" false (Event.same_loc r f)
+
+let test_event_pp () =
+  let w = ev 1 0 1 (Event.Write { loc = 0; value = 1 }) in
+  Alcotest.(check string) "pp" "[t0.1 W x=1]" (Event.to_string w)
+
+(* -------------------------------------------------------------------- *)
+(* Relation algebra                                                       *)
+
+let test_relation_basics () =
+  let r = Relation.of_list 4 [ (0, 1); (1, 2) ] in
+  check "mem" true (Relation.mem r 0 1);
+  check "not mem" false (Relation.mem r 1 0);
+  check_int "cardinal" 2 (Relation.cardinal r);
+  check_int "size" 4 (Relation.size r);
+  Alcotest.(check (list (pair int int))) "to_list" [ (0, 1); (1, 2) ] (Relation.to_list r)
+
+let test_relation_add_immutable () =
+  let r = Relation.empty 3 in
+  let r' = Relation.add r 0 1 in
+  check "original unchanged" false (Relation.mem r 0 1);
+  check "new has pair" true (Relation.mem r' 0 1)
+
+let test_relation_union_inter () =
+  let r = Relation.of_list 3 [ (0, 1) ] in
+  let s = Relation.of_list 3 [ (0, 1); (1, 2) ] in
+  check_int "union" 2 (Relation.cardinal (Relation.union r s));
+  check_int "inter" 1 (Relation.cardinal (Relation.inter r s));
+  check "subset" true (Relation.subset r s);
+  check "not subset" false (Relation.subset s r)
+
+let test_relation_compose () =
+  let r = Relation.of_list 4 [ (0, 1); (2, 3) ] in
+  let s = Relation.of_list 4 [ (1, 2) ] in
+  let c = Relation.compose r s in
+  Alcotest.(check (list (pair int int))) "compose" [ (0, 2) ] (Relation.to_list c)
+
+let test_relation_inverse () =
+  let r = Relation.of_list 3 [ (0, 1); (1, 2) ] in
+  Alcotest.(check (list (pair int int)))
+    "inverse" [ (1, 0); (2, 1) ]
+    (Relation.to_list (Relation.inverse r))
+
+let test_relation_closure () =
+  let r = Relation.of_list 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let c = Relation.transitive_closure r in
+  check "0 reaches 3" true (Relation.mem c 0 3);
+  check "3 unreaches 0" false (Relation.mem c 3 0);
+  check_int "closure size" 6 (Relation.cardinal c)
+
+let test_relation_acyclicity () =
+  check "chain acyclic" true (Relation.is_acyclic (Relation.of_list 3 [ (0, 1); (1, 2) ]));
+  check "cycle detected" false (Relation.is_acyclic (Relation.of_list 3 [ (0, 1); (1, 0) ]));
+  check "self-loop cyclic" false (Relation.is_acyclic (Relation.of_list 2 [ (1, 1) ]));
+  check "empty acyclic" true (Relation.is_acyclic (Relation.empty 0))
+
+let test_relation_find_cycle () =
+  let r = Relation.of_list 4 [ (0, 1); (1, 2); (2, 0); (2, 3) ] in
+  (match Relation.find_cycle r with
+  | None -> Alcotest.fail "expected cycle"
+  | Some cycle ->
+      check_int "cycle length" 3 (List.length cycle);
+      (* Each consecutive pair must be an edge, wrapping around. *)
+      let arr = Array.of_list cycle in
+      let n = Array.length arr in
+      for i = 0 to n - 1 do
+        check "cycle edge" true (Relation.mem r arr.(i) arr.((i + 1) mod n))
+      done);
+  check "acyclic finds none" true (Relation.find_cycle (Relation.of_list 2 [ (0, 1) ]) = None)
+
+let test_relation_total_order () =
+  let r = Relation.of_list 3 [ (0, 1); (1, 2); (0, 2) ] in
+  check "total order" true (Relation.is_total_order_on r [ 0; 1; 2 ]);
+  let partial = Relation.of_list 3 [ (0, 1) ] in
+  check "partial not total" false (Relation.is_total_order_on partial [ 0; 1; 2 ]);
+  check "subset still total" true (Relation.is_total_order_on partial [ 0; 1 ])
+
+let test_relation_restrict () =
+  let r = Relation.of_list 4 [ (0, 1); (1, 2); (2, 3) ] in
+  let even = Relation.restrict r (fun a _ -> a mod 2 = 0) in
+  Alcotest.(check (list (pair int int))) "restricted" [ (0, 1); (2, 3) ] (Relation.to_list even)
+
+let test_relation_bounds_checked () =
+  let r = Relation.empty 2 in
+  Alcotest.check_raises "out of bounds" (Invalid_argument "Relation: index out of bounds")
+    (fun () -> ignore (Relation.mem r 0 5))
+
+(* -------------------------------------------------------------------- *)
+(* Executions: the MP example from Fig. 2b without fences.                *)
+
+(* Events: 0:Wx=1 1:Wy=1 (thread 0); 2:Ry 3:Rx (thread 1). *)
+let mp_events =
+  [|
+    ev 0 0 0 (Event.Write { loc = 0; value = 1 });
+    ev 1 0 1 (Event.Write { loc = 1; value = 1 });
+    ev 2 1 0 (Event.Read { loc = 1 });
+    ev 3 1 1 (Event.Read { loc = 0 });
+  |]
+
+let mp_weak =
+  (* Ry reads the flag (1), Rx reads the initial state: the weak MP
+     execution. *)
+  {
+    Execution.events = mp_events;
+    rf = [| None; None; Some 1; None |];
+    co = [ (0, [ 0 ]); (1, [ 1 ]) ];
+  }
+
+let test_execution_well_formed () =
+  check "well-formed" true (Execution.well_formed mp_weak = Ok ())
+
+let test_execution_rejects_bad_rf () =
+  let bad = { mp_weak with Execution.rf = [| None; None; Some 0; None |] } in
+  (* event 2 reads y but rf source writes x *)
+  check "bad rf loc" true (Result.is_error (Execution.well_formed bad))
+
+let test_execution_rejects_bad_co () =
+  let bad = { mp_weak with Execution.co = [ (0, [ 0 ]) ] } in
+  check "missing co loc" true (Result.is_error (Execution.well_formed bad))
+
+let test_value_read () =
+  check_int "flag read" 1 (Execution.value_read mp_weak 2);
+  check_int "stale read" 0 (Execution.value_read mp_weak 3)
+
+let test_derived_relations () =
+  let r = Execution.relations mp_weak in
+  check "po within t0" true (Relation.mem r.Execution.po 0 1);
+  check "po within t1" true (Relation.mem r.Execution.po 2 3);
+  check "no cross-thread po" false (Relation.mem r.Execution.po 1 2);
+  check "po_loc empty here" true (Relation.cardinal r.Execution.po_loc = 0);
+  check "rf edge" true (Relation.mem r.Execution.rf 1 2);
+  check "fr: stale read before write" true (Relation.mem r.Execution.fr 3 0);
+  check "com contains rf" true (Relation.subset r.Execution.rf r.Execution.com);
+  check "com contains fr" true (Relation.subset r.Execution.fr r.Execution.com);
+  check "no fences, no sw" true (Relation.cardinal r.Execution.sw = 0)
+
+let test_mp_weak_consistency () =
+  (* The weak MP execution violates SC but satisfies SC-per-location. *)
+  check "inconsistent under SC" false (Model.consistent Model.Sc mp_weak);
+  check "consistent under SC-per-loc" true (Model.consistent Model.Sc_per_location mp_weak);
+  check "consistent under rel-acq (no fences)" true
+    (Model.consistent Model.Relacq_sc_per_location mp_weak)
+
+(* MP with fences: events 0:Wx 1:F 2:Wy (t0); 3:Ry 4:F 5:Rx (t1). *)
+let mp_fence_events =
+  [|
+    ev 0 0 0 (Event.Write { loc = 0; value = 1 });
+    ev 1 0 1 Event.Fence;
+    ev 2 0 2 (Event.Write { loc = 1; value = 1 });
+    ev 3 1 0 (Event.Read { loc = 1 });
+    ev 4 1 1 Event.Fence;
+    ev 5 1 2 (Event.Read { loc = 0 });
+  |]
+
+let mp_fence_weak =
+  {
+    Execution.events = mp_fence_events;
+    rf = [| None; None; None; Some 2; None; None |];
+    co = [ (0, [ 0 ]); (1, [ 2 ]) ];
+  }
+
+let test_sw_derived () =
+  let r = Execution.relations mp_fence_weak in
+  check "sw between fences" true (Relation.mem r.Execution.sw 1 4);
+  check "sw not reversed" false (Relation.mem r.Execution.sw 4 1);
+  check "po;sw;po orders data" true (Relation.mem r.Execution.po_sw_po 0 5)
+
+let test_mp_fence_weak_consistency () =
+  (* Fig. 2b: the stale data read is allowed under SC-per-location but
+     disallowed once the fences' sw enters hb. *)
+  check "consistent under SC-per-loc" true (Model.consistent Model.Sc_per_location mp_fence_weak);
+  check "inconsistent under rel-acq" false
+    (Model.consistent Model.Relacq_sc_per_location mp_fence_weak)
+
+let test_hb_cycle_description () =
+  match Model.hb_cycle Model.Relacq_sc_per_location mp_fence_weak with
+  | None -> Alcotest.fail "expected a cycle"
+  | Some s -> check "cycle non-empty" true (String.length s > 0)
+
+(* RMW atomicity: x: W(1) at event 0, RMW(2) at event 1 (thread 1 reads
+   initial state), W(3) at event 2. *)
+let test_rmw_atomicity () =
+  let events =
+    [|
+      ev 0 0 0 (Event.Write { loc = 0; value = 1 });
+      ev 1 1 0 (Event.Rmw { loc = 0; value = 2 });
+      ev 2 2 0 (Event.Write { loc = 0; value = 3 });
+    |]
+  in
+  (* RMW reads init: must be first in co. *)
+  let atomic =
+    { Execution.events; rf = [| None; None; None |]; co = [ (0, [ 1; 0; 2 ]) ] }
+  in
+  check "rmw first ok" true (Model.rmw_atomic atomic);
+  let broken =
+    { Execution.events; rf = [| None; None; None |]; co = [ (0, [ 0; 1; 2 ]) ] }
+  in
+  check "write intervenes" false (Model.rmw_atomic broken);
+  (* RMW reads event 0: must be immediately after it. *)
+  let chained =
+    { Execution.events; rf = [| None; Some 0; None |]; co = [ (0, [ 0; 1; 2 ]) ] }
+  in
+  check "rmw after source ok" true (Model.rmw_atomic chained);
+  let separated =
+    { Execution.events; rf = [| None; Some 0; None |]; co = [ (0, [ 0; 2; 1 ]) ] }
+  in
+  check "separated from source" false (Model.rmw_atomic separated)
+
+let test_model_names_roundtrip () =
+  List.iter
+    (fun m -> check (Model.name m) true (Model.of_string (Model.name m) = Some m))
+    Model.all;
+  check "unknown name" true (Model.of_string "tso" = None)
+
+let test_model_strength_chain () =
+  check "sc-per-loc weaker than relacq" true
+    (Model.weaker_or_equal Model.Sc_per_location Model.Relacq_sc_per_location);
+  check "relacq weaker than sc" true
+    (Model.weaker_or_equal Model.Relacq_sc_per_location Model.Sc);
+  check "sc not weaker than sc-per-loc" false
+    (Model.weaker_or_equal Model.Sc Model.Sc_per_location)
+
+(* -------------------------------------------------------------------- *)
+(* CAT: parameterized models                                              *)
+
+module Cat = Mcm_memmodel.Cat
+
+let test_cat_matches_direct_models () =
+  (* The CAT formulations agree with the direct implementations on the
+     example executions of this file. *)
+  List.iter
+    (fun x ->
+      List.iter
+        (fun m ->
+          check
+            (Printf.sprintf "%s agrees" (Model.name m))
+            true
+            (Model.consistent m x = Cat.consistent (Cat.of_model m) x))
+        Model.all)
+    [ mp_weak; mp_fence_weak ]
+
+let test_cat_eval_algebra () =
+  let r = Execution.relations mp_weak in
+  check "union" true
+    (Relation.equal (Cat.eval (Cat.Union (Cat.Po, Cat.Rf)) mp_weak)
+       (Relation.union r.Execution.po r.Execution.rf));
+  check "diff removes" true
+    (Relation.cardinal (Cat.eval (Cat.Diff (Cat.Po, Cat.Po)) mp_weak) = 0);
+  check "seq" true
+    (Relation.equal
+       (Cat.eval (Cat.Seq (Cat.Po, Cat.Po)) mp_weak)
+       (Relation.compose r.Execution.po r.Execution.po));
+  check "inverse" true
+    (Relation.equal (Cat.eval (Cat.Inverse Cat.Rf) mp_weak) (Relation.inverse r.Execution.rf));
+  check "internal po is po" true
+    (Relation.equal (Cat.eval (Cat.Internal Cat.Po) mp_weak) r.Execution.po);
+  check "external po empty" true
+    (Relation.cardinal (Cat.eval (Cat.External Cat.Po) mp_weak) = 0);
+  check "external rf is rf here" true
+    (Relation.equal (Cat.eval (Cat.External Cat.Rf) mp_weak) r.Execution.rf);
+  (* Restrict: po pairs from writes to writes = the (Wx, Wy) pair. *)
+  check "restrict" true
+    (Relation.to_list (Cat.eval (Cat.Restrict (Cat.Writes, Cat.Po, Cat.Writes)) mp_weak)
+    = [ (0, 1) ])
+
+let test_cat_tso_allows_store_buffering () =
+  (* SB events: 0:Wx 1:Ry (t0); 2:Wy 3:Rx (t1); both reads from the
+     initial state. *)
+  let events =
+    [|
+      ev 0 0 0 (Event.Write { loc = 0; value = 1 });
+      ev 1 0 1 (Event.Read { loc = 1 });
+      ev 2 1 0 (Event.Write { loc = 1; value = 1 });
+      ev 3 1 1 (Event.Read { loc = 0 });
+    |]
+  in
+  let sb_weak =
+    { Execution.events; rf = [| None; None; None; None |]; co = [ (0, [ 0 ]); (1, [ 2 ]) ] }
+  in
+  check "SC forbids SB" false (Cat.consistent Cat.sc sb_weak);
+  check "TSO allows SB" true (Cat.consistent Cat.tso sb_weak);
+  (* A fence between the store and the load of each thread restores SC:
+     0:Wx 1:F 2:Ry (t0); 3:Wy 4:F 5:Rx (t1). *)
+  let fenced =
+    [|
+      ev 0 0 0 (Event.Write { loc = 0; value = 1 });
+      ev 1 0 1 Event.Fence;
+      ev 2 0 2 (Event.Read { loc = 1 });
+      ev 3 1 0 (Event.Write { loc = 1; value = 1 });
+      ev 4 1 1 Event.Fence;
+      ev 5 1 2 (Event.Read { loc = 0 });
+    |]
+  in
+  let sb_fenced =
+    {
+      Execution.events = fenced;
+      rf = [| None; None; None; None; None; None |];
+      co = [ (0, [ 0 ]); (1, [ 3 ]) ];
+    }
+  in
+  check "TSO forbids fenced SB" false (Cat.consistent Cat.tso sb_fenced)
+
+let test_cat_tso_forbids_mp () =
+  check "TSO forbids weak MP" false (Cat.consistent Cat.tso mp_weak);
+  match Cat.failing_axiom Cat.tso mp_weak with
+  | Some name -> Alcotest.(check string) "ghb axiom" "ghb" name
+  | None -> Alcotest.fail "expected a failing axiom"
+
+let test_cat_failing_axiom_names () =
+  check "consistent has none" true (Cat.failing_axiom Cat.sc_per_location mp_weak = None);
+  let broken_atomicity =
+    {
+      Execution.events =
+        [|
+          ev 0 0 0 (Event.Write { loc = 0; value = 1 });
+          ev 1 1 0 (Event.Rmw { loc = 0; value = 2 });
+        |];
+      rf = [| None; None |];
+      (* The RMW reads the initial state but sits after the write. *)
+      co = [ (0, [ 0; 1 ]) ];
+    }
+  in
+  check "atomicity reported" true (Cat.failing_axiom Cat.tso broken_atomicity = Some "atomicity")
+
+let test_cat_find () =
+  check "find tso" true (Cat.find "tso" <> None);
+  check "find sc" true (Cat.find "SC" <> None);
+  check "find nothing" true (Cat.find "power" = None)
+
+let test_cat_pretty_printing () =
+  Alcotest.(check string) "base" "po-loc" (Cat.expr_to_string Cat.Po_loc);
+  Alcotest.(check string) "union" "po | com" (Cat.expr_to_string (Cat.Union (Cat.Po, Cat.Com)));
+  Alcotest.(check string) "restrict" "[W];po;[R]"
+    (Cat.expr_to_string (Cat.Restrict (Cat.Writes, Cat.Po, Cat.Reads)));
+  Alcotest.(check string) "diff parenthesises" "po \\ ([W];po;[R])"
+    (Cat.expr_to_string (Cat.Diff (Cat.Po, Cat.Restrict (Cat.Writes, Cat.Po, Cat.Reads))));
+  Alcotest.(check string) "external" "ext(rf)" (Cat.expr_to_string (Cat.External Cat.Rf));
+  let rendered = Format.asprintf "%a" Cat.pp Cat.tso in
+  let contains hay needle =
+    let n = String.length needle and h = String.length hay in
+    let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+    go 0
+  in
+  check "tso renders ghb" true (contains rendered "ghb");
+  check "tso renders atomicity note" true (contains rendered "RMW atomicity")
+
+(* -------------------------------------------------------------------- *)
+(* Properties                                                             *)
+
+let arbitrary_relation =
+  QCheck.make
+    ~print:(fun pairs -> QCheck.Print.(list (pair int int)) pairs)
+    QCheck.Gen.(
+      let n = 6 in
+      list_size (int_bound 12) (pair (int_bound (n - 1)) (int_bound (n - 1))))
+
+let rel_of pairs = Relation.of_list 6 pairs
+
+let prop_closure_idempotent =
+  QCheck.Test.make ~count:300 ~name:"transitive closure is idempotent" arbitrary_relation
+    (fun pairs ->
+      let c = Relation.transitive_closure (rel_of pairs) in
+      Relation.equal c (Relation.transitive_closure c))
+
+let prop_closure_contains =
+  QCheck.Test.make ~count:300 ~name:"closure contains the relation" arbitrary_relation
+    (fun pairs ->
+      let r = rel_of pairs in
+      Relation.subset r (Relation.transitive_closure r))
+
+let prop_union_commutative =
+  QCheck.Test.make ~count:300 ~name:"union commutes"
+    (QCheck.pair arbitrary_relation arbitrary_relation) (fun (p1, p2) ->
+      Relation.equal (Relation.union (rel_of p1) (rel_of p2))
+        (Relation.union (rel_of p2) (rel_of p1)))
+
+let prop_inverse_involutive =
+  QCheck.Test.make ~count:300 ~name:"inverse is involutive" arbitrary_relation (fun pairs ->
+      let r = rel_of pairs in
+      Relation.equal r (Relation.inverse (Relation.inverse r)))
+
+let prop_compose_associative =
+  QCheck.Test.make ~count:200 ~name:"composition associates"
+    (QCheck.triple arbitrary_relation arbitrary_relation arbitrary_relation)
+    (fun (p1, p2, p3) ->
+      let a = rel_of p1 and b = rel_of p2 and c = rel_of p3 in
+      Relation.equal
+        (Relation.compose (Relation.compose a b) c)
+        (Relation.compose a (Relation.compose b c)))
+
+let prop_acyclic_iff_no_cycle_found =
+  QCheck.Test.make ~count:300 ~name:"find_cycle agrees with is_acyclic" arbitrary_relation
+    (fun pairs ->
+      let r = rel_of pairs in
+      Relation.is_acyclic r = (Relation.find_cycle r = None))
+
+let () =
+  Alcotest.run "memmodel"
+    [
+      ( "event",
+        [
+          Alcotest.test_case "predicates" `Quick test_event_predicates;
+          Alcotest.test_case "pretty-printing" `Quick test_event_pp;
+        ] );
+      ( "relation",
+        [
+          Alcotest.test_case "basics" `Quick test_relation_basics;
+          Alcotest.test_case "add is immutable" `Quick test_relation_add_immutable;
+          Alcotest.test_case "union/inter/subset" `Quick test_relation_union_inter;
+          Alcotest.test_case "compose" `Quick test_relation_compose;
+          Alcotest.test_case "inverse" `Quick test_relation_inverse;
+          Alcotest.test_case "transitive closure" `Quick test_relation_closure;
+          Alcotest.test_case "acyclicity" `Quick test_relation_acyclicity;
+          Alcotest.test_case "find_cycle" `Quick test_relation_find_cycle;
+          Alcotest.test_case "total order" `Quick test_relation_total_order;
+          Alcotest.test_case "restrict" `Quick test_relation_restrict;
+          Alcotest.test_case "bounds" `Quick test_relation_bounds_checked;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "well-formed" `Quick test_execution_well_formed;
+          Alcotest.test_case "rejects bad rf" `Quick test_execution_rejects_bad_rf;
+          Alcotest.test_case "rejects bad co" `Quick test_execution_rejects_bad_co;
+          Alcotest.test_case "value_read" `Quick test_value_read;
+          Alcotest.test_case "derived relations" `Quick test_derived_relations;
+          Alcotest.test_case "sw derivation" `Quick test_sw_derived;
+        ] );
+      ( "model",
+        [
+          Alcotest.test_case "MP weak consistency" `Quick test_mp_weak_consistency;
+          Alcotest.test_case "MP fence weak consistency" `Quick test_mp_fence_weak_consistency;
+          Alcotest.test_case "hb cycle description" `Quick test_hb_cycle_description;
+          Alcotest.test_case "RMW atomicity" `Quick test_rmw_atomicity;
+          Alcotest.test_case "model names" `Quick test_model_names_roundtrip;
+          Alcotest.test_case "strength chain" `Quick test_model_strength_chain;
+        ] );
+      ( "cat",
+        [
+          Alcotest.test_case "matches direct models" `Quick test_cat_matches_direct_models;
+          Alcotest.test_case "expression algebra" `Quick test_cat_eval_algebra;
+          Alcotest.test_case "TSO allows SB" `Quick test_cat_tso_allows_store_buffering;
+          Alcotest.test_case "TSO forbids MP" `Quick test_cat_tso_forbids_mp;
+          Alcotest.test_case "failing axiom names" `Quick test_cat_failing_axiom_names;
+          Alcotest.test_case "find" `Quick test_cat_find;
+          Alcotest.test_case "pretty-printing" `Quick test_cat_pretty_printing;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_closure_idempotent; prop_closure_contains; prop_union_commutative;
+            prop_inverse_involutive; prop_compose_associative; prop_acyclic_iff_no_cycle_found;
+          ] );
+    ]

@@ -1,0 +1,162 @@
+(* Tests for mcm_stats: descriptive statistics, the Pearson correlation
+   coefficient, and the Student's t significance machinery (checked
+   against externally computed reference values). *)
+
+module D = Mcm_stats.Descriptive
+module P = Mcm_stats.Pearson
+
+let check = Alcotest.(check bool)
+let checkf msg expected actual = Alcotest.(check (float 1e-6)) msg expected actual
+
+(* -------------------------------------------------------------------- *)
+(* Descriptive                                                            *)
+
+let test_mean () =
+  checkf "mean" 2.5 (D.mean [| 1.; 2.; 3.; 4. |]);
+  check "empty is nan" true (Float.is_nan (D.mean [||]))
+
+let test_variance_stddev () =
+  checkf "variance" 1.25 (D.variance [| 1.; 2.; 3.; 4. |]);
+  checkf "stddev" (sqrt 1.25) (D.stddev [| 1.; 2.; 3.; 4. |]);
+  checkf "constant variance" 0. (D.variance [| 5.; 5.; 5. |])
+
+let test_min_max () =
+  checkf "min" (-1.) (D.minimum [| 3.; -1.; 2. |]);
+  checkf "max" 3. (D.maximum [| 3.; -1.; 2. |])
+
+let test_geometric_mean () =
+  checkf "geomean" 2. (D.geometric_mean [| 1.; 2.; 4. |]);
+  checkf "skips zeros" 2. (D.geometric_mean [| 0.; 1.; 2.; 4. |]);
+  check "all non-positive is nan" true (Float.is_nan (D.geometric_mean [| 0.; -3. |]))
+
+let test_median () =
+  checkf "odd" 2. (D.median [| 3.; 1.; 2. |]);
+  checkf "even" 2.5 (D.median [| 4.; 1.; 2.; 3. |]);
+  check "empty is nan" true (Float.is_nan (D.median [||]))
+
+(* -------------------------------------------------------------------- *)
+(* Pearson                                                                *)
+
+let test_pcc_perfect () =
+  checkf "positive" 1. (P.pcc [| 1.; 2.; 3. |] [| 2.; 4.; 6. |]);
+  checkf "negative" (-1.) (P.pcc [| 1.; 2.; 3. |] [| 3.; 2.; 1. |])
+
+let test_pcc_known_value () =
+  (* Reference value computed independently. *)
+  let xs = [| 1.; 2.; 3.; 4.; 5. |] and ys = [| 2.; 1.; 4.; 3.; 5. |] in
+  checkf "r = 0.8" 0.8 (P.pcc xs ys)
+
+let test_pcc_degenerate () =
+  check "length mismatch" true (Float.is_nan (P.pcc [| 1. |] [| 1.; 2. |]));
+  check "too short" true (Float.is_nan (P.pcc [| 1. |] [| 1. |]));
+  check "zero variance" true (Float.is_nan (P.pcc [| 1.; 1. |] [| 1.; 2. |]))
+
+let test_incomplete_beta_reference () =
+  (* Reference values: I_0.5(1,1)=0.5; I_0.25(2,3)=67/256; I_x(a,b)
+     symmetry. *)
+  checkf "uniform" 0.5 (P.incomplete_beta ~a:1. ~b:1. ~x:0.5);
+  checkf "I_0.25(2,3)" (67. /. 256.) (P.incomplete_beta ~a:2. ~b:3. ~x:0.25);
+  checkf "boundary 0" 0. (P.incomplete_beta ~a:2. ~b:2. ~x:0.);
+  checkf "boundary 1" 1. (P.incomplete_beta ~a:2. ~b:2. ~x:1.);
+  let a = 3.5 and b = 1.25 and x = 0.4 in
+  checkf "symmetry" 1.
+    (P.incomplete_beta ~a ~b ~x +. P.incomplete_beta ~a:b ~b:a ~x:(1. -. x))
+
+let test_t_statistic () =
+  checkf "r=0 gives t=0" 0. (P.t_statistic ~r:0. ~n:10);
+  check "grows with r" true (P.t_statistic ~r:0.9 ~n:10 > P.t_statistic ~r:0.5 ~n:10)
+
+let test_p_value_reference () =
+  (* Two-sided p for r over n pairs; references from t tables:
+     r=0.5, n=10 -> t=1.633, df=8 -> p ≈ 0.1411. *)
+  check "r=0.5 n=10" true (abs_float (P.p_value ~r:0.5 ~n:10 -. 0.1411) < 2e-3);
+  checkf "r=0 is 1" 1. (P.p_value ~r:0. ~n:10);
+  checkf "|r|=1 is 0" 0. (P.p_value ~r:1. ~n:10);
+  check "n<3 nan" true (Float.is_nan (P.p_value ~r:0.5 ~n:2));
+  (* The paper's Sec. 5.4 claim: PCC > 0.89 over 150 environments has
+     chance probability below 1e-8. *)
+  check "paper significance" true (P.p_value ~r:0.893 ~n:150 < 1e-8)
+
+let test_p_value_monotone_in_r () =
+  let prev = ref 1.1 in
+  List.iter
+    (fun r ->
+      let p = P.p_value ~r ~n:30 in
+      check "decreasing in r" true (p <= !prev);
+      prev := p)
+    [ 0.; 0.2; 0.4; 0.6; 0.8; 0.95 ]
+
+(* -------------------------------------------------------------------- *)
+(* Properties                                                             *)
+
+let finite_floats = QCheck.(list_of_size (Gen.int_range 2 40) (float_range (-1e6) 1e6))
+
+let prop_pcc_bounded =
+  QCheck.Test.make ~count:300 ~name:"pcc within [-1, 1]" (QCheck.pair finite_floats finite_floats)
+    (fun (xs, ys) ->
+      let n = min (List.length xs) (List.length ys) in
+      QCheck.assume (n >= 2);
+      let take l = Array.of_list (List.filteri (fun i _ -> i < n) l) in
+      let r = P.pcc (take xs) (take ys) in
+      Float.is_nan r || (r >= -1.0000001 && r <= 1.0000001))
+
+let prop_pcc_symmetric =
+  QCheck.Test.make ~count:300 ~name:"pcc is symmetric" (QCheck.pair finite_floats finite_floats)
+    (fun (xs, ys) ->
+      let n = min (List.length xs) (List.length ys) in
+      QCheck.assume (n >= 2);
+      let take l = Array.of_list (List.filteri (fun i _ -> i < n) l) in
+      let a = P.pcc (take xs) (take ys) and b = P.pcc (take ys) (take xs) in
+      (Float.is_nan a && Float.is_nan b) || abs_float (a -. b) < 1e-9)
+
+let prop_pcc_affine_invariant =
+  QCheck.Test.make ~count:300 ~name:"pcc invariant under positive affine maps" finite_floats
+    (fun xs ->
+      QCheck.assume (List.length xs >= 2);
+      let a = Array.of_list xs in
+      let b = Array.map (fun x -> (3. *. x) +. 7.) a in
+      let r = P.pcc a b in
+      Float.is_nan r || abs_float (r -. 1.) < 1e-6)
+
+let prop_incomplete_beta_monotone =
+  QCheck.Test.make ~count:300 ~name:"incomplete beta monotone in x"
+    QCheck.(triple (float_range 0.5 10.) (float_range 0.5 10.) (pair (float_range 0. 1.) (float_range 0. 1.)))
+    (fun (a, b, (x1, x2)) ->
+      let lo = Float.min x1 x2 and hi = Float.max x1 x2 in
+      P.incomplete_beta ~a ~b ~x:lo <= P.incomplete_beta ~a ~b ~x:hi +. 1e-9)
+
+let prop_median_between_bounds =
+  QCheck.Test.make ~count:300 ~name:"median within [min, max]" finite_floats (fun xs ->
+      QCheck.assume (xs <> []);
+      let a = Array.of_list xs in
+      let m = D.median a in
+      m >= D.minimum a -. 1e-9 && m <= D.maximum a +. 1e-9)
+
+let () =
+  Alcotest.run "stats"
+    [
+      ( "descriptive",
+        [
+          Alcotest.test_case "mean" `Quick test_mean;
+          Alcotest.test_case "variance/stddev" `Quick test_variance_stddev;
+          Alcotest.test_case "min/max" `Quick test_min_max;
+          Alcotest.test_case "geometric mean" `Quick test_geometric_mean;
+          Alcotest.test_case "median" `Quick test_median;
+        ] );
+      ( "pearson",
+        [
+          Alcotest.test_case "perfect correlation" `Quick test_pcc_perfect;
+          Alcotest.test_case "known value" `Quick test_pcc_known_value;
+          Alcotest.test_case "degenerate inputs" `Quick test_pcc_degenerate;
+          Alcotest.test_case "incomplete beta references" `Quick test_incomplete_beta_reference;
+          Alcotest.test_case "t statistic" `Quick test_t_statistic;
+          Alcotest.test_case "p-value references" `Quick test_p_value_reference;
+          Alcotest.test_case "p-value monotone" `Quick test_p_value_monotone_in_r;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_pcc_bounded; prop_pcc_symmetric; prop_pcc_affine_invariant;
+            prop_incomplete_beta_monotone; prop_median_between_bounds;
+          ] );
+    ]

@@ -1,0 +1,149 @@
+(* Tests for mcm_wgsl: the generated WebGPU shaders must be structurally
+   sound, contain exactly the test's atomic operations, honour the
+   environment's layout, and expose a stable host-side results
+   contract. *)
+
+module Litmus = Mcm_litmus.Litmus
+module Instr = Mcm_litmus.Instr
+module Library = Mcm_litmus.Library
+module Suite = Mcm_core.Suite
+module Params = Mcm_testenv.Params
+module Wgsl = Mcm_wgsl.Wgsl
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let count hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i acc =
+    if i + n > h then acc else go (i + 1) (if String.sub hay i n = needle then acc + 1 else acc)
+  in
+  go 0 0
+
+let env = Params.pte_baseline
+
+let test_every_suite_shader_validates () =
+  List.iter
+    (fun (e : Suite.entry) ->
+      let src = Wgsl.shader e.Suite.test ~env in
+      match Wgsl.validate src with
+      | Ok () -> ()
+      | Error err -> Alcotest.failf "%s: %s" e.Suite.test.Litmus.name err)
+    (Suite.all ())
+
+let test_every_classic_shader_validates () =
+  List.iter
+    (fun t ->
+      match Wgsl.validate (Wgsl.shader t ~env) with
+      | Ok () -> ()
+      | Error err -> Alcotest.failf "%s: %s" t.Litmus.name err)
+    Library.all
+
+let test_workgroup_size_from_env () =
+  let src = Wgsl.shader Library.mp ~env:{ env with Params.threads_per_workgroup = 128 } in
+  check "workgroup size 128" true (contains src "@workgroup_size(128)")
+
+let test_operations_match_program () =
+  (* MP-relacq: 2 stores, 2 loads, 2 fences; plus the results stores. *)
+  let src = Wgsl.shader Library.mp_relacq ~env in
+  check_int "storageBarrier count" 2 (count src "storageBarrier();");
+  check_int "atomicLoad count" 2 (count src "atomicLoad(&test_locations");
+  (* 2 data stores + 2 result stores *)
+  check_int "test stores" 2 (count src "atomicStore(&test_locations");
+  check_int "result stores" 2 (count src "atomicStore(&results")
+
+let test_rmw_lowering () =
+  let src = Wgsl.shader Library.sb_relacq_rmw ~env in
+  check_int "atomicExchange count" 2 (count src "atomicExchange(&test_locations");
+  check "validates" true (Wgsl.validate src = Ok ())
+
+let test_role_count_matches_threads () =
+  let src = Wgsl.shader Library.iriw ~env in
+  check_int "four role slices" 4 (count src "// role ")
+
+let test_result_slots_contract () =
+  let slots = Wgsl.result_slots Library.mp_relacq in
+  (* Thread 1 has registers 0 and 1; slots are dense from 0. *)
+  Alcotest.(check (list (triple int int int))) "slots" [ (1, 0, 0); (1, 1, 1) ] slots;
+  let slots = Wgsl.result_slots Library.iriw in
+  check_int "iriw has four slots" 4 (List.length slots);
+  List.iteri (fun i (_, _, slot) -> check_int "dense" i slot) slots
+
+let test_instruction_lowering () =
+  let loc_exprs l = Printf.sprintf "loc_%d" l in
+  Alcotest.(check string)
+    "load" "let r0 = atomicLoad(&test_locations.value[loc_0]);"
+    (Wgsl.instruction ~loc_exprs (Instr.Load { reg = 0; loc = 0 }));
+  Alcotest.(check string)
+    "store" "atomicStore(&test_locations.value[loc_1], 2u);"
+    (Wgsl.instruction ~loc_exprs (Instr.Store { loc = 1; value = 2 }));
+  Alcotest.(check string)
+    "rmw" "let r1 = atomicExchange(&test_locations.value[loc_0], 3u);"
+    (Wgsl.instruction ~loc_exprs (Instr.Rmw { reg = 1; loc = 0; value = 3 }));
+  Alcotest.(check string) "fence" "storageBarrier();" (Wgsl.instruction ~loc_exprs Instr.Fence)
+
+let test_permutation_in_shader () =
+  let src = Wgsl.shader Library.mp ~env in
+  check "uses the pairing permutation" true (contains src "stress_params.permute_second");
+  check "spreads the second location" true (contains src "stress_params.permute_first");
+  check "declares the permutation function" true (contains src "fn permute_id(")
+
+let test_stress_harness_present () =
+  let src = Wgsl.shader Library.mp ~env in
+  check "stress function" true (contains src "fn do_stress(");
+  check "spin barrier" true (contains src "fn spin(");
+  check "non-testing workgroups stress" true (contains src "stress_params.mem_stress == 1u")
+
+let test_rejects_ill_formed () =
+  let bad = { Library.mp with Litmus.nlocs = 0 } in
+  Alcotest.check_raises "invalid test"
+    (Invalid_argument "Wgsl.shader: thread 0 uses location 0 >= nlocs 0") (fun () ->
+      ignore (Wgsl.shader bad ~env))
+
+let test_validate_catches_imbalance () =
+  check "unbalanced braces" true (Wgsl.validate "fn main() {" = Error "unbalanced braces");
+  check "unbalanced parens" true (Wgsl.validate "fn main( {}" = Error "unbalanced parentheses");
+  check "no entry point" true (Result.is_error (Wgsl.validate "fn main() {}"));
+  check "good shader ok" true (Wgsl.validate (Wgsl.shader Library.mp ~env) = Ok ())
+
+let prop_all_values_emitted =
+  QCheck.Test.make ~count:50 ~name:"every stored value appears in the shader"
+    (QCheck.make (QCheck.Gen.oneofl (List.map (fun (e : Suite.entry) -> e.Suite.test) (Suite.all ()))))
+    (fun test ->
+      let src = Wgsl.shader test ~env in
+      Array.for_all
+        (fun instrs ->
+          List.for_all
+            (fun i ->
+              match i with
+              | Instr.Store { value; _ } | Instr.Rmw { value; _ } ->
+                  contains src (Printf.sprintf "%du" value)
+              | Instr.Load _ | Instr.Fence -> true)
+            instrs)
+        test.Litmus.threads)
+
+let () =
+  Alcotest.run "wgsl"
+    [
+      ( "generation",
+        [
+          Alcotest.test_case "suite shaders validate" `Quick test_every_suite_shader_validates;
+          Alcotest.test_case "classic shaders validate" `Quick test_every_classic_shader_validates;
+          Alcotest.test_case "workgroup size" `Quick test_workgroup_size_from_env;
+          Alcotest.test_case "operations match program" `Quick test_operations_match_program;
+          Alcotest.test_case "rmw lowering" `Quick test_rmw_lowering;
+          Alcotest.test_case "role count" `Quick test_role_count_matches_threads;
+          Alcotest.test_case "result slots" `Quick test_result_slots_contract;
+          Alcotest.test_case "instruction lowering" `Quick test_instruction_lowering;
+          Alcotest.test_case "permutation plumbing" `Quick test_permutation_in_shader;
+          Alcotest.test_case "stress harness" `Quick test_stress_harness_present;
+          Alcotest.test_case "rejects ill-formed" `Quick test_rejects_ill_formed;
+          Alcotest.test_case "validate catches imbalance" `Quick test_validate_catches_imbalance;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest [ prop_all_values_emitted ]);
+    ]
