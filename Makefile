@@ -1,0 +1,26 @@
+.PHONY: all build test bench bench-smoke check clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+# Full benchmark suite (bechamel micro-benchmarks + serial-vs-parallel
+# campaign benchmark; writes BENCH_parallel.json).
+bench:
+	dune exec bench/main.exe
+
+# Parallel benchmark only, at 1 iteration per campaign — fast enough for
+# CI; still checks bit-identity between serial and every domain count.
+bench-smoke:
+	MCM_BENCH_SMOKE=1 dune exec bench/main.exe
+
+# The one target CI needs: build, full test suite, smoke benchmark.
+check: build test bench-smoke
+
+clean:
+	dune clean
+	rm -f BENCH_parallel.json

@@ -6,7 +6,11 @@
    Sec. 5.1 tuning-cost comparison) at the configured scale — set
    MCM_SCALE=1.0 MCM_ENVS=150 for the paper's full-size sweep.
 
-   Part 2 registers one Bechamel micro-benchmark per experiment (plus the
+   Part 2 times a serial vs parallel tuning sweep (the domain pool's
+   speedup) and records it in BENCH_parallel.json; MCM_BENCH_SMOKE=1
+   runs only this part at 1 iteration as a fast parallel-path check.
+
+   Part 3 registers one Bechamel micro-benchmark per experiment (plus the
    DESIGN.md ablations) so the cost of each moving part is tracked. *)
 
 module Suite = Mcm_core.Suite
@@ -24,6 +28,8 @@ module Tuning = Mcm_harness.Tuning
 module Experiments = Mcm_harness.Experiments
 module Table = Mcm_util.Table
 module Prng = Mcm_util.Prng
+module Pool = Mcm_util.Pool
+module Jsonw = Mcm_util.Jsonw
 module Pearson = Mcm_stats.Pearson
 
 let section title =
@@ -87,7 +93,7 @@ let print_reproductions () =
   List.iter
     (fun (label, p2) ->
       let env = { base_env with Params.permute_second = p2 } in
-      let r = Runner.run ~device ~env ~test:mutant ~iterations:10 ~seed:4242 in
+      let r = Runner.run ~device ~env ~test:mutant ~iterations:10 ~seed:4242 () in
       Table.add_row abl [ label; string_of_int r.Runner.kills; Table.rate_cell r.Runner.rate ])
     [ ("identity (v -> v)", 1); ("coprime permutation", 1031) ];
   Table.print abl;
@@ -149,7 +155,102 @@ let print_reproductions () =
   Table.print abl2
 
 (* ------------------------------------------------------------------ *)
-(* Part 2: Bechamel micro-benchmarks                                    *)
+(* Part 2: the domain-pool speedup benchmark                            *)
+
+(* Serial vs parallel wall-clock over a tuning sweep — the PTE story one
+   level up: pack the whole parameter grid into one multicore launch.
+   Results are checked bit-identical across domain counts and the
+   numbers land in a BENCH_*.json so the perf trajectory is tracked.
+   MCM_BENCH_SMOKE=1 shrinks everything to one iteration: a CI-speed
+   exercise of the parallel path, not a measurement. *)
+
+let wall f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. t0)
+
+let parallel_bench ~smoke () =
+  section "Domain pool: serial vs parallel tuning sweep";
+  let config =
+    {
+      Tuning.n_envs = 3;
+      (* 3 Site + 3 Pte + the two baselines = 8 environment grid rows *)
+      site_iterations = (if smoke then 1 else 160);
+      pte_iterations = (if smoke then 1 else 40);
+      scale = 0.02;
+      seed = 20230325;
+    }
+  in
+  let devices = [ Device.make Profile.nvidia; Device.make Profile.intel ] in
+  let tests =
+    List.filter
+      (fun (e : Suite.entry) ->
+        List.mem e.Suite.test.Litmus.name [ "MP-CO-m"; "CoRR-m"; "MP-relacq-m3" ])
+      (Suite.mutants ())
+  in
+  (* Project each run onto closure-free fields so sweeps can be compared
+     with structural equality, floats included — the determinism claim is
+     bit-identity, not approximate agreement. *)
+  let fingerprint runs =
+    List.map
+      (fun (r : Tuning.run) -> (r.Tuning.category, r.Tuning.env_index, r.Tuning.test_name, r.Tuning.result))
+      runs
+  in
+  let serial, serial_s = wall (fun () -> Tuning.sweep ~devices ~tests config) in
+  let grid_points = List.length serial in
+  Printf.printf "  sweep of %d grid points (%d SITE / %d PTE iterations per point)\n"
+    grid_points config.Tuning.site_iterations config.Tuning.pte_iterations;
+  Printf.printf "  serial                  %8.3f s\n%!" serial_s;
+  let rows =
+    List.map
+      (fun d ->
+        let runs, t = wall (fun () -> Tuning.sweep ~domains:d ~devices ~tests config) in
+        let identical = fingerprint runs = fingerprint serial in
+        let speedup = if t > 0. then serial_s /. t else 0. in
+        Printf.printf "  %2d domains              %8.3f s   %5.2fx%s\n%!" d t speedup
+          (if identical then "   (bit-identical)" else "   RESULTS DIVERGED");
+        (d, t, speedup, identical))
+      [ 1; 2; 4; 8 ]
+  in
+  let json =
+    Jsonw.Obj
+      [
+        ("benchmark", Jsonw.String "domain-pool-sweep-speedup");
+        ("smoke", Jsonw.Bool smoke);
+        ("cores", Jsonw.Int (Pool.default_domains ()));
+        ("grid_points", Jsonw.Int grid_points);
+        ("site_iterations", Jsonw.Int config.Tuning.site_iterations);
+        ("pte_iterations", Jsonw.Int config.Tuning.pte_iterations);
+        ("serial_s", Jsonw.Float serial_s);
+        ( "runs",
+          Jsonw.List
+            (List.map
+               (fun (d, t, speedup, identical) ->
+                 Jsonw.Obj
+                   [
+                     ("domains", Jsonw.Int d);
+                     ("seconds", Jsonw.Float t);
+                     ("speedup", Jsonw.Float speedup);
+                     ("identical_to_serial", Jsonw.Bool identical);
+                   ])
+               rows) );
+      ]
+  in
+  let path =
+    match Sys.getenv_opt "MCM_BENCH_OUT" with Some p when p <> "" -> p | _ -> "BENCH_parallel.json"
+  in
+  let oc = open_out path in
+  Jsonw.to_channel oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" path;
+  if List.exists (fun (_, _, _, identical) -> not identical) rows then begin
+    prerr_endline "bench: parallel sweep diverged from the serial oracle";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Part 3: Bechamel micro-benchmarks                                    *)
 
 open Bechamel
 open Toolkit
@@ -175,12 +276,12 @@ let bench_tests () =
        environment on one device. *)
     Test.make ~name:"fig5/pte-campaign"
       (Staged.stage (fun () ->
-           ignore (Runner.run ~device:nvidia ~env:small_env ~test:mutant ~iterations:1 ~seed:3)));
+           ignore (Runner.run ~device:nvidia ~env:small_env ~test:mutant ~iterations:1 ~seed:3 ())));
     Test.make ~name:"fig5/site-campaign"
       (Staged.stage (fun () ->
            ignore
              (Runner.run ~device:nvidia ~env:Params.site_baseline ~test:mutant ~iterations:10
-                ~seed:3)));
+                ~seed:3 ())));
     (* Fig. 6's unit of work: one Algorithm-1 merge over a rate matrix. *)
     Test.make ~name:"fig6/merge-environments"
       (Staged.stage
@@ -253,8 +354,23 @@ let run_benchmarks () =
     (List.map (fun t -> Test.make_grouped ~name:"" [ t ]) (bench_tests ()))
 
 let () =
-  print_endline "MC Mutants reproduction: evaluation harness";
-  print_reproductions ();
-  run_benchmarks ();
-  print_newline ();
-  print_endline "done."
+  let smoke =
+    match Sys.getenv_opt "MCM_BENCH_SMOKE" with
+    | None | Some "" | Some "0" -> false
+    | Some _ -> true
+  in
+  if smoke then begin
+    (* CI-speed verification: build the suite, exercise the parallel
+       sweep at 1 iteration, check bit-identity, skip the slow parts. *)
+    print_endline "MC Mutants reproduction: smoke bench (MCM_BENCH_SMOKE)";
+    parallel_bench ~smoke:true ();
+    print_endline "smoke ok."
+  end
+  else begin
+    print_endline "MC Mutants reproduction: evaluation harness";
+    print_reproductions ();
+    parallel_bench ~smoke:false ();
+    run_benchmarks ();
+    print_newline ();
+    print_endline "done."
+  end

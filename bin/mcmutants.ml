@@ -77,6 +77,14 @@ let histogram_arg =
   let doc = "Classify every executed instance (sequential/interleaved/weak/forbidden)." in
   Arg.(value & flag & info [ "histogram" ] ~doc)
 
+let jobs_arg =
+  let doc =
+    "Worker domains for parallel execution (campaign iterations and sweep grid points are \
+     sharded across them; results are bit-identical for any value). Defaults to the \
+     machine's recommended domain count."
+  in
+  Arg.(value & opt int (Mcm_util.Pool.default_domains ()) & info [ "j"; "jobs" ] ~docv:"N" ~doc)
+
 let effective_scale scale =
   match scale with
   | Some s -> s
@@ -182,7 +190,7 @@ let enumerate_cmd =
 (* run                                                                  *)
 
 let run_cmd =
-  let run name device env iterations seed bugs scale histogram =
+  let run name device env iterations seed bugs scale histogram jobs =
     let test = or_die (find_test name) in
     let profile = or_die (find_device device) in
     let env = or_die (parse_env env seed scale) in
@@ -202,9 +210,9 @@ let run_cmd =
       (Format.asprintf "%a" Params.pp env);
     let r, breakdown =
       if histogram then
-        let r, h = Runner.run_with_histogram ~device ~env ~test ~iterations ~seed in
+        let r, h = Runner.run_with_histogram ~domains:jobs ~device ~env ~test ~iterations ~seed () in
         (r, Some h)
-      else (Runner.run ~device ~env ~test ~iterations ~seed, None)
+      else (Runner.run ~domains:jobs ~device ~env ~test ~iterations ~seed (), None)
     in
     Printf.printf
       "iterations: %d\ninstances: %d\ntarget observed: %d\nsimulated time: %.6f s\nrate: %s /s\n"
@@ -225,7 +233,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one test in a testing environment on a simulated device")
     Term.(const run $ test_arg $ device_arg $ env_arg $ iterations_arg $ seed_arg $ bugs_arg
-          $ scale_arg $ histogram_arg)
+          $ scale_arg $ histogram_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* parse / export: the textual litmus format                            *)
@@ -291,17 +299,17 @@ let table3_cmd =
   let run () = Table.print (Experiments.table3 ()) in
   Cmd.v (Cmd.info "table3" ~doc:"Reproduce Table 3 (device inventory)") Term.(const run $ const ())
 
-let sweep_of_config () =
+let sweep_of_config jobs =
   let config = Tuning.default_config () in
   Printf.printf
-    "tuning sweep: %d envs/category, %d SITE iters, %d PTE iters, scale %.3f, seed %d\n%!"
+    "tuning sweep: %d envs/category, %d SITE iters, %d PTE iters, scale %.3f, seed %d, %d jobs\n%!"
     config.Tuning.n_envs config.Tuning.site_iterations config.Tuning.pte_iterations
-    config.Tuning.scale config.Tuning.seed;
-  Tuning.sweep config
+    config.Tuning.scale config.Tuning.seed jobs;
+  Tuning.sweep ~domains:jobs config
 
 let fig5_cmd =
-  let run () =
-    let runs = sweep_of_config () in
+  let run jobs =
+    let runs = sweep_of_config jobs in
     List.iter
       (fun (title, t) ->
         print_newline ();
@@ -316,27 +324,27 @@ let fig5_cmd =
   in
   Cmd.v
     (Cmd.info "fig5" ~doc:"Reproduce Figure 5 (mutation scores and death rates)")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let fig6_cmd =
-  let run () =
-    let runs = sweep_of_config () in
+  let run jobs =
+    let runs = sweep_of_config jobs in
     print_newline ();
     print_endline "Figure 6: mutation score vs per-test time budget (merged environments, Alg. 1)";
     Table.print (Experiments.Fig6.table runs)
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Reproduce Figure 6 (reproducible mutation score vs time budget)")
-    Term.(const run $ const ())
+    Term.(const run $ jobs_arg)
 
 let table4_cmd =
-  let run scale =
-    let rows = Experiments.Table4.compute ?scale () in
+  let run scale jobs =
+    let rows = Experiments.Table4.compute ~domains:jobs ?scale () in
     Table.print (Experiments.Table4.table rows)
   in
   Cmd.v
     (Cmd.info "table4" ~doc:"Reproduce Table 4 (mutant kills vs real-bug correlation)")
-    Term.(const run $ scale_arg)
+    Term.(const run $ scale_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* models: print the axiomatic models in CAT style                      *)
@@ -435,8 +443,8 @@ let prune_cmd =
 (* tune: run the sweep and save the artifact-style JSON                 *)
 
 let tune_cmd =
-  let run save =
-    let runs = sweep_of_config () in
+  let run save jobs =
+    let runs = sweep_of_config jobs in
     let records = Mcm_harness.Results.of_runs runs in
     Printf.printf "%d measurements\n" (List.length records);
     match save with
@@ -453,7 +461,7 @@ let tune_cmd =
   in
   Cmd.v
     (Cmd.info "tune" ~doc:"Run the tuning sweep and optionally save results as JSON")
-    Term.(const run $ save)
+    Term.(const run $ save $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* analysis: the artifact's analysis.py, over saved JSON                *)
@@ -533,8 +541,8 @@ let analysis_cmd =
 (* cts: the Sec. 4.2 curation story                                     *)
 
 let cts_cmd =
-  let run target budget =
-    let runs = sweep_of_config () in
+  let run target budget jobs =
+    let runs = sweep_of_config jobs in
     let devices = List.map (fun p -> p.Profile.short_name) Profile.all in
     let n_devices = List.length devices in
     let n_envs =
@@ -588,7 +596,7 @@ let cts_cmd =
   in
   Cmd.v
     (Cmd.info "cts" ~doc:"Curate per-test environments for a conformance test suite (Alg. 1)")
-    Term.(const run $ target $ budget)
+    Term.(const run $ target $ budget $ jobs_arg)
 
 let main =
   let doc = "MC Mutants: mutation testing for memory consistency specifications (ASPLOS '23)" in

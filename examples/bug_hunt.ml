@@ -21,6 +21,10 @@ module Confidence = Mcm_core.Confidence
 let iterations = 12
 let seed = 7
 
+(* Shard campaign iterations across every core; the hunt's findings are
+   bit-identical to a serial run. *)
+let jobs = Mcm_util.Pool.default_domains ()
+
 let () =
   let env = Params.scaled Params.pte_baseline 0.02 in
   Printf.printf "Hunting with a parallel testing environment: %s\n\n"
@@ -43,8 +47,8 @@ let () =
           (fun (entry : Suite.entry) ->
             let test = entry.Suite.test in
             let r =
-              Runner.run ~device ~env ~test ~iterations
-                ~seed:(Mcm_util.Prng.mix seed (Hashtbl.hash test.Litmus.name))
+              Runner.run ~domains:jobs ~device ~env ~test ~iterations
+                ~seed:(Mcm_util.Prng.mix seed (Hashtbl.hash test.Litmus.name)) ()
             in
             if r.Runner.kills > 0 then Some (test.Litmus.name, r) else None)
           (Suite.conformance_tests ())
@@ -86,7 +90,7 @@ let () =
       (fun device ->
         List.for_all
           (fun (entry : Suite.entry) ->
-            (Runner.run ~device ~env ~test:entry.Suite.test ~iterations:3 ~seed).Runner.kills = 0)
+            (Runner.run ~device ~env ~test:entry.Suite.test ~iterations:3 ~seed ()).Runner.kills = 0)
           (Suite.conformance_tests ()))
       (Device.all_correct ())
   in

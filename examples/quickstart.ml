@@ -63,7 +63,12 @@ let () =
         by the coprime permutation of Sec. 4.1. *)
   let device = Device.make Profile.nvidia in
   let env = Params.scaled Params.pte_baseline 0.02 in
-  let result = Runner.run ~device ~env ~test:mutant ~iterations:10 ~seed:42 in
+  let result =
+    (* ~domains shards the 10 launches across cores; kills/rates are
+       bit-identical to the serial run for any domain count. *)
+    Runner.run ~domains:(Mcm_util.Pool.default_domains ()) ~device ~env ~test:mutant
+      ~iterations:10 ~seed:42 ()
+  in
   Printf.printf "\nPTE on %s: %d kills in %d instances (%.4f simulated s, %.0f kills/s)\n"
     (Device.name device) result.Runner.kills result.Runner.instances result.Runner.sim_time_s
     result.Runner.rate;
@@ -76,7 +81,7 @@ let () =
 
   (* 6. The same campaign against a single-instance environment shows why
         the paper's parallel strategy matters. *)
-  let site = Runner.run ~device ~env:Params.site_baseline ~test:mutant ~iterations:100 ~seed:42 in
+  let site = Runner.run ~device ~env:Params.site_baseline ~test:mutant ~iterations:100 ~seed:42 () in
   Printf.printf "\nSITE baseline on %s: %d kills in %d instances (%.0f kills/s)\n"
     (Device.name device) site.Runner.kills site.Runner.instances site.Runner.rate;
   if site.Runner.rate > 0. then

@@ -1,5 +1,6 @@
 module Table = Mcm_util.Table
 module Prng = Mcm_util.Prng
+module Pool = Mcm_util.Pool
 module Suite = Mcm_core.Suite
 module Mutator = Mcm_core.Mutator
 module Merge = Mcm_core.Merge
@@ -231,7 +232,7 @@ module Table4 = struct
       (Profile.nvidia, "MP-CO", "Weakening po-loc");
     ]
 
-  let compute ?n_envs ?iterations ?scale ?(seed = 20230325) () =
+  let compute ?domains ?n_envs ?iterations ?scale ?(seed = 20230325) () =
     let scale =
       match scale with
       | Some s -> s
@@ -242,6 +243,15 @@ module Table4 = struct
     in
     let n_envs = match n_envs with Some n -> n | None -> if scale >= 1. then 150 else 40 in
     let iterations = match iterations with Some i -> i | None -> if scale >= 1. then 100 else 8 in
+    (* One pool for the whole study; the (test × environment) campaigns of
+       each case fan out over it. Each campaign's seed depends only on its
+       grid coordinates, so rate vectors are identical for any pool size. *)
+    let pooled f =
+      match domains with
+      | None | Some 1 -> f None
+      | Some d -> Pool.with_pool ~domains:d (fun pool -> f (Some pool))
+    in
+    pooled @@ fun pool ->
     List.map
       (fun (profile, conf_name, mutant_type) ->
         let device =
@@ -257,15 +267,18 @@ module Table4 = struct
         let mutants = List.map (fun e -> e.Suite.test) (Suite.mutants_of conf_name) in
         let g = Prng.create (Prng.mix seed (Hashtbl.hash conf_name)) in
         let envs =
-          List.init n_envs (fun _ -> Params.scaled (Params.random g Params.Parallel) scale)
+          Array.of_list
+            (List.init n_envs (fun _ -> Params.scaled (Params.random g Params.Parallel) scale))
         in
         let rates test =
-          Array.of_list
-            (List.mapi
-               (fun i env ->
-                 let seed = Prng.mix seed (Hashtbl.hash (conf_name, test.Litmus.name, i)) in
-                 (Runner.run ~device ~env ~test ~iterations ~seed).Runner.rate)
-               envs)
+          let rate i =
+            let env = envs.(i) in
+            let seed = Prng.mix seed (Hashtbl.hash (conf_name, test.Litmus.name, i)) in
+            (Runner.run ~device ~env ~test ~iterations ~seed ()).Runner.rate
+          in
+          match pool with
+          | None -> Array.init n_envs rate
+          | Some pool -> Pool.map_array pool ~n:n_envs ~f:rate
         in
         let conf_rates = rates conf in
         let best =

@@ -84,10 +84,20 @@ module Table4 : sig
     n_envs : int;
   }
 
-  val compute : ?n_envs:int -> ?iterations:int -> ?scale:float -> ?seed:int -> unit -> row list
+  val compute :
+    ?domains:int ->
+    ?n_envs:int ->
+    ?iterations:int ->
+    ?scale:float ->
+    ?seed:int ->
+    unit ->
+    row list
   (** Runs the correlation study (paper: 150 environments, 100
       iterations; defaults here are bench-scale and read [MCM_SCALE]).
-      Devices carry their {!Mcm_gpu.Bug.paper_bug} injection. *)
+      Devices carry their {!Mcm_gpu.Bug.paper_bug} injection. [domains]
+      fans the per-environment campaigns over a {!Mcm_util.Pool}; the
+      rows are identical for every value (each campaign is seeded from
+      its grid coordinates alone). *)
 
   val table : row list -> Mcm_util.Table.t
 end

@@ -4,6 +4,7 @@ module Device = Mcm_gpu.Device
 module Suite = Mcm_core.Suite
 module Litmus = Mcm_litmus.Litmus
 module Prng = Mcm_util.Prng
+module Pool = Mcm_util.Pool
 
 type category = Site_baseline | Site | Pte_baseline | Pte
 
@@ -70,43 +71,54 @@ type run = {
   result : Runner.result;
 }
 
-let sweep ?devices ?tests config =
+let sweep ?domains ?devices ?tests config =
   let devices = match devices with Some d -> d | None -> Device.all_correct () in
   let tests = match tests with Some t -> t | None -> Suite.mutants () in
-  let runs = ref [] in
-  List.iter
-    (fun category ->
-      let envs = envs_for config category in
-      let iterations = iterations_for config category in
-      List.iteri
-        (fun env_index env ->
-          List.iter
-            (fun device ->
-              List.iter
-                (fun (entry : Suite.entry) ->
-                  let test = entry.Suite.test in
-                  let seed =
-                    Prng.mix config.seed
-                      (Hashtbl.hash
-                         (category_name category, env_index, Device.name device, test.Litmus.name))
-                  in
-                  let result = Runner.run ~device ~env ~test ~iterations ~seed in
-                  runs :=
-                    {
-                      category;
-                      env_index;
-                      env;
-                      device;
-                      test_name = test.Litmus.name;
-                      mutator = entry.Suite.mutator;
-                      result;
-                    }
-                    :: !runs)
-                tests)
-            devices)
-        envs)
-    all_categories;
-  List.rev !runs
+  (* Flatten the category × environment × device × test grid up front:
+     every point carries an independent seed, so the points can run on
+     any domain in any order and be collected back in grid order. *)
+  let grid =
+    Array.of_list
+      (List.concat_map
+         (fun category ->
+           let envs = envs_for config category in
+           let iterations = iterations_for config category in
+           List.concat
+             (List.mapi
+                (fun env_index env ->
+                  List.concat_map
+                    (fun device ->
+                      List.map (fun entry -> (category, env_index, env, device, entry, iterations))
+                        tests)
+                    devices)
+                envs))
+         all_categories)
+  in
+  let point i =
+    let category, env_index, env, device, (entry : Suite.entry), iterations = grid.(i) in
+    let test = entry.Suite.test in
+    let seed =
+      Prng.mix config.seed
+        (Hashtbl.hash (category_name category, env_index, Device.name device, test.Litmus.name))
+    in
+    let result = Runner.run ~device ~env ~test ~iterations ~seed () in
+    {
+      category;
+      env_index;
+      env;
+      device;
+      test_name = test.Litmus.name;
+      mutator = entry.Suite.mutator;
+      result;
+    }
+  in
+  let n = Array.length grid in
+  let results =
+    match domains with
+    | None | Some 1 -> Array.init n point
+    | Some d -> Pool.with_pool ~domains:d (fun pool -> Pool.map_array pool ~n ~f:point)
+  in
+  Array.to_list results
 
 let rate runs category ~test ~device ~env_index =
   match

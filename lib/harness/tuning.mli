@@ -49,11 +49,21 @@ type run = {
 }
 
 val sweep :
-  ?devices:Mcm_gpu.Device.t list -> ?tests:Mcm_core.Suite.entry list -> config -> run list
+  ?domains:int ->
+  ?devices:Mcm_gpu.Device.t list ->
+  ?tests:Mcm_core.Suite.entry list ->
+  config ->
+  run list
 (** [sweep config] runs every category × environment × device × test
     combination. [devices] defaults to the four correct study devices and
     [tests] to the 32 mutants of the generated suite. Deterministic in
-    [config]. *)
+    [config].
+
+    [domains] fans the grid points out over that many domains of a
+    {!Mcm_util.Pool} (default: serial). Every grid point derives its seed
+    independently from [config.seed] and results are collected back in
+    grid order, so the returned list is identical for every [domains]
+    value. *)
 
 val rate : run list -> category -> test:string -> device:string -> env_index:int -> float
 (** Death-rate lookup into a sweep's results; [0.] when absent. *)

@@ -1,4 +1,5 @@
 module Prng = Mcm_util.Prng
+module Pool = Mcm_util.Pool
 module Litmus = Mcm_litmus.Litmus
 module Profile = Mcm_gpu.Profile
 module Device = Mcm_gpu.Device
@@ -39,7 +40,37 @@ type histogram = {
   skipped : int;
 }
 
-let run_impl ~on_outcome ~on_skip ~device ~env ~test ~iterations ~seed =
+(* Per-iteration outcome tallies. Iterations are the parallel unit: each
+   derives its PRNG independently via [Prng.mix seed it], so tallies from
+   any partition of the iteration axis sum to the serial totals exactly —
+   integer addition is associative, and nothing else crosses iterations. *)
+type tally = {
+  t_kills : int;
+  t_sequential : int;
+  t_interleaved : int;
+  t_weak : int;
+  t_forbidden : int;
+  t_skipped : int;
+}
+
+let tally_zero =
+  { t_kills = 0; t_sequential = 0; t_interleaved = 0; t_weak = 0; t_forbidden = 0; t_skipped = 0 }
+
+let tally_add a b =
+  {
+    t_kills = a.t_kills + b.t_kills;
+    t_sequential = a.t_sequential + b.t_sequential;
+    t_interleaved = a.t_interleaved + b.t_interleaved;
+    t_weak = a.t_weak + b.t_weak;
+    t_forbidden = a.t_forbidden + b.t_forbidden;
+    t_skipped = a.t_skipped + b.t_skipped;
+  }
+
+(* Build the campaign's per-iteration function plus the derived constants.
+   Everything the returned closure captures is immutable (or, for the
+   classifier's table, written before and only read after), so it is safe
+   to call from any domain. *)
+let campaign ~classify ~device ~env ~test ~seed =
   let profile = device.Device.profile in
   let bugs = Device.effect device in
   let roles = Litmus.nthreads test in
@@ -67,10 +98,11 @@ let run_impl ~on_outcome ~on_skip ~device ~env ~test ~iterations ~seed =
       ~threads_per_workgroup:env.Params.threads_per_workgroup ~instrs_per_thread
       ~stress_intensity:(Params.stress_intensity env)
   in
-  let kills = ref 0 in
-  for it = 0 to iterations - 1 do
+  let run_iteration it =
     let prng = Prng.create (Prng.mix seed it) in
     let starts = Assignment.role_starts ~prng ~profile ~env ~slice_instrs ~instances in
+    let kills = ref 0 and skipped = ref 0 in
+    let sequential = ref 0 and interleaved = ref 0 and weak_n = ref 0 and forbidden = ref 0 in
     for i = 0 to instances - 1 do
       let s = starts.(i) in
       let lo = ref s.(0) and hi = ref s.(0) in
@@ -81,42 +113,68 @@ let run_impl ~on_outcome ~on_skip ~device ~env ~test ~iterations ~seed =
       if !hi -. !lo <= horizon then begin
         let outcome = Instance.run ~prng:(Prng.split prng) ~weak ~bugs ~test ~starts:s in
         if test.Litmus.target outcome then incr kills;
-        on_outcome outcome
+        match classify with
+        | None -> ()
+        | Some classify -> (
+            match classify outcome with
+            | Mcm_litmus.Classify.Sequential -> incr sequential
+            | Mcm_litmus.Classify.Interleaved -> incr interleaved
+            | Mcm_litmus.Classify.Weak -> incr weak_n
+            | Mcm_litmus.Classify.Forbidden -> incr forbidden)
       end
-      else on_skip ()
-    done
-  done;
-  let sim_time_s = Timing.to_seconds (float_of_int iterations *. iteration_ns) in
-  {
-    kills = !kills;
-    instances = instances * iterations;
-    iterations;
-    sim_time_s;
-    rate = (if sim_time_s > 0. then float_of_int !kills /. sim_time_s else 0.);
-  }
-
-let run ~device ~env ~test ~iterations ~seed =
-  run_impl ~on_outcome:ignore ~on_skip:ignore ~device ~env ~test ~iterations ~seed
-
-let run_with_histogram ~device ~env ~test ~iterations ~seed =
-  let classify = Mcm_litmus.Classify.classifier test in
-  let sequential = ref 0 and interleaved = ref 0 and weak = ref 0 in
-  let forbidden = ref 0 and skipped = ref 0 in
-  let on_outcome outcome =
-    match classify outcome with
-    | Mcm_litmus.Classify.Sequential -> incr sequential
-    | Mcm_litmus.Classify.Interleaved -> incr interleaved
-    | Mcm_litmus.Classify.Weak -> incr weak
-    | Mcm_litmus.Classify.Forbidden -> incr forbidden
+      else incr skipped
+    done;
+    {
+      t_kills = !kills;
+      t_sequential = !sequential;
+      t_interleaved = !interleaved;
+      t_weak = !weak_n;
+      t_forbidden = !forbidden;
+      t_skipped = !skipped;
+    }
   in
+  (run_iteration, instances, iteration_ns)
+
+let run_campaign ?domains ~classify ~device ~env ~test ~iterations ~seed () =
+  let run_iteration, instances, iteration_ns = campaign ~classify ~device ~env ~test ~seed in
+  let tally =
+    match domains with
+    | None | Some 1 ->
+        let acc = ref tally_zero in
+        for it = 0 to iterations - 1 do
+          acc := tally_add !acc (run_iteration it)
+        done;
+        !acc
+    | Some d ->
+        Pool.with_pool ~domains:d (fun pool ->
+            Pool.map_reduce pool ~n:iterations ~map:run_iteration ~fold:tally_add
+              ~init:tally_zero)
+  in
+  let sim_time_s = Timing.to_seconds (float_of_int iterations *. iteration_ns) in
   let result =
-    run_impl ~on_outcome ~on_skip:(fun () -> incr skipped) ~device ~env ~test ~iterations ~seed
+    {
+      kills = tally.t_kills;
+      instances = instances * iterations;
+      iterations;
+      sim_time_s;
+      rate = (if sim_time_s > 0. then float_of_int tally.t_kills /. sim_time_s else 0.);
+    }
+  in
+  (result, tally)
+
+let run ?domains ~device ~env ~test ~iterations ~seed () =
+  fst (run_campaign ?domains ~classify:None ~device ~env ~test ~iterations ~seed ())
+
+let run_with_histogram ?domains ~device ~env ~test ~iterations ~seed () =
+  let classify = Mcm_litmus.Classify.classifier test in
+  let result, tally =
+    run_campaign ?domains ~classify:(Some classify) ~device ~env ~test ~iterations ~seed ()
   in
   ( result,
     {
-      sequential = !sequential;
-      interleaved = !interleaved;
-      weak = !weak;
-      forbidden = !forbidden;
-      skipped = !skipped;
+      sequential = tally.t_sequential;
+      interleaved = tally.t_interleaved;
+      weak = tally.t_weak;
+      forbidden = tally.t_forbidden;
+      skipped = tally.t_skipped;
     } )

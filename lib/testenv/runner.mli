@@ -29,14 +29,24 @@ type result = {
 }
 
 val run :
+  ?domains:int ->
   device:Mcm_gpu.Device.t ->
   env:Params.t ->
   test:Mcm_litmus.Litmus.t ->
   iterations:int ->
   seed:int ->
+  unit ->
   result
-(** [run ~device ~env ~test ~iterations ~seed] executes the campaign.
-    Fully deterministic in [seed] (and all other inputs). *)
+(** [run ~device ~env ~test ~iterations ~seed ()] executes the campaign.
+    Fully deterministic in [seed] (and all other inputs).
+
+    [domains] shards the iteration axis across that many domains of a
+    {!Mcm_util.Pool} (default: serial). Each iteration derives its PRNG
+    independently via [Prng.mix seed it] and outcome tallies are summed
+    with associative integer addition, so the returned [result] is
+    {e bit-identical} for every [domains] value — parallelism is purely a
+    wall-clock optimisation and can never change what a campaign
+    observes. *)
 
 val amplification : Mcm_gpu.Device.t -> Params.t -> roles:int -> float
 (** The weak-memory amplification the campaign will apply — exposed for
@@ -55,11 +65,15 @@ type histogram = {
 }
 
 val run_with_histogram :
+  ?domains:int ->
   device:Mcm_gpu.Device.t ->
   env:Params.t ->
   test:Mcm_litmus.Litmus.t ->
   iterations:int ->
   seed:int ->
+  unit ->
   result * histogram
 (** Like {!run} (identical [result] for identical arguments), but also
-    classifies every executed instance's outcome. *)
+    classifies every executed instance's outcome. The same determinism
+    guarantee extends to the histogram: identical buckets for every
+    [domains] value. *)

@@ -1,0 +1,125 @@
+(* A job is a batch of [n] independent tasks identified by index. [run]
+   must never raise: map_array wraps the user function so failures are
+   recorded in the result slots instead of unwinding a worker. *)
+type job = {
+  run : int -> unit;
+  n : int;
+  mutable next : int;  (* first unclaimed index *)
+  mutable completed : int;  (* tasks whose [run] has returned *)
+}
+
+type t = {
+  lock : Mutex.t;
+  work : Condition.t;  (* a job arrived, or shutdown was requested *)
+  idle : Condition.t;  (* the current job completed *)
+  mutable job : job option;
+  mutable stop : bool;
+  mutable workers : unit Domain.t array;
+  size : int;
+}
+
+let default_domains () = max 1 (Domain.recommended_domain_count ())
+
+let domains t = t.size
+
+(* Claim the next index of [j]; the caller must hold [t.lock]. *)
+let claim j =
+  let i = j.next in
+  j.next <- i + 1;
+  i
+
+let worker t =
+  let running = ref true in
+  while !running do
+    Mutex.lock t.lock;
+    while
+      (not t.stop)
+      && (match t.job with None -> true | Some j -> j.next >= j.n)
+    do
+      Condition.wait t.work t.lock
+    done;
+    if t.stop then begin
+      Mutex.unlock t.lock;
+      running := false
+    end
+    else begin
+      let j = match t.job with Some j -> j | None -> assert false in
+      let i = claim j in
+      Mutex.unlock t.lock;
+      j.run i;
+      Mutex.lock t.lock;
+      j.completed <- j.completed + 1;
+      if j.completed = j.n then Condition.broadcast t.idle;
+      Mutex.unlock t.lock
+    end
+  done
+
+let create ?domains () =
+  let size =
+    match domains with Some d -> max 1 d | None -> default_domains ()
+  in
+  let t =
+    {
+      lock = Mutex.create ();
+      work = Condition.create ();
+      idle = Condition.create ();
+      job = None;
+      stop = false;
+      workers = [||];
+      size;
+    }
+  in
+  t.workers <- Array.init (size - 1) (fun _ -> Domain.spawn (fun () -> worker t));
+  t
+
+let shutdown t =
+  Mutex.lock t.lock;
+  t.stop <- true;
+  Condition.broadcast t.work;
+  Mutex.unlock t.lock;
+  Array.iter Domain.join t.workers;
+  t.workers <- [||]
+
+(* Publish [job], help drain it from the submitting domain, and wait for
+   the stragglers the workers still hold. *)
+let run_job t job =
+  Mutex.lock t.lock;
+  assert (Option.is_none t.job);
+  t.job <- Some job;
+  Condition.broadcast t.work;
+  while job.next < job.n do
+    let i = claim job in
+    Mutex.unlock t.lock;
+    job.run i;
+    Mutex.lock t.lock;
+    job.completed <- job.completed + 1
+  done;
+  while job.completed < job.n do
+    Condition.wait t.idle t.lock
+  done;
+  t.job <- None;
+  Mutex.unlock t.lock
+
+let map_array t ~n ~f =
+  if n < 0 then invalid_arg "Pool.map_array: negative task count";
+  if n = 0 then [||]
+  else begin
+    (* Each slot is written by exactly one task and read only after the
+       job's completion barrier, so plain stores are race-free. *)
+    let results = Array.make n None in
+    let run i = results.(i) <- Some (try Ok (f i) with e -> Error e) in
+    run_job t { run; n; next = 0; completed = 0 };
+    Array.map
+      (function
+        | Some (Ok v) -> v
+        | Some (Error e) -> raise e
+        | None -> assert false)
+      results
+  end
+
+let map_reduce t ~n ~map ~fold ~init =
+  Array.fold_left fold init (map_array t ~n ~f:map)
+
+let with_pool ?domains f =
+  let t = create ?domains () in
+  Fun.protect ~finally:(fun () -> shutdown t) (fun () -> f t)

@@ -1,0 +1,55 @@
+(** A fixed-size domain pool for deterministic data parallelism.
+
+    OCaml 5 gives the reproduction real shared-nothing parallelism; this
+    pool is the one concurrency primitive the codebase uses for it. It is
+    deliberately minimal — a fixed set of worker domains pulling task
+    indices off a mutex/condition-protected queue, no work stealing, no
+    futures — because every parallel workload here is a finite grid of
+    independent, pre-seeded tasks (campaign iterations, tuning grid
+    points) whose results must be {e bit-identical} to the serial code.
+
+    Determinism contract: {!map_array} stores task [i]'s result at index
+    [i], and {!map_reduce} folds the results in index order, so the
+    outcome never depends on domain count or scheduling. A pool of
+    [domains:1] spawns no worker domains at all and degenerates to the
+    serial loop.
+
+    The submitting domain participates in the work, so a pool of [k]
+    domains applies [k] domains of compute ([k - 1] workers plus the
+    caller). Pools are not re-entrant: submit from one domain at a time,
+    and do not submit from inside a task. *)
+
+type t
+
+val create : ?domains:int -> unit -> t
+(** [create ~domains ()] spawns [domains - 1] worker domains (clamped
+    below by 0). [domains] defaults to {!Domain.recommended_domain_count}.
+    Call {!shutdown} when done; an un-shut-down pool leaks its domains
+    until exit. *)
+
+val domains : t -> int
+(** Total domains applied to each job, counting the caller (≥ 1). *)
+
+val map_array : t -> n:int -> f:(int -> 'a) -> 'a array
+(** [map_array t ~n ~f] computes [[| f 0; …; f (n-1) |]], scheduling the
+    indices across the pool's domains. If one or more tasks raise, every
+    remaining task still runs, the pool stays usable, and the exception
+    of the lowest-indexed failing task is re-raised in the caller. *)
+
+val map_reduce : t -> n:int -> map:(int -> 'a) -> fold:('acc -> 'a -> 'acc) -> init:'acc -> 'acc
+(** [map_reduce t ~n ~map ~fold ~init] is
+    [fold (… (fold init (map 0)) …) (map (n-1))] — the maps run in
+    parallel, the fold runs in the caller in index order, so the result
+    equals the sequential fold even for non-commutative [fold]. *)
+
+val shutdown : t -> unit
+(** Terminate and join the worker domains. Idempotent. After shutdown
+    the pool still accepts jobs but runs them in the caller alone. *)
+
+val with_pool : ?domains:int -> (t -> 'a) -> 'a
+(** [with_pool ~domains f] is [f] applied to a fresh pool, with a
+    guaranteed {!shutdown} afterwards (also on exceptions). *)
+
+val default_domains : unit -> int
+(** {!Domain.recommended_domain_count}, clamped below by 1 — the pool's
+    and the CLI's default parallelism. *)

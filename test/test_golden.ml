@@ -1,0 +1,110 @@
+(* Golden regression test for the campaign runner.
+
+   Pins kill counts and full behaviour histograms for a fixed matrix of
+   (suite test × mutator × device profile × seed) campaigns, so a future
+   runner/assignment/instance refactor cannot silently change the
+   simulated weak-memory behaviour: any such drift shows up here as an
+   exact-count diff, not as a statistical wobble a directional test
+   might absorb.
+
+   The matrix covers one conformance test and one mutant of each of the
+   paper's three mutators, on all four device profiles, plus one
+   bug-injected device. Everything is bit-deterministic (seeded PRNG,
+   integer tallies), so exact equality is the right check.
+
+   To regenerate after an *intentional* semantic change:
+     MCM_GOLDEN_REGEN=1 dune exec test/test_golden.exe
+   and paste the printed rows over [expected] below. *)
+
+module Suite = Mcm_core.Suite
+module Profile = Mcm_gpu.Profile
+module Device = Mcm_gpu.Device
+module Bug = Mcm_gpu.Bug
+module Params = Mcm_testenv.Params
+module Runner = Mcm_testenv.Runner
+
+let seed = 20230325
+let iterations = 3
+let env = Params.scaled Params.pte_baseline 0.02
+
+(* name, device label, kills, sequential, interleaved, weak, forbidden,
+   skipped — one row per campaign of the matrix. *)
+type row = string * string * int * int * int * int * int * int
+
+let devices =
+  List.map (fun p -> (p.Profile.short_name, Device.make p)) Profile.all
+  @ [ ("Intel+corr-bug", Device.make ~bugs:[ Bug.Corr_reorder 0.5 ] Profile.intel) ]
+
+(* CoRR: conformance; CoRR-m: reversing po-loc; MP-CO-m: weakening
+   po-loc; MP-relacq-m3: weakening sw. *)
+let tests = [ "CoRR"; "CoRR-m"; "MP-CO-m"; "MP-relacq-m3" ]
+
+let rows () : row list =
+  List.concat_map
+    (fun name ->
+      let test = (Option.get (Suite.find name)).Suite.test in
+      List.map
+        (fun (label, device) ->
+          let r, h = Runner.run_with_histogram ~device ~env ~test ~iterations ~seed () in
+          ( name,
+            label,
+            r.Runner.kills,
+            h.Runner.sequential,
+            h.Runner.interleaved,
+            h.Runner.weak,
+            h.Runner.forbidden,
+            h.Runner.skipped ))
+        devices)
+    tests
+
+let expected : row list =
+  [
+    ("CoRR", "NVIDIA", 0, 7448, 20, 0, 0, 7892);
+    ("CoRR", "AMD", 0, 13520, 65, 0, 0, 1775);
+    ("CoRR", "Intel", 0, 14781, 579, 0, 0, 0);
+    ("CoRR", "M1", 0, 5454, 14, 0, 0, 9892);
+    ("CoRR", "Intel+corr-bug", 308, 14765, 287, 0, 308, 0);
+    ("CoRR-m", "NVIDIA", 20, 7448, 20, 0, 0, 7892);
+    ("CoRR-m", "AMD", 65, 13520, 65, 0, 0, 1775);
+    ("CoRR-m", "Intel", 579, 14781, 579, 0, 0, 0);
+    ("CoRR-m", "M1", 14, 5454, 14, 0, 0, 9892);
+    ("CoRR-m", "Intel+corr-bug", 287, 14765, 287, 0, 308, 0);
+    ("MP-CO-m", "NVIDIA", 39, 7408, 50, 39, 0, 7863);
+    ("MP-CO-m", "AMD", 36, 13461, 95, 36, 0, 1768);
+    ("MP-CO-m", "Intel", 131, 14310, 919, 131, 0, 0);
+    ("MP-CO-m", "M1", 2, 5467, 40, 2, 0, 9851);
+    ("MP-CO-m", "Intel+corr-bug", 131, 14310, 919, 131, 0, 0);
+    ("MP-relacq-m3", "NVIDIA", 32, 7416, 49, 32, 0, 7863);
+    ("MP-relacq-m3", "AMD", 47, 13444, 101, 47, 0, 1768);
+    ("MP-relacq-m3", "Intel", 191, 14150, 1019, 191, 0, 0);
+    ("MP-relacq-m3", "M1", 7, 5455, 47, 7, 0, 9851);
+    ("MP-relacq-m3", "Intel+corr-bug", 191, 14150, 1019, 191, 0, 0);
+  ]
+
+let pp_row (name, dev, k, s, i, w, f, sk) =
+  Printf.sprintf "(%S, %S, %d, %d, %d, %d, %d, %d);" name dev k s i w f sk
+
+let test_golden_matrix () =
+  List.iter2
+    (fun actual exp ->
+      if actual <> exp then
+        Alcotest.failf "golden drift:\n  expected %s\n  actual   %s" (pp_row exp) (pp_row actual))
+    (rows ()) expected
+
+let test_matrix_shape () =
+  Alcotest.(check int) "rows = tests x devices" (List.length tests * List.length devices)
+    (List.length expected)
+
+let () =
+  if Sys.getenv_opt "MCM_GOLDEN_REGEN" <> None then begin
+    List.iter (fun r -> Printf.printf "    %s\n" (pp_row r)) (rows ());
+    exit 0
+  end;
+  Alcotest.run "golden"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "matrix shape" `Quick test_matrix_shape;
+          Alcotest.test_case "pinned campaigns" `Quick test_golden_matrix;
+        ] );
+    ]

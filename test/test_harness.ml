@@ -57,6 +57,41 @@ let test_sweep_deterministic () =
   in
   check "deterministic" true (go () = go ())
 
+let test_sweep_parallel_equals_serial () =
+  (* The sweep's grid points fan out over the pool; list order and every
+     result must match the serial sweep for any domain count. *)
+  let devices = [ Device.make Profile.nvidia; Device.make Profile.intel ] in
+  let tests =
+    List.filter
+      (fun (e : Suite.entry) -> List.mem e.Suite.test.Litmus.name [ "CoRR-m"; "MP-CO-m" ])
+      (Suite.mutants ())
+  in
+  let fingerprint domains =
+    List.map
+      (fun (r : Tuning.run) ->
+        (r.Tuning.category, r.Tuning.env_index, r.Tuning.test_name, r.Tuning.result))
+      (Tuning.sweep ?domains ~devices ~tests tiny_config)
+  in
+  let serial = fingerprint None in
+  List.iter
+    (fun k ->
+      if fingerprint (Some k) <> serial then Alcotest.failf "sweep diverged at %d domains" k)
+    [ 1; 2; 4; 8 ]
+
+let test_table4_parallel_equals_serial () =
+  let go domains = Experiments.Table4.compute ?domains ~n_envs:6 ~iterations:2 ~scale:0.01 () in
+  let strip rows =
+    (* %h keeps the comparison bit-exact while letting nan equal nan. *)
+    List.map
+      (fun (r : Experiments.Table4.row) ->
+        ( r.Experiments.Table4.vendor,
+          r.Experiments.Table4.best_mutant,
+          Printf.sprintf "%h" r.Experiments.Table4.pcc ))
+      rows
+  in
+  let serial = strip (go None) in
+  check "table4 identical at 4 domains" true (strip (go (Some 4)) = serial)
+
 let test_envs_for () =
   check_int "baseline has one env" 1 (List.length (Tuning.envs_for tiny_config Tuning.Site_baseline));
   check_int "tuned has n_envs" 3 (List.length (Tuning.envs_for tiny_config Tuning.Pte));
@@ -268,6 +303,8 @@ let () =
         [
           Alcotest.test_case "sweep shape" `Quick test_sweep_shape;
           Alcotest.test_case "sweep deterministic" `Quick test_sweep_deterministic;
+          Alcotest.test_case "sweep parallel == serial" `Quick test_sweep_parallel_equals_serial;
+          Alcotest.test_case "table4 parallel == serial" `Slow test_table4_parallel_equals_serial;
           Alcotest.test_case "envs_for" `Quick test_envs_for;
           Alcotest.test_case "rate lookup" `Quick test_rate_lookup;
           Alcotest.test_case "category names" `Quick test_category_names;
