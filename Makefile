@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke check clean
+.PHONY: all build test bench bench-smoke oracle oracle-smoke check clean
 
 all: build
 
@@ -18,9 +18,20 @@ bench:
 bench-smoke:
 	MCM_BENCH_SMOKE=1 dune exec bench/main.exe
 
-# The one target CI needs: build, full test suite, smoke benchmark.
-check: build test bench-smoke
+# Full axiomatic oracle: certify every generated/classic test and run
+# the simulator soundness matrix over the whole library (minutes).
+oracle:
+	dune exec bin/mcmutants.exe -- oracle --jobs 4
+
+# Oracle at CI speed: reduced device/env matrix, 1 iteration. Still
+# certifies all 73 tests and exits non-zero on any violation.
+oracle-smoke:
+	dune exec bin/mcmutants.exe -- oracle --smoke --jobs 2
+
+# The one target CI needs: build, full test suite, smoke benchmark,
+# smoke oracle.
+check: build test bench-smoke oracle-smoke
 
 clean:
 	dune clean
-	rm -f BENCH_parallel.json
+	rm -f BENCH_parallel.json BENCH_oracle.json

@@ -26,6 +26,8 @@ module Params = Mcm_testenv.Params
 module Runner = Mcm_testenv.Runner
 module Tuning = Mcm_harness.Tuning
 module Experiments = Mcm_harness.Experiments
+module Oracle_enum = Mcm_oracle.Enumerate
+module Oracle_outcome = Mcm_oracle.Outcome
 module Table = Mcm_util.Table
 module Prng = Mcm_util.Prng
 module Pool = Mcm_util.Pool
@@ -250,6 +252,105 @@ let parallel_bench ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Part 2b: the axiomatic-oracle benchmark                              *)
+
+(* Two numbers worth tracking for the oracle: raw enumeration throughput
+   (candidate executions consistency-checked per second, on the biggest
+   candidate spaces we ship) and the domain-pool speedup of the grid
+   enumeration that Certify/Soundness fan out. Results land in
+   BENCH_oracle.json; bit-identity across domain counts is asserted, not
+   assumed. MCM_BENCH_SMOKE=1 shrinks the grid to the classic library. *)
+
+let oracle_bench ~smoke () =
+  section "Axiomatic oracle: enumeration throughput and grid speedup";
+  let suite_tests = List.map (fun (e : Suite.entry) -> e.Suite.test) (Suite.all ()) in
+  let all_tests = Library.all @ suite_tests in
+  let throughput_tests =
+    let ranked =
+      List.sort (fun a b -> compare (Oracle_enum.count b) (Oracle_enum.count a)) all_tests
+    in
+    List.filteri (fun i _ -> i < 3) ranked
+  in
+  let throughput =
+    List.map
+      (fun t ->
+        let total = Oracle_enum.count t in
+        let consistent, secs =
+          wall (fun () -> Oracle_enum.count_consistent t.Litmus.model t)
+        in
+        let rate = if secs > 0. then float_of_int total /. secs else 0. in
+        Printf.printf "  %-18s %8d candidates  %7d consistent  %12.0f exec/s\n%!"
+          t.Litmus.name total consistent rate;
+        (t.Litmus.name, total, consistent, secs, rate))
+      throughput_tests
+  in
+  let grid_tests = if smoke then Library.all else all_tests in
+  let points = List.concat_map (fun t -> List.map (fun m -> (m, t)) Mcm_memmodel.Model.all) grid_tests in
+  let serial, serial_s = wall (fun () -> Oracle_outcome.allowed_grid points) in
+  Printf.printf "  allowed-set grid of %d (model, test) points\n" (List.length points);
+  Printf.printf "  serial                  %8.3f s\n%!" serial_s;
+  let rows =
+    List.map
+      (fun d ->
+        let sets, t = wall (fun () -> Oracle_outcome.allowed_grid ~domains:d points) in
+        let identical = List.for_all2 Oracle_outcome.equal sets serial in
+        let speedup = if t > 0. then serial_s /. t else 0. in
+        Printf.printf "  %2d domains              %8.3f s   %5.2fx%s\n%!" d t speedup
+          (if identical then "   (bit-identical)" else "   RESULTS DIVERGED");
+        (d, t, speedup, identical))
+      (if smoke then [ 2; 4 ] else [ 2; 4; 8 ])
+  in
+  let json =
+    Jsonw.Obj
+      [
+        ("benchmark", Jsonw.String "axiomatic-oracle");
+        ("smoke", Jsonw.Bool smoke);
+        ("cores", Jsonw.Int (Pool.default_domains ()));
+        ( "enumeration",
+          Jsonw.List
+            (List.map
+               (fun (name, total, consistent, secs, rate) ->
+                 Jsonw.Obj
+                   [
+                     ("test", Jsonw.String name);
+                     ("candidates", Jsonw.Int total);
+                     ("consistent", Jsonw.Int consistent);
+                     ("seconds", Jsonw.Float secs);
+                     ("executions_per_s", Jsonw.Float rate);
+                   ])
+               throughput) );
+        ("grid_points", Jsonw.Int (List.length points));
+        ("grid_serial_s", Jsonw.Float serial_s);
+        ( "grid_runs",
+          Jsonw.List
+            (List.map
+               (fun (d, t, speedup, identical) ->
+                 Jsonw.Obj
+                   [
+                     ("domains", Jsonw.Int d);
+                     ("seconds", Jsonw.Float t);
+                     ("speedup", Jsonw.Float speedup);
+                     ("identical_to_serial", Jsonw.Bool identical);
+                   ])
+               rows) );
+      ]
+  in
+  let path =
+    match Sys.getenv_opt "MCM_BENCH_ORACLE_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_oracle.json"
+  in
+  let oc = open_out path in
+  Jsonw.to_channel oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" path;
+  if List.exists (fun (_, _, _, identical) -> not identical) rows then begin
+    prerr_endline "bench: sharded oracle grid diverged from the serial enumeration";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Part 3: Bechamel micro-benchmarks                                    *)
 
 open Bechamel
@@ -305,6 +406,12 @@ let bench_tests () =
     (* The axiomatic core: enumerate-and-classify a 6-event test. *)
     Test.make ~name:"substrate/enumerate-mp-relacq"
       (Staged.stage (fun () -> ignore (Enumerate.consistent_outcomes conf.Litmus.model conf)));
+    (* The oracle's streaming counterpart of the same enumeration. *)
+    Test.make ~name:"oracle/allowed-mp-relacq"
+      (Staged.stage (fun () -> ignore (Oracle_outcome.allowed conf.Litmus.model conf)));
+    (* One full mutant certificate (witness search + vacuity check). *)
+    Test.make ~name:"oracle/certify-mutant"
+      (Staged.stage (fun () -> ignore (Mcm_oracle.Certify.mutant mutant)));
     (* The textual format round-trip. *)
     Test.make ~name:"substrate/parse-roundtrip"
       (Staged.stage
@@ -364,12 +471,14 @@ let () =
        sweep at 1 iteration, check bit-identity, skip the slow parts. *)
     print_endline "MC Mutants reproduction: smoke bench (MCM_BENCH_SMOKE)";
     parallel_bench ~smoke:true ();
+    oracle_bench ~smoke:true ();
     print_endline "smoke ok."
   end
   else begin
     print_endline "MC Mutants reproduction: evaluation harness";
     print_reproductions ();
     parallel_bench ~smoke:false ();
+    oracle_bench ~smoke:false ();
     run_benchmarks ();
     print_newline ();
     print_endline "done."

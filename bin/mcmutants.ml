@@ -279,10 +279,15 @@ let wgsl_cmd =
     let test = or_die (find_test name) in
     let env = or_die (parse_env env seed scale) in
     let src = Mcm_wgsl.Wgsl.shader test ~env in
-    (match Mcm_wgsl.Wgsl.validate src with
-    | Ok () -> ()
-    | Error e -> prerr_endline ("warning: generated shader failed validation: " ^ e));
-    print_string src
+    let invalid =
+      match Mcm_wgsl.Wgsl.validate src with
+      | Ok () -> false
+      | Error e ->
+          prerr_endline ("mcmutants: generated shader failed validation: " ^ e);
+          true
+    in
+    print_string src;
+    if invalid then exit 1
   in
   Cmd.v
     (Cmd.info "wgsl" ~doc:"Emit the WebGPU (WGSL) compute shader for a test in a PTE")
@@ -347,6 +352,97 @@ let table4_cmd =
     Term.(const run $ scale_arg $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
+(* oracle: certification and simulator soundness                        *)
+
+let oracle_cmd =
+  let run jobs json_path no_certify no_soundness smoke iterations seed tests =
+    let module Certify = Mcm_oracle.Certify in
+    let module Soundness = Mcm_oracle.Soundness in
+    let module Jsonw = Mcm_util.Jsonw in
+    let failures = ref 0 in
+    let json_fields = ref [] in
+    let certify_reports =
+      if no_certify then []
+      else begin
+        Printf.printf "certifying the generated suite (%d tests, %d jobs)...\n%!"
+          (List.length (Suite.all ())) jobs;
+        let suite_report = Certify.suite ~domains:jobs () in
+        Format.printf "%a" Certify.pp_report suite_report;
+        Printf.printf "certifying the classic library (%d tests)...\n%!" (List.length Library.all);
+        let library_report = Certify.library ~domains:jobs () in
+        Format.printf "%a" Certify.pp_report library_report;
+        failures := !failures + suite_report.Certify.failures + library_report.Certify.failures;
+        [ ("certify_suite", suite_report); ("certify_library", library_report) ]
+      end
+    in
+    List.iter
+      (fun (name, r) -> json_fields := (name, Certify.report_to_json r) :: !json_fields)
+      certify_reports;
+    if not no_soundness then begin
+      let tests =
+        match tests with
+        | [] -> None
+        | names -> Some (List.map (fun n -> or_die (find_test n)) names)
+      in
+      let devices, envs, iterations =
+        if smoke then
+          ( Some [ Device.make Profile.nvidia; Device.make Profile.intel ],
+            Some [ ("pte-baseline@0.01", Params.scaled Params.pte_baseline 0.01) ],
+            1 )
+        else (None, None, iterations)
+      in
+      let n_tests =
+        match tests with
+        | Some t -> List.length t
+        | None -> List.length (Soundness.default_tests ())
+      in
+      Printf.printf "soundness: replaying %d tests across the device/env matrix (%d jobs)...\n%!"
+        n_tests jobs;
+      let report = Soundness.check ~domains:jobs ~iterations ~seed ?devices ?envs ?tests () in
+      Format.printf "%a" Soundness.pp_report report;
+      failures := !failures + report.Soundness.total_violations;
+      json_fields := ("soundness", Soundness.report_to_json report) :: !json_fields
+    end;
+    (match json_path with
+    | None -> ()
+    | Some path ->
+        let oc = open_out path in
+        Jsonw.to_channel oc (Jsonw.Obj (List.rev !json_fields));
+        output_char oc '\n';
+        close_out oc;
+        Printf.printf "wrote %s\n" path);
+    if !failures > 0 then begin
+      Printf.eprintf "mcmutants: oracle found %d failure(s)\n" !failures;
+      exit 1
+    end
+    else print_endline "oracle: all checks passed"
+  in
+  let json_path =
+    Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc:"Write the full report as JSON.")
+  in
+  let no_certify = Arg.(value & flag & info [ "no-certify" ] ~doc:"Skip mutant/conformance certification.") in
+  let no_soundness = Arg.(value & flag & info [ "no-soundness" ] ~doc:"Skip the simulator soundness matrix.") in
+  let smoke =
+    Arg.(
+      value & flag
+      & info [ "smoke" ]
+          ~doc:"Shrink the soundness matrix (2 devices, 1 small PTE env, 1 iteration) for CI.")
+  in
+  let oracle_tests =
+    Arg.(
+      value & opt_all string []
+      & info [ "test" ] ~docv:"TEST" ~doc:"Restrict the soundness matrix to these tests (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "oracle"
+       ~doc:
+         "Certify every conformance test and mutant by exhaustive enumeration, and check the \
+          simulator's observed outcomes are axiomatically allowed")
+    Term.(
+      const run $ jobs_arg $ json_path $ no_certify $ no_soundness $ smoke $ iterations_arg
+      $ seed_arg $ oracle_tests)
+
+(* ------------------------------------------------------------------ *)
 (* models: print the axiomatic models in CAT style                      *)
 
 let models_cmd =
@@ -374,7 +470,7 @@ let emit_suite_cmd =
       output_string oc contents;
       close_out oc
     in
-    let count = ref 0 in
+    let count = ref 0 and invalid = ref 0 in
     List.iter
       (fun (e : Suite.entry) ->
         let test = e.Suite.test in
@@ -383,11 +479,17 @@ let emit_suite_cmd =
         let shader = Mcm_wgsl.Wgsl.shader test ~env in
         (match Mcm_wgsl.Wgsl.validate shader with
         | Ok () -> ()
-        | Error err -> Printf.eprintf "warning: %s shader: %s\n" test.Litmus.name err);
+        | Error err ->
+            Printf.eprintf "mcmutants: %s shader failed validation: %s\n" test.Litmus.name err;
+            incr invalid);
         write (base ^ ".wgsl") shader;
         incr count)
       (Suite.all ());
-    Printf.printf "wrote %d tests (litmus + wgsl) to %s/\n" !count dir
+    Printf.printf "wrote %d tests (litmus + wgsl) to %s/\n" !count dir;
+    if !invalid > 0 then begin
+      Printf.eprintf "mcmutants: %d shader(s) failed validation\n" !invalid;
+      exit 1
+    end
   in
   let dir =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"DIR" ~doc:"Output directory.")
@@ -604,6 +706,7 @@ let main =
     [
       list_cmd; show_cmd; enumerate_cmd; run_cmd; parse_cmd; export_cmd; wgsl_cmd; table2_cmd; table3_cmd; fig5_cmd;
       fig6_cmd; table4_cmd; tune_cmd; analysis_cmd; cts_cmd; prune_cmd; emit_suite_cmd; models_cmd;
+      oracle_cmd;
     ]
 
 let () = exit (Cmd.eval main)

@@ -13,6 +13,14 @@ let kind_name = function
 
 let all_kinds = [ Reversing_po_loc; Weakening_po_loc; Weakening_sw ]
 
+let disruption = function
+  | Reversing_po_loc ->
+      "the po-loc-ordered pair of thread 0 is reversed, so the cycle is legal under fine-grained \
+       interleaving alone"
+  | Weakening_po_loc ->
+      "the inner access pair moves to a second location, weakening po-loc to plain po"
+  | Weakening_sw -> "one or both release/acquire fences are removed, breaking the sw edge"
+
 type pair = { conformance : Litmus.t; mutants : Litmus.t list }
 
 let ( let* ) = Result.bind

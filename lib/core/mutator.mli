@@ -34,6 +34,12 @@ val kind_name : kind -> string
 
 val all_kinds : kind list
 
+val disruption : kind -> string
+(** [disruption k] is a one-line description of the happens-before edge
+    [k]'s disruptor breaks — the thing that must flip the targeted weak
+    behaviour from disallowed to allowed. Quoted in the oracle's
+    mutant-validity certificates. *)
+
 (** A conformance test paired with its mutants. *)
 type pair = {
   conformance : Mcm_litmus.Litmus.t;

@@ -112,3 +112,10 @@ val all : Litmus.t list
 
 val find : string -> Litmus.t option
 (** [find name] looks a test up by (case-insensitive) name. *)
+
+val expectation : Litmus.t -> [ `Allowed | `Disallowed ] option
+(** [expectation t] is the documented ground truth for a library test:
+    whether its target behaviour is allowed under its own [model], per
+    the doc comments above. [None] when [t] is not one of {!all}. The
+    axiomatic oracle certifies the library by re-deriving each status
+    through exhaustive enumeration and checking it against this. *)

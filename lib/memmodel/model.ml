@@ -52,6 +52,45 @@ let rmw_atomic (x : Execution.t) =
     x.Execution.events;
   !ok
 
+let atomicity_violation (x : Execution.t) =
+  let violation = ref None in
+  Array.iteri
+    (fun i e ->
+      if !violation = None && Event.is_rmw e then
+        match Event.loc e with
+        | None -> ()
+        | Some l ->
+            let order = try List.assoc l x.Execution.co with Not_found -> [] in
+            let index_of w =
+              let rec find k = function
+                | [] -> None
+                | w' :: rest -> if w' = w then Some k else find (k + 1) rest
+              in
+              find 0 order
+            in
+            let position = index_of i in
+            let expected =
+              match x.Execution.rf.(i) with
+              | None -> Some 0
+              | Some src -> Option.map (fun k -> k + 1) (index_of src)
+            in
+            if position = None || expected = None || position <> expected then begin
+              let name = Execution.event_name x in
+              let src =
+                match x.Execution.rf.(i) with
+                | None -> "the initial state"
+                | Some s -> name s
+              in
+              let co_str = String.concat " -> " ("init" :: List.map name order) in
+              violation :=
+                Some
+                  (Printf.sprintf
+                     "RMW %s reads from %s but is not placed immediately after it in co (%s)"
+                     (name i) src co_str)
+            end)
+    x.Execution.events;
+  !violation
+
 let consistent m x = rmw_atomic x && Relation.is_acyclic (hb m x)
 
 let hb_cycle m x =

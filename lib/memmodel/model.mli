@@ -34,6 +34,13 @@ val rmw_atomic : Execution.t -> bool
     from (first, when it reads the initial state) — no foreign write
     intervenes between an RMW's read and its write. *)
 
+val atomicity_violation : Execution.t -> string option
+(** [atomicity_violation x] explains the first RMW-atomicity failure —
+    which RMW, what it reads from, and where it sits in the coherence
+    order — or [None] exactly when {!rmw_atomic} holds. Complements
+    {!hb_cycle} in counter-example reports: an inconsistent candidate
+    has a happens-before cycle, an atomicity violation, or both. *)
+
 val consistent : t -> Execution.t -> bool
 (** [consistent m x] holds when [hb m x] is acyclic and [rmw_atomic x].
     These are exactly the candidate executions the platform is allowed to

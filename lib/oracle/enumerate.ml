@@ -1,0 +1,91 @@
+module Event = Mcm_memmodel.Event
+module Execution = Mcm_memmodel.Execution
+module Model = Mcm_memmodel.Model
+module Litmus = Mcm_litmus.Litmus
+
+(* The candidate space of a compiled test: which events observe values,
+   and which writes each location offers them. Locations are kept as a
+   sorted assoc list so the enumeration order is deterministic. *)
+type space = {
+  events : Event.t array;
+  reads : int list;  (* read/RMW event ids, ascending *)
+  writes_by_loc : (int * int list) list;  (* per location, write ids in id order *)
+}
+
+let space t =
+  let compiled = Litmus.compile t in
+  let events = compiled.Litmus.events in
+  let reads = ref [] and by_loc = Hashtbl.create 4 in
+  Array.iter
+    (fun e ->
+      if Event.is_read e then reads := e.Event.id :: !reads;
+      if Event.is_write e then
+        match Event.loc e with
+        | Some l ->
+            let cur = try Hashtbl.find by_loc l with Not_found -> [] in
+            Hashtbl.replace by_loc l (cur @ [ e.Event.id ])
+        | None -> ())
+    events;
+  {
+    events;
+    reads = List.rev !reads;
+    writes_by_loc = List.sort compare (Hashtbl.fold (fun l ws acc -> (l, ws) :: acc) by_loc []);
+  }
+
+(* rf choices of read [r]: the initial state, or any same-location write
+   other than the read itself (an RMW cannot read its own write). *)
+let rf_choices sp r =
+  match Event.loc sp.events.(r) with
+  | None -> [ None ]
+  | Some l ->
+      let ws = try List.assoc l sp.writes_by_loc with Not_found -> [] in
+      None :: List.filter_map (fun w -> if w = r then None else Some (Some w)) ws
+
+let fold t ~init ~f =
+  let sp = space t in
+  let n = Array.length sp.events in
+  let rf = Array.make n None in
+  let acc = ref init in
+  (* Depth-first over per-location coherence orders; at the leaves, emit
+     one candidate owning fresh rf/co structures. *)
+  let rec over_co locs co_acc =
+    match locs with
+    | [] ->
+        acc := f !acc { Execution.events = sp.events; rf = Array.copy rf; co = List.rev co_acc }
+    | (l, ws) :: rest ->
+        let rec perms chosen remaining =
+          if remaining = [] then over_co rest ((l, List.rev chosen) :: co_acc)
+          else
+            List.iter
+              (fun w -> perms (w :: chosen) (List.filter (fun w' -> w' <> w) remaining))
+              remaining
+        in
+        perms [] ws
+  in
+  let rec over_rf = function
+    | [] -> over_co sp.writes_by_loc []
+    | r :: rest ->
+        List.iter
+          (fun c ->
+            rf.(r) <- c;
+            over_rf rest)
+          (rf_choices sp r)
+  in
+  over_rf sp.reads;
+  !acc
+
+let iter t ~f = fold t ~init:() ~f:(fun () x -> f x)
+
+let fold_consistent m t ~init ~f =
+  fold t ~init ~f:(fun acc x -> if Model.consistent m x then f acc x else acc)
+
+let count t =
+  let sp = space t in
+  let factorial k =
+    let rec go acc i = if i <= 1 then acc else go (acc * i) (i - 1) in
+    go 1 k
+  in
+  List.fold_left (fun acc r -> acc * List.length (rf_choices sp r)) 1 sp.reads
+  * List.fold_left (fun acc (_, ws) -> acc * factorial (List.length ws)) 1 sp.writes_by_loc
+
+let count_consistent m t = fold_consistent m t ~init:0 ~f:(fun k _ -> k + 1)

@@ -1,0 +1,46 @@
+(** The oracle's candidate-execution enumerator.
+
+    The axiomatic oracle needs to walk {e every} candidate execution of a
+    litmus test — every reads-from assignment (including reads from the
+    zero-initialised initial state) crossed with every per-location
+    coherence order — and filter it through a consistency predicate.
+    {!Mcm_litmus.Enumerate.candidates} materialises that whole set as a
+    list; this module is the streaming replacement the oracle is built
+    on: depth-first generation with a fold, so nothing is retained
+    beyond the accumulator and candidate spaces in the hundreds of
+    thousands stay flat in memory.
+
+    Candidate counts are exactly
+    [Π_reads (1 + same-location writes other than the read itself)
+     × Π_locations (writes to the location)!]
+    — {!count} computes this product analytically, without enumerating.
+
+    Each execution handed to [f] owns its [rf] array and [co] list, so
+    consumers may retain it (e.g. as a witness) without aliasing the
+    enumerator's scratch state. *)
+
+val fold : Mcm_litmus.Litmus.t -> init:'a -> f:('a -> Mcm_memmodel.Execution.t -> 'a) -> 'a
+(** [fold t ~init ~f] folds [f] over every candidate execution of [t],
+    in a fixed deterministic order. Consistency is {e not} filtered. *)
+
+val iter : Mcm_litmus.Litmus.t -> f:(Mcm_memmodel.Execution.t -> unit) -> unit
+(** [iter t ~f] is [fold] ignoring the accumulator. Exceptions raised by
+    [f] escape, which is how {!Outcome.witness} exits early. *)
+
+val fold_consistent :
+  Mcm_memmodel.Model.t ->
+  Mcm_litmus.Litmus.t ->
+  init:'a ->
+  f:('a -> Mcm_memmodel.Execution.t -> 'a) ->
+  'a
+(** [fold_consistent m t] restricts {!fold} to the candidates consistent
+    under [m] — the executions the platform is allowed to produce. *)
+
+val count : Mcm_litmus.Litmus.t -> int
+(** [count t] is the size of [t]'s candidate space, computed from the
+    choice product without enumerating. Agrees with counting via
+    {!fold}. *)
+
+val count_consistent : Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> int
+(** [count_consistent m t] enumerates and counts the candidates
+    consistent under [m]. *)

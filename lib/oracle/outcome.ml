@@ -1,0 +1,86 @@
+module Model = Mcm_memmodel.Model
+module Execution = Mcm_memmodel.Execution
+module Litmus = Mcm_litmus.Litmus
+module Pool = Mcm_util.Pool
+module Jsonw = Mcm_util.Jsonw
+
+type set = Litmus.outcome list (* sorted with [compare], duplicate-free *)
+
+let of_outcomes l = List.sort_uniq compare l
+let elements s = s
+let size = List.length
+let mem s o = List.mem o s
+let subset a b = List.for_all (fun o -> mem b o) a
+let equal (a : set) (b : set) = a = b
+
+let allowed m t =
+  Enumerate.fold_consistent m t ~init:[] ~f:(fun acc x -> Litmus.outcome_of_execution t x :: acc)
+  |> of_outcomes
+
+let allowed_grid ?domains points =
+  let arr = Array.of_list points in
+  let compute i =
+    let m, t = arr.(i) in
+    allowed m t
+  in
+  match domains with
+  | None | Some 1 -> List.init (Array.length arr) compute
+  | Some d ->
+      Pool.with_pool ~domains:d (fun pool ->
+          Array.to_list (Pool.map_array pool ~n:(Array.length arr) ~f:compute))
+
+exception Found of Execution.t
+
+let witness m t =
+  match
+    Enumerate.iter t ~f:(fun x ->
+        if Model.consistent m x && t.Litmus.target (Litmus.outcome_of_execution t x) then
+          raise (Found x))
+  with
+  | () -> None
+  | exception Found x -> Some x
+
+let target_allowed m t = witness m t <> None
+
+let counterexample m t o =
+  if mem (allowed m t) o then None
+  else
+    let producing =
+      Enumerate.fold t ~init:[] ~f:(fun acc x ->
+          if Litmus.outcome_of_execution t x = o then x :: acc else acc)
+    in
+    match producing with
+    | [] ->
+        Some
+          (Printf.sprintf "outcome %s is outside the candidate space: no rf/co assignment produces it"
+             (Litmus.outcome_to_string o))
+    | xs -> (
+        (* Prefer a candidate whose only defect is the hb cycle, so the
+           report shows the interesting violation. *)
+        let atomic = List.filter Model.rmw_atomic xs in
+        let pool = if atomic <> [] then atomic else xs in
+        match List.filter_map (Model.hb_cycle m) pool with
+        | cycle :: _ ->
+            Some (Printf.sprintf "forbidden %s happens-before cycle: %s" (Model.name m) cycle)
+        | [] -> (
+            match List.filter_map Model.atomicity_violation xs with
+            | v :: _ -> Some ("RMW atomicity violation: " ^ v)
+            | [] -> Some "inconsistent, but no cycle or atomicity violation found (oracle bug?)"))
+
+let outcome_to_json (o : Litmus.outcome) =
+  Jsonw.Obj
+    [
+      ( "regs",
+        Jsonw.List
+          (Array.to_list
+             (Array.map
+                (fun regs -> Jsonw.List (Array.to_list (Array.map (fun v -> Jsonw.Int v) regs)))
+                o.Litmus.regs)) );
+      ("final", Jsonw.List (Array.to_list (Array.map (fun v -> Jsonw.Int v) o.Litmus.final)));
+      ("pretty", Jsonw.String (Litmus.outcome_to_string o));
+    ]
+
+let to_json s = Jsonw.List (List.map outcome_to_json s)
+
+let pp fmt s =
+  List.iter (fun o -> Format.fprintf fmt "%s@." (Litmus.outcome_to_string o)) s

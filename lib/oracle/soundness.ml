@@ -1,0 +1,189 @@
+module Model = Mcm_memmodel.Model
+module Litmus = Mcm_litmus.Litmus
+module Library = Mcm_litmus.Library
+module Classify = Mcm_litmus.Classify
+module Suite = Mcm_core.Suite
+module Device = Mcm_gpu.Device
+module Params = Mcm_testenv.Params
+module Runner = Mcm_testenv.Runner
+module Pool = Mcm_util.Pool
+module Jsonw = Mcm_util.Jsonw
+
+type violation = {
+  v_test : string;
+  v_device : string;
+  v_env : string;
+  v_outcome : Litmus.outcome;
+  v_explanation : string;
+}
+
+type point = {
+  p_test : string;
+  p_model : Model.t;
+  p_device : string;
+  p_env : string;
+  p_instances : int;
+  p_distinct : int;
+  p_violations : violation list;
+}
+
+type report = {
+  points : point list;
+  sequential_violations : violation list;
+  total_instances : int;
+  total_violations : int;
+}
+
+let default_envs ?(scale = 0.02) () =
+  [
+    ("site-baseline", Params.site_baseline);
+    (Printf.sprintf "pte-baseline@%g" scale, Params.scaled Params.pte_baseline scale);
+  ]
+
+let default_tests () =
+  let suite = List.map (fun (e : Suite.entry) -> e.Suite.test) (Suite.all ()) in
+  let names = List.map (fun t -> t.Litmus.name) suite in
+  suite @ List.filter (fun t -> not (List.mem t.Litmus.name names)) Library.all
+
+let explain t o =
+  match Outcome.counterexample t.Litmus.model t o with
+  | Some e -> e
+  | None -> "(outcome is allowed — explanation requested in error)"
+
+(* Run tasks positionally across the pool (or serially); results never
+   depend on the domain count. *)
+let map_tasks ?domains arr f =
+  match domains with
+  | None | Some 1 -> Array.init (Array.length arr) (fun i -> f arr.(i))
+  | Some d ->
+      Pool.with_pool ~domains:d (fun pool ->
+          Pool.map_array pool ~n:(Array.length arr) ~f:(fun i -> f arr.(i)))
+
+let check ?domains ?(iterations = 2) ?(seed = 20230325) ?devices ?envs ?tests () =
+  let devices = match devices with Some d -> d | None -> Device.all_correct () in
+  let envs = match envs with Some e -> e | None -> default_envs () in
+  let tests = match tests with Some t -> t | None -> default_tests () in
+  let tests = Array.of_list tests in
+  (* Stage 1, one task per test: the allowed set under the test's own
+     model, plus the serial-outcome check covering skipped instances. *)
+  let stage1 =
+    map_tasks ?domains tests (fun t ->
+        let allowed = Outcome.allowed t.Litmus.model t in
+        let seq_violations =
+          List.filter_map
+            (fun o ->
+              if Outcome.mem allowed o then None
+              else
+                Some
+                  {
+                    v_test = t.Litmus.name;
+                    v_device = "-";
+                    v_env = "-";
+                    v_outcome = o;
+                    v_explanation = explain t o;
+                  })
+            (List.sort_uniq compare (Classify.sequential_outcomes t))
+        in
+        (allowed, seq_violations))
+  in
+  let sequential_violations = List.concat_map snd (Array.to_list stage1) in
+  (* Stage 2, one task per (test × device × env) grid point. *)
+  let grid =
+    Array.of_list
+      (List.concat
+         (List.mapi
+            (fun ti _ ->
+              List.concat_map
+                (fun device -> List.map (fun (env_name, env) -> (ti, device, env_name, env)) envs)
+                devices)
+            (Array.to_list tests)))
+  in
+  let points =
+    map_tasks ?domains grid (fun (ti, device, env_name, env) ->
+        let t = tests.(ti) in
+        let allowed = fst stage1.(ti) in
+        let result, observed =
+          Runner.run_with_outcomes ~device ~env ~test:t ~iterations ~seed ()
+        in
+        let violations =
+          List.filter_map
+            (fun o ->
+              if Outcome.mem allowed o then None
+              else
+                Some
+                  {
+                    v_test = t.Litmus.name;
+                    v_device = Device.name device;
+                    v_env = env_name;
+                    v_outcome = o;
+                    v_explanation = explain t o;
+                  })
+            observed
+        in
+        {
+          p_test = t.Litmus.name;
+          p_model = t.Litmus.model;
+          p_device = Device.name device;
+          p_env = env_name;
+          p_instances = result.Runner.instances;
+          p_distinct = List.length observed;
+          p_violations = violations;
+        })
+  in
+  let points = Array.to_list points in
+  {
+    points;
+    sequential_violations;
+    total_instances = List.fold_left (fun acc p -> acc + p.p_instances) 0 points;
+    total_violations =
+      List.fold_left (fun acc p -> acc + List.length p.p_violations) 0 points
+      + List.length sequential_violations;
+  }
+
+let ok r = r.total_violations = 0
+
+let violation_to_json v =
+  Jsonw.Obj
+    [
+      ("test", Jsonw.String v.v_test);
+      ("device", Jsonw.String v.v_device);
+      ("env", Jsonw.String v.v_env);
+      ("outcome", Outcome.outcome_to_json v.v_outcome);
+      ("explanation", Jsonw.String v.v_explanation);
+    ]
+
+let report_to_json r =
+  Jsonw.Obj
+    [
+      ("grid_points", Jsonw.Int (List.length r.points));
+      ("instances", Jsonw.Int r.total_instances);
+      ("violations", Jsonw.Int r.total_violations);
+      ( "points",
+        Jsonw.List
+          (List.map
+             (fun p ->
+               Jsonw.Obj
+                 [
+                   ("test", Jsonw.String p.p_test);
+                   ("model", Jsonw.String (Model.name p.p_model));
+                   ("device", Jsonw.String p.p_device);
+                   ("env", Jsonw.String p.p_env);
+                   ("instances", Jsonw.Int p.p_instances);
+                   ("distinct_outcomes", Jsonw.Int p.p_distinct);
+                   ("violations", Jsonw.List (List.map violation_to_json p.p_violations));
+                 ])
+             r.points) );
+      ("sequential_violations", Jsonw.List (List.map violation_to_json r.sequential_violations));
+    ]
+
+let pp_violation fmt v =
+  Format.fprintf fmt "UNSOUND %s on %s in %s: observed %s@.        %s@." v.v_test v.v_device
+    v.v_env
+    (Litmus.outcome_to_string v.v_outcome)
+    v.v_explanation
+
+let pp_report fmt r =
+  List.iter (fun p -> List.iter (pp_violation fmt) p.p_violations) r.points;
+  List.iter (pp_violation fmt) r.sequential_violations;
+  Format.fprintf fmt "%d grid points, %d instances, %d violations@." (List.length r.points)
+    r.total_instances r.total_violations

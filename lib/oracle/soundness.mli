@@ -1,0 +1,85 @@
+(** Simulator soundness: every observed outcome must be axiomatically allowed.
+
+    The operational GPU simulator ({!Mcm_gpu.Instance}, driven by
+    {!Mcm_testenv.Runner}) is the stand-in for real hardware, so the
+    whole evaluation silently assumes it never produces an execution the
+    test's memory consistency specification forbids. This module turns
+    that assumption into a checked property: replay testing campaigns
+    across a matrix of device profiles and environment parameters,
+    collect every outcome any executed instance produced, and assert
+    membership in the oracle's allowed-outcome set for the test's model.
+    A violation is reported with a counter-example trace — the forbidden
+    happens-before cycle (or RMW-atomicity violation) of a candidate
+    execution producing that outcome.
+
+    Two coverage notes. Instances skipped by the runner's weak-memory
+    horizon are sequential by construction; {!check} covers them by
+    separately asserting every whole-thread-at-a-time serial outcome is
+    allowed. And the check is expected to {e fail} on a device carrying
+    a {!Mcm_gpu.Bug} injection — that is how the checker itself is
+    tested. *)
+
+type violation = {
+  v_test : string;
+  v_device : string;
+  v_env : string;
+  v_outcome : Mcm_litmus.Litmus.outcome;
+  v_explanation : string;  (** counter-example trace, via {!Outcome.counterexample} *)
+}
+
+(** One grid point: a campaign of [test] on [device] in [env]. *)
+type point = {
+  p_test : string;
+  p_model : Mcm_memmodel.Model.t;
+  p_device : string;
+  p_env : string;
+  p_instances : int;  (** instances executed or skipped in the campaign *)
+  p_distinct : int;  (** distinct outcomes observed *)
+  p_violations : violation list;  (** observed outcomes outside the allowed set *)
+}
+
+type report = {
+  points : point list;
+  sequential_violations : violation list;
+      (** serial outcomes outside a test's allowed set — covers instances
+          the runner skips as non-overlapping (their [v_device]/[v_env]
+          are ["-"]) *)
+  total_instances : int;
+  total_violations : int;  (** grid violations plus sequential violations *)
+}
+
+val default_envs : ?scale:float -> unit -> (string * Mcm_testenv.Params.t) list
+(** The default environment axis: the SITE baseline and the PTE baseline
+    scaled by [scale] (default [0.02], the bench/test scale). *)
+
+val default_tests : unit -> Mcm_litmus.Litmus.t list
+(** The full shipped library: every generated suite entry (conformance
+    tests and mutants) plus every classic library test not shadowed by a
+    suite test of the same name. *)
+
+val check :
+  ?domains:int ->
+  ?iterations:int ->
+  ?seed:int ->
+  ?devices:Mcm_gpu.Device.t list ->
+  ?envs:(string * Mcm_testenv.Params.t) list ->
+  ?tests:Mcm_litmus.Litmus.t list ->
+  unit ->
+  report
+(** [check ()] runs the full soundness matrix: for every test, compute
+    the allowed-outcome set under the test's own model and check the
+    serial outcomes; then for every (test × device × env) grid point run
+    a campaign of [iterations] kernel launches (default 2, seed default
+    20230325) via {!Mcm_testenv.Runner.run_with_outcomes} and check
+    every observed outcome. Devices default to the four correct study
+    profiles. [domains] fans the grid out over a {!Mcm_util.Pool} — one
+    domain task per grid point — with a bit-identical report for every
+    value. *)
+
+val ok : report -> bool
+(** [ok r] holds when the report carries no violation. *)
+
+val report_to_json : report -> Mcm_util.Jsonw.t
+val pp_report : Format.formatter -> report -> unit
+(** Prints every violation with its counter-example trace, then a
+    one-line summary. *)

@@ -51,10 +51,23 @@ type tally = {
   t_weak : int;
   t_forbidden : int;
   t_skipped : int;
+  t_outcomes : Litmus.outcome list;
+      (** distinct outcomes of executed instances, sorted; empty unless
+          the campaign collects observations. Final dedup across
+          iterations happens in [run_with_outcomes], so partitioning the
+          iteration axis cannot change the result. *)
 }
 
 let tally_zero =
-  { t_kills = 0; t_sequential = 0; t_interleaved = 0; t_weak = 0; t_forbidden = 0; t_skipped = 0 }
+  {
+    t_kills = 0;
+    t_sequential = 0;
+    t_interleaved = 0;
+    t_weak = 0;
+    t_forbidden = 0;
+    t_skipped = 0;
+    t_outcomes = [];
+  }
 
 let tally_add a b =
   {
@@ -64,13 +77,14 @@ let tally_add a b =
     t_weak = a.t_weak + b.t_weak;
     t_forbidden = a.t_forbidden + b.t_forbidden;
     t_skipped = a.t_skipped + b.t_skipped;
+    t_outcomes = a.t_outcomes @ b.t_outcomes;
   }
 
 (* Build the campaign's per-iteration function plus the derived constants.
    Everything the returned closure captures is immutable (or, for the
    classifier's table, written before and only read after), so it is safe
    to call from any domain. *)
-let campaign ~classify ~device ~env ~test ~seed =
+let campaign ~classify ~collect ~device ~env ~test ~seed =
   let profile = device.Device.profile in
   let bugs = Device.effect device in
   let roles = Litmus.nthreads test in
@@ -103,6 +117,7 @@ let campaign ~classify ~device ~env ~test ~seed =
     let starts = Assignment.role_starts ~prng ~profile ~env ~slice_instrs ~instances in
     let kills = ref 0 and skipped = ref 0 in
     let sequential = ref 0 and interleaved = ref 0 and weak_n = ref 0 and forbidden = ref 0 in
+    let observed = ref [] in
     for i = 0 to instances - 1 do
       let s = starts.(i) in
       let lo = ref s.(0) and hi = ref s.(0) in
@@ -113,6 +128,7 @@ let campaign ~classify ~device ~env ~test ~seed =
       if !hi -. !lo <= horizon then begin
         let outcome = Instance.run ~prng:(Prng.split prng) ~weak ~bugs ~test ~starts:s in
         if test.Litmus.target outcome then incr kills;
+        if collect then observed := outcome :: !observed;
         match classify with
         | None -> ()
         | Some classify -> (
@@ -131,12 +147,15 @@ let campaign ~classify ~device ~env ~test ~seed =
       t_weak = !weak_n;
       t_forbidden = !forbidden;
       t_skipped = !skipped;
+      t_outcomes = List.sort_uniq compare !observed;
     }
   in
   (run_iteration, instances, iteration_ns)
 
-let run_campaign ?domains ~classify ~device ~env ~test ~iterations ~seed () =
-  let run_iteration, instances, iteration_ns = campaign ~classify ~device ~env ~test ~seed in
+let run_campaign ?domains ?(collect = false) ~classify ~device ~env ~test ~iterations ~seed () =
+  let run_iteration, instances, iteration_ns =
+    campaign ~classify ~collect ~device ~env ~test ~seed
+  in
   let tally =
     match domains with
     | None | Some 1 ->
@@ -178,3 +197,9 @@ let run_with_histogram ?domains ~device ~env ~test ~iterations ~seed () =
       forbidden = tally.t_forbidden;
       skipped = tally.t_skipped;
     } )
+
+let run_with_outcomes ?domains ~device ~env ~test ~iterations ~seed () =
+  let result, tally =
+    run_campaign ?domains ~collect:true ~classify:None ~device ~env ~test ~iterations ~seed ()
+  in
+  (result, List.sort_uniq compare tally.t_outcomes)

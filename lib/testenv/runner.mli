@@ -64,6 +64,24 @@ type histogram = {
   skipped : int;
 }
 
+val run_with_outcomes :
+  ?domains:int ->
+  device:Mcm_gpu.Device.t ->
+  env:Params.t ->
+  test:Mcm_litmus.Litmus.t ->
+  iterations:int ->
+  seed:int ->
+  unit ->
+  result * Mcm_litmus.Litmus.outcome list
+(** Like {!run} (identical [result] for identical arguments), but also
+    returns the deduplicated, sorted list of every outcome observed by an
+    executed instance — the observation set the axiomatic oracle checks
+    against a model's allowed-outcome set. Skipped instances are not
+    collected: their roles never overlapped, so their outcomes are
+    sequential by construction (and sequential outcomes are checked
+    against the oracle separately). The set is bit-identical for every
+    [domains] value. *)
+
 val run_with_histogram :
   ?domains:int ->
   device:Mcm_gpu.Device.t ->

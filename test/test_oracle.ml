@@ -1,0 +1,460 @@
+(* Tests for the axiomatic oracle (lib/oracle).
+
+   Four layers of assurance:
+
+   1. Engine cross-checks — the oracle's streaming enumerator must agree
+      candidate-for-candidate and outcome-for-outcome with the older
+      list-based enumerator in Mcm_litmus, and its analytic candidate
+      count with actual enumeration.
+   2. Golden allowed-outcome counts — for every shipped test (classic
+      library + generated suite) and every model, the size of the
+      allowed-outcome set is pinned. A model or enumerator change that
+      shifts any set shows up as an exact diff. Regenerate after an
+      intentional change with:
+        MCM_GOLDEN_REGEN=1 dune exec test/test_oracle.exe
+   3. Certification — every conformance test is provably disallowed,
+      every mutant provably allowed and non-vacuous; the certifier also
+      rejects hand-built vacuous/inverted tests.
+   4. Soundness — the simulator's observed outcomes are axiomatically
+      allowed on correct devices, and the checker catches an injected
+      coherence bug with a counter-example trace.
+
+   Plus qcheck properties: allowed-set monotonicity along the model
+   lattice for random programs, and bit-identity of the pool-sharded
+   grid enumeration for any domain count. *)
+
+module Model = Mcm_memmodel.Model
+module Litmus = Mcm_litmus.Litmus
+module Instr = Mcm_litmus.Instr
+module Library = Mcm_litmus.Library
+module LEnum = Mcm_litmus.Enumerate
+module Suite = Mcm_core.Suite
+module Profile = Mcm_gpu.Profile
+module Device = Mcm_gpu.Device
+module Bug = Mcm_gpu.Bug
+module Params = Mcm_testenv.Params
+module Enumerate = Mcm_oracle.Enumerate
+module Outcome = Mcm_oracle.Outcome
+module Certify = Mcm_oracle.Certify
+module Soundness = Mcm_oracle.Soundness
+
+let check = Alcotest.(check bool)
+let check_int = Alcotest.(check int)
+
+let all_tests () =
+  Library.all @ List.map (fun (e : Suite.entry) -> e.Suite.test) (Suite.all ())
+
+(* -------------------------------------------------------------------- *)
+(* 1. Engine cross-checks.                                               *)
+
+let test_count_agrees_with_enumeration () =
+  List.iter
+    (fun t ->
+      let folded = Enumerate.fold t ~init:0 ~f:(fun k _ -> k + 1) in
+      check_int (t.Litmus.name ^ ": analytic count = fold count") (Enumerate.count t) folded)
+    (all_tests ())
+
+let test_fold_agrees_with_list_enumerator () =
+  List.iter
+    (fun t ->
+      let old_cands = LEnum.candidates t in
+      check_int
+        (t.Litmus.name ^ ": same candidate-space size")
+        (List.length old_cands) (Enumerate.count t);
+      (* Same candidates as sets (orders differ): compare canonicalised
+         (rf, co) witnesses. *)
+      let key (x : Mcm_memmodel.Execution.t) = (Array.to_list x.rf, x.co) in
+      let new_keys =
+        Enumerate.fold t ~init:[] ~f:(fun acc x -> key x :: acc) |> List.sort compare
+      in
+      let old_keys = List.map key old_cands |> List.sort compare in
+      check (t.Litmus.name ^ ": same candidates") true (new_keys = old_keys))
+    Library.all
+
+let test_allowed_agrees_with_list_enumerator () =
+  List.iter
+    (fun t ->
+      List.iter
+        (fun m ->
+          let ours = Outcome.elements (Outcome.allowed m t) in
+          let theirs = List.sort_uniq compare (LEnum.consistent_outcomes m t) in
+          check
+            (Printf.sprintf "%s under %s: same allowed set" t.Litmus.name (Model.name m))
+            true (ours = theirs))
+        Model.all)
+    Library.all
+
+let test_target_allowed_agrees () =
+  List.iter
+    (fun t ->
+      List.iter
+        (fun m ->
+          check
+            (Printf.sprintf "%s under %s: target_allowed agrees" t.Litmus.name (Model.name m))
+            (LEnum.target_allowed m t) (Outcome.target_allowed m t))
+        Model.all)
+    Library.all
+
+(* -------------------------------------------------------------------- *)
+(* 2. Golden allowed-outcome counts: name, |allowed| under SC,
+      rel-acq-SC-per-loc, SC-per-loc (the Model.all order).              *)
+
+type row = string * int * int * int
+
+let rows () : row list =
+  List.map
+    (fun t ->
+      match List.map (fun m -> Outcome.size (Outcome.allowed m t)) Model.all with
+      | [ sc; relacq; scpl ] -> (t.Litmus.name, sc, relacq, scpl)
+      | _ -> assert false)
+    (all_tests ())
+
+let expected : row list =
+  [
+    ("CoRR", 3, 3, 3);
+    ("CoWR", 3, 3, 3);
+    ("CoRW", 3, 3, 3);
+    ("CoWW", 21, 21, 21);
+    ("MP", 3, 4, 4);
+    ("MP-relacq", 3, 3, 4);
+    ("MP-CO", 6, 6, 6);
+    ("LB", 3, 4, 4);
+    ("LB-relacq", 3, 3, 4);
+    ("SB", 3, 4, 4);
+    ("SB-relacq-rmw", 3, 3, 4);
+    ("S", 3, 4, 4);
+    ("S-relacq", 3, 3, 4);
+    ("R", 3, 4, 4);
+    ("R-relacq-rmw", 3, 3, 4);
+    ("2+2W", 3, 4, 4);
+    ("2+2W-relacq-rmw", 3, 3, 4);
+    ("IRIW", 15, 16, 16);
+    ("WRC", 7, 8, 8);
+    ("ISA2", 7, 8, 8);
+    ("RWC", 7, 8, 8);
+    ("CoRR", 3, 3, 3);
+    ("CoRR-m", 3, 3, 3);
+    ("CoRR-rmw", 3, 3, 3);
+    ("CoRR-rmw-m", 3, 3, 3);
+    ("CoWR", 3, 3, 3);
+    ("CoWR-m", 3, 3, 3);
+    ("CoWR-rmw", 3, 3, 3);
+    ("CoWR-rmw-m", 3, 3, 3);
+    ("CoRW", 3, 3, 3);
+    ("CoRW-m", 3, 3, 3);
+    ("CoRW-rmw", 3, 3, 3);
+    ("CoRW-rmw-m", 3, 3, 3);
+    ("CoWW", 21, 21, 21);
+    ("CoWW-m", 21, 21, 21);
+    ("CoWW-rmw", 3, 3, 3);
+    ("CoWW-rmw-m", 3, 3, 3);
+    ("MP-CO", 6, 6, 6);
+    ("MP-CO-m", 3, 4, 4);
+    ("LB-CO", 4, 4, 4);
+    ("LB-CO-m", 3, 4, 4);
+    ("S-CO", 5, 5, 5);
+    ("S-CO-m", 3, 4, 4);
+    ("SB-CO", 4, 4, 4);
+    ("SB-CO-m", 3, 4, 4);
+    ("R-CO", 4, 4, 4);
+    ("R-CO-m", 3, 4, 4);
+    ("2+2W-CO", 34, 34, 34);
+    ("2+2W-CO-m", 3, 4, 4);
+    ("MP-relacq", 3, 3, 4);
+    ("MP-relacq-m1", 3, 4, 4);
+    ("MP-relacq-m2", 3, 4, 4);
+    ("MP-relacq-m3", 3, 4, 4);
+    ("LB-relacq", 3, 3, 4);
+    ("LB-relacq-m1", 3, 4, 4);
+    ("LB-relacq-m2", 3, 4, 4);
+    ("LB-relacq-m3", 3, 4, 4);
+    ("S-relacq", 3, 3, 4);
+    ("S-relacq-m1", 3, 4, 4);
+    ("S-relacq-m2", 3, 4, 4);
+    ("S-relacq-m3", 3, 4, 4);
+    ("SB-relacq", 3, 3, 4);
+    ("SB-relacq-m1", 3, 4, 4);
+    ("SB-relacq-m2", 3, 4, 4);
+    ("SB-relacq-m3", 3, 4, 4);
+    ("R-relacq", 3, 3, 4);
+    ("R-relacq-m1", 3, 4, 4);
+    ("R-relacq-m2", 3, 4, 4);
+    ("R-relacq-m3", 3, 4, 4);
+    ("2+2W-relacq", 3, 3, 4);
+    ("2+2W-relacq-m1", 3, 4, 4);
+    ("2+2W-relacq-m2", 3, 4, 4);
+    ("2+2W-relacq-m3", 3, 4, 4);
+  ]
+
+let pp_row (name, sc, relacq, scpl) = Printf.sprintf "(%S, %d, %d, %d);" name sc relacq scpl
+
+let test_golden_counts () =
+  let actual = rows () in
+  check_int "row count" (List.length expected) (List.length actual);
+  List.iter2
+    (fun a e ->
+      if a <> e then
+        Alcotest.failf "allowed-set drift:\n  expected %s\n  actual   %s" (pp_row e) (pp_row a))
+    actual expected
+
+let test_monotone_along_lattice () =
+  (* Permissiveness chain: allowed(SC) ⊆ allowed(rel-acq) ⊆ allowed(SC-per-loc),
+     pointwise on every shipped test — the outcome-set image of
+     Model.weaker_or_equal. *)
+  List.iter
+    (fun t ->
+      let sets = List.map (fun m -> (m, Outcome.allowed m t)) Model.all in
+      List.iter
+        (fun (m, s) ->
+          List.iter
+            (fun (m', s') ->
+              if Model.weaker_or_equal m m' then
+                check
+                  (Printf.sprintf "%s: allowed(%s) includes allowed(%s)" t.Litmus.name
+                     (Model.name m) (Model.name m'))
+                  true (Outcome.subset s' s))
+            sets)
+        sets)
+    (all_tests ())
+
+(* -------------------------------------------------------------------- *)
+(* 3. Certification.                                                     *)
+
+let test_certify_suite () =
+  let r = Certify.suite () in
+  check_int "suite size" (List.length (Suite.all ())) (List.length r.Certify.verdicts);
+  List.iter
+    (fun (v : Certify.verdict) ->
+      if not v.Certify.ok then
+        Alcotest.failf "suite certificate failed: %s (%s): %s" v.Certify.test v.Certify.role
+          v.Certify.detail)
+    r.Certify.verdicts;
+  check_int "no failures" 0 r.Certify.failures
+
+let test_certify_library () =
+  let r = Certify.library () in
+  check_int "library size" (List.length Library.all) (List.length r.Certify.verdicts);
+  check_int "no failures" 0 r.Certify.failures
+
+let contains hay needle =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_certify_rejects_allowed_conformance () =
+  (* MP's weak target is allowed under SC-per-loc: as a conformance test
+     it must fail certification, with the witness in the verdict. *)
+  let v = Certify.conformance Library.mp in
+  check "not ok" false v.Certify.ok;
+  check "mentions ALLOWED" true (contains v.Certify.detail "ALLOWED")
+
+let test_certify_rejects_vacuous_mutant () =
+  (* A "mutant" whose target a serial execution exhibits is vacuous. *)
+  let vacuous =
+    {
+      Library.mp with
+      Litmus.name = "MP-vacuous";
+      target = (fun o -> o.Litmus.regs.(1).(0) = 1 && o.Litmus.regs.(1).(1) = 1);
+      target_desc = "t1.r0 = 1 && t1.r1 = 1";
+    }
+  in
+  let v = Certify.mutant vacuous in
+  check "not ok" false v.Certify.ok;
+  check "flagged vacuous" true (contains v.Certify.detail "vacuous")
+
+let test_certify_rejects_disallowed_mutant () =
+  (* CoRR's target is disallowed: as a mutant it must fail. *)
+  let v = Certify.mutant Library.corr in
+  check "not ok" false v.Certify.ok;
+  check "mentions DISALLOWED" true (contains v.Certify.detail "DISALLOWED")
+
+let test_conformance_evidence_is_a_cycle () =
+  let v = Certify.conformance Library.corr in
+  check "ok" true v.Certify.ok;
+  check "cycle evidence" true (contains v.Certify.detail "hb cycle")
+
+(* -------------------------------------------------------------------- *)
+(* 4. Soundness.                                                         *)
+
+let small_tests () =
+  List.map
+    (fun n -> (Option.get (Suite.find n)).Suite.test)
+    [ "CoRR"; "CoRR-m"; "MP-CO-m"; "MP-relacq-m3" ]
+
+let small_env = [ ("pte@0.02", Params.scaled Params.pte_baseline 0.02) ]
+
+let test_soundness_correct_devices () =
+  let r =
+    Soundness.check ~iterations:2 ~devices:(Device.all_correct ()) ~envs:small_env
+      ~tests:(small_tests ()) ()
+  in
+  check_int "grid points" (4 * 4) (List.length r.Soundness.points);
+  List.iter
+    (fun (p : Soundness.point) ->
+      List.iter
+        (fun (v : Soundness.violation) ->
+          Alcotest.failf "unsound: %s on %s: %s — %s" v.Soundness.v_test v.Soundness.v_device
+            (Litmus.outcome_to_string v.Soundness.v_outcome)
+            v.Soundness.v_explanation)
+        p.Soundness.p_violations)
+    r.Soundness.points;
+  check "ok" true (Soundness.ok r)
+
+let test_soundness_catches_injected_bug () =
+  (* The Kepler-style coherence bug makes the simulator produce CoRR
+     violations; the checker must catch them and explain each with a
+     counter-example trace. *)
+  let buggy = Device.make ~bugs:[ Bug.Corr_reorder 0.5 ] Profile.intel in
+  let corr = (Option.get (Suite.find "CoRR")).Suite.test in
+  let r =
+    Soundness.check ~iterations:2 ~devices:[ buggy ] ~envs:small_env ~tests:[ corr ] ()
+  in
+  check "violations found" true (r.Soundness.total_violations > 0);
+  check "not ok" false (Soundness.ok r);
+  let v =
+    List.concat_map (fun (p : Soundness.point) -> p.Soundness.p_violations) r.Soundness.points
+    |> List.hd
+  in
+  check "explained by a forbidden cycle" true (contains v.Soundness.v_explanation "cycle")
+
+let test_soundness_jobs_invariant () =
+  let run domains =
+    Soundness.check ~domains ~iterations:1 ~devices:[ Device.make Profile.intel ]
+      ~envs:small_env ~tests:(small_tests ()) ()
+  in
+  let serial = run 1 in
+  List.iter
+    (fun d -> check (Printf.sprintf "report identical at %d domains" d) true (run d = serial))
+    [ 2; 3; 8 ]
+
+(* -------------------------------------------------------------------- *)
+(* qcheck: random programs.                                              *)
+
+(* Random well-formed litmus programs: two threads of 1–2 instructions
+   over ≤ 2 locations, values distinct and non-zero per location (the
+   well-formedness concretisation), registers distinct per thread. Small
+   enough that the candidate space stays ≤ a few thousand. *)
+let gen_program st =
+  let open QCheck.Gen in
+  let nlocs = 1 + int_bound 1 st in
+  let next_value = Array.make nlocs 0 in
+  let fresh_value l =
+    next_value.(l) <- next_value.(l) + 1;
+    next_value.(l)
+  in
+  let thread _ =
+    let n = 1 + int_bound 1 st in
+    let reg = ref 0 in
+    List.init n (fun _ ->
+        match int_bound 3 st with
+        | 0 ->
+            let r = !reg in
+            incr reg;
+            Instr.Load { reg = r; loc = int_bound (nlocs - 1) st }
+        | 1 ->
+            let l = int_bound (nlocs - 1) st in
+            Instr.Store { loc = l; value = fresh_value l }
+        | 2 ->
+            let r = !reg in
+            incr reg;
+            let l = int_bound (nlocs - 1) st in
+            Instr.Rmw { reg = r; loc = l; value = fresh_value l }
+        | _ -> Instr.Fence)
+  in
+  let threads = Array.init 2 thread in
+  {
+    Litmus.name = "rand";
+    family = "qcheck";
+    model = Model.Sc_per_location;
+    threads;
+    nlocs;
+    target = (fun _ -> false);
+    target_desc = "none";
+  }
+
+let program_arb =
+  QCheck.make ~print:(fun t -> Litmus.to_string t) gen_program
+
+let prop_random_programs_well_formed =
+  QCheck.Test.make ~count:200 ~name:"random programs are well-formed" program_arb (fun t ->
+      Litmus.well_formed t = Ok ())
+
+let prop_monotone_random =
+  QCheck.Test.make ~count:120
+    ~name:"allowed sets monotone along weaker_or_equal (random programs)" program_arb (fun t ->
+      let sets = List.map (fun m -> (m, Outcome.allowed m t)) Model.all in
+      List.for_all
+        (fun (m, s) ->
+          List.for_all
+            (fun (m', s') -> (not (Model.weaker_or_equal m m')) || Outcome.subset s' s)
+            sets)
+        sets)
+
+let prop_grid_jobs_identical =
+  QCheck.Test.make ~count:30 ~name:"allowed_grid bit-identical for domains 1..8"
+    QCheck.(pair (make (QCheck.Gen.int_range 1 8)) program_arb)
+    (fun (domains, t) ->
+      let points = List.map (fun m -> (m, t)) Model.all in
+      let serial = Outcome.allowed_grid points in
+      let sharded = Outcome.allowed_grid ~domains points in
+      List.for_all2 Outcome.equal serial sharded)
+
+let prop_consistent_count_bounded =
+  QCheck.Test.make ~count:120 ~name:"consistent candidates never exceed the analytic total"
+    program_arb (fun t ->
+      let total = Enumerate.count t in
+      List.for_all
+        (fun m ->
+          let c = Enumerate.count_consistent m t in
+          c >= 0 && c <= total)
+        Model.all)
+
+let () =
+  if Sys.getenv_opt "MCM_GOLDEN_REGEN" <> None then begin
+    List.iter (fun r -> Printf.printf "    %s\n" (pp_row r)) (rows ());
+    exit 0
+  end;
+  let qcheck = List.map QCheck_alcotest.to_alcotest in
+  Alcotest.run "oracle"
+    [
+      ( "engine",
+        [
+          Alcotest.test_case "analytic count = fold count" `Quick test_count_agrees_with_enumeration;
+          Alcotest.test_case "fold = list enumerator (candidates)" `Slow
+            test_fold_agrees_with_list_enumerator;
+          Alcotest.test_case "allowed = list enumerator (outcomes)" `Slow
+            test_allowed_agrees_with_list_enumerator;
+          Alcotest.test_case "target_allowed agrees" `Slow test_target_allowed_agrees;
+        ] );
+      ( "goldens",
+        [
+          Alcotest.test_case "allowed-outcome counts" `Quick test_golden_counts;
+          Alcotest.test_case "monotone along the lattice" `Slow test_monotone_along_lattice;
+        ] );
+      ( "certify",
+        [
+          Alcotest.test_case "whole generated suite" `Quick test_certify_suite;
+          Alcotest.test_case "whole classic library" `Quick test_certify_library;
+          Alcotest.test_case "rejects allowed conformance" `Quick
+            test_certify_rejects_allowed_conformance;
+          Alcotest.test_case "rejects vacuous mutant" `Quick test_certify_rejects_vacuous_mutant;
+          Alcotest.test_case "rejects disallowed mutant" `Quick
+            test_certify_rejects_disallowed_mutant;
+          Alcotest.test_case "conformance evidence is a cycle" `Quick
+            test_conformance_evidence_is_a_cycle;
+        ] );
+      ( "soundness",
+        [
+          Alcotest.test_case "correct devices are sound" `Quick test_soundness_correct_devices;
+          Alcotest.test_case "injected bug is caught" `Quick test_soundness_catches_injected_bug;
+          Alcotest.test_case "jobs-invariant report" `Quick test_soundness_jobs_invariant;
+        ] );
+      ( "properties",
+        qcheck
+          [
+            prop_random_programs_well_formed;
+            prop_monotone_random;
+            prop_grid_jobs_identical;
+            prop_consistent_count_bounded;
+          ] );
+    ]
