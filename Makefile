@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke oracle oracle-smoke check clean
+.PHONY: all build test bench bench-smoke bench-instance bench-instance-smoke oracle oracle-smoke check clean
 
 all: build
 
@@ -9,7 +9,7 @@ test:
 	dune runtest
 
 # Full benchmark suite (bechamel micro-benchmarks + serial-vs-parallel
-# campaign benchmark; writes BENCH_parallel.json).
+# campaign benchmark + compiled-kernel benchmark; writes BENCH_*.json).
 bench:
 	dune exec bench/main.exe
 
@@ -17,6 +17,17 @@ bench:
 # CI; still checks bit-identity between serial and every domain count.
 bench-smoke:
 	MCM_BENCH_SMOKE=1 dune exec bench/main.exe
+
+# Compiled instance kernel vs interpreter (writes BENCH_instance.json).
+# Built with --profile release: the kernel's zero-allocation steady
+# state needs cross-module inlining, which the dev profile's -opaque
+# disables. Fails if the engines diverge or the kernel allocates.
+bench-instance:
+	MCM_BENCH_PART=instance dune exec --profile release bench/main.exe
+
+# Same contract at CI speed (small instance counts).
+bench-instance-smoke:
+	MCM_BENCH_SMOKE=1 MCM_BENCH_PART=instance dune exec --profile release bench/main.exe
 
 # Full axiomatic oracle: certify every generated/classic test and run
 # the simulator soundness matrix over the whole library (minutes).
@@ -28,10 +39,10 @@ oracle:
 oracle-smoke:
 	dune exec bin/mcmutants.exe -- oracle --smoke --jobs 2
 
-# The one target CI needs: build, full test suite, smoke benchmark,
+# The one target CI needs: build, full test suite, smoke benchmarks,
 # smoke oracle.
-check: build test bench-smoke oracle-smoke
+check: build test bench-smoke bench-instance-smoke oracle-smoke
 
 clean:
 	dune clean
-	rm -f BENCH_parallel.json BENCH_oracle.json
+	rm -f BENCH_parallel.json BENCH_oracle.json BENCH_instance.json

@@ -252,6 +252,224 @@ let parallel_bench ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Part 2a: the compiled instance kernel benchmark                      *)
+
+(* Three measurements for the compiled kernel path, recorded in
+   BENCH_instance.json with the same identical-or-fail contract as the
+   other benches:
+
+   1. A standard campaign through both engines — wall-clock, minor-heap
+      allocation, and bit-identity of the (result, histogram) pair.
+   2. A direct instance loop (no campaign scaffolding): interpreter vs
+      kernel instances/sec, plus Gc.quick_stat minor-word deltas proving
+      the kernel's steady-state path allocates zero words per instance.
+   3. A pool chunking sweep: the same job at chunk 1 vs the derived
+      default vs one-chunk-per-domain, bit-identity asserted.
+
+   MCM_BENCH_SMOKE=1 shrinks the counts to a CI-speed functional pass.
+
+   Build-profile caveat: dune's dev profile compiles with -opaque, which
+   disables the cross-module inlining of Prng.Raw draws; each draw then
+   returns a boxed float and the kernel's steady state allocates ~27
+   words/instance. The zero-allocation contract is a release-profile
+   property — `make bench-instance` builds with --profile release. *)
+
+let instance_bench ~smoke () =
+  section "Compiled kernel: interpreter vs kernel instance throughput";
+  let device = Device.make Profile.nvidia in
+  let test = (Option.get (Suite.find "MP-relacq-m3")).Suite.test in
+  let env = Params.scaled Params.pte_baseline 0.02 in
+  let seed = 20230325 in
+  let iterations = if smoke then 2 else 40 in
+  (* 1. Campaign through both engines. *)
+  let campaign engine =
+    Gc.full_major ();
+    let mw0 = Gc.minor_words () in
+    let out, secs =
+      wall (fun () ->
+          Runner.run_with_histogram ~engine ~device ~env ~test ~iterations ~seed ())
+    in
+    let minor = Gc.minor_words () -. mw0 in
+    (out, secs, minor)
+  in
+  let ((ir, _) as interp), interp_s, interp_minor = campaign Runner.Interpreter in
+  let kernel_out, kernel_s, kernel_minor = campaign Runner.Kernel in
+  let identical = kernel_out = interp in
+  let executed = ir.Runner.instances in
+  let campaign_speedup = if kernel_s > 0. then interp_s /. kernel_s else 0. in
+  Printf.printf "  campaign (%d iterations, %d instances)\n" iterations executed;
+  Printf.printf "    interpreter engine    %8.3f s   %12.0f minor words\n%!" interp_s
+    interp_minor;
+  Printf.printf "    kernel engine         %8.3f s   %12.0f minor words   %5.2fx%s\n%!" kernel_s
+    kernel_minor campaign_speedup
+    (if identical then "   (bit-identical)" else "   RESULTS DIVERGED");
+  (* 2. Direct instance loop: the per-instance cost with the campaign
+     scaffolding (starts generation, horizon skip) factored out. *)
+  let bugs = Device.effect device in
+  let roles = Litmus.nthreads test in
+  let weak =
+    Gpu_instance.effective_params Profile.nvidia
+      ~amplification:(Runner.amplification device env ~roles)
+  in
+  let starts = Array.init roles (fun r -> 2. *. float_of_int r) in
+  let runs = if smoke then 5_000 else 300_000 in
+  let kernel = Mcm_gpu.Kernel.compile ~weak ~bugs ~test in
+  let ws = Mcm_gpu.Kernel.workspace kernel in
+  Mcm_gpu.Kernel.set_parent ws (Prng.create seed);
+  let loop_interp () =
+    let g = Prng.create seed in
+    for _ = 1 to runs do
+      ignore (Gpu_instance.run ~prng:(Prng.split g) ~weak ~bugs ~test ~starts)
+    done
+  in
+  let loop_kernel () =
+    for _ = 1 to runs do
+      ignore (Mcm_gpu.Kernel.run_next kernel ws ~starts)
+    done
+  in
+  let measure loop =
+    (* Warm-up installs any one-time state, then the measured region is
+       pure steady state. [Gc.minor_words ()] is the precise allocation
+       counter; [Gc.quick_stat]'s minor_words is only refreshed at minor
+       collections in native code and can miss a whole batch. *)
+    loop ();
+    Gc.full_major ();
+    let mw0 = Gc.minor_words () in
+    let (), secs = wall loop in
+    let minor = Gc.minor_words () -. mw0 in
+    let rate = if secs > 0. then float_of_int runs /. secs else 0. in
+    (secs, rate, minor, minor /. float_of_int runs)
+  in
+  (* One warm-up [runs] batch per engine keeps the comparison symmetric. *)
+  let i_secs, i_rate, _i_minor, i_per = measure loop_interp in
+  let k_secs, k_rate, k_minor, k_per = measure loop_kernel in
+  let speedup = if k_secs > 0. then i_secs /. k_secs else 0. in
+  (* The measured region allocates a handful of words outside the
+     instance path itself (the Gc counter boxes); anything growing with
+     [runs] is a real leak in the zero-allocation claim. *)
+  let zero_alloc = k_minor < 256. in
+  Printf.printf "  direct loop (%d instances per engine)\n" runs;
+  Printf.printf "    interpreter           %8.3f s   %10.0f inst/s   %8.2f words/inst\n%!"
+    i_secs i_rate i_per;
+  Printf.printf "    kernel                %8.3f s   %10.0f inst/s   %8.2f words/inst   %5.2fx%s\n%!"
+    k_secs k_rate k_per speedup
+    (if zero_alloc then "   (zero-alloc)" else "   ALLOCATES");
+  (* 3. Pool chunking: identical work, different lock granularity. *)
+  let pool_domains = 2 in
+  let chunk_runs, default_chunk =
+    Pool.with_pool ~domains:pool_domains (fun p ->
+        let n = if smoke then 8 else 64 in
+        let per_task = if smoke then 50 else 2_000 in
+        let f i =
+          let g = Prng.create (Prng.mix seed i) in
+          let acc = ref 0 in
+          for _ = 1 to per_task do
+            let o = Gpu_instance.run ~prng:(Prng.split g) ~weak ~bugs ~test ~starts in
+            acc := !acc + Hashtbl.hash o
+          done;
+          !acc
+        in
+        let serial = Array.init n f in
+        let default_chunk = Pool.default_chunk p ~n in
+        Printf.printf "  pool chunking at %d domains (default chunk %d)\n%!"
+          pool_domains default_chunk;
+        ( List.map
+            (fun chunk ->
+              let a, t = wall (fun () -> Pool.map_array ~chunk p ~n ~f) in
+              let same = a = serial in
+              Printf.printf "    chunk %-6d           %8.3f s%s\n%!" chunk t
+                (if same then "   (bit-identical)" else "   RESULTS DIVERGED");
+              (chunk, t, same))
+            (List.sort_uniq compare
+               [ 1; default_chunk; max 1 (n / pool_domains) ]),
+          default_chunk ))
+  in
+  let stat = Gc.quick_stat () in
+  Printf.printf
+    "  gc: %.0f minor words, %.0f promoted, %d minor / %d major collections\n%!"
+    stat.Gc.minor_words stat.Gc.promoted_words stat.Gc.minor_collections
+    stat.Gc.major_collections;
+  let all_identical =
+    identical && List.for_all (fun (_, _, same) -> same) chunk_runs
+  in
+  let json =
+    Jsonw.Obj
+      [
+        ("benchmark", Jsonw.String "compiled-instance-kernel");
+        ("smoke", Jsonw.Bool smoke);
+        ("cores", Jsonw.Int (Pool.default_domains ()));
+        ( "campaign",
+          Jsonw.Obj
+            [
+              ("iterations", Jsonw.Int iterations);
+              ("instances", Jsonw.Int executed);
+              ("interpreter_s", Jsonw.Float interp_s);
+              ("kernel_s", Jsonw.Float kernel_s);
+              ("interpreter_minor_words", Jsonw.Float interp_minor);
+              ("kernel_minor_words", Jsonw.Float kernel_minor);
+              ("speedup", Jsonw.Float campaign_speedup);
+              ("identical_to_serial", Jsonw.Bool identical);
+            ] );
+        ( "direct",
+          Jsonw.Obj
+            [
+              ("instances", Jsonw.Int runs);
+              ("interpreter_s", Jsonw.Float i_secs);
+              ("kernel_s", Jsonw.Float k_secs);
+              ("interpreter_instances_per_s", Jsonw.Float i_rate);
+              ("kernel_instances_per_s", Jsonw.Float k_rate);
+              ("interpreter_minor_words_per_instance", Jsonw.Float i_per);
+              ("kernel_minor_words_per_instance", Jsonw.Float k_per);
+              ("speedup", Jsonw.Float speedup);
+              ("zero_alloc_steady_state", Jsonw.Bool zero_alloc);
+            ] );
+        ( "pool_chunking",
+          Jsonw.Obj
+            [
+              ("domains", Jsonw.Int pool_domains);
+              ("default_chunk", Jsonw.Int default_chunk);
+              ( "runs",
+                Jsonw.List
+                  (List.map
+                     (fun (chunk, t, same) ->
+                       Jsonw.Obj
+                         [
+                           ("chunk", Jsonw.Int chunk);
+                           ("seconds", Jsonw.Float t);
+                           ("identical_to_serial", Jsonw.Bool same);
+                         ])
+                     chunk_runs) );
+            ] );
+        ( "gc",
+          Jsonw.Obj
+            [
+              ("minor_words", Jsonw.Float stat.Gc.minor_words);
+              ("promoted_words", Jsonw.Float stat.Gc.promoted_words);
+              ("minor_collections", Jsonw.Int stat.Gc.minor_collections);
+              ("major_collections", Jsonw.Int stat.Gc.major_collections);
+            ] );
+      ]
+  in
+  let path =
+    match Sys.getenv_opt "MCM_BENCH_INSTANCE_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_instance.json"
+  in
+  let oc = open_out path in
+  Jsonw.to_channel oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" path;
+  if not all_identical then begin
+    prerr_endline "bench: kernel engine diverged from the interpreter";
+    exit 1
+  end;
+  if not zero_alloc then begin
+    prerr_endline "bench: kernel steady state allocates on the minor heap";
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Part 2b: the axiomatic-oracle benchmark                              *)
 
 (* Two numbers worth tracking for the oracle: raw enumeration throughput
@@ -466,20 +684,37 @@ let () =
     | None | Some "" | Some "0" -> false
     | Some _ -> true
   in
-  if smoke then begin
-    (* CI-speed verification: build the suite, exercise the parallel
-       sweep at 1 iteration, check bit-identity, skip the slow parts. *)
-    print_endline "MC Mutants reproduction: smoke bench (MCM_BENCH_SMOKE)";
-    parallel_bench ~smoke:true ();
-    oracle_bench ~smoke:true ();
-    print_endline "smoke ok."
-  end
-  else begin
-    print_endline "MC Mutants reproduction: evaluation harness";
-    print_reproductions ();
-    parallel_bench ~smoke:false ();
-    oracle_bench ~smoke:false ();
-    run_benchmarks ();
-    print_newline ();
-    print_endline "done."
-  end
+  (* MCM_BENCH_PART runs a single part — e.g. `make bench-instance` sets
+     MCM_BENCH_PART=instance for the kernel bench alone. *)
+  match Sys.getenv_opt "MCM_BENCH_PART" with
+  | Some "instance" -> instance_bench ~smoke ()
+  | Some "parallel" -> parallel_bench ~smoke ()
+  | Some "oracle" -> oracle_bench ~smoke ()
+  | Some part ->
+      Printf.eprintf "bench: unknown MCM_BENCH_PART %S (instance|parallel|oracle)\n" part;
+      exit 2
+  | None ->
+      (* The instance bench is NOT part of the default runs: its
+         zero-allocation contract only holds in the release profile
+         (dev builds pass -opaque, defeating the Prng.Raw inlining), so
+         it is reached exclusively through `make bench-instance{,-smoke}`,
+         which set MCM_BENCH_PART=instance on a --profile release
+         build. *)
+      if smoke then begin
+        (* CI-speed verification: build the suite, exercise the parallel
+           sweep at 1 iteration, check bit-identity, skip the slow
+           parts. *)
+        print_endline "MC Mutants reproduction: smoke bench (MCM_BENCH_SMOKE)";
+        parallel_bench ~smoke:true ();
+        oracle_bench ~smoke:true ();
+        print_endline "smoke ok."
+      end
+      else begin
+        print_endline "MC Mutants reproduction: evaluation harness";
+        print_reproductions ();
+        parallel_bench ~smoke:false ();
+        oracle_bench ~smoke:false ();
+        run_benchmarks ();
+        print_newline ();
+        print_endline "done."
+      end

@@ -208,16 +208,34 @@ let run_cmd =
     in
     Printf.printf "device: %s\nenvironment: %s\n" (Device.name device)
       (Format.asprintf "%a" Params.pp env);
+    let mw0 = Gc.minor_words () in
+    let t0 = Unix.gettimeofday () in
     let r, breakdown =
       if histogram then
         let r, h = Runner.run_with_histogram ~domains:jobs ~device ~env ~test ~iterations ~seed () in
         (r, Some h)
       else (Runner.run ~domains:jobs ~device ~env ~test ~iterations ~seed (), None)
     in
+    let wall_s = Unix.gettimeofday () -. t0 in
+    let minor = Gc.minor_words () -. mw0 in
     Printf.printf
       "iterations: %d\ninstances: %d\ntarget observed: %d\nsimulated time: %.6f s\nrate: %s /s\n"
       r.Runner.iterations r.Runner.instances r.Runner.kills r.Runner.sim_time_s
       (Table.rate_cell r.Runner.rate);
+    (* Perf diagnostics: enough to spot an allocation or scheduling
+       regression from the transcript alone. On stderr, so stdout stays
+       byte-identical across --jobs values and repeated runs. *)
+    let stat = Gc.quick_stat () in
+    Printf.eprintf "wall time: %.3f s (%.0f instances/s)\n" wall_s
+      (if wall_s > 0. then float_of_int r.Runner.instances /. wall_s else 0.);
+    Printf.eprintf "pool: %d domain%s, chunk %d of %d iterations per claim\n" jobs
+      (if jobs = 1 then "" else "s")
+      (Mcm_util.Pool.chunk_for ~domains:jobs ~n:iterations)
+      iterations;
+    Printf.eprintf "gc: %.0f minor words (%.1f per instance), %d minor / %d major collections\n"
+      minor
+      (if r.Runner.instances > 0 then minor /. float_of_int r.Runner.instances else 0.)
+      stat.Gc.minor_collections stat.Gc.major_collections;
     (match breakdown with
     | None -> ()
     | Some h ->

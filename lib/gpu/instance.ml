@@ -164,13 +164,20 @@ let run ~prng ~weak ~(bugs : Bug.effect) ~(test : Litmus.t) ~starts =
             end)
           seq)
       per_thread;
-  (* Coherence order per location = visibility order of its writes. *)
+  (* Coherence order per location = visibility order of its writes.
+     (thread, po) is a final tiebreak so the order is total: exact
+     (vis, time) ties — possible only in degenerate configurations —
+     resolve to program order instead of sort-algorithm happenstance,
+     which is what lets the compiled kernel reproduce this order
+     bit-identically with a different sort. *)
   let co = Array.make test.Litmus.nlocs [||] in
   for l = 0 to test.Litmus.nlocs - 1 do
     let writes =
       Array.of_list (List.filter (fun e -> is_write e && e.loc = l) (Array.to_list events))
     in
-    Array.sort (fun a b -> compare (a.vis, a.time) (b.vis, b.time)) writes;
+    Array.sort
+      (fun a b -> compare (a.vis, a.time, a.thread, a.po) (b.vis, b.time, b.thread, b.po))
+      writes;
     Array.iteri (fun i e -> e.co_pos <- i) writes;
     co.(l) <- writes
   done;
@@ -180,10 +187,18 @@ let run ~prng ~weak ~(bugs : Bug.effect) ~(test : Litmus.t) ~starts =
   Array.sort (fun i j -> compare (events.(i).time, i) (events.(j).time, j)) order;
   let floors = Array.make_matrix nthreads test.Litmus.nlocs (-1) in
   let outcome = Litmus.empty_outcome test in
+  (* Highest co position visible at [eff]: scan from the co tail and stop
+     at the first hit — identical result to a full forward scan, but the
+     common case (the latest write is already visible) exits in one
+     probe. *)
   let last_visible_pos loc eff ~self_pos =
     let writes = co.(loc) in
     let best = ref (-1) in
-    Array.iteri (fun i e -> if i <> self_pos && e.vis <= eff then best := i) writes;
+    let i = ref (Array.length writes - 1) in
+    while !best < 0 && !i >= 0 do
+      if !i <> self_pos && writes.(!i).vis <= eff then best := !i;
+      decr i
+    done;
     !best
   in
   Array.iter

@@ -1,0 +1,368 @@
+module Prng = Mcm_util.Prng
+module Litmus = Mcm_litmus.Litmus
+module Instr = Mcm_litmus.Instr
+
+(* Event kinds as immediates; the order matches Instance.kind. *)
+let k_load = 0
+let k_store = 1
+let k_rmw = 2
+let k_fence = 3
+
+type t = {
+  test : Litmus.t;
+  weak : Instance.weak_params;
+  bugs : Bug.effect;
+  nthreads : int;
+  nlocs : int;
+  n : int;  (* total events *)
+  ev_kind : int array;
+  ev_loc : int array;  (* -1 for fences *)
+  ev_value : int array;  (* written value, 0 otherwise *)
+  ev_reg : int array;  (* destination register, -1 otherwise *)
+  ev_po : int array;  (* index within the issuing thread *)
+  ev_thread : int array;
+  thread_off : int array;  (* length nthreads + 1; events are grouped by thread *)
+  loc_writes : int array array;  (* per location, write event indices in event order *)
+}
+
+type workspace = {
+  owner : t;
+  (* Per-event mutable state (the interpreter's record fields). *)
+  time : float array;
+  vis : float array;
+  active : bool array;
+  post_acquire : bool array;
+  co_pos : int array;
+  (* Per-thread sequences of memory events + active fences, stored in the
+     thread's slice of [seq]; [seq_len.(tid)] entries from
+     [thread_off.(tid)]. *)
+  seq : int array;
+  seq_len : int array;
+  (* Per-location coherence orders: sorted copies of [loc_writes]. *)
+  co : int array array;
+  floors : int array;  (* nthreads * nlocs, row-major *)
+  last_vis : float array;  (* nlocs scratch for the coherence pass *)
+  order : int array;
+  outcome : Litmus.outcome;
+  parent : Prng.Raw.state;  (* the iteration stream instances split from *)
+  rng : Prng.Raw.state;  (* the current instance's stream *)
+}
+
+let test k = k.test
+
+let compile ~weak ~bugs ~(test : Litmus.t) =
+  let nthreads = Litmus.nthreads test in
+  let n = Array.fold_left (fun acc l -> acc + List.length l) 0 test.Litmus.threads in
+  let ev_kind = Array.make n 0 in
+  let ev_loc = Array.make n (-1) in
+  let ev_value = Array.make n 0 in
+  let ev_reg = Array.make n (-1) in
+  let ev_po = Array.make n 0 in
+  let ev_thread = Array.make n 0 in
+  let thread_off = Array.make (nthreads + 1) 0 in
+  let i = ref 0 in
+  Array.iteri
+    (fun tid instrs ->
+      thread_off.(tid) <- !i;
+      List.iteri
+        (fun po instr ->
+          let kind, loc, value, reg =
+            match instr with
+            | Instr.Load { reg; loc } -> (k_load, loc, 0, reg)
+            | Instr.Store { loc; value } -> (k_store, loc, value, -1)
+            | Instr.Rmw { reg; loc; value } -> (k_rmw, loc, value, reg)
+            | Instr.Fence -> (k_fence, -1, 0, -1)
+          in
+          ev_kind.(!i) <- kind;
+          ev_loc.(!i) <- loc;
+          ev_value.(!i) <- value;
+          ev_reg.(!i) <- reg;
+          ev_po.(!i) <- po;
+          ev_thread.(!i) <- tid;
+          incr i)
+        instrs)
+    test.Litmus.threads;
+  thread_off.(nthreads) <- n;
+  let loc_writes =
+    Array.init test.Litmus.nlocs (fun l ->
+        let acc = ref [] in
+        for e = n - 1 downto 0 do
+          if (ev_kind.(e) = k_store || ev_kind.(e) = k_rmw) && ev_loc.(e) = l then acc := e :: !acc
+        done;
+        Array.of_list !acc)
+  in
+  {
+    test;
+    weak;
+    bugs;
+    nthreads;
+    nlocs = test.Litmus.nlocs;
+    n;
+    ev_kind;
+    ev_loc;
+    ev_value;
+    ev_reg;
+    ev_po;
+    ev_thread;
+    thread_off;
+    loc_writes;
+  }
+
+let workspace k =
+  {
+    owner = k;
+    time = Array.make (max 1 k.n) 0.;
+    vis = Array.make (max 1 k.n) 0.;
+    active = Array.make (max 1 k.n) true;
+    post_acquire = Array.make (max 1 k.n) false;
+    co_pos = Array.make (max 1 k.n) (-1);
+    seq = Array.make (max 1 k.n) 0;
+    seq_len = Array.make k.nthreads 0;
+    co = Array.map Array.copy k.loc_writes;
+    floors = Array.make (max 1 (k.nthreads * k.nlocs)) (-1);
+    last_vis = Array.make (max 1 k.nlocs) neg_infinity;
+    order = Array.init (max 1 k.n) (fun i -> i);
+    outcome = Litmus.empty_outcome k.test;
+    parent = Prng.Raw.make ();
+    rng = Prng.Raw.make ();
+  }
+
+let set_parent ws prng = Prng.Raw.load ws.parent prng
+
+let snapshot ws =
+  {
+    Litmus.regs = Array.map Array.copy ws.outcome.Litmus.regs;
+    final = Array.copy ws.outcome.Litmus.final;
+  }
+
+(* One instance, drawing from [ws.rng]. Mirrors Instance.run phase by
+   phase; every conditional draw (bernoulli with p outside (0,1),
+   exponential with mean <= 0) is reproduced exactly so the two engines
+   consume identical PRNG streams. The steady-state path allocates
+   nothing: all scratch lives in [ws], the sorts are in-place insertion
+   sorts over total orders, and draws go through Prng.Raw. *)
+let run_core k ws ~starts =
+  if Array.length starts <> k.nthreads then invalid_arg "Kernel.run: starts length mismatch";
+  if ws.owner != k then invalid_arg "Kernel.run: workspace belongs to another kernel";
+  let weak = k.weak and bugs = k.bugs in
+  let rng = ws.rng in
+  let n = k.n in
+  let nthreads = k.nthreads and nlocs = k.nlocs in
+  let ev_kind = k.ev_kind
+  and ev_loc = k.ev_loc
+  and ev_value = k.ev_value
+  and ev_reg = k.ev_reg
+  and ev_po = k.ev_po
+  and ev_thread = k.ev_thread
+  and thread_off = k.thread_off in
+  let time = ws.time
+  and vis = ws.vis
+  and active = ws.active
+  and post_acquire = ws.post_acquire
+  and co_pos = ws.co_pos
+  and seq = ws.seq
+  and seq_len = ws.seq_len in
+  let coherent = not (Prng.Raw.bernoulli rng bugs.Bug.p_coherence_alias) in
+  (* Flatten: per-thread issue clocks; dropped fences become inactive. *)
+  for tid = 0 to nthreads - 1 do
+    let clock = ref starts.(tid) in
+    for i = thread_off.(tid) to thread_off.(tid + 1) - 1 do
+      time.(i) <- !clock;
+      post_acquire.(i) <- false;
+      if ev_kind.(i) = k_fence then
+        active.(i) <- not (Prng.Raw.bernoulli rng bugs.Bug.p_fence_drop);
+      clock :=
+        !clock
+        +. (weak.Instance.instr_latency_ns
+           *. (1. +. (weak.Instance.issue_jitter *. Prng.Raw.float rng 1.)))
+    done
+  done;
+  (* Per-thread sequences, out-of-order window, acquire marking. *)
+  for tid = 0 to nthreads - 1 do
+    let off = thread_off.(tid) in
+    let len = ref 0 in
+    for i = off to thread_off.(tid + 1) - 1 do
+      if ev_kind.(i) <> k_fence || active.(i) then begin
+        seq.(off + !len) <- i;
+        incr len
+      end
+    done;
+    seq_len.(tid) <- !len;
+    (* Adjacent memory pairs may swap issue times; swaps are disjoint. *)
+    let j = ref 0 in
+    while !j + 1 < !len do
+      let e1 = seq.(off + !j) and e2 = seq.(off + !j + 1) in
+      let swapped =
+        ev_kind.(e1) <> k_fence
+        && ev_kind.(e2) <> k_fence
+        &&
+        let swap_p =
+          if ev_loc.(e1) <> ev_loc.(e2) then weak.Instance.p_ooo
+          else if ev_kind.(e1) = k_load && ev_kind.(e2) = k_load then bugs.Bug.p_corr_reorder
+          else 0.
+        in
+        if Prng.Raw.bernoulli rng swap_p then begin
+          let t = time.(e1) in
+          time.(e1) <- time.(e2);
+          time.(e2) <- t;
+          true
+        end
+        else false
+      in
+      if swapped then j := !j + 2 else incr j
+    done;
+    (* Loads after an active fence read fresh memory. *)
+    let seen_fence = ref false in
+    for s = 0 to !len - 1 do
+      let e = seq.(off + s) in
+      if ev_kind.(e) = k_fence && active.(e) then seen_fence := true
+      else if !seen_fence then post_acquire.(e) <- true
+    done
+  done;
+  (* Store visibility: exponential propagation; RMWs publish instantly. *)
+  for i = 0 to n - 1 do
+    if ev_kind.(i) = k_store then
+      vis.(i) <- time.(i) +. Prng.Raw.exponential rng weak.Instance.vis_delay_mean_ns
+    else if ev_kind.(i) = k_rmw then vis.(i) <- time.(i)
+  done;
+  (* Release fences cap earlier stores' visibility at the fence time. *)
+  for tid = 0 to nthreads - 1 do
+    let off = thread_off.(tid) in
+    let len = seq_len.(tid) in
+    for a = 0 to len - 1 do
+      let f = seq.(off + a) in
+      if ev_kind.(f) = k_fence && active.(f) then
+        for b = 0 to len - 1 do
+          let e = seq.(off + b) in
+          if (ev_kind.(e) = k_store || ev_kind.(e) = k_rmw) && ev_po.(e) < ev_po.(f) then
+            if time.(f) < vis.(e) then vis.(e) <- time.(f)
+        done
+    done
+  done;
+  (* Coherent same-thread same-location stores publish in order. *)
+  if coherent then
+    for tid = 0 to nthreads - 1 do
+      let off = thread_off.(tid) in
+      let len = seq_len.(tid) in
+      Array.fill ws.last_vis 0 nlocs neg_infinity;
+      for s = 0 to len - 1 do
+        let e = seq.(off + s) in
+        if ev_kind.(e) = k_store || ev_kind.(e) = k_rmw then begin
+          let l = ev_loc.(e) in
+          if vis.(e) <= ws.last_vis.(l) then vis.(e) <- ws.last_vis.(l) +. 1e-6;
+          ws.last_vis.(l) <- vis.(e)
+        end
+      done
+    done;
+  (* Coherence order per location = visibility order of its writes. The
+     key (vis, time, event index) is the interpreter's
+     (vis, time, thread, po) — a total order, so this insertion sort
+     yields the same permutation as any other comparison sort. *)
+  for l = 0 to nlocs - 1 do
+    let dst = ws.co.(l) in
+    let m = Array.length dst in
+    Array.blit k.loc_writes.(l) 0 dst 0 m;
+    for i = 1 to m - 1 do
+      let x = dst.(i) in
+      let xv = vis.(x) and xt = time.(x) in
+      let j = ref (i - 1) in
+      let continue = ref true in
+      while !continue && !j >= 0 do
+        let y = dst.(!j) in
+        let after =
+          vis.(y) > xv || (vis.(y) = xv && (time.(y) > xt || (time.(y) = xt && y > x)))
+        in
+        if after then begin
+          dst.(!j + 1) <- y;
+          decr j
+        end
+        else continue := false
+      done;
+      dst.(!j + 1) <- x
+    done;
+    for i = 0 to m - 1 do
+      co_pos.(dst.(i)) <- i
+    done
+  done;
+  (* Global execution order: (issue time, event index) — total order. *)
+  let order = ws.order in
+  for i = 0 to n - 1 do
+    order.(i) <- i
+  done;
+  for i = 1 to n - 1 do
+    let x = order.(i) in
+    let xt = time.(x) in
+    let j = ref (i - 1) in
+    let continue = ref true in
+    while !continue && !j >= 0 do
+      let y = order.(!j) in
+      if time.(y) > xt || (time.(y) = xt && y > x) then begin
+        order.(!j + 1) <- y;
+        decr j
+      end
+      else continue := false
+    done;
+    order.(!j + 1) <- x
+  done;
+  (* Reads, in execution order, with per-thread coherence floors. *)
+  Array.fill ws.floors 0 (nthreads * nlocs) (-1);
+  let out = ws.outcome in
+  for t = 0 to nthreads - 1 do
+    let regs = out.Litmus.regs.(t) in
+    Array.fill regs 0 (Array.length regs) 0
+  done;
+  Array.fill out.Litmus.final 0 nlocs 0;
+  for oi = 0 to n - 1 do
+    let i = order.(oi) in
+    let kind = ev_kind.(i) in
+    if kind = k_store then begin
+      if coherent then begin
+        let fi = (ev_thread.(i) * nlocs) + ev_loc.(i) in
+        if co_pos.(i) > ws.floors.(fi) then ws.floors.(fi) <- co_pos.(i)
+      end
+    end
+    else if kind = k_load || kind = k_rmw then begin
+      let eff =
+        if kind = k_rmw || post_acquire.(i) then time.(i)
+        else if Prng.Raw.bernoulli rng weak.Instance.p_stale then begin
+          let d = time.(i) -. Prng.Raw.exponential rng weak.Instance.stale_mean_ns in
+          if d > 0. then d else 0.
+        end
+        else time.(i)
+      in
+      let self_pos = if kind = k_rmw then co_pos.(i) else -2 in
+      let loc = ev_loc.(i) in
+      let writes = ws.co.(loc) in
+      (* Reverse early-exit scan for the last visible write. *)
+      let pos = ref (-1) in
+      let w = ref (Array.length writes - 1) in
+      while !pos < 0 && !w >= 0 do
+        if !w <> self_pos && vis.(writes.(!w)) <= eff then pos := !w;
+        decr w
+      done;
+      let fi = (ev_thread.(i) * nlocs) + loc in
+      let pos = if coherent && ws.floors.(fi) > !pos then ws.floors.(fi) else !pos in
+      let value = if pos < 0 then 0 else ev_value.(writes.(pos)) in
+      if ev_reg.(i) >= 0 then out.Litmus.regs.(ev_thread.(i)).(ev_reg.(i)) <- value;
+      if coherent then begin
+        if pos > ws.floors.(fi) then ws.floors.(fi) <- pos;
+        if kind = k_rmw && co_pos.(i) > ws.floors.(fi) then ws.floors.(fi) <- co_pos.(i)
+      end
+    end
+  done;
+  for l = 0 to nlocs - 1 do
+    let writes = ws.co.(l) in
+    let m = Array.length writes in
+    if m > 0 then out.Litmus.final.(l) <- ev_value.(writes.(m - 1))
+  done;
+  out
+
+let run_next k ws ~starts =
+  Prng.Raw.split_into ~child:ws.rng ~parent:ws.parent;
+  run_core k ws ~starts
+
+let run k ws ~prng ~starts =
+  Prng.Raw.load ws.rng prng;
+  let out = run_core k ws ~starts in
+  Prng.Raw.store ws.rng prng;
+  out

@@ -1,0 +1,66 @@
+(** Compile-once, run-many instance kernels.
+
+    {!Instance.run} re-flattens the litmus ADT into freshly allocated
+    event records, per-thread lists and hashtables on every instance. A
+    campaign executes the {e same} [(test, weak, bugs)] triple millions
+    of times, so this module compiles the triple once into a flat
+    structure-of-arrays template ({!t}) and runs each instance against a
+    reusable per-domain {!workspace} holding all mutable scratch — the
+    steady-state per-instance path allocates nothing on the OCaml heap.
+
+    {b Bit-identity contract.} [run] consumes exactly the same PRNG
+    draws in exactly the same order as {!Instance.run} and applies the
+    same total-order tie-breaks in the coherence/visibility sorts, so
+    its outcomes are bit-identical to the interpreter's. The interpreter
+    remains the reference implementation; [test/test_kernel.ml] checks
+    the equivalence by differential property testing. *)
+
+type t
+(** An immutable compiled template: int-array event descriptions
+    (kind/loc/value/reg/po/thread), per-thread slice offsets into the
+    flat event array, and per-location write-index tables. Shareable
+    across domains. *)
+
+type workspace
+(** Mutable per-instance scratch (issue/visibility times, coherence
+    positions and orders, floors matrix, order buffer, the reused
+    outcome record, PRNG states). One per domain — not thread-safe. *)
+
+val compile : weak:Instance.weak_params -> bugs:Bug.effect -> test:Mcm_litmus.Litmus.t -> t
+(** [compile ~weak ~bugs ~test] builds the template. Do this once per
+    campaign, not per instance. *)
+
+val test : t -> Mcm_litmus.Litmus.t
+(** The litmus test the kernel was compiled from. *)
+
+val workspace : t -> workspace
+(** A fresh workspace sized for [t]. Allocate once per domain and reuse
+    for every instance that domain executes. *)
+
+val set_parent : workspace -> Mcm_util.Prng.t -> unit
+(** [set_parent ws prng] captures [prng]'s current state as the
+    iteration-level parent stream that {!run_next} splits children
+    from. [prng] itself is not advanced. *)
+
+val run_next : t -> workspace -> starts:float array -> Mcm_litmus.Litmus.outcome
+(** [run_next k ws ~starts] splits the next child stream off the parent
+    set by {!set_parent} (advancing the stored parent exactly as
+    [Instance.run ~prng:(Prng.split parent)] would advance [parent])
+    and executes one instance. The returned outcome is [ws]'s reused
+    record — copy it with {!snapshot} before the next run if it must
+    survive. Allocation-free in steady state. *)
+
+val run :
+  t -> workspace -> prng:Mcm_util.Prng.t -> starts:float array -> Mcm_litmus.Litmus.outcome
+(** [run k ws ~prng ~starts] is a drop-in for
+    [Instance.run ~prng ~weak ~bugs ~test ~starts]: it consumes draws
+    directly from [prng] (whose state is synced back afterwards, so
+    callers can assert both engines drained identical draws via
+    {!Mcm_util.Prng.state}). The returned outcome is [ws]'s reused
+    record.
+
+    @raise Invalid_argument if [starts] doesn't match the test's thread
+    count or [ws] belongs to a different kernel. *)
+
+val snapshot : workspace -> Mcm_litmus.Litmus.outcome
+(** A deep copy of the workspace's current outcome. *)

@@ -4,7 +4,10 @@ module Litmus = Mcm_litmus.Litmus
 module Profile = Mcm_gpu.Profile
 module Device = Mcm_gpu.Device
 module Instance = Mcm_gpu.Instance
+module Kernel = Mcm_gpu.Kernel
 module Timing = Mcm_gpu.Timing
+
+type engine = Interpreter | Kernel
 
 type result = {
   kills : int;
@@ -53,9 +56,9 @@ type tally = {
   t_skipped : int;
   t_outcomes : Litmus.outcome list;
       (** distinct outcomes of executed instances, sorted; empty unless
-          the campaign collects observations. Final dedup across
-          iterations happens in [run_with_outcomes], so partitioning the
-          iteration axis cannot change the result. *)
+          the campaign collects observations. [tally_add] merges the
+          sorted unique lists, so the invariant holds at every fold step
+          and partitioning the iteration axis cannot change the result. *)
 }
 
 let tally_zero =
@@ -69,6 +72,20 @@ let tally_zero =
     t_outcomes = [];
   }
 
+(* Merge two sorted unique lists into one, dropping duplicates. Linear
+   in the output, unlike the concat + terminal [sort_uniq] it replaced,
+   which made folding [iterations] tallies quadratic in the total
+   observation count. Outcome lists are small (distinct outcomes of one
+   test), so the non-tail recursion is fine. *)
+let rec merge_uniq a b =
+  match (a, b) with
+  | [], l | l, [] -> l
+  | x :: xs, y :: ys ->
+      let c = compare x y in
+      if c < 0 then x :: merge_uniq xs b
+      else if c > 0 then y :: merge_uniq a ys
+      else x :: merge_uniq xs ys
+
 let tally_add a b =
   {
     t_kills = a.t_kills + b.t_kills;
@@ -77,14 +94,31 @@ let tally_add a b =
     t_weak = a.t_weak + b.t_weak;
     t_forbidden = a.t_forbidden + b.t_forbidden;
     t_skipped = a.t_skipped + b.t_skipped;
-    t_outcomes = a.t_outcomes @ b.t_outcomes;
+    t_outcomes = merge_uniq a.t_outcomes b.t_outcomes;
   }
+
+(* Per-domain workspace cache. One DLS slot for the whole program —
+   campaigns are far more frequent than domains, and keying the cached
+   workspace on the kernel's identity means a domain reuses its
+   workspace across every iteration of a campaign while a new campaign
+   (new kernel) transparently replaces it. A fresh key per campaign
+   would leak DLS slots instead. *)
+let ws_slot : (Kernel.t * Kernel.workspace) option Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> None)
+
+let workspace_for kernel =
+  match Domain.DLS.get ws_slot with
+  | Some (k, ws) when k == kernel -> ws
+  | _ ->
+      let ws = Kernel.workspace kernel in
+      Domain.DLS.set ws_slot (Some (kernel, ws));
+      ws
 
 (* Build the campaign's per-iteration function plus the derived constants.
    Everything the returned closure captures is immutable (or, for the
    classifier's table, written before and only read after), so it is safe
    to call from any domain. *)
-let campaign ~classify ~collect ~device ~env ~test ~seed =
+let campaign ~engine ~classify ~collect ~device ~env ~test ~seed =
   let profile = device.Device.profile in
   let bugs = Device.effect device in
   let roles = Litmus.nthreads test in
@@ -112,9 +146,31 @@ let campaign ~classify ~collect ~device ~env ~test ~seed =
       ~threads_per_workgroup:env.Params.threads_per_workgroup ~instrs_per_thread
       ~stress_intensity:(Params.stress_intensity env)
   in
+  (* The kernel engine compiles the (test, device, env) triple once per
+     campaign; each domain then executes every instance against its own
+     reused workspace, so the steady-state instance path allocates
+     nothing. Both engines consume identical PRNG draws — the kernel's
+     parent stream is the iteration PRNG captured after [role_starts],
+     and [run_next] splits a child per executed instance exactly as the
+     interpreter arm's [Prng.split] does. *)
+  let kernel =
+    match engine with Interpreter -> None | Kernel -> Some (Kernel.compile ~weak ~bugs ~test)
+  in
   let run_iteration it =
     let prng = Prng.create (Prng.mix seed it) in
     let starts = Assignment.role_starts ~prng ~profile ~env ~slice_instrs ~instances in
+    let exec, keep =
+      match kernel with
+      | None ->
+          ( (fun s -> Instance.run ~prng:(Prng.split prng) ~weak ~bugs ~test ~starts:s),
+            fun o -> o )
+      | Some k ->
+          let ws = workspace_for k in
+          Kernel.set_parent ws prng;
+          (* The kernel returns its workspace's reused outcome record;
+             snapshot it only when the campaign actually collects. *)
+          ((fun s -> Kernel.run_next k ws ~starts:s), fun _ -> Kernel.snapshot ws)
+    in
     let kills = ref 0 and skipped = ref 0 in
     let sequential = ref 0 and interleaved = ref 0 and weak_n = ref 0 and forbidden = ref 0 in
     let observed = ref [] in
@@ -126,9 +182,9 @@ let campaign ~classify ~collect ~device ~env ~test ~seed =
         if s.(r) > !hi then hi := s.(r)
       done;
       if !hi -. !lo <= horizon then begin
-        let outcome = Instance.run ~prng:(Prng.split prng) ~weak ~bugs ~test ~starts:s in
+        let outcome = exec s in
         if test.Litmus.target outcome then incr kills;
-        if collect then observed := outcome :: !observed;
+        if collect then observed := keep outcome :: !observed;
         match classify with
         | None -> ()
         | Some classify -> (
@@ -152,9 +208,10 @@ let campaign ~classify ~collect ~device ~env ~test ~seed =
   in
   (run_iteration, instances, iteration_ns)
 
-let run_campaign ?domains ?(collect = false) ~classify ~device ~env ~test ~iterations ~seed () =
+let run_campaign ?(engine = Kernel) ?domains ?(collect = false) ~classify ~device ~env ~test
+    ~iterations ~seed () =
   let run_iteration, instances, iteration_ns =
-    campaign ~classify ~collect ~device ~env ~test ~seed
+    campaign ~engine ~classify ~collect ~device ~env ~test ~seed
   in
   let tally =
     match domains with
@@ -181,13 +238,14 @@ let run_campaign ?domains ?(collect = false) ~classify ~device ~env ~test ~itera
   in
   (result, tally)
 
-let run ?domains ~device ~env ~test ~iterations ~seed () =
-  fst (run_campaign ?domains ~classify:None ~device ~env ~test ~iterations ~seed ())
+let run ?engine ?domains ~device ~env ~test ~iterations ~seed () =
+  fst (run_campaign ?engine ?domains ~classify:None ~device ~env ~test ~iterations ~seed ())
 
-let run_with_histogram ?domains ~device ~env ~test ~iterations ~seed () =
+let run_with_histogram ?engine ?domains ~device ~env ~test ~iterations ~seed () =
   let classify = Mcm_litmus.Classify.classifier test in
   let result, tally =
-    run_campaign ?domains ~classify:(Some classify) ~device ~env ~test ~iterations ~seed ()
+    run_campaign ?engine ?domains ~classify:(Some classify) ~device ~env ~test ~iterations ~seed
+      ()
   in
   ( result,
     {
@@ -198,8 +256,10 @@ let run_with_histogram ?domains ~device ~env ~test ~iterations ~seed () =
       skipped = tally.t_skipped;
     } )
 
-let run_with_outcomes ?domains ~device ~env ~test ~iterations ~seed () =
+let run_with_outcomes ?engine ?domains ~device ~env ~test ~iterations ~seed () =
   let result, tally =
-    run_campaign ?domains ~collect:true ~classify:None ~device ~env ~test ~iterations ~seed ()
+    run_campaign ?engine ?domains ~collect:true ~classify:None ~device ~env ~test ~iterations
+      ~seed ()
   in
-  (result, List.sort_uniq compare tally.t_outcomes)
+  (* [t_outcomes] is sorted and unique by the [tally_add] invariant. *)
+  (result, tally.t_outcomes)

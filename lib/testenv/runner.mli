@@ -20,6 +20,17 @@
     cross-thread interaction within the horizon — up to a [e^-30]
     tail approximation of the exponential delays. *)
 
+type engine =
+  | Interpreter
+      (** {!Mcm_gpu.Instance.run} per instance — the allocation-heavy
+          reference implementation, kept for differential testing. *)
+  | Kernel
+      (** {!Mcm_gpu.Kernel}: the (test, device, env) triple is compiled
+          once per campaign and every domain runs instances against a
+          reused per-domain workspace, allocation-free in steady state.
+          Bit-identical to [Interpreter] — same PRNG draws, same
+          outcomes — and the default. *)
+
 type result = {
   kills : int;  (** instances that exhibited the target behaviour *)
   instances : int;  (** total instances executed *)
@@ -29,6 +40,7 @@ type result = {
 }
 
 val run :
+  ?engine:engine ->
   ?domains:int ->
   device:Mcm_gpu.Device.t ->
   env:Params.t ->
@@ -65,6 +77,7 @@ type histogram = {
 }
 
 val run_with_outcomes :
+  ?engine:engine ->
   ?domains:int ->
   device:Mcm_gpu.Device.t ->
   env:Params.t ->
@@ -83,6 +96,7 @@ val run_with_outcomes :
     [domains] value. *)
 
 val run_with_histogram :
+  ?engine:engine ->
   ?domains:int ->
   device:Mcm_gpu.Device.t ->
   env:Params.t ->

@@ -30,17 +30,35 @@ val create : ?domains:int -> unit -> t
 val domains : t -> int
 (** Total domains applied to each job, counting the caller (≥ 1). *)
 
-val map_array : t -> n:int -> f:(int -> 'a) -> 'a array
+val map_array : ?chunk:int -> t -> n:int -> f:(int -> 'a) -> 'a array
 (** [map_array t ~n ~f] computes [[| f 0; …; f (n-1) |]], scheduling the
     indices across the pool's domains. If one or more tasks raise, every
     remaining task still runs, the pool stays usable, and the exception
-    of the lowest-indexed failing task is re-raised in the caller. *)
+    of the lowest-indexed failing task is re-raised in the caller.
 
-val map_reduce : t -> n:int -> map:(int -> 'a) -> fold:('acc -> 'a -> 'acc) -> init:'acc -> 'acc
+    Domains claim [chunk] consecutive indices per lock acquisition
+    (clamped below by 1; default {!default_chunk}), so cheap tasks are
+    not serialised on the queue mutex. Results land directly in the
+    returned array — no per-task boxing. Chunking never affects the
+    result, only lock traffic. *)
+
+val map_reduce :
+  ?chunk:int -> t -> n:int -> map:(int -> 'a) -> fold:('acc -> 'a -> 'acc) -> init:'acc -> 'acc
 (** [map_reduce t ~n ~map ~fold ~init] is
     [fold (… (fold init (map 0)) …) (map (n-1))] — the maps run in
     parallel, the fold runs in the caller in index order, so the result
-    equals the sequential fold even for non-commutative [fold]. *)
+    equals the sequential fold even for non-commutative [fold].
+    [chunk] as in {!map_array}. *)
+
+val default_chunk : t -> n:int -> int
+(** The chunk size an [n]-task job uses when [?chunk] is omitted:
+    [max 1 (n / (4 * domains t))] — four claims per domain, balancing
+    lock traffic against load-balance tail latency. Exposed so benches
+    and CLIs can report the effective chunk alongside timings. *)
+
+val chunk_for : domains:int -> n:int -> int
+(** {!default_chunk} as a pure function of the domain count, for
+    reporting the effective chunk without constructing a pool. *)
 
 val shutdown : t -> unit
 (** Terminate and join the worker domains. Idempotent. After shutdown

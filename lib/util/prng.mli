@@ -56,3 +56,45 @@ val pick : t -> 'a array -> 'a
 val mix : int -> int -> int
 (** [mix a b] deterministically combines two integers into a seed, suitable
     for deriving per-case seeds like [mix run_seed case_index]. *)
+
+val state : t -> int64
+(** The generator's exact current state — [of_int64 (state g)] clones [g].
+    Exposed so differential tests can assert two engines consumed exactly
+    the same draws, and so {!Raw} states can round-trip through [t]. *)
+
+val set_state : t -> int64 -> unit
+(** [set_state g s] overwrites [g]'s state with [s]. *)
+
+(** Allocation-free draws over caller-owned state.
+
+    A {!Raw.state} is 8 bytes of [Bytes.t] holding the same SplitMix64
+    state as a {!t}; advancing it is a raw store, so the hot simulation
+    path allocates nothing per draw. Every function consumes {e exactly}
+    the same draws as its boxed counterpart on {!t} — [Raw.float],
+    [Raw.bernoulli] and [Raw.exponential] are bit-identical to {!float},
+    {!bernoulli} and {!exponential}, including their conditional-draw
+    behaviour ([bernoulli] with [p <= 0.] or [p >= 1.] and [exponential]
+    with [mean <= 0.] draw nothing). *)
+module Raw : sig
+  type state = Bytes.t
+
+  val make : unit -> state
+  (** Fresh all-zero state (seed it with {!load} or {!split_into}). *)
+
+  val load : state -> t -> unit
+  (** [load b g] copies [g]'s current state into [b]; [g] is unchanged. *)
+
+  val store : state -> t -> unit
+  (** [store b g] writes [b]'s state back into [g]. *)
+
+  val next_int64 : state -> int64
+  (** The raw SplitMix64 step — same stream as {!Prng.next_int64}. *)
+
+  val split_into : child:state -> parent:state -> unit
+  (** [split_into ~child ~parent] is {!Prng.split}: draws once from
+      [parent] and seeds [child] with the result. *)
+
+  val float : state -> float -> float
+  val bernoulli : state -> float -> bool
+  val exponential : state -> float -> float
+end

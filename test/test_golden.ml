@@ -39,13 +39,13 @@ let devices =
    po-loc; MP-relacq-m3: weakening sw. *)
 let tests = [ "CoRR"; "CoRR-m"; "MP-CO-m"; "MP-relacq-m3" ]
 
-let rows () : row list =
+let rows ~engine () : row list =
   List.concat_map
     (fun name ->
       let test = (Option.get (Suite.find name)).Suite.test in
       List.map
         (fun (label, device) ->
-          let r, h = Runner.run_with_histogram ~device ~env ~test ~iterations ~seed () in
+          let r, h = Runner.run_with_histogram ~engine ~device ~env ~test ~iterations ~seed () in
           ( name,
             label,
             r.Runner.kills,
@@ -84,12 +84,15 @@ let expected : row list =
 let pp_row (name, dev, k, s, i, w, f, sk) =
   Printf.sprintf "(%S, %S, %d, %d, %d, %d, %d, %d);" name dev k s i w f sk
 
-let test_golden_matrix () =
+(* The pinned counts predate the compiled kernel, so running the matrix
+   through both engines also golden-checks the kernel's bit-identity on
+   real campaigns, not just the qcheck differential suite. *)
+let test_golden_matrix engine () =
   List.iter2
     (fun actual exp ->
       if actual <> exp then
         Alcotest.failf "golden drift:\n  expected %s\n  actual   %s" (pp_row exp) (pp_row actual))
-    (rows ()) expected
+    (rows ~engine ()) expected
 
 let test_matrix_shape () =
   Alcotest.(check int) "rows = tests x devices" (List.length tests * List.length devices)
@@ -97,7 +100,9 @@ let test_matrix_shape () =
 
 let () =
   if Sys.getenv_opt "MCM_GOLDEN_REGEN" <> None then begin
-    List.iter (fun r -> Printf.printf "    %s\n" (pp_row r)) (rows ());
+    List.iter
+      (fun r -> Printf.printf "    %s\n" (pp_row r))
+      (rows ~engine:Runner.Interpreter ());
     exit 0
   end;
   Alcotest.run "golden"
@@ -105,6 +110,9 @@ let () =
       ( "runner",
         [
           Alcotest.test_case "matrix shape" `Quick test_matrix_shape;
-          Alcotest.test_case "pinned campaigns" `Quick test_golden_matrix;
+          Alcotest.test_case "pinned campaigns (interpreter)" `Quick
+            (test_golden_matrix Runner.Interpreter);
+          Alcotest.test_case "pinned campaigns (kernel)" `Quick
+            (test_golden_matrix Runner.Kernel);
         ] );
     ]

@@ -1,0 +1,217 @@
+(* Differential tests for the compiled instance kernel: Kernel.run must
+   be bit-identical to Instance.run — same outcomes AND same PRNG draw
+   consumption — across random programs, device profiles, environments
+   and seeds; and campaigns through the kernel engine must reproduce the
+   interpreter engine exactly at every domain count. *)
+
+module Prng = Mcm_util.Prng
+module Litmus = Mcm_litmus.Litmus
+module Instr = Mcm_litmus.Instr
+module Library = Mcm_litmus.Library
+module Profile = Mcm_gpu.Profile
+module Bug = Mcm_gpu.Bug
+module Device = Mcm_gpu.Device
+module Instance = Mcm_gpu.Instance
+module Kernel = Mcm_gpu.Kernel
+module Params = Mcm_testenv.Params
+module Runner = Mcm_testenv.Runner
+
+let check = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* Random inputs                                                       *)
+
+(* Random well-formed litmus programs, a little wider than the
+   simulator's own generator: up to 4 threads, 4 instructions, 3
+   locations. *)
+let arbitrary_program =
+  let open QCheck.Gen in
+  let gen =
+    let* nthreads = int_range 1 4 in
+    let* nlocs = int_range 1 3 in
+    let value_counter = ref 0 in
+    let gen_instr tid_regs =
+      let* choice = int_range 0 3 in
+      let* loc = int_range 0 (nlocs - 1) in
+      match choice with
+      | 0 ->
+          let reg = !tid_regs in
+          incr tid_regs;
+          return (Instr.Load { reg; loc })
+      | 1 ->
+          incr value_counter;
+          return (Instr.Store { loc; value = !value_counter })
+      | 2 ->
+          let reg = !tid_regs in
+          incr tid_regs;
+          incr value_counter;
+          return (Instr.Rmw { reg; loc; value = !value_counter })
+      | _ -> return Instr.Fence
+    in
+    let gen_thread =
+      let* len = int_range 1 4 in
+      let regs = ref 0 in
+      let rec go n acc =
+        if n = 0 then return (List.rev acc) else gen_instr regs >>= fun i -> go (n - 1) (i :: acc)
+      in
+      go len []
+    in
+    let rec threads n acc =
+      if n = 0 then return (Array.of_list (List.rev acc))
+      else gen_thread >>= fun t -> threads (n - 1) (t :: acc)
+    in
+    let* ts = threads nthreads [] in
+    return
+      {
+        Litmus.name = "random";
+        family = "random";
+        model = Mcm_memmodel.Model.Relacq_sc_per_location;
+        threads = ts;
+        nlocs;
+        target = (fun _ -> false);
+        target_desc = "-";
+      }
+  in
+  QCheck.make ~print:Litmus.to_string gen
+
+let profiles = Array.of_list Profile.all
+
+(* Derive weak params, bug effects and starts from one auxiliary
+   generator so a single (program, seed) pair covers the whole input
+   space. *)
+let random_config g =
+  let p = profiles.(Prng.int g (Array.length profiles)) in
+  let weak = Instance.effective_params p ~amplification:(Prng.float g 40.) in
+  let bugs =
+    match Prng.int g 4 with
+    | 0 -> Bug.none
+    | 1 -> Bug.effect_of [ Bug.Corr_reorder (Prng.float g 1.) ]
+    | 2 -> Bug.effect_of [ Bug.Fence_weakened (Prng.float g 1.) ]
+    | _ -> Bug.effect_of [ Bug.Coherence_alias (Prng.float g 1.) ]
+  in
+  (weak, bugs)
+
+(* ------------------------------------------------------------------ *)
+(* Engine-level differential property                                  *)
+
+let prop_kernel_bit_identical =
+  QCheck.Test.make ~count:400 ~name:"kernel bit-identical to interpreter"
+    (QCheck.pair arbitrary_program QCheck.small_int)
+    (fun (test, seed) ->
+      QCheck.assume (Litmus.well_formed test = Ok ());
+      let g = Prng.create seed in
+      let weak, bugs = random_config g in
+      let kernel = Kernel.compile ~weak ~bugs ~test in
+      let ws = Kernel.workspace kernel in
+      let ok = ref true in
+      for _ = 1 to 30 do
+        let starts = Array.init (Litmus.nthreads test) (fun _ -> Prng.float g 60.) in
+        let g_int = Prng.of_int64 (Prng.state g) in
+        let g_ker = Prng.of_int64 (Prng.state g) in
+        ignore (Prng.next_int64 g);
+        let o_int = Instance.run ~prng:g_int ~weak ~bugs ~test ~starts in
+        let o_ker = Kernel.run kernel ws ~prng:g_ker ~starts in
+        if o_int <> o_ker then begin
+          Printf.eprintf "outcome mismatch on:\n%s\ninterp: %s\nkernel: %s\n%!"
+            (Litmus.to_string test) (Litmus.outcome_to_string o_int)
+            (Litmus.outcome_to_string o_ker);
+          ok := false
+        end;
+        if Prng.state g_int <> Prng.state g_ker then begin
+          Printf.eprintf "draw-count mismatch on:\n%s\n%!" (Litmus.to_string test);
+          ok := false
+        end
+      done;
+      !ok)
+
+let prop_run_next_matches_split =
+  (* Kernel.set_parent + run_next must replicate the runner's
+     per-instance [Instance.run ~prng:(Prng.split parent)] discipline. *)
+  QCheck.Test.make ~count:150 ~name:"run_next matches split-per-instance"
+    (QCheck.pair arbitrary_program QCheck.small_int)
+    (fun (test, seed) ->
+      QCheck.assume (Litmus.well_formed test = Ok ());
+      let g = Prng.create seed in
+      let weak, bugs = random_config g in
+      let kernel = Kernel.compile ~weak ~bugs ~test in
+      let ws = Kernel.workspace kernel in
+      let starts = Array.init (Litmus.nthreads test) (fun _ -> Prng.float g 60.) in
+      let parent_int = Prng.of_int64 (Prng.state g) in
+      let parent_ker = Prng.of_int64 (Prng.state g) in
+      Kernel.set_parent ws parent_ker;
+      let ok = ref true in
+      for _ = 1 to 10 do
+        let o_int = Instance.run ~prng:(Prng.split parent_int) ~weak ~bugs ~test ~starts in
+        let o_ker = Kernel.run_next kernel ws ~starts in
+        if o_int <> o_ker then ok := false
+      done;
+      !ok)
+
+let test_snapshot_is_deep_copy () =
+  let test = Library.mp in
+  let weak = Instance.effective_params Profile.nvidia ~amplification:1. in
+  let kernel = Kernel.compile ~weak ~bugs:Bug.none ~test in
+  let ws = Kernel.workspace kernel in
+  let o1 = Kernel.run kernel ws ~prng:(Prng.create 1) ~starts:[| 0.; 0. |] in
+  let snap = Kernel.snapshot ws in
+  check "snapshot equals live outcome" true (snap = o1);
+  let o2 = Kernel.run kernel ws ~prng:(Prng.create 999) ~starts:[| 0.; 1000. |] in
+  check "live outcome is reused storage" true (o1 == o2);
+  check "snapshot unaffected by later runs" true (snap.Litmus.regs.(1) != o2.Litmus.regs.(1))
+
+let test_workspace_ownership_checked () =
+  let weak = Instance.effective_params Profile.amd ~amplification:0. in
+  let k1 = Kernel.compile ~weak ~bugs:Bug.none ~test:Library.mp in
+  let k2 = Kernel.compile ~weak ~bugs:Bug.none ~test:Library.sb in
+  let ws2 = Kernel.workspace k2 in
+  Alcotest.check_raises "foreign workspace rejected"
+    (Invalid_argument "Kernel.run: workspace belongs to another kernel") (fun () ->
+      ignore (Kernel.run k1 ws2 ~prng:(Prng.create 1) ~starts:[| 0.; 0. |]))
+
+let test_starts_length_checked () =
+  let weak = Instance.effective_params Profile.amd ~amplification:0. in
+  let k = Kernel.compile ~weak ~bugs:Bug.none ~test:Library.mp in
+  let ws = Kernel.workspace k in
+  Alcotest.check_raises "wrong starts" (Invalid_argument "Kernel.run: starts length mismatch")
+    (fun () -> ignore (Kernel.run k ws ~prng:(Prng.create 1) ~starts:[| 0. |]))
+
+(* ------------------------------------------------------------------ *)
+(* Campaign-level differential: both engines, several domain counts    *)
+
+let campaign_result ~engine ~domains ~seed test =
+  let device = Device.make ~bugs:[ Bug.Fence_weakened 0.3 ] Profile.nvidia in
+  let env = Params.scaled Params.pte_baseline 0.05 in
+  let hist =
+    Runner.run_with_histogram ~engine ~domains ~seed ~iterations:25 ~env ~device ~test ()
+  in
+  let outs = Runner.run_with_outcomes ~engine ~domains ~seed ~iterations:25 ~env ~device ~test () in
+  (hist, outs)
+
+let prop_campaign_engines_agree =
+  QCheck.Test.make ~count:10 ~name:"campaign identical across engines and domains"
+    QCheck.small_int
+    (fun case ->
+      let tests = [| Library.mp; Library.mp_relacq; Library.sb; Library.corr; Library.mp_co |] in
+      let test = tests.(case mod Array.length tests) in
+      let seed = 4242 + case in
+      let reference = campaign_result ~engine:Runner.Interpreter ~domains:1 ~seed test in
+      List.for_all
+        (fun domains ->
+          campaign_result ~engine:Runner.Interpreter ~domains ~seed test = reference
+          && campaign_result ~engine:Runner.Kernel ~domains ~seed test = reference)
+        [ 1; 2; 4; 8 ])
+
+let () =
+  Alcotest.run "kernel"
+    [
+      ( "differential",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_kernel_bit_identical; prop_run_next_matches_split ] );
+      ( "workspace",
+        [
+          Alcotest.test_case "snapshot deep copy" `Quick test_snapshot_is_deep_copy;
+          Alcotest.test_case "ownership checked" `Quick test_workspace_ownership_checked;
+          Alcotest.test_case "starts checked" `Quick test_starts_length_checked;
+        ] );
+      ("campaign", List.map QCheck_alcotest.to_alcotest [ prop_campaign_engines_agree ]);
+    ]

@@ -78,6 +78,36 @@ let test_shutdown_idempotent_and_degrades () =
   let a = Pool.map_array p ~n:10 ~f:(fun i -> 2 * i) in
   check_int "runs after shutdown" 18 a.(9)
 
+let test_default_chunk () =
+  Pool.with_pool ~domains:4 (fun p ->
+      check_int "four claims per domain" 62 (Pool.default_chunk p ~n:1000);
+      check_int "clamped to 1" 1 (Pool.default_chunk p ~n:3);
+      check_int "n = 0 still 1" 1 (Pool.default_chunk p ~n:0))
+
+let test_chunk_does_not_change_results () =
+  (* The chunk size is purely a lock-traffic knob: any value, including
+     degenerate ones, must produce the identity result. *)
+  let expected = Array.init 257 (fun i -> (i * 31) mod 19) in
+  List.iter
+    (fun domains ->
+      Pool.with_pool ~domains (fun p ->
+          List.iter
+            (fun chunk ->
+              let a = Pool.map_array ~chunk p ~n:257 ~f:(fun i -> (i * 31) mod 19) in
+              check
+                (Printf.sprintf "chunk %d at %d domains" chunk domains)
+                true (a = expected))
+            [ 1; 2; 7; 64; 257; 100000; 0; -5 ]))
+    [ 1; 2; 4 ]
+
+let test_chunked_exception_still_lowest_index () =
+  Pool.with_pool ~domains:4 (fun p ->
+      match
+        Pool.map_array ~chunk:3 p ~n:50 ~f:(fun i -> if i >= 10 then failwith (string_of_int i) else i)
+      with
+      | exception Failure msg -> Alcotest.(check string) "first failing index" "10" msg
+      | _ -> Alcotest.fail "expected a failure")
+
 let test_workers_actually_used () =
   (* With worker domains present, tasks that block until another task
      runs concurrently would deadlock a serial executor; instead of
@@ -125,6 +155,9 @@ let () =
           Alcotest.test_case "pool reuse" `Quick test_pool_reuse_across_jobs;
           Alcotest.test_case "domains accessor" `Quick test_domains_accessor;
           Alcotest.test_case "shutdown idempotent" `Quick test_shutdown_idempotent_and_degrades;
+          Alcotest.test_case "default chunk" `Quick test_default_chunk;
+          Alcotest.test_case "chunk result-invariant" `Quick test_chunk_does_not_change_results;
+          Alcotest.test_case "chunked exception" `Quick test_chunked_exception_still_lowest_index;
           Alcotest.test_case "workers used" `Quick test_workers_actually_used;
         ] );
       ( "properties",
