@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-instance bench-instance-smoke oracle oracle-smoke check clean
+.PHONY: all build test bench bench-smoke bench-instance bench-instance-smoke bench-store bench-store-smoke oracle oracle-smoke check clean
 
 all: build
 
@@ -29,6 +29,19 @@ bench-instance:
 bench-instance-smoke:
 	MCM_BENCH_SMOKE=1 MCM_BENCH_PART=instance dune exec --profile release bench/main.exe
 
+# Campaign store: cold vs warm sweep plus crash recovery (writes
+# BENCH_store.json into a scratch _bench_store/ directory). Fails if a
+# stored sweep diverges from the uncached one, if the recovered store
+# does not verify clean, or (non-smoke) if the warm rerun is under the
+# 10x speedup contract.
+bench-store:
+	MCM_BENCH_PART=store dune exec bench/main.exe
+
+# Same contracts at CI speed (the 10x floor is not asserted — smoke
+# sweeps are too small to time meaningfully).
+bench-store-smoke:
+	MCM_BENCH_SMOKE=1 MCM_BENCH_PART=store dune exec bench/main.exe
+
 # Full axiomatic oracle: certify every generated/classic test and run
 # the simulator soundness matrix over the whole library (minutes).
 oracle:
@@ -41,8 +54,9 @@ oracle-smoke:
 
 # The one target CI needs: build, full test suite, smoke benchmarks,
 # smoke oracle.
-check: build test bench-smoke bench-instance-smoke oracle-smoke
+check: build test bench-smoke bench-instance-smoke bench-store-smoke oracle-smoke
 
 clean:
 	dune clean
-	rm -f BENCH_parallel.json BENCH_oracle.json BENCH_instance.json
+	rm -f BENCH_parallel.json BENCH_oracle.json BENCH_instance.json BENCH_store.json
+	rm -rf _bench_store

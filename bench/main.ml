@@ -569,6 +569,176 @@ let oracle_bench ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Part 2c: the campaign-store benchmark                                *)
+
+(* Three contracts for the content-addressed store, recorded in
+   BENCH_store.json:
+
+   1. Correctness: a sweep through a store (cold or warm) is
+      bit-identical to the same sweep without one.
+   2. Speed: the warm rerun — every cell served from the store — must be
+      at least 10x faster than the cold run (asserted in non-smoke runs;
+      smoke runs are too small to measure meaningfully).
+   3. Recovery: after a simulated crash (segment truncated mid-record,
+      journal left with a torn tail), resuming the sweep repairs the
+      store, recomputes only what was lost, and still reproduces the
+      uncached sweep bit-identically, leaving a store that passes
+      verification. *)
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+module Store = Mcm_campaign.Store
+module Journal = Mcm_campaign.Journal
+
+let store_bench ~smoke () =
+  section "Campaign store: cold vs warm sweep, crash recovery";
+  let config =
+    {
+      Tuning.n_envs = 2;
+      site_iterations = (if smoke then 2 else 160);
+      pte_iterations = (if smoke then 1 else 40);
+      scale = 0.02;
+      seed = 20230325;
+    }
+  in
+  let devices = [ Device.make Profile.nvidia; Device.make Profile.intel ] in
+  let tests =
+    List.filter
+      (fun (e : Suite.entry) ->
+        List.mem e.Suite.test.Litmus.name [ "MP-CO-m"; "CoRR-m"; "MP-relacq-m3" ])
+      (Suite.mutants ())
+  in
+  let fingerprint runs =
+    List.map
+      (fun (r : Tuning.run) ->
+        (r.Tuning.category, r.Tuning.env_index, r.Tuning.test_name, r.Tuning.result))
+      runs
+  in
+  let root =
+    match Sys.getenv_opt "MCM_BENCH_STORE_DIR" with
+    | Some p when p <> "" -> p
+    | _ -> "_bench_store"
+  in
+  rm_rf root;
+  let stored_sweep dir =
+    Store.with_store dir (fun store ->
+        Journal.with_journal (Filename.concat dir "journal.jsonl") (fun journal ->
+            Tuning.sweep ~domains:2 ~store ~journal ~devices ~tests config))
+  in
+  (* 1+2. Baseline (no store), cold (fresh store), warm (same store). *)
+  let baseline, baseline_s = wall (fun () -> Tuning.sweep ~domains:2 ~devices ~tests config) in
+  let baseline_fp = fingerprint baseline in
+  let grid_points = List.length baseline in
+  Printf.printf "  sweep of %d grid points (%d SITE / %d PTE iterations per point)\n"
+    grid_points config.Tuning.site_iterations config.Tuning.pte_iterations;
+  Printf.printf "  no store                %8.3f s\n%!" baseline_s;
+  let dir = Filename.concat root "sweep" in
+  let cold, cold_s = wall (fun () -> stored_sweep dir) in
+  let cold_identical = fingerprint cold = baseline_fp in
+  Printf.printf "  cold (computes+stores)  %8.3f s%s\n%!" cold_s
+    (if cold_identical then "   (bit-identical)" else "   RESULTS DIVERGED");
+  let warm, warm_s = wall (fun () -> stored_sweep dir) in
+  let warm_identical = fingerprint warm = baseline_fp in
+  let warm_speedup = if warm_s > 0. then cold_s /. warm_s else 0. in
+  Printf.printf "  warm (all cached)       %8.3f s   %5.1fx%s\n%!" warm_s warm_speedup
+    (if warm_identical then "   (bit-identical)" else "   RESULTS DIVERGED");
+  (* 3. Crash recovery: populate, corrupt like a SIGKILL would, resume. *)
+  let rdir = Filename.concat root "recovery" in
+  ignore (stored_sweep rdir);
+  let segments =
+    Sys.readdir rdir |> Array.to_list
+    |> List.filter (fun n -> Filename.check_suffix n ".jsonl" && n <> "journal.jsonl")
+    |> List.sort compare
+  in
+  let last_segment = Filename.concat rdir (List.nth segments (List.length segments - 1)) in
+  let content = In_channel.with_open_bin last_segment In_channel.input_all in
+  let len = String.length content in
+  (* Cut inside a record: drop the tail quarter of the segment, nudging
+     the cut off any line boundary so a torn tail is actually present. *)
+  let cut =
+    let c = max 1 (len * 3 / 4) in
+    if content.[c - 1] = '\n' then min (len - 2) (c + 2) else c
+  in
+  Unix.truncate last_segment cut;
+  let jpath = Filename.concat rdir "journal.jsonl" in
+  let oc = open_out_gen [ Open_append; Open_wronly; Open_binary ] 0o644 jpath in
+  output_string oc "{\"done\":";  (* a torn (newline-less) journal tail *)
+  close_out oc;
+  let lost =
+    Store.with_store dir (fun reference ->
+        Store.with_store rdir (fun damaged -> Store.count reference - Store.count damaged))
+  in
+  Printf.printf "  crash: segment truncated at byte %d/%d, %d cell(s) lost, journal torn\n%!"
+    cut len lost;
+  let resumed, resume_s = wall (fun () -> stored_sweep rdir) in
+  let resumed_identical = fingerprint resumed = baseline_fp in
+  let recovery_verify =
+    match Store.verify rdir with Ok r -> Store.verify_ok r | Error _ -> false
+  in
+  Printf.printf "  resume (recomputes %d)  %8.3f s%s%s\n%!" lost resume_s
+    (if resumed_identical then "   (bit-identical)" else "   RESULTS DIVERGED")
+    (if recovery_verify then "   (store verifies clean)" else "   STORE STILL CORRUPT");
+  let json =
+    Jsonw.Obj
+      [
+        ("benchmark", Jsonw.String "campaign-store");
+        ("smoke", Jsonw.Bool smoke);
+        ("grid_points", Jsonw.Int grid_points);
+        ("baseline_s", Jsonw.Float baseline_s);
+        ( "cold",
+          Jsonw.Obj
+            [
+              ("seconds", Jsonw.Float cold_s);
+              ("identical_to_serial", Jsonw.Bool cold_identical);
+            ] );
+        ( "warm",
+          Jsonw.Obj
+            [
+              ("seconds", Jsonw.Float warm_s);
+              ("speedup_vs_cold", Jsonw.Float warm_speedup);
+              ("speedup_target", Jsonw.Float 10.);
+              ("identical_to_serial", Jsonw.Bool warm_identical);
+            ] );
+        ( "recovery",
+          Jsonw.Obj
+            [
+              ("cells_lost", Jsonw.Int lost);
+              ("resume_seconds", Jsonw.Float resume_s);
+              ("identical_to_serial", Jsonw.Bool resumed_identical);
+              ("verifies_clean", Jsonw.Bool recovery_verify);
+            ] );
+      ]
+  in
+  let path =
+    match Sys.getenv_opt "MCM_BENCH_STORE_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_store.json"
+  in
+  let oc = open_out path in
+  Jsonw.to_channel oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" path;
+  if not (cold_identical && warm_identical && resumed_identical) then begin
+    prerr_endline "bench: stored sweep diverged from the uncached sweep";
+    exit 1
+  end;
+  if not recovery_verify then begin
+    prerr_endline "bench: store still corrupt after crash recovery";
+    exit 1
+  end;
+  if (not smoke) && warm_speedup < 10. then begin
+    Printf.eprintf "bench: warm store speedup %.1fx is below the 10x contract\n" warm_speedup;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Part 3: Bechamel micro-benchmarks                                    *)
 
 open Bechamel
@@ -690,8 +860,9 @@ let () =
   | Some "instance" -> instance_bench ~smoke ()
   | Some "parallel" -> parallel_bench ~smoke ()
   | Some "oracle" -> oracle_bench ~smoke ()
+  | Some "store" -> store_bench ~smoke ()
   | Some part ->
-      Printf.eprintf "bench: unknown MCM_BENCH_PART %S (instance|parallel|oracle)\n" part;
+      Printf.eprintf "bench: unknown MCM_BENCH_PART %S (instance|parallel|oracle|store)\n" part;
       exit 2
   | None ->
       (* The instance bench is NOT part of the default runs: its
@@ -707,6 +878,7 @@ let () =
         print_endline "MC Mutants reproduction: smoke bench (MCM_BENCH_SMOKE)";
         parallel_bench ~smoke:true ();
         oracle_bench ~smoke:true ();
+        store_bench ~smoke:true ();
         print_endline "smoke ok."
       end
       else begin
@@ -714,6 +886,7 @@ let () =
         print_reproductions ();
         parallel_bench ~smoke:false ();
         oracle_bench ~smoke:false ();
+        store_bench ~smoke:false ();
         run_benchmarks ();
         print_newline ();
         print_endline "done."

@@ -23,6 +23,9 @@ module Tuning = Mcm_harness.Tuning
 module Experiments = Mcm_harness.Experiments
 module Table = Mcm_util.Table
 module Prng = Mcm_util.Prng
+module CKey = Mcm_campaign.Key
+module Store = Mcm_campaign.Store
+module Journal = Mcm_campaign.Journal
 
 open Cmdliner
 
@@ -85,13 +88,18 @@ let jobs_arg =
   in
   Arg.(value & opt int (Mcm_util.Pool.default_domains ()) & info [ "j"; "jobs" ] ~docv:"N" ~doc)
 
+let or_die = function
+  | Ok v -> v
+  | Error msg ->
+      prerr_endline ("mcmutants: " ^ msg);
+      exit 1
+
+(* [Tuning.env_float] raises on a set-but-malformed variable; surface
+   that as a normal CLI error rather than an exception trace. *)
 let effective_scale scale =
   match scale with
   | Some s -> s
-  | None -> (
-      match Sys.getenv_opt "MCM_SCALE" with
-      | Some v -> ( match float_of_string_opt v with Some f -> f | None -> 0.02)
-      | None -> 0.02)
+  | None -> ( try Tuning.env_float "MCM_SCALE" 0.02 with Failure msg -> or_die (Error msg))
 
 let parse_env name seed scale =
   let scale = effective_scale scale in
@@ -114,11 +122,60 @@ let parse_env name seed scale =
       | _ -> Error (Printf.sprintf "bad environment index in %S" name))
   | _ -> Error (Printf.sprintf "unknown environment %S" name)
 
-let or_die = function
-  | Ok v -> v
-  | Error msg ->
-      prerr_endline ("mcmutants: " ^ msg);
-      exit 1
+(* ------------------------------------------------------------------ *)
+(* Campaign store plumbing                                              *)
+
+let store_arg =
+  let doc =
+    "Campaign store directory: cache every campaign cell content-addressed on disk and serve \
+     repeats from the cache (results are bit-identical either way)."
+  in
+  Arg.(value & opt (some string) None & info [ "store" ] ~docv:"DIR" ~doc)
+
+let resume_arg =
+  let doc =
+    "Resume an interrupted sweep from the store's journal (requires $(b,--store)); errors out \
+     unless the journal matches this exact sweep configuration."
+  in
+  Arg.(value & flag & info [ "resume" ] ~doc)
+
+let journal_path dir = Filename.concat dir "journal.jsonl"
+
+let print_store_warnings store =
+  List.iter (fun w -> Printf.eprintf "store: %s\n" w) (Store.warnings store)
+
+(* Open the optional store (with its journal) around [f]. Cache traffic
+   goes to stderr so stdout stays byte-identical with and without a
+   store. *)
+let with_store_opt store_dir f =
+  match store_dir with
+  | None -> f None
+  | Some dir ->
+      Store.with_store dir (fun store ->
+          print_store_warnings store;
+          Journal.with_journal (journal_path dir) (fun journal ->
+              let before = Store.count store in
+              let result = f (Some (store, journal)) in
+              let computed = Store.count store - before in
+              Printf.eprintf "store: %d record(s), %d added this run\n%!" (Store.count store)
+                computed;
+              result))
+
+(* --resume contract: the journal must already describe this sweep. *)
+let check_resume ~resume ~sweep journal =
+  if resume then
+    match Journal.header journal with
+    | Some h when CKey.equal h.Journal.sweep sweep && not (Journal.finished journal) ->
+        Printf.eprintf "resume: journal matches sweep %s, %d/%d cell(s) already durable\n%!"
+          (CKey.to_hex sweep) (Journal.progress journal) h.Journal.cells
+    | Some h when CKey.equal h.Journal.sweep sweep ->
+        Printf.eprintf "resume: sweep %s already finished; serving it from the store\n%!"
+          (CKey.to_hex sweep)
+    | _ ->
+        or_die
+          (Error
+             "--resume: the store's journal does not match this sweep configuration (run \
+              without --resume first)")
 
 (* ------------------------------------------------------------------ *)
 (* list                                                                 *)
@@ -190,7 +247,7 @@ let enumerate_cmd =
 (* run                                                                  *)
 
 let run_cmd =
-  let run name device env iterations seed bugs scale histogram jobs =
+  let run name device env iterations seed bugs scale histogram jobs store_dir =
     let test = or_die (find_test name) in
     let profile = or_die (find_device device) in
     let env = or_die (parse_env env seed scale) in
@@ -211,10 +268,15 @@ let run_cmd =
     let mw0 = Gc.minor_words () in
     let t0 = Unix.gettimeofday () in
     let r, breakdown =
-      if histogram then
-        let r, h = Runner.run_with_histogram ~domains:jobs ~device ~env ~test ~iterations ~seed () in
-        (r, Some h)
-      else (Runner.run ~domains:jobs ~device ~env ~test ~iterations ~seed (), None)
+      with_store_opt store_dir (fun handles ->
+          let store = Option.map fst handles in
+          if histogram then
+            let r, h =
+              Runner.run_with_histogram ~domains:jobs ?store ~device ~env ~test ~iterations
+                ~seed ()
+            in
+            (r, Some h)
+          else (Runner.run ~domains:jobs ?store ~device ~env ~test ~iterations ~seed (), None))
     in
     let wall_s = Unix.gettimeofday () -. t0 in
     let minor = Gc.minor_words () -. mw0 in
@@ -251,7 +313,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one test in a testing environment on a simulated device")
     Term.(const run $ test_arg $ device_arg $ env_arg $ iterations_arg $ seed_arg $ bugs_arg
-          $ scale_arg $ histogram_arg $ jobs_arg)
+          $ scale_arg $ histogram_arg $ jobs_arg $ store_arg)
 
 (* ------------------------------------------------------------------ *)
 (* parse / export: the textual litmus format                            *)
@@ -322,17 +384,26 @@ let table3_cmd =
   let run () = Table.print (Experiments.table3 ()) in
   Cmd.v (Cmd.info "table3" ~doc:"Reproduce Table 3 (device inventory)") Term.(const run $ const ())
 
-let sweep_of_config jobs =
-  let config = Tuning.default_config () in
+let sweep_of_config ?store_dir ?(resume = false) jobs =
+  let config = try Tuning.default_config () with Failure msg -> or_die (Error msg) in
   Printf.printf
     "tuning sweep: %d envs/category, %d SITE iters, %d PTE iters, scale %.3f, seed %d, %d jobs\n%!"
     config.Tuning.n_envs config.Tuning.site_iterations config.Tuning.pte_iterations
     config.Tuning.scale config.Tuning.seed jobs;
-  Tuning.sweep ~domains:jobs config
+  if resume && store_dir = None then or_die (Error "--resume requires --store DIR");
+  with_store_opt store_dir (fun handles ->
+      match handles with
+      | None -> Tuning.sweep ~domains:jobs config
+      | Some (store, journal) ->
+          let sweep =
+            Tuning.sweep_key config ~devices:(Device.all_correct ()) ~tests:(Suite.mutants ())
+          in
+          check_resume ~resume ~sweep journal;
+          Tuning.sweep ~domains:jobs ~store ~journal config)
 
 let fig5_cmd =
-  let run jobs =
-    let runs = sweep_of_config jobs in
+  let run jobs store_dir resume =
+    let runs = sweep_of_config ?store_dir ~resume jobs in
     List.iter
       (fun (title, t) ->
         print_newline ();
@@ -347,33 +418,37 @@ let fig5_cmd =
   in
   Cmd.v
     (Cmd.info "fig5" ~doc:"Reproduce Figure 5 (mutation scores and death rates)")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ store_arg $ resume_arg)
 
 let fig6_cmd =
-  let run jobs =
-    let runs = sweep_of_config jobs in
+  let run jobs store_dir resume =
+    let runs = sweep_of_config ?store_dir ~resume jobs in
     print_newline ();
     print_endline "Figure 6: mutation score vs per-test time budget (merged environments, Alg. 1)";
     Table.print (Experiments.Fig6.table runs)
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Reproduce Figure 6 (reproducible mutation score vs time budget)")
-    Term.(const run $ jobs_arg)
+    Term.(const run $ jobs_arg $ store_arg $ resume_arg)
 
 let table4_cmd =
-  let run scale jobs =
-    let rows = Experiments.Table4.compute ~domains:jobs ?scale () in
+  let run scale jobs store_dir =
+    let rows =
+      with_store_opt store_dir (fun handles ->
+          let store = Option.map fst handles in
+          Experiments.Table4.compute ~domains:jobs ?store ?scale ())
+    in
     Table.print (Experiments.Table4.table rows)
   in
   Cmd.v
     (Cmd.info "table4" ~doc:"Reproduce Table 4 (mutant kills vs real-bug correlation)")
-    Term.(const run $ scale_arg $ jobs_arg)
+    Term.(const run $ scale_arg $ jobs_arg $ store_arg)
 
 (* ------------------------------------------------------------------ *)
 (* oracle: certification and simulator soundness                        *)
 
 let oracle_cmd =
-  let run jobs json_path no_certify no_soundness smoke iterations seed tests =
+  let run jobs json_path no_certify no_soundness smoke iterations seed tests store_dir resume =
     let module Certify = Mcm_oracle.Certify in
     let module Soundness = Mcm_oracle.Soundness in
     let module Jsonw = Mcm_util.Jsonw in
@@ -416,7 +491,17 @@ let oracle_cmd =
       in
       Printf.printf "soundness: replaying %d tests across the device/env matrix (%d jobs)...\n%!"
         n_tests jobs;
-      let report = Soundness.check ~domains:jobs ~iterations ~seed ?devices ?envs ?tests () in
+      if resume && store_dir = None then or_die (Error "--resume requires --store DIR");
+      let report =
+        with_store_opt store_dir (fun handles ->
+            match handles with
+            | None -> Soundness.check ~domains:jobs ~iterations ~seed ?devices ?envs ?tests ()
+            | Some (store, journal) ->
+                let sweep = Soundness.check_key ~iterations ~seed ?devices ?envs ?tests () in
+                check_resume ~resume ~sweep journal;
+                Soundness.check ~domains:jobs ~store ~journal ~iterations ~seed ?devices ?envs
+                  ?tests ())
+      in
       Format.printf "%a" Soundness.pp_report report;
       failures := !failures + report.Soundness.total_violations;
       json_fields := ("soundness", Soundness.report_to_json report) :: !json_fields
@@ -458,7 +543,7 @@ let oracle_cmd =
           simulator's observed outcomes are axiomatically allowed")
     Term.(
       const run $ jobs_arg $ json_path $ no_certify $ no_soundness $ smoke $ iterations_arg
-      $ seed_arg $ oracle_tests)
+      $ seed_arg $ oracle_tests $ store_arg $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* models: print the axiomatic models in CAT style                      *)
@@ -718,13 +803,84 @@ let cts_cmd =
     (Cmd.info "cts" ~doc:"Curate per-test environments for a conformance test suite (Alg. 1)")
     Term.(const run $ target $ budget $ jobs_arg)
 
+(* ------------------------------------------------------------------ *)
+(* cache: inspect and maintain a campaign store                         *)
+
+let cache_cmd =
+  let store_req =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR" ~doc:"Campaign store directory.")
+  in
+  let stats_cmd =
+    let run dir =
+      Store.with_store dir (fun store ->
+          print_store_warnings store;
+          let s = Store.stats store in
+          Printf.printf "store: %s\n" s.Store.s_dir;
+          Printf.printf "records: %d\n" s.Store.s_records;
+          Printf.printf "segments: %d (%d bytes)\n" s.Store.s_segments s.Store.s_bytes;
+          Printf.printf "recovered at open: %d bad record(s), %d duplicate(s), %d torn tail(s)\n"
+            s.Store.s_disk_bad s.Store.s_disk_duplicates s.Store.s_torn_tails;
+          let j = Journal.open_ (journal_path dir) in
+          (match Journal.header j with
+          | None -> print_endline "journal: none"
+          | Some h ->
+              Printf.printf "journal: sweep %s, %d/%d cell(s) durable%s\n"
+                (CKey.to_hex h.Journal.sweep) (Journal.progress j) h.Journal.cells
+                (if Journal.finished j then " (finished)" else " (interrupted — resumable)"));
+          Journal.close j)
+    in
+    Cmd.v (Cmd.info "stats" ~doc:"Report a store's records, segments and recovery counters")
+      Term.(const run $ store_req)
+  in
+  let gc_cmd =
+    let run dir =
+      Store.with_store dir (fun store ->
+          print_store_warnings store;
+          let before = Store.stats store in
+          let dropped = Store.gc store in
+          let after = Store.stats store in
+          Printf.printf "compacted %d segment(s) into 1: %d record(s), %d -> %d bytes, %d \
+                         stale record(s) dropped\n"
+            before.Store.s_segments after.Store.s_records before.Store.s_bytes
+            after.Store.s_bytes dropped)
+    in
+    Cmd.v
+      (Cmd.info "gc"
+         ~doc:"Compact a store into one deduplicated, corruption-free segment (atomic rename)")
+      Term.(const run $ store_req)
+  in
+  let verify_cmd =
+    let run dir =
+      match Store.verify dir with
+      | Error e -> or_die (Error e)
+      | Ok report ->
+          Format.printf "%a@." Store.pp_verify report;
+          if not (Store.verify_ok report) then begin
+            prerr_endline "mcmutants: store integrity check failed";
+            exit 1
+          end
+    in
+    Cmd.v
+      (Cmd.info "verify"
+         ~doc:
+           "Check a store's on-disk integrity read-only; exit non-zero on any bad record, \
+            torn tail or duplicate")
+      Term.(const run $ store_req)
+  in
+  Cmd.group
+    (Cmd.info "cache" ~doc:"Inspect and maintain a campaign store (stats, gc, verify)")
+    [ stats_cmd; gc_cmd; verify_cmd ]
+
 let main =
   let doc = "MC Mutants: mutation testing for memory consistency specifications (ASPLOS '23)" in
   Cmd.group (Cmd.info "mcmutants" ~version:"1.0.0" ~doc)
     [
       list_cmd; show_cmd; enumerate_cmd; run_cmd; parse_cmd; export_cmd; wgsl_cmd; table2_cmd; table3_cmd; fig5_cmd;
       fig6_cmd; table4_cmd; tune_cmd; analysis_cmd; cts_cmd; prune_cmd; emit_suite_cmd; models_cmd;
-      oracle_cmd;
+      oracle_cmd; cache_cmd;
     ]
 
 let () = exit (Cmd.eval main)

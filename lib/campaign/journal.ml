@@ -1,0 +1,142 @@
+module Jsonw = Mcm_util.Jsonw
+module Jsonp = Mcm_util.Jsonp
+
+let format_tag = "mcm-journal-v1"
+
+type header = { sweep : Key.t; cells : int }
+
+type t = {
+  j_path : string;
+  mutable hdr : header option;
+  mutable done_cells : int;
+  mutable is_finished : bool;
+  mutable oc : out_channel option;
+  mutable closed : bool;
+}
+
+let path t = t.j_path
+let header t = t.hdr
+let progress t = t.done_cells
+let finished t = t.is_finished
+
+let apply_line t line =
+  match Jsonp.parse line with
+  | Error _ -> ()  (* malformed complete line: skip *)
+  | Ok v -> (
+      let str key = Option.bind (Jsonp.member key v) Jsonp.to_string_opt in
+      let int key = Option.bind (Jsonp.member key v) Jsonp.to_int in
+      match (str "journal", str "sweep", int "cells") with
+      | Some tag, Some hex, Some cells when tag = format_tag -> (
+          match Key.of_hex hex with
+          | Ok sweep -> t.hdr <- Some { sweep; cells }
+          | Error _ -> ())
+      | _ -> (
+          match int "done" with
+          | Some d -> t.done_cells <- max t.done_cells d
+          | None -> (
+              match Option.bind (Jsonp.member "finished" v) (function
+                  | Jsonw.Bool b -> Some b
+                  | _ -> None)
+              with
+              | Some true -> t.is_finished <- true
+              | _ -> ())))
+
+let open_ j_path =
+  let t =
+    { j_path; hdr = None; done_cells = 0; is_finished = false; oc = None; closed = false }
+  in
+  if Sys.file_exists j_path then begin
+    let content = In_channel.with_open_bin j_path In_channel.input_all in
+    let len = String.length content in
+    let pos = ref 0 in
+    while !pos < len do
+      match String.index_from_opt content !pos '\n' with
+      | Some i ->
+          apply_line t (String.sub content !pos (i - !pos));
+          pos := i + 1
+      | None ->
+          (* Torn tail from a crash mid-append: ignore; [start] truncates. *)
+          pos := len
+    done
+  end;
+  t
+
+let append t line =
+  if t.closed then failwith "Mcm_campaign.Journal: journal is closed";
+  let oc =
+    match t.oc with
+    | Some oc -> oc
+    | None ->
+        let oc =
+          open_out_gen [ Open_append; Open_creat; Open_wronly; Open_binary ] 0o644 t.j_path
+        in
+        t.oc <- Some oc;
+        oc
+  in
+  output_string oc (Jsonw.to_string line);
+  output_char oc '\n';
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let release t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      close_out oc;
+      t.oc <- None
+
+let header_line sweep cells =
+  Jsonw.Obj
+    [
+      ("journal", Jsonw.String format_tag);
+      ("sweep", Jsonw.String (Key.to_hex sweep));
+      ("cells", Jsonw.Int cells);
+    ]
+
+let start t ~sweep ~cells =
+  match t.hdr with
+  | Some h when Key.equal h.sweep sweep && h.cells = cells && not t.is_finished ->
+      (* Same unfinished sweep: keep the log, drop any torn tail so the
+         next append starts on a line boundary, and resume. *)
+      release t;
+      let oc = open_out_gen [ Open_append; Open_creat; Open_wronly; Open_binary ] 0o644 t.j_path in
+      close_out oc;
+      (match In_channel.with_open_bin t.j_path In_channel.input_all with
+      | "" -> ()
+      | content ->
+          let len = String.length content in
+          if content.[len - 1] <> '\n' then begin
+            let keep =
+              match String.rindex_opt content '\n' with Some i -> i + 1 | None -> 0
+            in
+            Unix.truncate t.j_path keep
+          end);
+      `Resumed t.done_cells
+  | _ ->
+      release t;
+      (* Different (or finished) sweep: start over. *)
+      let oc = open_out_gen [ Open_trunc; Open_creat; Open_wronly; Open_binary ] 0o644 t.j_path in
+      close_out oc;
+      t.hdr <- Some { sweep; cells };
+      t.done_cells <- 0;
+      t.is_finished <- false;
+      append t (header_line sweep cells);
+      `Fresh
+
+let record t ~done_ =
+  t.done_cells <- max t.done_cells done_;
+  append t (Jsonw.Obj [ ("done", Jsonw.Int done_) ])
+
+let finish t =
+  t.is_finished <- true;
+  append t (Jsonw.Obj [ ("finished", Jsonw.Bool true) ])
+
+let close t =
+  if not t.closed then begin
+    release t;
+    t.closed <- true
+  end
+
+let with_journal path f =
+  let t = open_ path in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)

@@ -1,0 +1,56 @@
+(** A crash-safe sweep checkpoint log.
+
+    The {!Store} memoizes individual cells; the journal records which
+    {e sweep} those cells belong to and how far it got, so a killed
+    campaign can be resumed knowingly: the header names the sweep (by
+    its configuration {!Key.t}) and its cell count, progress records
+    mark completed-cell counts after every flushed shard, and a final
+    record marks completion. Every append is fsynced — journal writes
+    are rare (one per shard), and losing one must not be possible after
+    {!Sched} has reported the shard durable.
+
+    Recovery mirrors the store: a torn tail (partial record without its
+    newline) is ignored and truncated on the next {!start}, and a
+    malformed complete line is skipped. Resuming replays nothing — the
+    resumed sweep re-plans against the store, where every cell of every
+    journaled shard is already present, so tallies are bit-identical to
+    an uninterrupted run. *)
+
+type t
+
+type header = {
+  sweep : Key.t;  (** content hash of the sweep configuration *)
+  cells : int;  (** total cells in the sweep grid *)
+}
+
+val open_ : string -> t
+(** [open_ path] loads the journal at [path] (absent files load empty),
+    applying the recovery rules above. *)
+
+val path : t -> string
+
+val header : t -> header option
+(** The sweep this journal belongs to, if any run was started. *)
+
+val progress : t -> int
+(** Highest completed-cell count on record (0 on a fresh journal). *)
+
+val finished : t -> bool
+(** Whether a completion record was written. *)
+
+val start : t -> sweep:Key.t -> cells:int -> [ `Fresh | `Resumed of int ]
+(** [start t ~sweep ~cells] begins (or resumes) a sweep. If the loaded
+    header matches [sweep] and [cells] and the sweep is unfinished, the
+    journal is kept and [`Resumed progress] is returned; otherwise the
+    file is truncated, a fresh header is written, and [`Fresh] is
+    returned. *)
+
+val record : t -> done_:int -> unit
+(** Append (fsynced) a progress record: [done_] cells are durably in
+    the store. Call only after the corresponding {!Store.flush}. *)
+
+val finish : t -> unit
+(** Append (fsynced) the completion record. *)
+
+val close : t -> unit
+val with_journal : string -> (t -> 'a) -> 'a

@@ -1,0 +1,111 @@
+module Jsonw = Mcm_util.Jsonw
+module Litmus = Mcm_litmus.Litmus
+module Instr = Mcm_litmus.Instr
+module Model = Mcm_memmodel.Model
+module Device = Mcm_gpu.Device
+module Bug = Mcm_gpu.Bug
+
+type t = int64
+
+let code_version = "mcm-cell-v1"
+
+let fnv_offset = 0xcbf29ce484222325L
+let fnv_prime = 0x100000001b3L
+
+let fnv1a64 s =
+  let h = ref fnv_offset in
+  String.iter
+    (fun c ->
+      h := Int64.logxor !h (Int64.of_int (Char.code c));
+      h := Int64.mul !h fnv_prime)
+    s;
+  !h
+
+let of_string = fnv1a64
+
+let of_fields kvs =
+  fnv1a64 (Jsonw.to_string (Jsonw.Obj (("codeVersion", Jsonw.String code_version) :: kvs)))
+
+(* Canonical test serialization: the structural content of the test, not
+   its identity. The target predicate is a closure; its canonical form is
+   [target_desc], which every generator renders deterministically from
+   the derived outcome set. *)
+let test_blob_uncached (test : Litmus.t) =
+  let thread instrs =
+    Jsonw.List (List.map (fun i -> Jsonw.String (Instr.to_string ~loc_names:Litmus.loc_name i)) instrs)
+  in
+  Jsonw.to_string
+    (Jsonw.Obj
+       [
+         ("name", Jsonw.String test.Litmus.name);
+         ("family", Jsonw.String test.Litmus.family);
+         ("model", Jsonw.String (Model.name test.Litmus.model));
+         ("nlocs", Jsonw.Int test.Litmus.nlocs);
+         ("threads", Jsonw.List (Array.to_list (Array.map thread test.Litmus.threads)));
+         ("target", Jsonw.String test.Litmus.target_desc);
+       ])
+
+(* Tests are immutable values and the shipped suites are memoized
+   singletons, so a physical-equality check on the cached entry is both
+   safe and exact; a different test that reuses a name is re-serialized.
+   (Structural equality is unavailable: [target] is a closure.) *)
+let blob_cache : (string, Litmus.t * string) Hashtbl.t = Hashtbl.create 64
+
+let test_blob (test : Litmus.t) =
+  match Hashtbl.find_opt blob_cache test.Litmus.name with
+  | Some (t, blob) when t == test -> blob
+  | _ ->
+      let blob = test_blob_uncached test in
+      Hashtbl.replace blob_cache test.Litmus.name (test, blob);
+      blob
+
+let device_fields (device : Device.t) =
+  let effect = Device.effect device in
+  [
+    ("profile", Jsonw.String device.Device.profile.Mcm_gpu.Profile.short_name);
+    ( "bugs",
+      Jsonw.Obj
+        [
+          ("corrReorder", Jsonw.Float effect.Bug.p_corr_reorder);
+          ("fenceDrop", Jsonw.Float effect.Bug.p_fence_drop);
+          ("coherenceAlias", Jsonw.Float effect.Bug.p_coherence_alias);
+        ] );
+  ]
+
+let cell ~kind ~engine ~test ~device ~env ~iterations ~seed () =
+  of_fields
+    ([
+       ("kind", Jsonw.String kind);
+       ("engine", Jsonw.String engine);
+       ("test", Jsonw.String (test_blob test));
+     ]
+    @ device_fields device
+    @ [
+        ("env", env);
+        ("iterations", Jsonw.Int iterations);
+        ("seed", Jsonw.Int seed);
+      ])
+
+let equal = Int64.equal
+let compare = Int64.compare
+let hash k = Int64.to_int k land max_int
+
+let to_hex k = Printf.sprintf "%016Lx" k
+
+let of_hex s =
+  if String.length s <> 16 then Error (Printf.sprintf "bad key %S: want 16 hex digits" s)
+  else
+    let ok =
+      String.for_all
+        (function '0' .. '9' | 'a' .. 'f' | 'A' .. 'F' -> true | _ -> false)
+        s
+    in
+    if not ok then Error (Printf.sprintf "bad key %S: non-hex character" s)
+    else
+      (* Parse as two halves: a 16-digit hex value with the top bit set
+         overflows Int64.of_string's signed range. *)
+      let half sub = Int64.of_string ("0x" ^ sub) in
+      let hi = half (String.sub s 0 8) and lo = half (String.sub s 8 8) in
+      Ok (Int64.logor (Int64.shift_left hi 32) lo)
+
+let pp fmt k = Format.pp_print_string fmt (to_hex k)

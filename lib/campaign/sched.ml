@@ -1,0 +1,95 @@
+module Jsonw = Mcm_util.Jsonw
+module Pool = Mcm_util.Pool
+
+type stats = { total : int; hits : int; misses : int; decode_failures : int }
+
+let pp_stats fmt s =
+  Format.fprintf fmt "%d cell(s): %d cached, %d computed%s" s.total s.hits s.misses
+    (if s.decode_failures > 0 then
+       Printf.sprintf " (%d cached payload(s) failed to decode and were recomputed)"
+         s.decode_failures
+     else "")
+
+let default_shard = 32
+
+let plan store ~key ~n =
+  Array.init n (fun i ->
+      match Store.find store (key i) with Some v -> `Hit v | None -> `Miss)
+
+let run ?domains ?pool ?shard ?journal ~store ~key ~encode ~decode ~f ~n () =
+  let shard = max 1 (Option.value shard ~default:default_shard) in
+  let keys = Array.init n key in
+  let cached = Array.map (Store.find store) keys in
+  (* Decode hits up front, in the caller: a stale or corrupt payload
+     demotes its cell to a miss (recomputed, not re-stored). *)
+  let decode_failures = ref 0 in
+  let decoded =
+    Array.map
+      (fun payload ->
+        match payload with
+        | None -> None
+        | Some v -> (
+            match decode v with
+            | Ok b -> Some b
+            | Error _ ->
+                incr decode_failures;
+                None))
+      cached
+  in
+  let miss_idx =
+    Array.of_seq
+      (Seq.filter (fun i -> Option.is_none decoded.(i)) (Seq.init n Fun.id))
+  in
+  let misses = Array.length miss_idx in
+  let hits = n - misses in
+  (match journal with
+  | None -> ()
+  | Some (j, sweep) -> ignore (Journal.start j ~sweep ~cells:n));
+  let results : 'b option array = Array.copy decoded in
+  if Array.length miss_idx > 0 then begin
+    let use_pool k =
+      match pool with
+      | Some p -> k p
+      | None -> Pool.with_pool ?domains k
+    in
+    use_pool (fun p ->
+        let m = Array.length miss_idx in
+        let done_ = ref (n - m) in
+        let off = ref 0 in
+        while !off < m do
+          let count = min shard (m - !off) in
+          let base = !off in
+          (* Workers compute only; the store and journal writes below
+             happen in this (the submitting) domain. *)
+          let fresh = Pool.map_array p ~n:count ~f:(fun j -> f miss_idx.(base + j)) in
+          for j = 0 to count - 1 do
+            let i = miss_idx.(base + j) in
+            results.(i) <- Some fresh.(j);
+            (* Only store cells that were absent — a decode failure's key
+               is already on disk and first-write-wins must hold. *)
+            if Option.is_none cached.(i) then Store.add store keys.(i) (encode fresh.(j))
+          done;
+          Store.flush store;
+          done_ := !done_ + count;
+          (match journal with
+          | None -> ()
+          | Some (j, _) -> Journal.record j ~done_:!done_);
+          off := !off + count
+        done)
+  end;
+  (match journal with
+  | None -> ()
+  | Some (j, _) ->
+      (* Every cell is durable by now (hits were already on disk, misses
+         were flushed per shard) — record full progress even on an
+         all-hit run where no shard wrote, then mark the sweep done. *)
+      Journal.record j ~done_:n;
+      Journal.finish j);
+  let out =
+    Array.map
+      (function
+        | Some b -> b
+        | None -> assert false (* every miss was computed above *))
+      results
+  in
+  (out, { total = n; hits; misses; decode_failures = !decode_failures })

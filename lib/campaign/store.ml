@@ -1,0 +1,325 @@
+module Jsonw = Mcm_util.Jsonw
+module Jsonp = Mcm_util.Jsonp
+
+type t = {
+  t_dir : string;
+  index : (Key.t, Jsonw.t) Hashtbl.t;
+  fsync_every : int;
+  max_segment_bytes : int;
+  mutable oc : out_channel option;  (** append channel on the active segment *)
+  mutable active : int;  (** active segment number *)
+  mutable active_bytes : int;
+  mutable unsynced : int;
+  mutable closed : bool;
+  mutable warns : string list;  (** newest first; reversed by {!warnings} *)
+  mutable disk_bad : int;
+  mutable disk_dups : int;
+  mutable torn : int;
+}
+
+let dir t = t.t_dir
+
+let segment_name n = Printf.sprintf "segment-%06d.jsonl" n
+
+let segment_path t n = Filename.concat t.t_dir (segment_name n)
+
+let segment_number name =
+  (* "segment-" ^ 6 digits ^ ".jsonl" = 20 chars; anything else
+     (including gc's ".tmp" scratch file) is not a segment. *)
+  match String.length name with
+  | 20
+    when String.sub name 0 8 = "segment-"
+         && Filename.check_suffix name ".jsonl" ->
+      int_of_string_opt (String.sub name 8 6)
+  | _ -> None
+
+let list_segments dir =
+  Sys.readdir dir |> Array.to_list
+  |> List.filter_map (fun name ->
+         match segment_number name with Some n -> Some (n, name) | None -> None)
+  |> List.sort compare
+
+let rec mkdir_p path =
+  if path = "" || path = "." || path = "/" || Sys.file_exists path then ()
+  else begin
+    mkdir_p (Filename.dirname path);
+    try Sys.mkdir path 0o755 with Sys_error _ when Sys.file_exists path -> ()
+  end
+
+let read_file path =
+  In_channel.with_open_bin path In_channel.input_all
+
+(* Scan one segment's content into complete lines plus an optional torn
+   tail (trailing bytes without a final newline — the signature of a
+   crash mid-append). [f line] consumes each complete line; the returned
+   offset is where the torn tail starts, if any. *)
+let scan_lines content f =
+  let len = String.length content in
+  let pos = ref 0 in
+  let torn_at = ref None in
+  while !pos < len do
+    match String.index_from_opt content !pos '\n' with
+    | Some i ->
+        f (String.sub content !pos (i - !pos));
+        pos := i + 1
+    | None ->
+        torn_at := Some !pos;
+        pos := len
+  done;
+  !torn_at
+
+type parsed = Record of Key.t * Jsonw.t | Bad of string
+
+let parse_record line =
+  match Jsonp.parse line with
+  | Error e -> Bad ("unparseable record: " ^ e)
+  | Ok v -> (
+      match
+        (Option.bind (Jsonp.member "k" v) Jsonp.to_string_opt, Jsonp.member "v" v)
+      with
+      | Some hex, Some payload -> (
+          match Key.of_hex hex with
+          | Ok key -> Record (key, payload)
+          | Error e -> Bad e)
+      | _ -> Bad "record missing \"k\"/\"v\"")
+
+let record_line key payload =
+  Jsonw.to_string (Jsonw.Obj [ ("k", Jsonw.String (Key.to_hex key)); ("v", payload) ]) ^ "\n"
+
+let warn t msg = t.warns <- msg :: t.warns
+
+let load_segment t name =
+  let path = Filename.concat t.t_dir name in
+  let content = read_file path in
+  let torn_at =
+    scan_lines content (fun line ->
+        if line <> "" then
+          match parse_record line with
+          | Record (key, payload) ->
+              if Hashtbl.mem t.index key then begin
+                t.disk_dups <- t.disk_dups + 1;
+                warn t (Printf.sprintf "%s: duplicate key %s (first record wins)" name
+                          (Key.to_hex key))
+              end
+              else Hashtbl.add t.index key payload
+          | Bad e ->
+              t.disk_bad <- t.disk_bad + 1;
+              warn t (Printf.sprintf "%s: skipping bad record (%s)" name e))
+  in
+  match torn_at with
+  | None -> ()
+  | Some offset ->
+      t.torn <- t.torn + 1;
+      warn t
+        (Printf.sprintf "%s: truncating torn tail at byte %d (crash recovery)" name offset);
+      (* Drop the partial record so future appends start on a line
+         boundary; the lost cell is recomputed on demand. *)
+      Unix.truncate path offset
+
+let open_store ?(fsync_every = 64) ?(max_segment_bytes = 8 * 1024 * 1024) dir =
+  mkdir_p dir;
+  let t =
+    {
+      t_dir = dir;
+      index = Hashtbl.create 1024;
+      fsync_every = max 1 fsync_every;
+      max_segment_bytes = max 4096 max_segment_bytes;
+      oc = None;
+      active = 0;
+      active_bytes = 0;
+      unsynced = 0;
+      closed = false;
+      warns = [];
+      disk_bad = 0;
+      disk_dups = 0;
+      torn = 0;
+    }
+  in
+  let segments = list_segments dir in
+  List.iter (fun (_, name) -> load_segment t name) segments;
+  (match List.rev segments with
+  | [] -> t.active <- 0
+  | (last, name) :: _ ->
+      let size = (Unix.stat (Filename.concat dir name)).Unix.st_size in
+      if size >= t.max_segment_bytes then t.active <- last + 1
+      else begin
+        t.active <- last;
+        t.active_bytes <- size
+      end);
+  t
+
+let find t key = Hashtbl.find_opt t.index key
+let mem t key = Hashtbl.mem t.index key
+let count t = Hashtbl.length t.index
+let warnings t = List.rev t.warns
+
+let fsync_channel oc =
+  flush oc;
+  Unix.fsync (Unix.descr_of_out_channel oc)
+
+let flush t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      fsync_channel oc;
+      t.unsynced <- 0
+
+let release_channel t =
+  match t.oc with
+  | None -> ()
+  | Some oc ->
+      fsync_channel oc;
+      close_out oc;
+      t.oc <- None;
+      t.unsynced <- 0
+
+let append_channel t =
+  if t.closed then failwith "Mcm_campaign.Store: store is closed";
+  if t.active_bytes >= t.max_segment_bytes then begin
+    release_channel t;
+    t.active <- t.active + 1;
+    t.active_bytes <- 0
+  end;
+  match t.oc with
+  | Some oc -> oc
+  | None ->
+      let oc =
+        open_out_gen [ Open_append; Open_creat; Open_wronly; Open_binary ] 0o644
+          (segment_path t t.active)
+      in
+      t.oc <- Some oc;
+      oc
+
+let add t key payload =
+  if not (Hashtbl.mem t.index key) then begin
+    let oc = append_channel t in
+    let line = record_line key payload in
+    output_string oc line;
+    t.active_bytes <- t.active_bytes + String.length line;
+    Hashtbl.add t.index key payload;
+    t.unsynced <- t.unsynced + 1;
+    if t.unsynced >= t.fsync_every then begin
+      fsync_channel oc;
+      t.unsynced <- 0
+    end
+  end
+
+type stats = {
+  s_dir : string;
+  s_records : int;
+  s_segments : int;
+  s_bytes : int;
+  s_disk_bad : int;
+  s_disk_duplicates : int;
+  s_torn_tails : int;
+}
+
+let stats t =
+  (match t.oc with Some oc -> Stdlib.flush oc | None -> ());
+  let segments = list_segments t.t_dir in
+  let bytes =
+    List.fold_left
+      (fun acc (_, name) ->
+        acc + (Unix.stat (Filename.concat t.t_dir name)).Unix.st_size)
+      0 segments
+  in
+  {
+    s_dir = t.t_dir;
+    s_records = count t;
+    s_segments = List.length segments;
+    s_bytes = bytes;
+    s_disk_bad = t.disk_bad;
+    s_disk_duplicates = t.disk_dups;
+    s_torn_tails = t.torn;
+  }
+
+(* Best-effort directory fsync so the gc rename is durable before the
+   old segments disappear. *)
+let fsync_dir dir =
+  match Unix.openfile dir [ Unix.O_RDONLY ] 0 with
+  | fd ->
+      (try Unix.fsync fd with Unix.Unix_error _ -> ());
+      Unix.close fd
+  | exception Unix.Unix_error _ -> ()
+
+let gc t =
+  if t.closed then failwith "Mcm_campaign.Store: store is closed";
+  release_channel t;
+  let dropped = t.disk_bad + t.disk_dups in
+  let keys = List.sort Key.compare (Hashtbl.fold (fun k _ acc -> k :: acc) t.index []) in
+  let tmp = Filename.concat t.t_dir "segment-000000.jsonl.tmp" in
+  let oc = open_out_bin tmp in
+  List.iter (fun k -> output_string oc (record_line k (Hashtbl.find t.index k))) keys;
+  fsync_channel oc;
+  close_out oc;
+  let survivors = list_segments t.t_dir in
+  Sys.rename tmp (segment_path t 0);
+  List.iter
+    (fun (n, name) -> if n <> 0 then Sys.remove (Filename.concat t.t_dir name))
+    survivors;
+  fsync_dir t.t_dir;
+  t.disk_bad <- 0;
+  t.disk_dups <- 0;
+  t.torn <- 0;
+  t.active <- 0;
+  t.active_bytes <- (Unix.stat (segment_path t 0)).Unix.st_size;
+  dropped
+
+let close t =
+  if not t.closed then begin
+    release_channel t;
+    t.closed <- true
+  end
+
+let with_store ?fsync_every dir f =
+  let t = open_store ?fsync_every dir in
+  Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
+
+type verify_report = {
+  v_segments : int;
+  v_records : int;
+  v_bad : int;
+  v_torn : int;
+  v_duplicates : int;
+}
+
+let verify dir =
+  if not (Sys.file_exists dir && Sys.is_directory dir) then
+    Error (Printf.sprintf "%s: not a directory" dir)
+  else begin
+    let seen = Hashtbl.create 1024 in
+    let records = ref 0 and bad = ref 0 and torn = ref 0 and dups = ref 0 in
+    let segments = list_segments dir in
+    List.iter
+      (fun (_, name) ->
+        let content = read_file (Filename.concat dir name) in
+        let torn_at =
+          scan_lines content (fun line ->
+              if line <> "" then
+                match parse_record line with
+                | Record (key, _) ->
+                    if Hashtbl.mem seen key then incr dups
+                    else begin
+                      Hashtbl.add seen key ();
+                      incr records
+                    end
+                | Bad _ -> incr bad)
+        in
+        if torn_at <> None then incr torn)
+      segments;
+    Ok
+      {
+        v_segments = List.length segments;
+        v_records = !records;
+        v_bad = !bad;
+        v_torn = !torn;
+        v_duplicates = !dups;
+      }
+  end
+
+let verify_ok r = r.v_bad = 0 && r.v_torn = 0 && r.v_duplicates = 0
+
+let pp_verify fmt r =
+  Format.fprintf fmt "%d segment(s), %d record(s): %d bad, %d torn tail(s), %d duplicate(s)%s"
+    r.v_segments r.v_records r.v_bad r.v_torn r.v_duplicates
+    (if verify_ok r then " — clean" else "")

@@ -1,0 +1,97 @@
+(** An on-disk content-addressed result store.
+
+    The store memoizes campaign cells: a {!Key.t} maps to the cell's
+    result, serialized as a {!Mcm_util.Jsonw.t} value by the caller's
+    codec. On disk it is a directory of append-only JSONL segments
+    ([segment-NNNNNN.jsonl], one record per line, written through
+    {!Mcm_util.Jsonw} and read back through {!Mcm_util.Jsonp}); in memory
+    it is a hash index over every live record.
+
+    Durability and recovery:
+    - records are appended as complete lines and fsynced every
+      [fsync_every] appends (and on {!flush}/{!close}), so a crash loses
+      at most the last unsynced batch;
+    - on open, a torn tail (a final line without its newline — the
+      signature of a crash mid-append) is truncated away and the segment
+      resumes from the last complete line;
+    - a complete line that fails to parse or decode is skipped with a
+      warning (see {!warnings}) rather than poisoning the store;
+    - duplicate keys keep their first record; {!gc} rewrites the store
+      into one compacted, deduplicated, corruption-free segment.
+
+    A store handle is single-domain: confine opens, lookups and appends
+    to the submitting domain and keep worker domains compute-only (the
+    pattern {!Sched} enforces). Cells are memoization entries of pure
+    functions, so losing records is always safe — they are recomputed. *)
+
+type t
+
+val open_store : ?fsync_every:int -> ?max_segment_bytes:int -> string -> t
+(** [open_store dir] opens (creating the directory if needed) and loads
+    the store, applying the recovery rules above. [fsync_every] batches
+    fsyncs (default 64 appends); [max_segment_bytes] rolls appends over
+    to a fresh segment past this size (default 8 MiB). *)
+
+val dir : t -> string
+
+val find : t -> Key.t -> Mcm_util.Jsonw.t option
+val mem : t -> Key.t -> bool
+
+val add : t -> Key.t -> Mcm_util.Jsonw.t -> unit
+(** [add t k v] appends the record unless [k] is already present (first
+    write wins, matching recovery). *)
+
+val flush : t -> unit
+(** Flush and fsync the active segment. *)
+
+val count : t -> int
+(** Live records. *)
+
+val warnings : t -> string list
+(** Recovery warnings from {!open_store}, oldest first: skipped bad
+    records, truncated torn tails, duplicate keys. *)
+
+type stats = {
+  s_dir : string;
+  s_records : int;  (** live records in the index *)
+  s_segments : int;
+  s_bytes : int;  (** total on-disk segment bytes *)
+  s_disk_bad : int;  (** complete-but-unparseable records seen at open *)
+  s_disk_duplicates : int;  (** duplicate keys seen at open *)
+  s_torn_tails : int;  (** torn tails truncated at open *)
+}
+
+val stats : t -> stats
+
+val gc : t -> int
+(** [gc t] compacts the store: every live record is rewritten, in key
+    order, into a single fresh segment which atomically replaces the old
+    ones. Returns the number of on-disk records dropped (bad records and
+    duplicates). *)
+
+val close : t -> unit
+(** {!flush} and release the append channel. The handle degrades to
+    read-only afterwards ([add] raises). *)
+
+val with_store : ?fsync_every:int -> string -> (t -> 'a) -> 'a
+(** Open, apply, and {!close} (also on exceptions). *)
+
+(** {2 Offline integrity checking} *)
+
+type verify_report = {
+  v_segments : int;
+  v_records : int;  (** well-formed records *)
+  v_bad : int;  (** complete lines that fail to parse or decode *)
+  v_torn : int;  (** segments ending in a torn tail *)
+  v_duplicates : int;
+}
+
+val verify : string -> (verify_report, string) result
+(** [verify dir] scans the segments read-only (no repair, no index
+    build beyond key counting) and reports their integrity. [Error] is
+    reserved for an unreadable directory. *)
+
+val verify_ok : verify_report -> bool
+(** No bad records, torn tails or duplicates. *)
+
+val pp_verify : Format.formatter -> verify_report -> unit

@@ -232,15 +232,8 @@ module Table4 = struct
       (Profile.nvidia, "MP-CO", "Weakening po-loc");
     ]
 
-  let compute ?domains ?n_envs ?iterations ?scale ?(seed = 20230325) () =
-    let scale =
-      match scale with
-      | Some s -> s
-      | None -> (
-          match Sys.getenv_opt "MCM_SCALE" with
-          | Some v -> ( match float_of_string_opt v with Some f -> f | None -> 0.02)
-          | None -> 0.02)
-    in
+  let compute ?domains ?store ?n_envs ?iterations ?scale ?(seed = 20230325) () =
+    let scale = match scale with Some s -> s | None -> Tuning.env_float "MCM_SCALE" 0.02 in
     let n_envs = match n_envs with Some n -> n | None -> if scale >= 1. then 150 else 40 in
     let iterations = match iterations with Some i -> i | None -> if scale >= 1. then 100 else 8 in
     (* One pool for the whole study; the (test × environment) campaigns of
@@ -271,14 +264,27 @@ module Table4 = struct
             (List.init n_envs (fun _ -> Params.scaled (Params.random g Params.Parallel) scale))
         in
         let rates test =
-          let rate i =
-            let env = envs.(i) in
-            let seed = Prng.mix seed (Hashtbl.hash (conf_name, test.Litmus.name, i)) in
-            (Runner.run ~device ~env ~test ~iterations ~seed ()).Runner.rate
+          let seed_for i = Prng.mix seed (Hashtbl.hash (conf_name, test.Litmus.name, i)) in
+          let run i =
+            Runner.run ~device ~env:envs.(i) ~test ~iterations ~seed:(seed_for i) ()
           in
-          match pool with
-          | None -> Array.init n_envs rate
-          | Some pool -> Pool.map_array pool ~n:n_envs ~f:rate
+          match store with
+          | Some store ->
+              let key i =
+                Runner.cell_key ~kind:"run" ~device ~env:envs.(i) ~test ~iterations
+                  ~seed:(seed_for i) ()
+              in
+              let arr, _stats =
+                Mcm_campaign.Sched.run ?pool ~domains:1 ~store ~key
+                  ~encode:Runner.result_to_json ~decode:Runner.result_of_json ~f:run
+                  ~n:n_envs ()
+              in
+              Array.map (fun r -> r.Runner.rate) arr
+          | None -> (
+              let rate i = (run i).Runner.rate in
+              match pool with
+              | None -> Array.init n_envs rate
+              | Some pool -> Pool.map_array pool ~n:n_envs ~f:rate)
         in
         let conf_rates = rates conf in
         let best =

@@ -86,6 +86,7 @@ module Table4 : sig
 
   val compute :
     ?domains:int ->
+    ?store:Mcm_campaign.Store.t ->
     ?n_envs:int ->
     ?iterations:int ->
     ?scale:float ->
@@ -93,11 +94,13 @@ module Table4 : sig
     unit ->
     row list
   (** Runs the correlation study (paper: 150 environments, 100
-      iterations; defaults here are bench-scale and read [MCM_SCALE]).
-      Devices carry their {!Mcm_gpu.Bug.paper_bug} injection. [domains]
-      fans the per-environment campaigns over a {!Mcm_util.Pool}; the
-      rows are identical for every value (each campaign is seeded from
-      its grid coordinates alone). *)
+      iterations; defaults here are bench-scale and read [MCM_SCALE],
+      strictly — a malformed value raises). Devices carry their
+      {!Mcm_gpu.Bug.paper_bug} injection. [domains] fans the
+      per-environment campaigns over a {!Mcm_util.Pool}; the rows are
+      identical for every value (each campaign is seeded from its grid
+      coordinates alone). [store] memoizes each campaign through
+      {!Mcm_campaign.Sched}, preserving bit-identity. *)
 
   val table : row list -> Mcm_util.Table.t
 end

@@ -24,24 +24,31 @@ type config = {
   seed : int;
 }
 
-let env_var_float name default =
+(* Strict environment-variable parsing: a set-but-malformed value is a
+   user error and must fail loudly, naming the variable — silently
+   falling back to the default produced sweeps at the wrong scale with
+   no indication anything was off. *)
+let env_var name ~expected parse default =
   match Sys.getenv_opt name with
-  | Some v -> ( match float_of_string_opt v with Some f -> f | None -> default)
-  | None -> default
+  | None | Some "" -> default
+  | Some v -> (
+      match parse v with
+      | Some x -> x
+      | None ->
+          failwith
+            (Printf.sprintf "invalid env var %s=%S (expected %s)" name v expected))
 
-let env_var_int name default =
-  match Sys.getenv_opt name with
-  | Some v -> ( match int_of_string_opt v with Some i -> i | None -> default)
-  | None -> default
+let env_float name default = env_var name ~expected:"a float" float_of_string_opt default
+let env_int name default = env_var name ~expected:"an int" int_of_string_opt default
 
 let default_config () =
-  let scale = env_var_float "MCM_SCALE" 0.02 in
+  let scale = env_float "MCM_SCALE" 0.02 in
   {
-    n_envs = env_var_int "MCM_ENVS" (if scale >= 1. then 150 else 16);
-    site_iterations = env_var_int "MCM_SITE_ITERS" (if scale >= 1. then 300 else 120);
-    pte_iterations = env_var_int "MCM_PTE_ITERS" (if scale >= 1. then 100 else 10);
+    n_envs = env_int "MCM_ENVS" (if scale >= 1. then 150 else 16);
+    site_iterations = env_int "MCM_SITE_ITERS" (if scale >= 1. then 300 else 120);
+    pte_iterations = env_int "MCM_PTE_ITERS" (if scale >= 1. then 100 else 10);
     scale;
-    seed = env_var_int "MCM_SEED" 20230325;
+    seed = env_int "MCM_SEED" 20230325;
   }
 
 let category_mode = function
@@ -71,7 +78,25 @@ type run = {
   result : Runner.result;
 }
 
-let sweep ?domains ?devices ?tests config =
+let sweep_key config ~devices ~tests =
+  let module Jsonw = Mcm_util.Jsonw in
+  Mcm_campaign.Key.of_fields
+    [
+      ("kind", Jsonw.String "tuning-sweep");
+      ("nEnvs", Jsonw.Int config.n_envs);
+      ("siteIterations", Jsonw.Int config.site_iterations);
+      ("pteIterations", Jsonw.Int config.pte_iterations);
+      ("scale", Jsonw.Float config.scale);
+      ("seed", Jsonw.Int config.seed);
+      ("devices", Jsonw.List (List.map (fun d -> Jsonw.String (Device.name d)) devices));
+      ( "tests",
+        Jsonw.List
+          (List.map
+             (fun (e : Suite.entry) -> Jsonw.String e.Suite.test.Litmus.name)
+             tests) );
+    ]
+
+let sweep ?domains ?store ?journal ?devices ?tests config =
   let devices = match devices with Some d -> d | None -> Device.all_correct () in
   let tests = match tests with Some t -> t | None -> Suite.mutants () in
   (* Flatten the category × environment × device × test grid up front:
@@ -94,31 +119,61 @@ let sweep ?domains ?devices ?tests config =
                 envs))
          all_categories)
   in
-  let point i =
+  let point_args i =
     let category, env_index, env, device, (entry : Suite.entry), iterations = grid.(i) in
     let test = entry.Suite.test in
     let seed =
       Prng.mix config.seed
         (Hashtbl.hash (category_name category, env_index, Device.name device, test.Litmus.name))
     in
-    let result = Runner.run ~device ~env ~test ~iterations ~seed () in
-    {
-      category;
-      env_index;
-      env;
-      device;
-      test_name = test.Litmus.name;
-      mutator = entry.Suite.mutator;
-      result;
-    }
+    (category, env_index, env, device, entry, iterations, test, seed)
+  in
+  let point_result i =
+    let _, _, env, device, _, iterations, test, seed = point_args i in
+    Runner.run ~device ~env ~test ~iterations ~seed ()
   in
   let n = Array.length grid in
   let results =
-    match domains with
-    | None | Some 1 -> Array.init n point
-    | Some d -> Pool.with_pool ~domains:d (fun pool -> Pool.map_array pool ~n ~f:point)
+    match store with
+    | Some store ->
+        (* Cache-aware path: only the Runner.result is the memoized
+           payload; the surrounding [run] record is reassembled from the
+           grid below. Store and journal writes stay in this domain. *)
+        let key i =
+          let _, _, env, device, _, iterations, test, seed = point_args i in
+          Runner.cell_key ~kind:"run" ~device ~env ~test ~iterations ~seed ()
+        in
+        let journal =
+          Option.map (fun j -> (j, sweep_key config ~devices ~tests)) journal
+        in
+        let arr, _stats =
+          Mcm_campaign.Sched.run ?domains ?journal ~store ~key
+            ~encode:Runner.result_to_json ~decode:Runner.result_of_json ~f:point_result
+            ~n ()
+        in
+        arr
+    | None -> (
+        match domains with
+        | None | Some 1 -> Array.init n point_result
+        | Some d ->
+            Pool.with_pool ~domains:d (fun pool -> Pool.map_array pool ~n ~f:point_result))
   in
-  Array.to_list results
+  Array.to_list
+    (Array.mapi
+       (fun i result ->
+         let category, env_index, env, device, (entry : Suite.entry), _, test, _ =
+           point_args i
+         in
+         {
+           category;
+           env_index;
+           env;
+           device;
+           test_name = test.Litmus.name;
+           mutator = entry.Suite.mutator;
+           result;
+         })
+       results)
 
 let rate runs category ~test ~device ~env_index =
   match

@@ -30,7 +30,16 @@ type config = {
 val default_config : unit -> config
 (** Bench-scale defaults, overridable through the environment variables
     [MCM_SCALE] (float), [MCM_ENVS], [MCM_SITE_ITERS], [MCM_PTE_ITERS]
-    and [MCM_SEED]. *)
+    and [MCM_SEED]. A set-but-malformed variable raises [Failure] with a
+    message naming the variable — it never silently falls back to the
+    default. *)
+
+val env_float : string -> float -> float
+val env_int : string -> int -> int
+(** [env_float name default] / [env_int name default] read an optional
+    environment variable strictly: unset or empty → [default]; set but
+    unparseable → [Failure "invalid env var NAME=..."]. Shared by every
+    [MCM_*] consumer so the failure mode is uniform. *)
 
 val envs_for : config -> category -> Params.t list
 (** The environments of a category: the single scaled baseline, or
@@ -48,8 +57,16 @@ type run = {
   result : Mcm_testenv.Runner.result;
 }
 
+val sweep_key :
+  config -> devices:Mcm_gpu.Device.t list -> tests:Mcm_core.Suite.entry list -> Mcm_campaign.Key.t
+(** The content key identifying a sweep's full configuration — what a
+    {!Mcm_campaign.Journal} records so a resumed run can check it is
+    resuming the {e same} sweep. *)
+
 val sweep :
   ?domains:int ->
+  ?store:Mcm_campaign.Store.t ->
+  ?journal:Mcm_campaign.Journal.t ->
   ?devices:Mcm_gpu.Device.t list ->
   ?tests:Mcm_core.Suite.entry list ->
   config ->
@@ -63,7 +80,13 @@ val sweep :
     {!Mcm_util.Pool} (default: serial). Every grid point derives its seed
     independently from [config.seed] and results are collected back in
     grid order, so the returned list is identical for every [domains]
-    value. *)
+    value.
+
+    [store] routes the grid through {!Mcm_campaign.Sched}: cached cells
+    are served from disk, misses are computed and persisted in durable
+    shards, and the returned list is bit-identical to an uncached sweep.
+    [journal] (requires [store]) additionally checkpoints progress under
+    {!sweep_key}, making a killed sweep resumable with nothing replayed. *)
 
 val rate : run list -> category -> test:string -> device:string -> env_index:int -> float
 (** Death-rate lookup into a sweep's results; [0.] when absent. *)

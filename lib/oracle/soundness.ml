@@ -59,7 +59,34 @@ let map_tasks ?domains arr f =
       Pool.with_pool ~domains:d (fun pool ->
           Pool.map_array pool ~n:(Array.length arr) ~f:(fun i -> f arr.(i)))
 
-let check ?domains ?(iterations = 2) ?(seed = 20230325) ?devices ?envs ?tests () =
+(* The content key identifying a full soundness matrix — the journal's
+   sweep identity when a check is resumable. *)
+let check_key_resolved ~iterations ~seed ~devices ~envs ~tests =
+  Mcm_campaign.Key.of_fields
+    [
+      ("kind", Jsonw.String "oracle-soundness");
+      ("iterations", Jsonw.Int iterations);
+      ("seed", Jsonw.Int seed);
+      ("devices", Jsonw.List (List.map (fun d -> Jsonw.String (Device.name d)) devices));
+      ( "envs",
+        Jsonw.List
+          (List.map
+             (fun (name, env) ->
+               Jsonw.Obj [ ("name", Jsonw.String name); ("params", Params.to_json env) ])
+             envs) );
+      ( "tests",
+        Jsonw.List
+          (Array.to_list (Array.map (fun t -> Jsonw.String t.Litmus.name) tests)) );
+    ]
+
+let check_key ?(iterations = 2) ?(seed = 20230325) ?devices ?envs ?tests () =
+  let devices = match devices with Some d -> d | None -> Device.all_correct () in
+  let envs = match envs with Some e -> e | None -> default_envs () in
+  let tests = match tests with Some t -> t | None -> default_tests () in
+  check_key_resolved ~iterations ~seed ~devices ~envs ~tests:(Array.of_list tests)
+
+let check ?domains ?store ?journal ?(iterations = 2) ?(seed = 20230325) ?devices ?envs ?tests ()
+    =
   let devices = match devices with Some d -> d | None -> Device.all_correct () in
   let envs = match envs with Some e -> e | None -> default_envs () in
   let tests = match tests with Some t -> t | None -> default_tests () in
@@ -98,13 +125,39 @@ let check ?domains ?(iterations = 2) ?(seed = 20230325) ?devices ?envs ?tests ()
                 devices)
             (Array.to_list tests)))
   in
+  (* Stage 2's memoized payload is the raw campaign cell — (result,
+     observed outcomes) — so cached cells replay the exact observations;
+     the violation analysis below reruns on either path. *)
+  let cell (ti, device, _env_name, env) =
+    Runner.run_with_outcomes ~device ~env ~test:tests.(ti) ~iterations ~seed ()
+  in
+  let cells =
+    match store with
+    | Some store ->
+        let key i =
+          let ti, device, _, env = grid.(i) in
+          Runner.cell_key ~kind:"outcomes" ~device ~env ~test:tests.(ti) ~iterations ~seed ()
+        in
+        let journal =
+          Option.map
+            (fun j -> (j, check_key_resolved ~iterations ~seed ~devices ~envs ~tests))
+            journal
+        in
+        let arr, _stats =
+          Mcm_campaign.Sched.run ?domains ?journal ~store ~key
+            ~encode:Runner.outcomes_cell_to_json ~decode:Runner.outcomes_cell_of_json
+            ~f:(fun i -> cell grid.(i))
+            ~n:(Array.length grid) ()
+        in
+        arr
+    | None -> map_tasks ?domains grid cell
+  in
   let points =
-    map_tasks ?domains grid (fun (ti, device, env_name, env) ->
+    Array.mapi
+      (fun gi (result, observed) ->
+        let ti, device, env_name, _env = grid.(gi) in
         let t = tests.(ti) in
         let allowed = fst stage1.(ti) in
-        let result, observed =
-          Runner.run_with_outcomes ~device ~env ~test:t ~iterations ~seed ()
-        in
         let violations =
           List.filter_map
             (fun o ->
@@ -129,6 +182,7 @@ let check ?domains ?(iterations = 2) ?(seed = 20230325) ?devices ?envs ?tests ()
           p_distinct = List.length observed;
           p_violations = violations;
         })
+      cells
   in
   let points = Array.to_list points in
   {

@@ -57,8 +57,23 @@ val default_tests : unit -> Mcm_litmus.Litmus.t list
     tests and mutants) plus every classic library test not shadowed by a
     suite test of the same name. *)
 
+val check_key :
+  ?iterations:int ->
+  ?seed:int ->
+  ?devices:Mcm_gpu.Device.t list ->
+  ?envs:(string * Mcm_testenv.Params.t) list ->
+  ?tests:Mcm_litmus.Litmus.t list ->
+  unit ->
+  Mcm_campaign.Key.t
+(** The content key identifying a full soundness matrix (defaults match
+    {!check}). This is the sweep identity a {!Mcm_campaign.Journal}
+    records, letting a CLI validate that [--resume] targets the same
+    check before re-entering it. *)
+
 val check :
   ?domains:int ->
+  ?store:Mcm_campaign.Store.t ->
+  ?journal:Mcm_campaign.Journal.t ->
   ?iterations:int ->
   ?seed:int ->
   ?devices:Mcm_gpu.Device.t list ->
@@ -74,7 +89,13 @@ val check :
     every observed outcome. Devices default to the four correct study
     profiles. [domains] fans the grid out over a {!Mcm_util.Pool} — one
     domain task per grid point — with a bit-identical report for every
-    value. *)
+    value.
+
+    [store] memoizes the grid campaigns through {!Mcm_campaign.Sched}
+    (the stored payload is each campaign's raw observation set, so
+    violation analysis always reruns against the current oracle);
+    [journal] (requires [store]) checkpoints progress so a killed check
+    resumes without replaying completed shards. *)
 
 val ok : report -> bool
 (** [ok r] holds when the report carries no violation. *)

@@ -238,28 +238,190 @@ let run_campaign ?(engine = Kernel) ?domains ?(collect = false) ~classify ~devic
   in
   (result, tally)
 
-let run ?engine ?domains ~device ~env ~test ~iterations ~seed () =
-  fst (run_campaign ?engine ?domains ~classify:None ~device ~env ~test ~iterations ~seed ())
+(* ------------------------------------------------------------------ *)
+(* Campaign-store integration: cell keys and result codecs.            *)
 
-let run_with_histogram ?engine ?domains ~device ~env ~test ~iterations ~seed () =
-  let classify = Mcm_litmus.Classify.classifier test in
-  let result, tally =
-    run_campaign ?engine ?domains ~classify:(Some classify) ~device ~env ~test ~iterations ~seed
-      ()
-  in
-  ( result,
-    {
-      sequential = tally.t_sequential;
-      interleaved = tally.t_interleaved;
-      weak = tally.t_weak;
-      forbidden = tally.t_forbidden;
-      skipped = tally.t_skipped;
-    } )
+module Jsonw = Mcm_util.Jsonw
+module Jsonp = Mcm_util.Jsonp
 
-let run_with_outcomes ?engine ?domains ~device ~env ~test ~iterations ~seed () =
-  let result, tally =
-    run_campaign ?engine ?domains ~collect:true ~classify:None ~device ~env ~test ~iterations
-      ~seed ()
+let engine_name = function Interpreter -> "interpreter" | Kernel -> "kernel"
+
+let cell_key ?(engine = Kernel) ~kind ~device ~env ~test ~iterations ~seed () =
+  Mcm_campaign.Key.cell ~kind ~engine:(engine_name engine) ~test ~device
+    ~env:(Params.to_json env) ~iterations ~seed ()
+
+let ( let* ) = Result.bind
+
+(* Jsonw prints non-finite floats as the strings "nan"/"inf"/"-inf", so
+   a payload read back from disk carries them as [String]s. *)
+let float_of_json = function
+  | Jsonw.String "nan" -> Some Float.nan
+  | Jsonw.String "inf" -> Some Float.infinity
+  | Jsonw.String "-inf" -> Some Float.neg_infinity
+  | v -> Jsonp.to_float v
+
+let field name conv v =
+  match Option.bind (Jsonp.member name v) conv with
+  | Some x -> Ok x
+  | None -> Error (Printf.sprintf "missing or ill-typed field %S" name)
+
+let result_to_json r =
+  Jsonw.Obj
+    [
+      ("kills", Jsonw.Int r.kills);
+      ("instances", Jsonw.Int r.instances);
+      ("iterations", Jsonw.Int r.iterations);
+      ("simTimeS", Jsonw.Float r.sim_time_s);
+      ("rate", Jsonw.Float r.rate);
+    ]
+
+let result_of_json v =
+  let* kills = field "kills" Jsonp.to_int v in
+  let* instances = field "instances" Jsonp.to_int v in
+  let* iterations = field "iterations" Jsonp.to_int v in
+  let* sim_time_s = field "simTimeS" float_of_json v in
+  let* rate = field "rate" float_of_json v in
+  Ok { kills; instances; iterations; sim_time_s; rate }
+
+let histogram_cell_to_json (r, h) =
+  Jsonw.Obj
+    [
+      ("result", result_to_json r);
+      ( "histogram",
+        Jsonw.Obj
+          [
+            ("sequential", Jsonw.Int h.sequential);
+            ("interleaved", Jsonw.Int h.interleaved);
+            ("weak", Jsonw.Int h.weak);
+            ("forbidden", Jsonw.Int h.forbidden);
+            ("skipped", Jsonw.Int h.skipped);
+          ] );
+    ]
+
+let histogram_cell_of_json v =
+  let* rv = field "result" Option.some v in
+  let* r = result_of_json rv in
+  let* hv = field "histogram" Option.some v in
+  let* sequential = field "sequential" Jsonp.to_int hv in
+  let* interleaved = field "interleaved" Jsonp.to_int hv in
+  let* weak = field "weak" Jsonp.to_int hv in
+  let* forbidden = field "forbidden" Jsonp.to_int hv in
+  let* skipped = field "skipped" Jsonp.to_int hv in
+  Ok (r, { sequential; interleaved; weak; forbidden; skipped })
+
+let int_array_to_json a = Jsonw.List (Array.to_list (Array.map (fun i -> Jsonw.Int i) a))
+
+let int_array_of_json v =
+  match v with
+  | Jsonw.List items ->
+      let rec go acc = function
+        | [] -> Ok (Array.of_list (List.rev acc))
+        | x :: rest -> (
+            match Jsonp.to_int x with
+            | Some i -> go (i :: acc) rest
+            | None -> Error "non-integer in array")
+      in
+      go [] items
+  | _ -> Error "expected an array of integers"
+
+let outcome_to_json (o : Litmus.outcome) =
+  Jsonw.Obj
+    [
+      ("regs", Jsonw.List (Array.to_list (Array.map int_array_to_json o.Litmus.regs)));
+      ("final", int_array_to_json o.Litmus.final);
+    ]
+
+let outcome_of_json v =
+  let* regs_v = field "regs" Option.some v in
+  let* regs =
+    match regs_v with
+    | Jsonw.List rows ->
+        let rec go acc = function
+          | [] -> Ok (Array.of_list (List.rev acc))
+          | row :: rest ->
+              let* a = int_array_of_json row in
+              go (a :: acc) rest
+        in
+        go [] rows
+    | _ -> Error "expected an array of register rows"
   in
-  (* [t_outcomes] is sorted and unique by the [tally_add] invariant. *)
-  (result, tally.t_outcomes)
+  let* final_v = field "final" Option.some v in
+  let* final = int_array_of_json final_v in
+  Ok { Litmus.regs; final }
+
+let outcomes_cell_to_json (r, outcomes) =
+  Jsonw.Obj
+    [
+      ("result", result_to_json r);
+      ("outcomes", Jsonw.List (List.map outcome_to_json outcomes));
+    ]
+
+let outcomes_cell_of_json v =
+  let* rv = field "result" Option.some v in
+  let* r = result_of_json rv in
+  let* os_v = field "outcomes" Option.some v in
+  let* outcomes =
+    match os_v with
+    | Jsonw.List items ->
+        let rec go acc = function
+          | [] -> Ok (List.rev acc)
+          | x :: rest ->
+              let* o = outcome_of_json x in
+              go (o :: acc) rest
+        in
+        go [] items
+    | _ -> Error "expected an array of outcomes"
+  in
+  Ok (r, outcomes)
+
+(* Serve a cell from the store when possible; otherwise compute and
+   persist it. A cached payload that no longer decodes (e.g. written by
+   a different codec revision under the same [Key.code_version], which
+   would be a bug, or hand-edited) is recomputed but NOT re-added:
+   first-write-wins, and its key already exists on disk. *)
+let memoized ~store ~engine ~kind ~device ~env ~test ~iterations ~seed ~encode ~decode compute =
+  match store with
+  | None -> compute ()
+  | Some st -> (
+      let key = cell_key ~engine ~kind ~device ~env ~test ~iterations ~seed () in
+      match Mcm_campaign.Store.find st key with
+      | Some payload -> (
+          match decode payload with Ok r -> r | Error _ -> compute ())
+      | None ->
+          let r = compute () in
+          Mcm_campaign.Store.add st key (encode r);
+          r)
+
+let run ?(engine = Kernel) ?domains ?store ~device ~env ~test ~iterations ~seed () =
+  memoized ~store ~engine ~kind:"run" ~device ~env ~test ~iterations ~seed
+    ~encode:result_to_json ~decode:result_of_json (fun () ->
+      fst (run_campaign ~engine ?domains ~classify:None ~device ~env ~test ~iterations ~seed ()))
+
+let run_with_histogram ?(engine = Kernel) ?domains ?store ~device ~env ~test ~iterations ~seed ()
+    =
+  memoized ~store ~engine ~kind:"histogram" ~device ~env ~test ~iterations ~seed
+    ~encode:histogram_cell_to_json ~decode:histogram_cell_of_json (fun () ->
+      let classify = Mcm_litmus.Classify.classifier test in
+      let result, tally =
+        run_campaign ~engine ?domains ~classify:(Some classify) ~device ~env ~test ~iterations
+          ~seed ()
+      in
+      ( result,
+        {
+          sequential = tally.t_sequential;
+          interleaved = tally.t_interleaved;
+          weak = tally.t_weak;
+          forbidden = tally.t_forbidden;
+          skipped = tally.t_skipped;
+        } ))
+
+let run_with_outcomes ?(engine = Kernel) ?domains ?store ~device ~env ~test ~iterations ~seed ()
+    =
+  memoized ~store ~engine ~kind:"outcomes" ~device ~env ~test ~iterations ~seed
+    ~encode:outcomes_cell_to_json ~decode:outcomes_cell_of_json (fun () ->
+      let result, tally =
+        run_campaign ~engine ?domains ~collect:true ~classify:None ~device ~env ~test
+          ~iterations ~seed ()
+      in
+      (* [t_outcomes] is sorted and unique by the [tally_add] invariant. *)
+      (result, tally.t_outcomes))

@@ -42,6 +42,7 @@ type result = {
 val run :
   ?engine:engine ->
   ?domains:int ->
+  ?store:Mcm_campaign.Store.t ->
   device:Mcm_gpu.Device.t ->
   env:Params.t ->
   test:Mcm_litmus.Litmus.t ->
@@ -58,7 +59,14 @@ val run :
     with associative integer addition, so the returned [result] is
     {e bit-identical} for every [domains] value — parallelism is purely a
     wall-clock optimisation and can never change what a campaign
-    observes. *)
+    observes.
+
+    [store] memoizes the campaign: its {!cell_key} is looked up first and
+    a freshly computed result is persisted. Campaigns are pure in their
+    arguments, so a cached result is bit-identical to recomputing it. The
+    store handle must belong to the calling domain (see
+    {!Mcm_campaign.Store}); the internal iteration pool never touches
+    it. *)
 
 val amplification : Mcm_gpu.Device.t -> Params.t -> roles:int -> float
 (** The weak-memory amplification the campaign will apply — exposed for
@@ -79,6 +87,7 @@ type histogram = {
 val run_with_outcomes :
   ?engine:engine ->
   ?domains:int ->
+  ?store:Mcm_campaign.Store.t ->
   device:Mcm_gpu.Device.t ->
   env:Params.t ->
   test:Mcm_litmus.Litmus.t ->
@@ -98,6 +107,7 @@ val run_with_outcomes :
 val run_with_histogram :
   ?engine:engine ->
   ?domains:int ->
+  ?store:Mcm_campaign.Store.t ->
   device:Mcm_gpu.Device.t ->
   env:Params.t ->
   test:Mcm_litmus.Litmus.t ->
@@ -109,3 +119,38 @@ val run_with_histogram :
     classifies every executed instance's outcome. The same determinism
     guarantee extends to the histogram: identical buckets for every
     [domains] value. *)
+
+(** {2 Campaign-store integration}
+
+    Runner results are memoization entries of pure functions of their
+    cell key; the codecs below define the persisted payloads. Encoding
+    then decoding is the identity (floats round-trip exactly through
+    {!Mcm_util.Jsonw}'s [%.17g] printing), which the store's warm-path
+    bit-identity contract relies on. *)
+
+val engine_name : engine -> string
+(** ["interpreter"] or ["kernel"] — the engine component of cell keys. *)
+
+val cell_key :
+  ?engine:engine ->
+  kind:string ->
+  device:Mcm_gpu.Device.t ->
+  env:Params.t ->
+  test:Mcm_litmus.Litmus.t ->
+  iterations:int ->
+  seed:int ->
+  unit ->
+  Mcm_campaign.Key.t
+(** The content key of one campaign cell. [kind] distinguishes the
+    payload shapes: {!run} stores ["run"], {!run_with_histogram}
+    ["histogram"], {!run_with_outcomes} ["outcomes"]. [engine] defaults
+    to [Kernel], matching the run functions. *)
+
+val result_to_json : result -> Mcm_util.Jsonw.t
+val result_of_json : Mcm_util.Jsonw.t -> (result, string) Stdlib.result
+val histogram_cell_to_json : result * histogram -> Mcm_util.Jsonw.t
+val histogram_cell_of_json : Mcm_util.Jsonw.t -> (result * histogram, string) Stdlib.result
+val outcomes_cell_to_json : result * Mcm_litmus.Litmus.outcome list -> Mcm_util.Jsonw.t
+
+val outcomes_cell_of_json :
+  Mcm_util.Jsonw.t -> (result * Mcm_litmus.Litmus.outcome list, string) Stdlib.result

@@ -296,9 +296,71 @@ let test_results_correlation_matrix () =
   check "symmetric" true
     ((Float.is_nan m.(0).(1) && Float.is_nan m.(1).(0)) || abs_float (m.(0).(1) -. m.(1).(0)) < 1e-9)
 
+(* -------------------------------------------------------------------- *)
+(* Environment-variable parsing: a malformed value must fail loudly,
+   naming the variable — not silently fall back to the default. *)
+
+let with_env name value f =
+  let old = Sys.getenv_opt name in
+  Unix.putenv name value;
+  Fun.protect
+    ~finally:(fun () -> Unix.putenv name (Option.value old ~default:""))
+    f
+
+let contains_sub msg sub =
+  let n = String.length sub in
+  let found = ref false in
+  for i = 0 to String.length msg - n do
+    if String.sub msg i n = sub then found := true
+  done;
+  !found
+
+let test_env_var_valid () =
+  with_env "MCM_TEST_FLOAT" "0.25" (fun () ->
+      check "parsed float" true (Tuning.env_float "MCM_TEST_FLOAT" 1.0 = 0.25));
+  with_env "MCM_TEST_INT" "42" (fun () ->
+      check_int "parsed int" 42 (Tuning.env_int "MCM_TEST_INT" 7))
+
+let test_env_var_default () =
+  (* Unset and empty both mean "use the default". *)
+  check "unset float" true (Tuning.env_float "MCM_TEST_UNSET_F" 1.5 = 1.5);
+  check_int "unset int" 7 (Tuning.env_int "MCM_TEST_UNSET_I" 7);
+  with_env "MCM_TEST_EMPTY" "" (fun () ->
+      check "empty float" true (Tuning.env_float "MCM_TEST_EMPTY" 2.5 = 2.5);
+      check_int "empty int" 9 (Tuning.env_int "MCM_TEST_EMPTY" 9))
+
+let test_env_var_malformed () =
+  let expect_failure name kind value f =
+    with_env name value (fun () ->
+        match f () with
+        | _ -> Alcotest.failf "%s=%S should have been rejected" name value
+        | exception Failure msg ->
+            check (Printf.sprintf "%s error names the variable" name) true
+              (contains_sub msg name);
+            check (Printf.sprintf "%s error names the expected type" name) true
+              (contains_sub msg kind))
+  in
+  expect_failure "MCM_SCALE" "float" "bogus" (fun () -> Tuning.env_float "MCM_SCALE" 0.02);
+  expect_failure "MCM_ENVS" "int" "3.5" (fun () -> Tuning.env_int "MCM_ENVS" 150);
+  expect_failure "MCM_ENVS" "int" "12abc" (fun () -> Tuning.env_int "MCM_ENVS" 150);
+  expect_failure "MCM_SITE_ITERS" "int" " " (fun () -> Tuning.env_int "MCM_SITE_ITERS" 1000)
+
+let test_env_var_default_config_strict () =
+  with_env "MCM_SCALE" "not-a-number" (fun () ->
+      match Tuning.default_config () with
+      | _ -> Alcotest.fail "default_config should reject a malformed MCM_SCALE"
+      | exception Failure msg -> check "mentions MCM_SCALE" true (contains_sub msg "MCM_SCALE"))
+
 let () =
   Alcotest.run "harness"
     [
+      ( "env",
+        [
+          Alcotest.test_case "valid values parse" `Quick test_env_var_valid;
+          Alcotest.test_case "unset/empty use default" `Quick test_env_var_default;
+          Alcotest.test_case "malformed values rejected" `Quick test_env_var_malformed;
+          Alcotest.test_case "default_config is strict" `Quick test_env_var_default_config_strict;
+        ] );
       ( "tuning",
         [
           Alcotest.test_case "sweep shape" `Quick test_sweep_shape;

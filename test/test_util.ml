@@ -312,17 +312,33 @@ let prop_json_roundtrip_ints =
       Jsonw.to_string (Jsonw.Int i) = string_of_int i)
 
 (* A generator of arbitrary JSON values for the write-then-parse
-   round-trip property. *)
+   round-trip property. Floats include the non-finite values (written as
+   the strings "nan"/"inf"/"-inf" — the store's codecs rely on that) and
+   strings include control characters, which the writer must escape as
+   \uXXXX for the parser to recover. *)
 let arbitrary_json =
   let open QCheck.Gen in
+  let any_float =
+    frequency
+      [
+        (6, float_range (-1e6) 1e6);
+        (2, float);
+        (1, oneofl [ Float.nan; Float.infinity; Float.neg_infinity; -0.; 1e-310 ]);
+      ]
+  in
+  let json_string =
+    string_size
+      ~gen:(frequency [ (8, printable); (1, map Char.chr (int_bound 0x1f)) ])
+      (int_bound 12)
+  in
   let scalar =
     oneof
       [
         return Jsonw.Null;
         map (fun b -> Jsonw.Bool b) bool;
         map (fun i -> Jsonw.Int i) small_signed_int;
-        map (fun f -> Jsonw.Float f) (float_range (-1e6) 1e6);
-        map (fun s -> Jsonw.String s) (string_size ~gen:printable (int_bound 12));
+        map (fun f -> Jsonw.Float f) any_float;
+        map (fun s -> Jsonw.String s) json_string;
       ]
   in
   let value =
@@ -349,11 +365,18 @@ let prop_json_write_parse_roundtrip =
   QCheck.Test.make ~count:300 ~name:"write/parse round-trip" arbitrary_json (fun v ->
       match Mcm_util.Jsonp.parse (Jsonw.to_string v) with
       | Ok v' ->
-          (* Floats that print without fraction re-parse as ints; compare
-             through a normalising reprint. *)
+          (* Floats that print without fraction re-parse as ints, and
+             non-finite floats are written as the strings "nan"/"inf"/
+             "-inf"; compare through a normalising reprint. *)
           Jsonw.to_string v' = Jsonw.to_string v
           ||
-          let norm = function Jsonw.Int i -> Jsonw.Float (float_of_int i) | x -> x in
+          let norm = function
+            | Jsonw.Int i -> Jsonw.Float (float_of_int i)
+            | Jsonw.Float f when Float.is_nan f -> Jsonw.String "nan"
+            | Jsonw.Float f when f = Float.infinity -> Jsonw.String "inf"
+            | Jsonw.Float f when f = Float.neg_infinity -> Jsonw.String "-inf"
+            | x -> x
+          in
           let rec eq a b =
             match (norm a, norm b) with
             | Jsonw.List xs, Jsonw.List ys -> List.length xs = List.length ys && List.for_all2 eq xs ys
@@ -364,6 +387,53 @@ let prop_json_write_parse_roundtrip =
           in
           eq v v'
       | Error _ -> false)
+
+(* Differential property: the unboxed Prng.Raw kernel must draw the
+   exact stream of the boxed generator, op for op — the compiled
+   instance kernel's results are only bit-identical to the interpreter's
+   because of this. *)
+type raw_op = Draw | FloatDraw of float | Bernoulli of float | Exponential of float | Split
+
+let arbitrary_raw_ops =
+  let open QCheck.Gen in
+  let op =
+    frequency
+      [
+        (4, return Draw);
+        (2, map (fun b -> FloatDraw b) (float_range 0.001 1000.));
+        (2, map (fun p -> Bernoulli p) (float_range 0. 1.));
+        (2, map (fun m -> Exponential m) (float_range 0. 50.));
+        (1, return Split);
+      ]
+  in
+  QCheck.make
+    ~print:(fun (seed, ops) ->
+      Printf.sprintf "seed %d, %d ops" seed (List.length ops))
+    (pair int (list_size (int_range 1 64) op))
+
+let prop_prng_raw_differential =
+  QCheck.Test.make ~count:300 ~name:"Prng.Raw draws the boxed generator's exact stream"
+    arbitrary_raw_ops
+    (fun (seed, ops) ->
+      let g = Prng.create seed in
+      let st = Prng.Raw.make () in
+      Prng.Raw.load st g;
+      List.for_all
+        (fun op ->
+          match op with
+          | Draw -> Prng.next_int64 g = Prng.Raw.next_int64 st
+          | FloatDraw b -> Prng.float g b = Prng.Raw.float st b
+          | Bernoulli p -> Prng.bernoulli g p = Prng.Raw.bernoulli st p
+          | Exponential m -> Prng.exponential g m = Prng.Raw.exponential st m
+          | Split ->
+              let child_boxed = Prng.split g in
+              let child_raw = Prng.Raw.make () in
+              Prng.Raw.split_into ~child:child_raw ~parent:st;
+              (* The children must agree with each other, and consuming
+                 them must not disturb the parents' agreement. *)
+              Prng.next_int64 child_boxed = Prng.Raw.next_int64 child_raw
+              && Prng.next_int64 g = Prng.Raw.next_int64 st)
+        ops)
 
 let () =
   Alcotest.run "util"
@@ -421,6 +491,7 @@ let () =
           [
             prop_permute_bijective; prop_gcd_divides; prop_prng_int_in_range;
             prop_json_roundtrip_ints; prop_json_write_parse_roundtrip;
+            prop_prng_raw_differential;
           ]
       );
     ]
