@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-instance bench-instance-smoke bench-store bench-store-smoke oracle oracle-smoke check clean
+.PHONY: all build test bench bench-smoke bench-instance bench-instance-smoke bench-store bench-store-smoke bench-pipeline bench-pipeline-smoke oracle oracle-smoke check clean
 
 all: build
 
@@ -42,6 +42,18 @@ bench-store:
 bench-store-smoke:
 	MCM_BENCH_SMOKE=1 MCM_BENCH_PART=store dune exec bench/main.exe
 
+# Unified pipeline dispatch overhead: the request -> plan -> execute
+# path vs direct dispatch over the same campaign grid (writes
+# BENCH_pipeline.json, scratch dir _bench_pipeline/). Fails if results
+# diverge or (non-smoke) if cold/warm overhead exceeds 3%.
+bench-pipeline:
+	MCM_BENCH_PART=pipeline dune exec bench/main.exe
+
+# Same bit-identity contract at CI speed (overhead is not asserted —
+# one rep over a tiny grid measures timer noise, not dispatch cost).
+bench-pipeline-smoke:
+	MCM_BENCH_SMOKE=1 MCM_BENCH_PART=pipeline dune exec bench/main.exe
+
 # Full axiomatic oracle: certify every generated/classic test and run
 # the simulator soundness matrix over the whole library (minutes).
 oracle:
@@ -54,9 +66,9 @@ oracle-smoke:
 
 # The one target CI needs: build, full test suite, smoke benchmarks,
 # smoke oracle.
-check: build test bench-smoke bench-instance-smoke bench-store-smoke oracle-smoke
+check: build test bench-smoke bench-instance-smoke bench-store-smoke bench-pipeline-smoke oracle-smoke
 
 clean:
 	dune clean
-	rm -f BENCH_parallel.json BENCH_oracle.json BENCH_instance.json BENCH_store.json
-	rm -rf _bench_store
+	rm -f BENCH_parallel.json BENCH_oracle.json BENCH_instance.json BENCH_store.json BENCH_pipeline.json
+	rm -rf _bench_store _bench_pipeline

@@ -24,7 +24,9 @@ module Gpu_instance = Mcm_gpu.Instance
 module Bug = Mcm_gpu.Bug
 module Params = Mcm_testenv.Params
 module Runner = Mcm_testenv.Runner
+module Request = Mcm_testenv.Request
 module Tuning = Mcm_harness.Tuning
+module Grid = Mcm_harness.Grid
 module Experiments = Mcm_harness.Experiments
 module Oracle_enum = Mcm_oracle.Enumerate
 module Oracle_outcome = Mcm_oracle.Outcome
@@ -206,7 +208,9 @@ let parallel_bench ~smoke () =
   let rows =
     List.map
       (fun d ->
-        let runs, t = wall (fun () -> Tuning.sweep ~domains:d ~devices ~tests config) in
+        let runs, t =
+          wall (fun () -> Tuning.sweep ~ctx:(Request.context ~domains:d ()) ~devices ~tests config)
+        in
         let identical = fingerprint runs = fingerprint serial in
         let speedup = if t > 0. then serial_s /. t else 0. in
         Printf.printf "  %2d domains              %8.3f s   %5.2fx%s\n%!" d t speedup
@@ -629,10 +633,14 @@ let store_bench ~smoke () =
   let stored_sweep dir =
     Store.with_store dir (fun store ->
         Journal.with_journal (Filename.concat dir "journal.jsonl") (fun journal ->
-            Tuning.sweep ~domains:2 ~store ~journal ~devices ~tests config))
+            Tuning.sweep
+              ~ctx:(Request.context ~domains:2 ~store ~journal ())
+              ~devices ~tests config))
   in
   (* 1+2. Baseline (no store), cold (fresh store), warm (same store). *)
-  let baseline, baseline_s = wall (fun () -> Tuning.sweep ~domains:2 ~devices ~tests config) in
+  let baseline, baseline_s =
+    wall (fun () -> Tuning.sweep ~ctx:(Request.context ~domains:2 ()) ~devices ~tests config)
+  in
   let baseline_fp = fingerprint baseline in
   let grid_points = List.length baseline in
   Printf.printf "  sweep of %d grid points (%d SITE / %d PTE iterations per point)\n"
@@ -736,6 +744,207 @@ let store_bench ~smoke () =
   if (not smoke) && warm_speedup < 10. then begin
     Printf.eprintf "bench: warm store speedup %.1fx is below the 10x contract\n" warm_speedup;
     exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Part 2d: the unified-pipeline dispatch benchmark                     *)
+
+(* The request -> plan -> execute pipeline (Request / Runner.exec / Grid
+   / Sched) replaced hand-rolled dispatch at every call site. This part
+   holds it to its contract: dispatching a grid of campaigns through the
+   pipeline costs at most 3% over dispatching the same campaigns
+   directly — Runner.run_campaign plus a hand-rolled find/compute/add
+   store loop, exactly what call sites did before — with bit-identical
+   results in all three regimes: no store, cold store, warm store.
+
+   Timings are min-of-reps; the warm comparison times a batch of sweeps
+   per rep because a fully cached sweep is microseconds per cell. The
+   overhead assertion only runs in non-smoke mode (one rep over a tiny
+   grid measures timer noise, not dispatch cost); bit-identity is
+   asserted always. Results land in BENCH_pipeline.json. *)
+
+let pipeline_bench ~smoke () =
+  section "Unified pipeline: request -> plan -> execute dispatch overhead";
+  let devices = [ Device.make Profile.nvidia; Device.make Profile.intel ] in
+  let tests =
+    List.filter_map
+      (fun name -> Option.map (fun (e : Suite.entry) -> e.Suite.test) (Suite.find name))
+      [ "MP-CO-m"; "CoRR-m"; "MP-relacq-m3" ]
+  in
+  let base = Params.scaled Params.pte_baseline 0.02 in
+  let envs =
+    List.init
+      (if smoke then 2 else 10)
+      (fun i -> { base with Params.testing_workgroups = 2 + (2 * i) })
+  in
+  let iterations = if smoke then 1 else 20 in
+  let seed = 20230325 in
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun device ->
+           List.concat_map (fun test -> List.map (fun env -> (device, env, test)) envs) tests)
+         devices)
+  in
+  let n = Array.length cells in
+  let cell_seed i = Prng.mix seed i in
+  Printf.printf "  grid of %d campaign cells (%d iterations per cell)\n%!" n iterations;
+  (* Direct dispatch: the raw engine and a hand-rolled store loop. *)
+  let direct_nostore () =
+    Array.mapi
+      (fun i (device, env, test) ->
+        fst
+          (Runner.run_campaign ~classify:None ~device ~env ~test ~iterations ~seed:(cell_seed i)
+             ()))
+      cells
+  in
+  let direct_store store =
+    Array.mapi
+      (fun i (device, env, test) ->
+        let seed = cell_seed i in
+        let key = Runner.cell_key ~kind:"run" ~device ~env ~test ~iterations ~seed () in
+        let computed () =
+          fst (Runner.run_campaign ~classify:None ~device ~env ~test ~iterations ~seed ())
+        in
+        match Store.find store key with
+        | Some payload -> (
+            match Runner.result_of_json payload with Ok r -> r | Error _ -> computed ())
+        | None ->
+            let r = computed () in
+            Store.add store key (Runner.result_to_json r);
+            r)
+      cells
+  in
+  (* Unified dispatch: the same grid through the pipeline. *)
+  let request i =
+    let device, env, test = cells.(i) in
+    Request.make ~device ~env ~test ~iterations ~seed:(cell_seed i) ()
+  in
+  let grid = Grid.make Runner.Rate ~n ~request in
+  let unified_nostore () = Grid.run Request.serial grid in
+  let unified_store store = Grid.run (Request.context ~store ()) grid in
+  (* min-of-reps timing; [prepare] runs outside the timed region. *)
+  let time_min ~reps ?(prepare = fun () -> ()) f =
+    let best = ref infinity in
+    let out = ref None in
+    for _ = 1 to reps do
+      prepare ();
+      let r, t = wall f in
+      if t < !best then best := t;
+      out := Some r
+    done;
+    (Option.get !out, !best)
+  in
+  (* Warm sweeps are too fast for one-shot timing: time [inner] sweeps
+     back to back and report per-sweep seconds. *)
+  let time_min_batch ~reps ~inner f =
+    let best = ref infinity in
+    let out = ref None in
+    for _ = 1 to reps do
+      let (), t = wall (fun () -> for _ = 1 to inner do out := Some (f ()) done) in
+      let per = t /. float_of_int inner in
+      if per < !best then best := per
+    done;
+    (Option.get !out, !best)
+  in
+  let reps = if smoke then 1 else 3 in
+  let warm_reps = if smoke then 1 else 5 in
+  let warm_inner = if smoke then 2 else 20 in
+  let root =
+    match Sys.getenv_opt "MCM_BENCH_PIPELINE_DIR" with
+    | Some p when p <> "" -> p
+    | _ -> "_bench_pipeline"
+  in
+  rm_rf root;
+  let direct_dir = Filename.concat root "direct" in
+  let unified_dir = Filename.concat root "unified" in
+  let overhead direct_s unified_s =
+    if direct_s > 0. then (unified_s -. direct_s) /. direct_s else 0.
+  in
+  let report label direct_s unified_s identical =
+    Printf.printf "  %-9s direct %8.4f s   unified %8.4f s   overhead %+6.2f%%%s\n%!" label
+      direct_s unified_s
+      (100. *. overhead direct_s unified_s)
+      (if identical then "   (bit-identical)" else "   RESULTS DIVERGED")
+  in
+  (* 1. No store: pure dispatch over the raw engine. *)
+  let d_ns, d_ns_s = time_min ~reps direct_nostore in
+  let u_ns, u_ns_s = time_min ~reps unified_nostore in
+  let ns_identical = u_ns = d_ns in
+  report "no store" d_ns_s u_ns_s ns_identical;
+  (* 2. Cold store: every cell computed and persisted. *)
+  let d_cold, d_cold_s =
+    time_min ~reps
+      ~prepare:(fun () -> rm_rf direct_dir)
+      (fun () -> Store.with_store direct_dir (fun s -> direct_store s))
+  in
+  let u_cold, u_cold_s =
+    time_min ~reps
+      ~prepare:(fun () -> rm_rf unified_dir)
+      (fun () -> Store.with_store unified_dir (fun s -> unified_store s))
+  in
+  let cold_identical = d_cold = d_ns && u_cold = d_ns in
+  report "cold" d_cold_s u_cold_s cold_identical;
+  (* 3. Warm store: every cell served from the stores the cold reps
+     left behind (store open + key + find + decode per cell). *)
+  let d_warm, d_warm_s =
+    time_min_batch ~reps:warm_reps ~inner:warm_inner (fun () ->
+        Store.with_store direct_dir (fun s -> direct_store s))
+  in
+  let u_warm, u_warm_s =
+    time_min_batch ~reps:warm_reps ~inner:warm_inner (fun () ->
+        Store.with_store unified_dir (fun s -> unified_store s))
+  in
+  let warm_identical = d_warm = d_ns && u_warm = d_ns in
+  report "warm" d_warm_s u_warm_s warm_identical;
+  let identical = ns_identical && cold_identical && warm_identical in
+  let mode direct_s unified_s =
+    Jsonw.Obj
+      [
+        ("direct_s", Jsonw.Float direct_s);
+        ("unified_s", Jsonw.Float unified_s);
+        ("overhead", Jsonw.Float (overhead direct_s unified_s));
+      ]
+  in
+  let json =
+    Jsonw.Obj
+      [
+        ("benchmark", Jsonw.String "unified-pipeline-dispatch");
+        ("smoke", Jsonw.Bool smoke);
+        ("grid_points", Jsonw.Int n);
+        ("iterations", Jsonw.Int iterations);
+        ("overhead_budget", Jsonw.Float 0.03);
+        ("no_store", mode d_ns_s u_ns_s);
+        ("cold", mode d_cold_s u_cold_s);
+        ("warm", mode d_warm_s u_warm_s);
+        ("identical_to_direct", Jsonw.Bool identical);
+      ]
+  in
+  let path =
+    match Sys.getenv_opt "MCM_BENCH_PIPELINE_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_pipeline.json"
+  in
+  let oc = open_out path in
+  Jsonw.to_channel oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" path;
+  if not identical then begin
+    prerr_endline "bench: unified pipeline diverged from direct dispatch";
+    exit 1
+  end;
+  if not smoke then begin
+    let check label direct_s unified_s =
+      let o = overhead direct_s unified_s in
+      if o > 0.03 then begin
+        Printf.eprintf "bench: unified pipeline %s overhead %.2f%% exceeds the 3%% contract\n"
+          label (100. *. o);
+        exit 1
+      end
+    in
+    check "cold" d_cold_s u_cold_s;
+    check "warm" d_warm_s u_warm_s
   end
 
 (* ------------------------------------------------------------------ *)
@@ -861,8 +1070,10 @@ let () =
   | Some "parallel" -> parallel_bench ~smoke ()
   | Some "oracle" -> oracle_bench ~smoke ()
   | Some "store" -> store_bench ~smoke ()
+  | Some "pipeline" -> pipeline_bench ~smoke ()
   | Some part ->
-      Printf.eprintf "bench: unknown MCM_BENCH_PART %S (instance|parallel|oracle|store)\n" part;
+      Printf.eprintf
+        "bench: unknown MCM_BENCH_PART %S (instance|parallel|oracle|store|pipeline)\n" part;
       exit 2
   | None ->
       (* The instance bench is NOT part of the default runs: its
@@ -879,6 +1090,7 @@ let () =
         parallel_bench ~smoke:true ();
         oracle_bench ~smoke:true ();
         store_bench ~smoke:true ();
+        pipeline_bench ~smoke:true ();
         print_endline "smoke ok."
       end
       else begin
@@ -887,6 +1099,7 @@ let () =
         parallel_bench ~smoke:false ();
         oracle_bench ~smoke:false ();
         store_bench ~smoke:false ();
+        pipeline_bench ~smoke:false ();
         run_benchmarks ();
         print_newline ();
         print_endline "done."

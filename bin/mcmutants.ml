@@ -19,6 +19,7 @@ module Device = Mcm_gpu.Device
 module Bug = Mcm_gpu.Bug
 module Params = Mcm_testenv.Params
 module Runner = Mcm_testenv.Runner
+module Request = Mcm_testenv.Request
 module Tuning = Mcm_harness.Tuning
 module Experiments = Mcm_harness.Experiments
 module Table = Mcm_util.Table
@@ -144,18 +145,20 @@ let journal_path dir = Filename.concat dir "journal.jsonl"
 let print_store_warnings store =
   List.iter (fun w -> Printf.eprintf "store: %s\n" w) (Store.warnings store)
 
-(* Open the optional store (with its journal) around [f]. Cache traffic
+(* Build the execution context around [f]: [jobs] worker domains, plus
+   the store and journal when a store directory was given. The journal is
+   also passed separately for the --resume contract check. Cache traffic
    goes to stderr so stdout stays byte-identical with and without a
    store. *)
-let with_store_opt store_dir f =
+let with_ctx ~jobs store_dir f =
   match store_dir with
-  | None -> f None
+  | None -> f (Request.context ~domains:jobs ()) None
   | Some dir ->
       Store.with_store dir (fun store ->
           print_store_warnings store;
           Journal.with_journal (journal_path dir) (fun journal ->
               let before = Store.count store in
-              let result = f (Some (store, journal)) in
+              let result = f (Request.context ~domains:jobs ~store ~journal ()) (Some journal) in
               let computed = Store.count store - before in
               Printf.eprintf "store: %d record(s), %d added this run\n%!" (Store.count store)
                 computed;
@@ -246,11 +249,24 @@ let enumerate_cmd =
 (* ------------------------------------------------------------------ *)
 (* run                                                                  *)
 
+let engine_arg =
+  let doc = "Simulation engine: kernel (compiled, default) or interpreter (reference)." in
+  Arg.(value & opt string "kernel" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+
+let find_engine name =
+  match Request.engine_of_name name with
+  | Some e -> Ok e
+  | None ->
+      Error
+        (Printf.sprintf "unknown engine %S (%s)" name
+           (String.concat "|" (List.map fst Request.engines)))
+
 let run_cmd =
-  let run name device env iterations seed bugs scale histogram jobs store_dir =
+  let run name device env iterations seed bugs scale histogram jobs engine store_dir =
     let test = or_die (find_test name) in
     let profile = or_die (find_device device) in
     let env = or_die (parse_env env seed scale) in
+    let engine = or_die (find_engine engine) in
     let device =
       if bugs then
         match Bug.paper_bug profile with
@@ -267,16 +283,14 @@ let run_cmd =
       (Format.asprintf "%a" Params.pp env);
     let mw0 = Gc.minor_words () in
     let t0 = Unix.gettimeofday () in
-    let r, breakdown =
-      with_store_opt store_dir (fun handles ->
-          let store = Option.map fst handles in
+    let request = Request.make ~engine ~device ~env ~test ~iterations ~seed () in
+    let r, breakdown, chunk =
+      with_ctx ~jobs store_dir (fun ctx _journal ->
+          let chunk = Request.chunk_for ctx ~n:iterations in
           if histogram then
-            let r, h =
-              Runner.run_with_histogram ~domains:jobs ?store ~device ~env ~test ~iterations
-                ~seed ()
-            in
-            (r, Some h)
-          else (Runner.run ~domains:jobs ?store ~device ~env ~test ~iterations ~seed (), None))
+            let r, h = Runner.exec Runner.Histogram request ctx in
+            (r, Some h, chunk)
+          else (Runner.exec Runner.Rate request ctx, None, chunk))
     in
     let wall_s = Unix.gettimeofday () -. t0 in
     let minor = Gc.minor_words () -. mw0 in
@@ -292,8 +306,7 @@ let run_cmd =
       (if wall_s > 0. then float_of_int r.Runner.instances /. wall_s else 0.);
     Printf.eprintf "pool: %d domain%s, chunk %d of %d iterations per claim\n" jobs
       (if jobs = 1 then "" else "s")
-      (Mcm_util.Pool.chunk_for ~domains:jobs ~n:iterations)
-      iterations;
+      chunk iterations;
     Printf.eprintf "gc: %.0f minor words (%.1f per instance), %d minor / %d major collections\n"
       minor
       (if r.Runner.instances > 0 then minor /. float_of_int r.Runner.instances else 0.)
@@ -313,7 +326,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one test in a testing environment on a simulated device")
     Term.(const run $ test_arg $ device_arg $ env_arg $ iterations_arg $ seed_arg $ bugs_arg
-          $ scale_arg $ histogram_arg $ jobs_arg $ store_arg)
+          $ scale_arg $ histogram_arg $ jobs_arg $ engine_arg $ store_arg)
 
 (* ------------------------------------------------------------------ *)
 (* parse / export: the textual litmus format                            *)
@@ -391,15 +404,15 @@ let sweep_of_config ?store_dir ?(resume = false) jobs =
     config.Tuning.n_envs config.Tuning.site_iterations config.Tuning.pte_iterations
     config.Tuning.scale config.Tuning.seed jobs;
   if resume && store_dir = None then or_die (Error "--resume requires --store DIR");
-  with_store_opt store_dir (fun handles ->
-      match handles with
-      | None -> Tuning.sweep ~domains:jobs config
-      | Some (store, journal) ->
+  with_ctx ~jobs store_dir (fun ctx journal ->
+      (match journal with
+      | None -> ()
+      | Some journal ->
           let sweep =
             Tuning.sweep_key config ~devices:(Device.all_correct ()) ~tests:(Suite.mutants ())
           in
-          check_resume ~resume ~sweep journal;
-          Tuning.sweep ~domains:jobs ~store ~journal config)
+          check_resume ~resume ~sweep journal);
+      Tuning.sweep ~ctx config)
 
 let fig5_cmd =
   let run jobs store_dir resume =
@@ -434,9 +447,7 @@ let fig6_cmd =
 let table4_cmd =
   let run scale jobs store_dir =
     let rows =
-      with_store_opt store_dir (fun handles ->
-          let store = Option.map fst handles in
-          Experiments.Table4.compute ~domains:jobs ?store ?scale ())
+      with_ctx ~jobs store_dir (fun ctx _journal -> Experiments.Table4.compute ~ctx ?scale ())
     in
     Table.print (Experiments.Table4.table rows)
   in
@@ -493,14 +504,13 @@ let oracle_cmd =
         n_tests jobs;
       if resume && store_dir = None then or_die (Error "--resume requires --store DIR");
       let report =
-        with_store_opt store_dir (fun handles ->
-            match handles with
-            | None -> Soundness.check ~domains:jobs ~iterations ~seed ?devices ?envs ?tests ()
-            | Some (store, journal) ->
+        with_ctx ~jobs store_dir (fun ctx journal ->
+            (match journal with
+            | None -> ()
+            | Some journal ->
                 let sweep = Soundness.check_key ~iterations ~seed ?devices ?envs ?tests () in
-                check_resume ~resume ~sweep journal;
-                Soundness.check ~domains:jobs ~store ~journal ~iterations ~seed ?devices ?envs
-                  ?tests ())
+                check_resume ~resume ~sweep journal);
+            Soundness.check ~ctx ~iterations ~seed ?devices ?envs ?tests ())
       in
       Format.printf "%a" Soundness.pp_report report;
       failures := !failures + report.Soundness.total_violations;
@@ -874,13 +884,31 @@ let cache_cmd =
     (Cmd.info "cache" ~doc:"Inspect and maintain a campaign store (stats, gc, verify)")
     [ stats_cmd; gc_cmd; verify_cmd ]
 
+(* ------------------------------------------------------------------ *)
+(* version: binary + campaign key code version                          *)
+
+let binary_version = "1.0.0"
+
+let version_cmd =
+  let run () =
+    Printf.printf "mcmutants %s\n" binary_version;
+    Printf.printf "campaign key code version: %s\n" CKey.code_version;
+    Printf.printf "engines: %s\n" (String.concat ", " (List.map fst Request.engines))
+  in
+  Cmd.v
+    (Cmd.info "version"
+       ~doc:
+         "Print the binary version and the campaign store's key code version (a code-version \
+          bump is why a store goes cold after an upgrade)")
+    Term.(const run $ const ())
+
 let main =
   let doc = "MC Mutants: mutation testing for memory consistency specifications (ASPLOS '23)" in
-  Cmd.group (Cmd.info "mcmutants" ~version:"1.0.0" ~doc)
+  Cmd.group (Cmd.info "mcmutants" ~version:binary_version ~doc)
     [
       list_cmd; show_cmd; enumerate_cmd; run_cmd; parse_cmd; export_cmd; wgsl_cmd; table2_cmd; table3_cmd; fig5_cmd;
       fig6_cmd; table4_cmd; tune_cmd; analysis_cmd; cts_cmd; prune_cmd; emit_suite_cmd; models_cmd;
-      oracle_cmd; cache_cmd;
+      oracle_cmd; cache_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval main)

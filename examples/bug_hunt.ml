@@ -15,15 +15,16 @@ module Device = Mcm_gpu.Device
 module Bug = Mcm_gpu.Bug
 module Params = Mcm_testenv.Params
 module Runner = Mcm_testenv.Runner
+module Request = Mcm_testenv.Request
 module Table = Mcm_util.Table
 module Confidence = Mcm_core.Confidence
 
 let iterations = 12
 let seed = 7
 
-(* Shard campaign iterations across every core; the hunt's findings are
-   bit-identical to a serial run. *)
-let jobs = Mcm_util.Pool.default_domains ()
+(* One context for the whole hunt: shard campaign iterations across
+   every core; the findings are bit-identical to a serial run. *)
+let ctx = Request.context ~domains:(Mcm_util.Pool.default_domains ()) ()
 
 let () =
   let env = Params.scaled Params.pte_baseline 0.02 in
@@ -47,8 +48,11 @@ let () =
           (fun (entry : Suite.entry) ->
             let test = entry.Suite.test in
             let r =
-              Runner.run ~domains:jobs ~device ~env ~test ~iterations
-                ~seed:(Mcm_util.Prng.mix seed (Hashtbl.hash test.Litmus.name)) ()
+              Runner.exec Runner.Rate
+                (Request.make ~device ~env ~test ~iterations
+                   ~seed:(Mcm_util.Prng.mix seed (Hashtbl.hash test.Litmus.name))
+                   ())
+                ctx
             in
             if r.Runner.kills > 0 then Some (test.Litmus.name, r) else None)
           (Suite.conformance_tests ())
@@ -90,7 +94,10 @@ let () =
       (fun device ->
         List.for_all
           (fun (entry : Suite.entry) ->
-            (Runner.run ~device ~env ~test:entry.Suite.test ~iterations:3 ~seed ()).Runner.kills = 0)
+            (Runner.exec Runner.Rate
+               (Request.make ~device ~env ~test:entry.Suite.test ~iterations:3 ~seed ())
+               Request.serial)
+              .Runner.kills = 0)
           (Suite.conformance_tests ()))
       (Device.all_correct ())
   in

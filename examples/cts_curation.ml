@@ -29,7 +29,7 @@ let () =
   let jobs = Mcm_util.Pool.default_domains () in
   Printf.printf "tuning %d parallel environments per category (scale %.3f, %d jobs)...\n%!"
     config.Tuning.n_envs config.Tuning.scale jobs;
-  let runs = Tuning.sweep ~domains:jobs config in
+  let runs = Tuning.sweep ~ctx:(Mcm_testenv.Request.context ~domains:jobs ()) config in
 
   (* Budget sweep: where does the PTE mutation score plateau? *)
   print_endline "\nmutation score vs per-test budget (PTE, merged with Alg. 1):";

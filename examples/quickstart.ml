@@ -12,6 +12,7 @@ module Profile = Mcm_gpu.Profile
 module Device = Mcm_gpu.Device
 module Params = Mcm_testenv.Params
 module Runner = Mcm_testenv.Runner
+module Request = Mcm_testenv.Request
 module Confidence = Mcm_core.Confidence
 
 let () =
@@ -64,10 +65,11 @@ let () =
   let device = Device.make Profile.nvidia in
   let env = Params.scaled Params.pte_baseline 0.02 in
   let result =
-    (* ~domains shards the 10 launches across cores; kills/rates are
-       bit-identical to the serial run for any domain count. *)
-    Runner.run ~domains:(Mcm_util.Pool.default_domains ()) ~device ~env ~test:mutant
-      ~iterations:10 ~seed:42 ()
+    (* The context's domains shard the 10 launches across cores;
+       kills/rates are bit-identical to the serial run for any count. *)
+    Runner.exec Runner.Rate
+      (Request.make ~device ~env ~test:mutant ~iterations:10 ~seed:42 ())
+      (Request.context ~domains:(Mcm_util.Pool.default_domains ()) ())
   in
   Printf.printf "\nPTE on %s: %d kills in %d instances (%.4f simulated s, %.0f kills/s)\n"
     (Device.name device) result.Runner.kills result.Runner.instances result.Runner.sim_time_s
@@ -81,7 +83,11 @@ let () =
 
   (* 6. The same campaign against a single-instance environment shows why
         the paper's parallel strategy matters. *)
-  let site = Runner.run ~device ~env:Params.site_baseline ~test:mutant ~iterations:100 ~seed:42 () in
+  let site =
+    Runner.exec Runner.Rate
+      (Request.make ~device ~env:Params.site_baseline ~test:mutant ~iterations:100 ~seed:42 ())
+      Request.serial
+  in
   Printf.printf "\nSITE baseline on %s: %d kills in %d instances (%.0f kills/s)\n"
     (Device.name device) site.Runner.kills site.Runner.instances site.Runner.rate;
   if site.Runner.rate > 0. then

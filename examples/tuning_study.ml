@@ -17,11 +17,12 @@ module Profile = Mcm_gpu.Profile
 module Device = Mcm_gpu.Device
 module Params = Mcm_testenv.Params
 module Runner = Mcm_testenv.Runner
+module Request = Mcm_testenv.Request
 module Table = Mcm_util.Table
 
 let iterations = 8
 let seed = 2023
-let jobs = Mcm_util.Pool.default_domains ()
+let ctx = Request.context ~domains:(Mcm_util.Pool.default_domains ()) ()
 
 let study ~title ~device ~test ~envs =
   Printf.printf "\n%s (device %s, mutant %s)\n" title (Device.name device) test.Litmus.name;
@@ -30,7 +31,11 @@ let study ~title ~device ~test ~envs =
   in
   List.iter
     (fun (label, env) ->
-      let r, h = Runner.run_with_histogram ~domains:jobs ~device ~env ~test ~iterations ~seed () in
+      let r, h =
+        Runner.exec Runner.Histogram
+          (Request.make ~device ~env ~test ~iterations ~seed ())
+          ctx
+      in
       let executed = max 1 (r.Runner.instances - h.Runner.skipped) in
       let pct n = Printf.sprintf "%.2f%%" (100. *. float_of_int n /. float_of_int executed) in
       Table.add_row t

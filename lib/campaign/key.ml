@@ -72,19 +72,17 @@ let device_fields (device : Device.t) =
         ] );
   ]
 
+let cell_fields ~kind ~engine ~test ~device ~env ~iterations ~seed () =
+  [
+    ("kind", Jsonw.String kind);
+    ("engine", Jsonw.String engine);
+    ("test", Jsonw.String (test_blob test));
+  ]
+  @ device_fields device
+  @ [ ("env", env); ("iterations", Jsonw.Int iterations); ("seed", Jsonw.Int seed) ]
+
 let cell ~kind ~engine ~test ~device ~env ~iterations ~seed () =
-  of_fields
-    ([
-       ("kind", Jsonw.String kind);
-       ("engine", Jsonw.String engine);
-       ("test", Jsonw.String (test_blob test));
-     ]
-    @ device_fields device
-    @ [
-        ("env", env);
-        ("iterations", Jsonw.Int iterations);
-        ("seed", Jsonw.Int seed);
-      ])
+  of_fields (cell_fields ~kind ~engine ~test ~device ~env ~iterations ~seed ())
 
 let equal = Int64.equal
 let compare = Int64.compare

@@ -49,6 +49,22 @@ val test_blob : Mcm_litmus.Litmus.t -> string
     suites are generated once), so hot sweep loops pay the serialization
     only once per test. *)
 
+val cell_fields :
+  kind:string ->
+  engine:string ->
+  test:Mcm_litmus.Litmus.t ->
+  device:Mcm_gpu.Device.t ->
+  env:Mcm_util.Jsonw.t ->
+  iterations:int ->
+  seed:int ->
+  unit ->
+  (string * Mcm_util.Jsonw.t) list
+(** The canonical field list of one campaign cell — exactly what {!cell}
+    hashes (after {!of_fields} prepends {!code_version}). Exposed so
+    {!Mcm_testenv.Request} can expose the serialization itself: a
+    request's canonical JSON {e is} this list, so pinning it pins the
+    keys. *)
+
 val cell :
   kind:string ->
   engine:string ->

@@ -16,7 +16,7 @@ let plan store ~key ~n =
   Array.init n (fun i ->
       match Store.find store (key i) with Some v -> `Hit v | None -> `Miss)
 
-let run ?domains ?pool ?shard ?journal ~store ~key ~encode ~decode ~f ~n () =
+let run ?domains ?pool ?shard ?chunk ?journal ~store ~key ~encode ~decode ~f ~n () =
   let shard = max 1 (Option.value shard ~default:default_shard) in
   let keys = Array.init n key in
   let cached = Array.map (Store.find store) keys in
@@ -61,7 +61,7 @@ let run ?domains ?pool ?shard ?journal ~store ~key ~encode ~decode ~f ~n () =
           let base = !off in
           (* Workers compute only; the store and journal writes below
              happen in this (the submitting) domain. *)
-          let fresh = Pool.map_array p ~n:count ~f:(fun j -> f miss_idx.(base + j)) in
+          let fresh = Pool.map_array ?chunk p ~n:count ~f:(fun j -> f miss_idx.(base + j)) in
           for j = 0 to count - 1 do
             let i = miss_idx.(base + j) in
             results.(i) <- Some fresh.(j);

@@ -39,6 +39,7 @@ val run :
   ?domains:int ->
   ?pool:Mcm_util.Pool.t ->
   ?shard:int ->
+  ?chunk:int ->
   ?journal:Journal.t * Key.t ->
   store:Store.t ->
   key:(int -> Key.t) ->
@@ -51,7 +52,8 @@ val run :
 (** [run ~store ~key ~encode ~decode ~f ~n ()] computes
     [[| f 0; …; f (n-1) |]] through the store. [pool] reuses an existing
     pool (it is not shut down); otherwise a fresh pool of [domains] is
-    created for the call. [journal], when given with the sweep's
+    created for the call. [chunk] is forwarded to each shard's
+    {!Mcm_util.Pool.map_array} dispatch. [journal], when given with the sweep's
     configuration key, is {!Journal.start}ed before work and
     {!Journal.finish}ed after, with a checkpoint after every durable
     shard. [f] must be pure up to its index — the whole point is not to

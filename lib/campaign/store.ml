@@ -3,6 +3,7 @@ module Jsonp = Mcm_util.Jsonp
 
 type t = {
   t_dir : string;
+  lock : Unix.file_descr;  (** exclusive writer lock on [t_dir/LOCK] *)
   index : (Key.t, Jsonw.t) Hashtbl.t;
   fsync_every : int;
   max_segment_bytes : int;
@@ -48,6 +49,30 @@ let rec mkdir_p path =
 
 let read_file path =
   In_channel.with_open_bin path In_channel.input_all
+
+let lock_file = "LOCK"
+
+let lock_path dir = Filename.concat dir lock_file
+
+(* Exclusive writer lock on the store directory. Two processes appending
+   to the same segment files would interleave records and corrupt both
+   stores, so a second writer must fail at open, loudly. [lockf] locks
+   are per-process and kernel-released when the process dies, which is
+   exactly the contract we want: a crashed writer never wedges the store
+   (crash recovery and resume keep working), and handles within one
+   process remain free to coordinate as before. *)
+let acquire_lock dir =
+  let path = lock_path dir in
+  let fd = Unix.openfile path [ Unix.O_RDWR; Unix.O_CREAT; Unix.O_CLOEXEC ] 0o644 in
+  (try Unix.lockf fd Unix.F_TLOCK 0
+   with Unix.Unix_error ((Unix.EAGAIN | Unix.EACCES), _, _) ->
+     Unix.close fd;
+     failwith
+       (Printf.sprintf
+          "Mcm_campaign.Store: %s is already open for writing by another process (writer \
+           lock %s is held); close that process or point this one at a different store"
+          dir path));
+  fd
 
 (* Scan one segment's content into complete lines plus an optional torn
    tail (trailing bytes without a final newline — the signature of a
@@ -118,9 +143,11 @@ let load_segment t name =
 
 let open_store ?(fsync_every = 64) ?(max_segment_bytes = 8 * 1024 * 1024) dir =
   mkdir_p dir;
+  let lock = acquire_lock dir in
   let t =
     {
       t_dir = dir;
+      lock;
       index = Hashtbl.create 1024;
       fsync_every = max 1 fsync_every;
       max_segment_bytes = max 4096 max_segment_bytes;
@@ -268,6 +295,7 @@ let gc t =
 let close t =
   if not t.closed then begin
     release_channel t;
+    (try Unix.close t.lock with Unix.Unix_error _ -> ());
     t.closed <- true
   end
 

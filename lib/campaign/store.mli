@@ -22,15 +22,24 @@
     A store handle is single-domain: confine opens, lookups and appends
     to the submitting domain and keep worker domains compute-only (the
     pattern {!Sched} enforces). Cells are memoization entries of pure
-    functions, so losing records is always safe — they are recomputed. *)
+    functions, so losing records is always safe — they are recomputed.
+
+    Opening a store takes an exclusive writer lock ([dir/LOCK], POSIX
+    [lockf]); a second {e process} opening the same directory fails at
+    {!open_store} with an error naming the lock path, instead of silently
+    interleaving segment appends. The lock is per-process (handles inside
+    one process are unaffected) and is released by the kernel if the
+    process dies, so crash recovery and resume never find a stale lock. *)
 
 type t
 
 val open_store : ?fsync_every:int -> ?max_segment_bytes:int -> string -> t
 (** [open_store dir] opens (creating the directory if needed) and loads
-    the store, applying the recovery rules above. [fsync_every] batches
-    fsyncs (default 64 appends); [max_segment_bytes] rolls appends over
-    to a fresh segment past this size (default 8 MiB). *)
+    the store, applying the recovery rules above. Takes the exclusive
+    writer lock on [dir/LOCK]; raises [Failure] naming the lock path if
+    another process already holds it. [fsync_every] batches fsyncs
+    (default 64 appends); [max_segment_bytes] rolls appends over to a
+    fresh segment past this size (default 8 MiB). *)
 
 val dir : t -> string
 
@@ -70,8 +79,8 @@ val gc : t -> int
     duplicates). *)
 
 val close : t -> unit
-(** {!flush} and release the append channel. The handle degrades to
-    read-only afterwards ([add] raises). *)
+(** {!flush}, release the append channel and the writer lock. The handle
+    degrades to read-only afterwards ([add] raises). *)
 
 val with_store : ?fsync_every:int -> string -> (t -> 'a) -> 'a
 (** Open, apply, and {!close} (also on exceptions). *)

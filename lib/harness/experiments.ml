@@ -1,6 +1,6 @@
 module Table = Mcm_util.Table
 module Prng = Mcm_util.Prng
-module Pool = Mcm_util.Pool
+module Request = Mcm_testenv.Request
 module Suite = Mcm_core.Suite
 module Mutator = Mcm_core.Mutator
 module Merge = Mcm_core.Merge
@@ -232,71 +232,71 @@ module Table4 = struct
       (Profile.nvidia, "MP-CO", "Weakening po-loc");
     ]
 
-  let compute ?domains ?store ?n_envs ?iterations ?scale ?(seed = 20230325) () =
+  let compute ?(ctx = Request.serial) ?n_envs ?iterations ?scale ?(seed = 20230325) () =
     let scale = match scale with Some s -> s | None -> Tuning.env_float "MCM_SCALE" 0.02 in
     let n_envs = match n_envs with Some n -> n | None -> if scale >= 1. then 150 else 40 in
     let iterations = match iterations with Some i -> i | None -> if scale >= 1. then 100 else 8 in
-    (* One pool for the whole study; the (test × environment) campaigns of
-       each case fan out over it. Each campaign's seed depends only on its
-       grid coordinates, so rate vectors are identical for any pool size. *)
-    let pooled f =
-      match domains with
-      | None | Some 1 -> f None
-      | Some d -> Pool.with_pool ~domains:d (fun pool -> f (Some pool))
-    in
-    pooled @@ fun pool ->
-    List.map
-      (fun (profile, conf_name, mutant_type) ->
-        let device =
-          match Bug.paper_bug profile with
-          | Some bug -> Device.make ~bugs:[ bug ] profile
-          | None -> Device.make profile
-        in
-        let conf =
-          match Suite.find conf_name with
-          | Some e -> e.Suite.test
-          | None -> failwith ("Table4: unknown test " ^ conf_name)
-        in
-        let mutants = List.map (fun e -> e.Suite.test) (Suite.mutants_of conf_name) in
-        let g = Prng.create (Prng.mix seed (Hashtbl.hash conf_name)) in
-        let envs =
-          Array.of_list
-            (List.init n_envs (fun _ -> Params.scaled (Params.random g Params.Parallel) scale))
-        in
-        let rates test =
-          let seed_for i = Prng.mix seed (Hashtbl.hash (conf_name, test.Litmus.name, i)) in
-          let run i =
-            Runner.run ~device ~env:envs.(i) ~test ~iterations ~seed:(seed_for i) ()
+    let case_data =
+      List.map
+        (fun (profile, conf_name, mutant_type) ->
+          let device =
+            match Bug.paper_bug profile with
+            | Some bug -> Device.make ~bugs:[ bug ] profile
+            | None -> Device.make profile
           in
-          match store with
-          | Some store ->
-              let key i =
-                Runner.cell_key ~kind:"run" ~device ~env:envs.(i) ~test ~iterations
-                  ~seed:(seed_for i) ()
-              in
-              let arr, _stats =
-                Mcm_campaign.Sched.run ?pool ~domains:1 ~store ~key
-                  ~encode:Runner.result_to_json ~decode:Runner.result_of_json ~f:run
-                  ~n:n_envs ()
-              in
-              Array.map (fun r -> r.Runner.rate) arr
-          | None -> (
-              let rate i = (run i).Runner.rate in
-              match pool with
-              | None -> Array.init n_envs rate
-              | Some pool -> Pool.map_array pool ~n:n_envs ~f:rate)
-        in
-        let conf_rates = rates conf in
-        let best =
+          let conf =
+            match Suite.find conf_name with
+            | Some e -> e.Suite.test
+            | None -> failwith ("Table4: unknown test " ^ conf_name)
+          in
+          let mutants = List.map (fun e -> e.Suite.test) (Suite.mutants_of conf_name) in
+          let g = Prng.create (Prng.mix seed (Hashtbl.hash conf_name)) in
+          let envs =
+            Array.of_list
+              (List.init n_envs (fun _ -> Params.scaled (Params.random g Params.Parallel) scale))
+          in
+          (profile, conf_name, mutant_type, device, conf :: mutants, envs))
+        cases
+    in
+    (* One flat case × (conf :: mutants) × environment grid; each cell's
+       seed depends only on its coordinates, so rate vectors are
+       identical for any domain count. No sweep key: the case study is
+       cheap and shares store directories with tuning sweeps, so it never
+       journals. *)
+    let cells =
+      Array.of_list
+        (List.concat_map
+           (fun (_, conf_name, _, device, tests, envs) ->
+             List.concat_map
+               (fun (test : Litmus.t) ->
+                 List.init n_envs (fun i ->
+                     let seed = Prng.mix seed (Hashtbl.hash (conf_name, test.Litmus.name, i)) in
+                     Request.make ~device ~env:envs.(i) ~test ~iterations ~seed ()))
+               tests)
+           case_data)
+    in
+    let results =
+      Grid.run ctx (Grid.make Runner.Rate ~n:(Array.length cells) ~request:(Array.get cells))
+    in
+    let off = ref 0 in
+    List.map
+      (fun (profile, conf_name, mutant_type, _, tests, _) ->
+        let rates_of b = Array.init n_envs (fun i -> results.(!off + (b * n_envs) + i).Runner.rate) in
+        let conf_rates = rates_of 0 in
+        let best, _ =
           List.fold_left
-            (fun acc mutant ->
-              let r = Pearson.pcc conf_rates (rates mutant) in
+            (fun (acc, b) (mutant : Litmus.t) ->
+              let r = Pearson.pcc conf_rates (rates_of b) in
               let r = if Float.is_nan r then -2. else r in
-              match acc with
-              | Some (_, best_r) when best_r >= r -> acc
-              | _ -> Some (mutant.Litmus.name, r))
-            None mutants
+              let acc =
+                match acc with
+                | Some (_, best_r) when best_r >= r -> acc
+                | _ -> Some (mutant.Litmus.name, r)
+              in
+              (acc, b + 1))
+            (None, 1) (List.tl tests)
         in
+        off := !off + (List.length tests * n_envs);
         let best_mutant, pcc = match best with Some (n, r) -> (n, r) | None -> ("-", Float.nan) in
         {
           vendor = profile.Profile.short_name;
@@ -307,7 +307,7 @@ module Table4 = struct
           p_value = Pearson.p_value ~r:pcc ~n:n_envs;
           n_envs;
         })
-      cases
+      case_data
 
   let table rows =
     let t =

@@ -85,8 +85,7 @@ module Table4 : sig
   }
 
   val compute :
-    ?domains:int ->
-    ?store:Mcm_campaign.Store.t ->
+    ?ctx:Mcm_testenv.Request.ctx ->
     ?n_envs:int ->
     ?iterations:int ->
     ?scale:float ->
@@ -96,11 +95,14 @@ module Table4 : sig
   (** Runs the correlation study (paper: 150 environments, 100
       iterations; defaults here are bench-scale and read [MCM_SCALE],
       strictly — a malformed value raises). Devices carry their
-      {!Mcm_gpu.Bug.paper_bug} injection. [domains] fans the
-      per-environment campaigns over a {!Mcm_util.Pool}; the rows are
+      {!Mcm_gpu.Bug.paper_bug} injection. The whole study is one {!Grid}
+      under [ctx] (default serial): [ctx.domains] fans the
+      per-environment campaigns over a {!Mcm_util.Pool} — the rows are
       identical for every value (each campaign is seeded from its grid
-      coordinates alone). [store] memoizes each campaign through
-      {!Mcm_campaign.Sched}, preserving bit-identity. *)
+      coordinates alone) — and [ctx.store] memoizes each campaign through
+      {!Mcm_campaign.Sched}, preserving bit-identity. The study never
+      journals ([ctx.journal] is ignored): it is cheap and shares store
+      directories with tuning sweeps. *)
 
   val table : row list -> Mcm_util.Table.t
 end

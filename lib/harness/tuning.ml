@@ -4,7 +4,7 @@ module Device = Mcm_gpu.Device
 module Suite = Mcm_core.Suite
 module Litmus = Mcm_litmus.Litmus
 module Prng = Mcm_util.Prng
-module Pool = Mcm_util.Pool
+module Request = Mcm_testenv.Request
 
 type category = Site_baseline | Site | Pte_baseline | Pte
 
@@ -96,7 +96,7 @@ let sweep_key config ~devices ~tests =
              tests) );
     ]
 
-let sweep ?domains ?store ?journal ?devices ?tests config =
+let sweep ?(ctx = Request.serial) ?devices ?tests config =
   let devices = match devices with Some d -> d | None -> Device.all_correct () in
   let tests = match tests with Some t -> t | None -> Suite.mutants () in
   (* Flatten the category × environment × device × test grid up front:
@@ -128,35 +128,15 @@ let sweep ?domains ?store ?journal ?devices ?tests config =
     in
     (category, env_index, env, device, entry, iterations, test, seed)
   in
-  let point_result i =
+  let request i =
     let _, _, env, device, _, iterations, test, seed = point_args i in
-    Runner.run ~device ~env ~test ~iterations ~seed ()
+    Request.make ~device ~env ~test ~iterations ~seed ()
   in
   let n = Array.length grid in
+  (* Only the Runner.result is the memoized payload; the surrounding
+     [run] record is reassembled from the grid below. *)
   let results =
-    match store with
-    | Some store ->
-        (* Cache-aware path: only the Runner.result is the memoized
-           payload; the surrounding [run] record is reassembled from the
-           grid below. Store and journal writes stay in this domain. *)
-        let key i =
-          let _, _, env, device, _, iterations, test, seed = point_args i in
-          Runner.cell_key ~kind:"run" ~device ~env ~test ~iterations ~seed ()
-        in
-        let journal =
-          Option.map (fun j -> (j, sweep_key config ~devices ~tests)) journal
-        in
-        let arr, _stats =
-          Mcm_campaign.Sched.run ?domains ?journal ~store ~key
-            ~encode:Runner.result_to_json ~decode:Runner.result_of_json ~f:point_result
-            ~n ()
-        in
-        arr
-    | None -> (
-        match domains with
-        | None | Some 1 -> Array.init n point_result
-        | Some d ->
-            Pool.with_pool ~domains:d (fun pool -> Pool.map_array pool ~n ~f:point_result))
+    Grid.run ctx (Grid.make ~sweep:(sweep_key config ~devices ~tests) Runner.Rate ~n ~request)
   in
   Array.to_list
     (Array.mapi

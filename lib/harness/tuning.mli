@@ -64,29 +64,25 @@ val sweep_key :
     resuming the {e same} sweep. *)
 
 val sweep :
-  ?domains:int ->
-  ?store:Mcm_campaign.Store.t ->
-  ?journal:Mcm_campaign.Journal.t ->
+  ?ctx:Mcm_testenv.Request.ctx ->
   ?devices:Mcm_gpu.Device.t list ->
   ?tests:Mcm_core.Suite.entry list ->
   config ->
   run list
 (** [sweep config] runs every category × environment × device × test
-    combination. [devices] defaults to the four correct study devices and
-    [tests] to the 32 mutants of the generated suite. Deterministic in
-    [config].
+    combination as one {!Grid} under [ctx] (default
+    {!Mcm_testenv.Request.serial}). [devices] defaults to the four
+    correct study devices and [tests] to the 32 mutants of the generated
+    suite. Deterministic in [config].
 
-    [domains] fans the grid points out over that many domains of a
-    {!Mcm_util.Pool} (default: serial). Every grid point derives its seed
-    independently from [config.seed] and results are collected back in
-    grid order, so the returned list is identical for every [domains]
-    value.
-
-    [store] routes the grid through {!Mcm_campaign.Sched}: cached cells
-    are served from disk, misses are computed and persisted in durable
-    shards, and the returned list is bit-identical to an uncached sweep.
-    [journal] (requires [store]) additionally checkpoints progress under
-    {!sweep_key}, making a killed sweep resumable with nothing replayed. *)
+    Every grid point derives its seed independently from [config.seed]
+    and results are collected back in grid order, so the returned list is
+    identical for every [ctx.domains] value. A context with a store
+    routes the grid through {!Mcm_campaign.Sched} — cached cells served
+    from disk, misses persisted in durable shards, bit-identical to an
+    uncached sweep; with a journal too, progress is checkpointed under
+    {!sweep_key}, making a killed sweep resumable with nothing
+    replayed. *)
 
 val rate : run list -> category -> test:string -> device:string -> env_index:int -> float
 (** Death-rate lookup into a sweep's results; [0.] when absent. *)

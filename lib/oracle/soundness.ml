@@ -6,7 +6,8 @@ module Suite = Mcm_core.Suite
 module Device = Mcm_gpu.Device
 module Params = Mcm_testenv.Params
 module Runner = Mcm_testenv.Runner
-module Pool = Mcm_util.Pool
+module Request = Mcm_testenv.Request
+module Grid = Mcm_harness.Grid
 module Jsonw = Mcm_util.Jsonw
 
 type violation = {
@@ -50,15 +51,6 @@ let explain t o =
   | Some e -> e
   | None -> "(outcome is allowed — explanation requested in error)"
 
-(* Run tasks positionally across the pool (or serially); results never
-   depend on the domain count. *)
-let map_tasks ?domains arr f =
-  match domains with
-  | None | Some 1 -> Array.init (Array.length arr) (fun i -> f arr.(i))
-  | Some d ->
-      Pool.with_pool ~domains:d (fun pool ->
-          Pool.map_array pool ~n:(Array.length arr) ~f:(fun i -> f arr.(i)))
-
 (* The content key identifying a full soundness matrix — the journal's
    sweep identity when a check is resumable. *)
 let check_key_resolved ~iterations ~seed ~devices ~envs ~tests =
@@ -85,16 +77,18 @@ let check_key ?(iterations = 2) ?(seed = 20230325) ?devices ?envs ?tests () =
   let tests = match tests with Some t -> t | None -> default_tests () in
   check_key_resolved ~iterations ~seed ~devices ~envs ~tests:(Array.of_list tests)
 
-let check ?domains ?store ?journal ?(iterations = 2) ?(seed = 20230325) ?devices ?envs ?tests ()
+let check ?(ctx = Request.serial) ?(iterations = 2) ?(seed = 20230325) ?devices ?envs ?tests ()
     =
   let devices = match devices with Some d -> d | None -> Device.all_correct () in
   let envs = match envs with Some e -> e | None -> default_envs () in
   let tests = match tests with Some t -> t | None -> default_tests () in
   let tests = Array.of_list tests in
   (* Stage 1, one task per test: the allowed set under the test's own
-     model, plus the serial-outcome check covering skipped instances. *)
+     model, plus the serial-outcome check covering skipped instances.
+     Not a campaign cell (no simulation), so it uses the bare grid map. *)
   let stage1 =
-    map_tasks ?domains tests (fun t ->
+    Grid.map ctx ~n:(Array.length tests) ~f:(fun i ->
+        let t = tests.(i) in
         let allowed = Outcome.allowed t.Litmus.model t in
         let seq_violations =
           List.filter_map
@@ -128,29 +122,15 @@ let check ?domains ?store ?journal ?(iterations = 2) ?(seed = 20230325) ?devices
   (* Stage 2's memoized payload is the raw campaign cell — (result,
      observed outcomes) — so cached cells replay the exact observations;
      the violation analysis below reruns on either path. *)
-  let cell (ti, device, _env_name, env) =
-    Runner.run_with_outcomes ~device ~env ~test:tests.(ti) ~iterations ~seed ()
+  let request i =
+    let ti, device, _env_name, env = grid.(i) in
+    Request.make ~device ~env ~test:tests.(ti) ~iterations ~seed ()
   in
   let cells =
-    match store with
-    | Some store ->
-        let key i =
-          let ti, device, _, env = grid.(i) in
-          Runner.cell_key ~kind:"outcomes" ~device ~env ~test:tests.(ti) ~iterations ~seed ()
-        in
-        let journal =
-          Option.map
-            (fun j -> (j, check_key_resolved ~iterations ~seed ~devices ~envs ~tests))
-            journal
-        in
-        let arr, _stats =
-          Mcm_campaign.Sched.run ?domains ?journal ~store ~key
-            ~encode:Runner.outcomes_cell_to_json ~decode:Runner.outcomes_cell_of_json
-            ~f:(fun i -> cell grid.(i))
-            ~n:(Array.length grid) ()
-        in
-        arr
-    | None -> map_tasks ?domains grid cell
+    Grid.run ctx
+      (Grid.make
+         ~sweep:(check_key_resolved ~iterations ~seed ~devices ~envs ~tests)
+         Runner.Outcomes ~n:(Array.length grid) ~request)
   in
   let points =
     Array.mapi

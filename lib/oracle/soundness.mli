@@ -71,9 +71,7 @@ val check_key :
     check before re-entering it. *)
 
 val check :
-  ?domains:int ->
-  ?store:Mcm_campaign.Store.t ->
-  ?journal:Mcm_campaign.Journal.t ->
+  ?ctx:Mcm_testenv.Request.ctx ->
   ?iterations:int ->
   ?seed:int ->
   ?devices:Mcm_gpu.Device.t list ->
@@ -85,17 +83,17 @@ val check :
     the allowed-outcome set under the test's own model and check the
     serial outcomes; then for every (test × device × env) grid point run
     a campaign of [iterations] kernel launches (default 2, seed default
-    20230325) via {!Mcm_testenv.Runner.run_with_outcomes} and check
-    every observed outcome. Devices default to the four correct study
-    profiles. [domains] fans the grid out over a {!Mcm_util.Pool} — one
-    domain task per grid point — with a bit-identical report for every
-    value.
-
-    [store] memoizes the grid campaigns through {!Mcm_campaign.Sched}
-    (the stored payload is each campaign's raw observation set, so
-    violation analysis always reruns against the current oracle);
-    [journal] (requires [store]) checkpoints progress so a killed check
-    resumes without replaying completed shards. *)
+    20230325) under the [Mcm_testenv.Runner.Outcomes] collector and
+    check every observed outcome. Devices default to the four correct
+    study profiles. Both stages run as [Mcm_harness.Grid]s under [ctx]
+    (default serial): [ctx.domains] fans the grid out — one domain task
+    per grid point — with a bit-identical report for every value;
+    [ctx.store] memoizes the grid campaigns through
+    {!Mcm_campaign.Sched} (the stored payload is each campaign's raw
+    observation set, so violation analysis always reruns against the
+    current oracle); [ctx.journal] (with a store) checkpoints progress
+    under {!check_key} so a killed check resumes without replaying
+    completed shards. *)
 
 val ok : report -> bool
 (** [ok r] holds when the report carries no violation. *)

@@ -1,0 +1,53 @@
+module Jsonw = Mcm_util.Jsonw
+module Pool = Mcm_util.Pool
+module Litmus = Mcm_litmus.Litmus
+module Device = Mcm_gpu.Device
+module Key = Mcm_campaign.Key
+
+type engine = Interpreter | Kernel
+
+let engine_name = function Interpreter -> "interpreter" | Kernel -> "kernel"
+
+(* The engine registry: every engine the runner can execute, by the name
+   that appears in campaign keys and on the CLI. *)
+let engines = [ ("interpreter", Interpreter); ("kernel", Kernel) ]
+
+let engine_of_name name = List.assoc_opt (String.lowercase_ascii name) engines
+
+type t = {
+  test : Litmus.t;
+  device : Device.t;
+  env : Params.t;
+  iterations : int;
+  seed : int;
+  engine : engine;
+}
+
+let make ?(engine = Kernel) ~device ~env ~test ~iterations ~seed () =
+  { test; device; env; iterations; seed; engine }
+
+(* The canonical serialization of a request IS the campaign key payload:
+   both go through [Key.cell_fields], so pinning one pins the other. *)
+let to_fields ~kind r =
+  Key.cell_fields ~kind ~engine:(engine_name r.engine) ~test:r.test ~device:r.device
+    ~env:(Params.to_json r.env) ~iterations:r.iterations ~seed:r.seed ()
+
+let to_json ~kind r = Jsonw.Obj (to_fields ~kind r)
+
+let key ~kind r = Key.of_fields (to_fields ~kind r)
+
+type ctx = {
+  domains : int;
+  chunk : int option;
+  store : Mcm_campaign.Store.t option;
+  journal : Mcm_campaign.Journal.t option;
+}
+
+let serial = { domains = 1; chunk = None; store = None; journal = None }
+
+let context ?(domains = 1) ?chunk ?store ?journal () = { domains; chunk; store; journal }
+
+let chunk_for c ~n =
+  match c.chunk with
+  | Some chunk -> max 1 chunk
+  | None -> Pool.chunk_for ~domains:c.domains ~n

@@ -1,0 +1,90 @@
+(** Campaign cell requests and execution contexts.
+
+    A {!t} names one campaign cell — the unit of measurement in the
+    evaluation: run [test] on [device] under [env] for [iterations]
+    iterations from [seed], with a given simulation [engine]. Its
+    canonical serialization ({!to_fields}/{!to_json}) {e is} the
+    {!Mcm_campaign.Key} payload: {!key} hashes exactly those fields, so a
+    request pins its store identity and the pinned-vector tests in
+    [test/test_pipeline.ml] guard both at once.
+
+    A {!ctx} bundles the execution resources that used to be threaded as
+    five separate optional arguments through harness, oracle, CLI, bench
+    and examples: the domain count, the pool chunk size, the result
+    {!Mcm_campaign.Store} and the sweep {!Mcm_campaign.Journal}. Build it
+    once ({!context}) and pass it by value; {!serial} is the zero-resource
+    default (one domain, no store). *)
+
+(** {2 Engines} *)
+
+type engine = Interpreter | Kernel
+
+val engine_name : engine -> string
+(** ["interpreter"] / ["kernel"] — the names baked into campaign keys. *)
+
+val engines : (string * engine) list
+(** The engine registry: every executable engine, by canonical name. *)
+
+val engine_of_name : string -> engine option
+(** Case-insensitive lookup in {!engines}. *)
+
+(** {2 Requests} *)
+
+type t = {
+  test : Mcm_litmus.Litmus.t;
+  device : Mcm_gpu.Device.t;
+  env : Params.t;
+  iterations : int;
+  seed : int;
+  engine : engine;
+}
+
+val make :
+  ?engine:engine ->
+  device:Mcm_gpu.Device.t ->
+  env:Params.t ->
+  test:Mcm_litmus.Litmus.t ->
+  iterations:int ->
+  seed:int ->
+  unit ->
+  t
+(** [engine] defaults to {!Kernel} (matching the runner). *)
+
+val to_fields : kind:string -> t -> (string * Mcm_util.Jsonw.t) list
+(** The canonical field list of the cell, via
+    {!Mcm_campaign.Key.cell_fields}. [kind] namespaces the cached payload
+    shape (see {!Runner.kind}). *)
+
+val to_json : kind:string -> t -> Mcm_util.Jsonw.t
+(** The canonical serialization: [Obj (to_fields ~kind r)]. *)
+
+val key : kind:string -> t -> Mcm_campaign.Key.t
+(** The campaign key of the cell — the hash of {!to_fields} with the
+    store code version prepended. Byte-identical to what
+    {!Mcm_campaign.Key.cell} produces for the same fields. *)
+
+(** {2 Execution contexts} *)
+
+type ctx = {
+  domains : int;  (** worker domains; 1 = serial *)
+  chunk : int option;  (** pool dispatch chunk; [None] = {!chunk_for} default *)
+  store : Mcm_campaign.Store.t option;  (** memoize cells here *)
+  journal : Mcm_campaign.Journal.t option;  (** checkpoint sweeps here *)
+}
+
+val serial : ctx
+(** One domain, default chunking, no store, no journal. *)
+
+val context :
+  ?domains:int ->
+  ?chunk:int ->
+  ?store:Mcm_campaign.Store.t ->
+  ?journal:Mcm_campaign.Journal.t ->
+  unit ->
+  ctx
+(** [domains] defaults to 1. *)
+
+val chunk_for : ctx -> n:int -> int
+(** The pool dispatch chunk for an [n]-task grid: the context's [chunk]
+    if set (clamped to ≥ 1), else {!Mcm_util.Pool.chunk_for} — the single
+    place the [n / (4·domains)] default lives. *)

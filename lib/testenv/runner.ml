@@ -7,7 +7,7 @@ module Instance = Mcm_gpu.Instance
 module Kernel = Mcm_gpu.Kernel
 module Timing = Mcm_gpu.Timing
 
-type engine = Interpreter | Kernel
+type engine = Request.engine = Interpreter | Kernel
 
 type result = {
   kills : int;
@@ -208,8 +208,8 @@ let campaign ~engine ~classify ~collect ~device ~env ~test ~seed =
   in
   (run_iteration, instances, iteration_ns)
 
-let run_campaign ?(engine = Kernel) ?domains ?(collect = false) ~classify ~device ~env ~test
-    ~iterations ~seed () =
+let run_campaign ?(engine = Kernel) ?domains ?chunk ?(collect = false) ~classify ~device ~env
+    ~test ~iterations ~seed () =
   let run_iteration, instances, iteration_ns =
     campaign ~engine ~classify ~collect ~device ~env ~test ~seed
   in
@@ -223,7 +223,7 @@ let run_campaign ?(engine = Kernel) ?domains ?(collect = false) ~classify ~devic
         !acc
     | Some d ->
         Pool.with_pool ~domains:d (fun pool ->
-            Pool.map_reduce pool ~n:iterations ~map:run_iteration ~fold:tally_add
+            Pool.map_reduce ?chunk pool ~n:iterations ~map:run_iteration ~fold:tally_add
               ~init:tally_zero)
   in
   let sim_time_s = Timing.to_seconds (float_of_int iterations *. iteration_ns) in
@@ -244,11 +244,10 @@ let run_campaign ?(engine = Kernel) ?domains ?(collect = false) ~classify ~devic
 module Jsonw = Mcm_util.Jsonw
 module Jsonp = Mcm_util.Jsonp
 
-let engine_name = function Interpreter -> "interpreter" | Kernel -> "kernel"
+let engine_name = Request.engine_name
 
 let cell_key ?(engine = Kernel) ~kind ~device ~env ~test ~iterations ~seed () =
-  Mcm_campaign.Key.cell ~kind ~engine:(engine_name engine) ~test ~device
-    ~env:(Params.to_json env) ~iterations ~seed ()
+  Request.key ~kind (Request.make ~engine ~device ~env ~test ~iterations ~seed ())
 
 let ( let* ) = Result.bind
 
@@ -374,38 +373,43 @@ let outcomes_cell_of_json v =
   in
   Ok (r, outcomes)
 
-(* Serve a cell from the store when possible; otherwise compute and
-   persist it. A cached payload that no longer decodes (e.g. written by
-   a different codec revision under the same [Key.code_version], which
-   would be a bug, or hand-edited) is recomputed but NOT re-added:
-   first-write-wins, and its key already exists on disk. *)
-let memoized ~store ~engine ~kind ~device ~env ~test ~iterations ~seed ~encode ~decode compute =
-  match store with
-  | None -> compute ()
-  | Some st -> (
-      let key = cell_key ~engine ~kind ~device ~env ~test ~iterations ~seed () in
-      match Mcm_campaign.Store.find st key with
-      | Some payload -> (
-          match decode payload with Ok r -> r | Error _ -> compute ())
-      | None ->
-          let r = compute () in
-          Mcm_campaign.Store.add st key (encode r);
-          r)
+(* ------------------------------------------------------------------ *)
+(* The unified entry point: one collector-indexed execution function.  *)
 
-let run ?(engine = Kernel) ?domains ?store ~device ~env ~test ~iterations ~seed () =
-  memoized ~store ~engine ~kind:"run" ~device ~env ~test ~iterations ~seed
-    ~encode:result_to_json ~decode:result_of_json (fun () ->
-      fst (run_campaign ~engine ?domains ~classify:None ~device ~env ~test ~iterations ~seed ()))
+type _ collect =
+  | Rate : result collect
+  | Histogram : (result * histogram) collect
+  | Outcomes : (result * Litmus.outcome list) collect
 
-let run_with_histogram ?(engine = Kernel) ?domains ?store ~device ~env ~test ~iterations ~seed ()
-    =
-  memoized ~store ~engine ~kind:"histogram" ~device ~env ~test ~iterations ~seed
-    ~encode:histogram_cell_to_json ~decode:histogram_cell_of_json (fun () ->
-      let classify = Mcm_litmus.Classify.classifier test in
-      let result, tally =
-        run_campaign ~engine ?domains ~classify:(Some classify) ~device ~env ~test ~iterations
-          ~seed ()
-      in
+let kind : type a. a collect -> string = function
+  | Rate -> "run"
+  | Histogram -> "histogram"
+  | Outcomes -> "outcomes"
+
+let encode : type a. a collect -> a -> Jsonw.t = function
+  | Rate -> result_to_json
+  | Histogram -> histogram_cell_to_json
+  | Outcomes -> outcomes_cell_to_json
+
+let decode : type a. a collect -> Jsonw.t -> (a, string) Stdlib.result = function
+  | Rate -> result_of_json
+  | Histogram -> histogram_cell_of_json
+  | Outcomes -> outcomes_cell_of_json
+
+let compute : type a. a collect -> Request.t -> ctx:Request.ctx -> a =
+ fun c (r : Request.t) ~ctx ->
+  let domains = if ctx.Request.domains <= 1 then None else Some ctx.Request.domains in
+  let chunk = Request.chunk_for ctx ~n:r.Request.iterations in
+  let go ?(collect = false) ~classify () =
+    run_campaign ~engine:r.Request.engine ?domains ~chunk ~collect ~classify
+      ~device:r.Request.device ~env:r.Request.env ~test:r.Request.test
+      ~iterations:r.Request.iterations ~seed:r.Request.seed ()
+  in
+  match c with
+  | Rate -> fst (go ~classify:None ())
+  | Histogram ->
+      let classify = Mcm_litmus.Classify.classifier r.Request.test in
+      let result, tally = go ~classify:(Some classify) () in
       ( result,
         {
           sequential = tally.t_sequential;
@@ -413,15 +417,39 @@ let run_with_histogram ?(engine = Kernel) ?domains ?store ~device ~env ~test ~it
           weak = tally.t_weak;
           forbidden = tally.t_forbidden;
           skipped = tally.t_skipped;
-        } ))
-
-let run_with_outcomes ?(engine = Kernel) ?domains ?store ~device ~env ~test ~iterations ~seed ()
-    =
-  memoized ~store ~engine ~kind:"outcomes" ~device ~env ~test ~iterations ~seed
-    ~encode:outcomes_cell_to_json ~decode:outcomes_cell_of_json (fun () ->
-      let result, tally =
-        run_campaign ~engine ?domains ~collect:true ~classify:None ~device ~env ~test
-          ~iterations ~seed ()
-      in
+        } )
+  | Outcomes ->
+      let result, tally = go ~collect:true ~classify:None () in
       (* [t_outcomes] is sorted and unique by the [tally_add] invariant. *)
-      (result, tally.t_outcomes))
+      (result, tally.t_outcomes)
+
+(* Serve a cell from the store when possible; otherwise compute and
+   persist it. A cached payload that no longer decodes (e.g. written by
+   a different codec revision under the same [Key.code_version], which
+   would be a bug, or hand-edited) is recomputed but NOT re-added:
+   first-write-wins, and its key already exists on disk. *)
+let exec : type a. a collect -> Request.t -> Request.ctx -> a =
+ fun c r ctx ->
+  match ctx.Request.store with
+  | None -> compute c r ~ctx
+  | Some st -> (
+      let key = Request.key ~kind:(kind c) r in
+      match Mcm_campaign.Store.find st key with
+      | Some payload -> (
+          match decode c payload with Ok v -> v | Error _ -> compute c r ~ctx)
+      | None ->
+          let v = compute c r ~ctx in
+          Mcm_campaign.Store.add st key (encode c v);
+          v)
+
+(* The pre-pipeline entry points, now one-line wrappers over [exec].
+   Deprecated: new code should build a [Request.t] and call [exec]. *)
+
+let wrap collect ?(engine = Kernel) ?domains ?store ~device ~env ~test ~iterations ~seed () =
+  exec collect
+    (Request.make ~engine ~device ~env ~test ~iterations ~seed ())
+    (Request.context ?domains ?store ())
+
+let run ?engine = wrap Rate ?engine
+let run_with_histogram ?engine = wrap Histogram ?engine
+let run_with_outcomes ?engine = wrap Outcomes ?engine

@@ -20,7 +20,7 @@
     cross-thread interaction within the horizon — up to a [e^-30]
     tail approximation of the exponential delays. *)
 
-type engine =
+type engine = Request.engine =
   | Interpreter
       (** {!Mcm_gpu.Instance.run} per instance — the allocation-heavy
           reference implementation, kept for differential testing. *)
@@ -53,6 +53,10 @@ val run :
 (** [run ~device ~env ~test ~iterations ~seed ()] executes the campaign.
     Fully deterministic in [seed] (and all other inputs).
 
+    {b Deprecated} — a one-line wrapper over
+    [exec Rate (Request.make …) (Request.context …)], kept for existing
+    callers; new code should use {!exec}.
+
     [domains] shards the iteration axis across that many domains of a
     {!Mcm_util.Pool} (default: serial). Each iteration derives its PRNG
     independently via [Prng.mix seed it] and outcome tallies are summed
@@ -84,6 +88,89 @@ type histogram = {
   skipped : int;
 }
 
+(** {2 The raw engine}
+
+    [run_campaign] is the compute primitive beneath the pipeline: one
+    campaign, no request, context, or store involvement. It is what
+    {!exec} calls after planning, and what the pipeline-overhead bench
+    ([make bench-pipeline]) dispatches directly to hold the unified
+    path to its overhead contract. Ordinary callers want {!exec}. *)
+
+(** The raw totals of a campaign, summed over iterations. All fields
+    are associative sums (the outcome set is a sorted-unique merge), so
+    any partition of the iteration axis folds to the same tally. *)
+type tally = {
+  t_kills : int;
+  t_sequential : int;
+  t_interleaved : int;
+  t_weak : int;
+  t_forbidden : int;
+  t_skipped : int;
+  t_outcomes : Mcm_litmus.Litmus.outcome list;
+      (** distinct outcomes of executed instances, sorted; empty unless
+          [collect] was set. *)
+}
+
+val run_campaign :
+  ?engine:engine ->
+  ?domains:int ->
+  ?chunk:int ->
+  ?collect:bool ->
+  classify:(Mcm_litmus.Litmus.outcome -> Mcm_litmus.Classify.behaviour) option ->
+  device:Mcm_gpu.Device.t ->
+  env:Params.t ->
+  test:Mcm_litmus.Litmus.t ->
+  iterations:int ->
+  seed:int ->
+  unit ->
+  result * tally
+(** One campaign, eagerly computed. [classify] fills the behaviour
+    buckets ([None] leaves them zero); [collect] (default [false])
+    accumulates the observed-outcome set. [domains]/[chunk] shard the
+    iteration axis over a transient pool; the tally is bit-identical
+    for every sharding. *)
+
+(** {2 The unified pipeline}
+
+    [exec] is {e the} way to run a campaign: a {!Request.t} names the
+    cell, a {!Request.ctx} supplies execution resources, and a collector
+    picks what the campaign returns — which also indexes the persisted
+    payload shape, so the three codec pairs collapse into one
+    collector-indexed codec ({!kind}/{!encode}/{!decode}). *)
+
+(** What a campaign collects, indexing its return (and payload) type. *)
+type _ collect =
+  | Rate : result collect  (** kills and death rate only *)
+  | Histogram : (result * histogram) collect
+      (** plus the per-behaviour outcome classification *)
+  | Outcomes : (result * Mcm_litmus.Litmus.outcome list) collect
+      (** plus the deduplicated, sorted observed-outcome set *)
+
+val exec : 'a collect -> Request.t -> Request.ctx -> 'a
+(** [exec collect request ctx] runs the campaign [request] names.
+    Fully deterministic in the request: the result is {e bit-identical}
+    for every [ctx.domains]/[ctx.chunk] value (each iteration derives its
+    PRNG independently via [Prng.mix seed it]; tallies sum associatively)
+    and for warm versus cold [ctx.store] (codecs round-trip exactly).
+    When [ctx.store] is set the cell is memoized under
+    [Request.key ~kind:(kind collect)]; a cached payload that fails to
+    decode is recomputed but not re-stored (first write wins). The store
+    handle must belong to the calling domain — worker domains only ever
+    compute. [ctx.journal] is ignored here; journaling is a multi-cell
+    concern (see {!Mcm_campaign.Sched} and [Mcm_harness.Grid]). *)
+
+val kind : 'a collect -> string
+(** The cell-kind string keyed into the store: [Rate] → ["run"],
+    [Histogram] → ["histogram"], [Outcomes] → ["outcomes"]. *)
+
+val encode : 'a collect -> 'a -> Mcm_util.Jsonw.t
+(** The persisted payload codec of a collector. [decode] inverts
+    [encode] exactly — floats round-trip through {!Mcm_util.Jsonw}'s
+    [%.17g] printing — which the warm-path bit-identity contract relies
+    on. *)
+
+val decode : 'a collect -> Mcm_util.Jsonw.t -> ('a, string) Stdlib.result
+
 val run_with_outcomes :
   ?engine:engine ->
   ?domains:int ->
@@ -95,7 +182,8 @@ val run_with_outcomes :
   seed:int ->
   unit ->
   result * Mcm_litmus.Litmus.outcome list
-(** Like {!run} (identical [result] for identical arguments), but also
+(** {b Deprecated} wrapper over [exec Outcomes] — see {!run}.
+    Like {!run} (identical [result] for identical arguments), but also
     returns the deduplicated, sorted list of every outcome observed by an
     executed instance — the observation set the axiomatic oracle checks
     against a model's allowed-outcome set. Skipped instances are not
@@ -115,7 +203,8 @@ val run_with_histogram :
   seed:int ->
   unit ->
   result * histogram
-(** Like {!run} (identical [result] for identical arguments), but also
+(** {b Deprecated} wrapper over [exec Histogram] — see {!run}.
+    Like {!run} (identical [result] for identical arguments), but also
     classifies every executed instance's outcome. The same determinism
     guarantee extends to the histogram: identical buckets for every
     [domains] value. *)

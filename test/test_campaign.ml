@@ -15,6 +15,7 @@ module Profile = Mcm_gpu.Profile
 module Litmus = Mcm_litmus.Litmus
 module Params = Mcm_testenv.Params
 module Runner = Mcm_testenv.Runner
+module Request = Mcm_testenv.Request
 module Tuning = Mcm_harness.Tuning
 
 let check = Alcotest.(check bool)
@@ -240,6 +241,44 @@ let test_store_add_after_close () =
         | () -> false
         | exception _ -> true))
 
+let contains s sub =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+(* The writer lock is per-process (POSIX lockf): a second process
+   opening the same store directory must fail fast with an error that
+   names the lock file, and closing the store releases the lock. The
+   second process is a real fork — same-process reopens share the lock
+   by design (crash-resume reopens the store it just closed). *)
+let test_store_writer_lock () =
+  with_temp_dir (fun dir ->
+      Store.with_store dir (fun _store ->
+          match Unix.fork () with
+          | 0 ->
+              (* Child: must be refused. [Unix._exit] skips atexit and
+                 buffered-channel flushing inherited from the parent. *)
+              let code =
+                match Store.with_store dir (fun _ -> ()) with
+                | () -> 1
+                | exception Failure msg ->
+                    if contains msg (Filename.concat dir "LOCK") then 0 else 2
+                | exception _ -> 3
+              in
+              Unix._exit code
+          | pid -> (
+              match snd (Unix.waitpid [] pid) with
+              | Unix.WEXITED 0 -> ()
+              | Unix.WEXITED 1 -> Alcotest.fail "second process acquired the writer lock"
+              | Unix.WEXITED 2 -> Alcotest.fail "lock error does not name the lock file"
+              | _ -> Alcotest.fail "lock-probe child crashed"));
+      (* Close released the lock: reopening succeeds, and the LOCK file
+         is not mistaken for a segment. *)
+      Store.with_store dir (fun store -> check_int "reopen after close" 0 (Store.count store));
+      match Store.verify dir with
+      | Ok r -> check "verifies clean with LOCK present" true (Store.verify_ok r)
+      | Error e -> Alcotest.failf "verify: %s" e)
+
 (* -------------------------------------------------------------------- *)
 (* Journal                                                                *)
 
@@ -385,7 +424,7 @@ let test_kill_and_resume () =
       let stored () =
         Store.with_store dir (fun store ->
             Journal.with_journal jpath (fun journal ->
-                Tuning.sweep ~store ~journal ~devices ~tests config))
+                Tuning.sweep ~ctx:(Request.context ~store ~journal ()) ~devices ~tests config))
       in
       check "uninterrupted stored sweep identical" true (fingerprint (stored ()) = baseline);
       (* The kill: tear the store's last record and the journal's tail,
@@ -478,6 +517,7 @@ let () =
           Alcotest.test_case "bad record + gc" `Quick test_store_bad_record_and_gc;
           Alcotest.test_case "segment roll" `Quick test_store_segment_roll;
           Alcotest.test_case "add after close" `Quick test_store_add_after_close;
+          Alcotest.test_case "writer lock" `Quick test_store_writer_lock;
         ] );
       ( "journal",
         [

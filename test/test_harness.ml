@@ -11,6 +11,7 @@ module Device = Mcm_gpu.Device
 module Profile = Mcm_gpu.Profile
 module Litmus = Mcm_litmus.Litmus
 module Runner = Mcm_testenv.Runner
+module Request = Mcm_testenv.Request
 module Table = Mcm_util.Table
 
 let check = Alcotest.(check bool)
@@ -66,20 +67,21 @@ let test_sweep_parallel_equals_serial () =
       (fun (e : Suite.entry) -> List.mem e.Suite.test.Litmus.name [ "CoRR-m"; "MP-CO-m" ])
       (Suite.mutants ())
   in
-  let fingerprint domains =
+  let fingerprint ctx =
     List.map
       (fun (r : Tuning.run) ->
         (r.Tuning.category, r.Tuning.env_index, r.Tuning.test_name, r.Tuning.result))
-      (Tuning.sweep ?domains ~devices ~tests tiny_config)
+      (Tuning.sweep ?ctx ~devices ~tests tiny_config)
   in
   let serial = fingerprint None in
   List.iter
     (fun k ->
-      if fingerprint (Some k) <> serial then Alcotest.failf "sweep diverged at %d domains" k)
+      if fingerprint (Some (Request.context ~domains:k ())) <> serial then
+        Alcotest.failf "sweep diverged at %d domains" k)
     [ 1; 2; 4; 8 ]
 
 let test_table4_parallel_equals_serial () =
-  let go domains = Experiments.Table4.compute ?domains ~n_envs:6 ~iterations:2 ~scale:0.01 () in
+  let go ctx = Experiments.Table4.compute ?ctx ~n_envs:6 ~iterations:2 ~scale:0.01 () in
   let strip rows =
     (* %h keeps the comparison bit-exact while letting nan equal nan. *)
     List.map
@@ -90,7 +92,8 @@ let test_table4_parallel_equals_serial () =
       rows
   in
   let serial = strip (go None) in
-  check "table4 identical at 4 domains" true (strip (go (Some 4)) = serial)
+  check "table4 identical at 4 domains" true
+    (strip (go (Some (Request.context ~domains:4 ()))) = serial)
 
 let test_envs_for () =
   check_int "baseline has one env" 1 (List.length (Tuning.envs_for tiny_config Tuning.Site_baseline));

@@ -319,8 +319,10 @@ let test_soundness_catches_injected_bug () =
 
 let test_soundness_jobs_invariant () =
   let run domains =
-    Soundness.check ~domains ~iterations:1 ~devices:[ Device.make Profile.intel ]
-      ~envs:small_env ~tests:(small_tests ()) ()
+    Soundness.check
+      ~ctx:(Mcm_testenv.Request.context ~domains ())
+      ~iterations:1 ~devices:[ Device.make Profile.intel ] ~envs:small_env
+      ~tests:(small_tests ()) ()
   in
   let serial = run 1 in
   List.iter

@@ -1,0 +1,213 @@
+(* Tests for the unified request -> plan -> execute pipeline (PR 5):
+   Request serialization, cell-key stability against pinned hex vectors
+   (the warm-store compatibility contract), and [Runner.exec]'s
+   bit-identity with the pre-pipeline entry points under every
+   collector — serial, sharded, and through a store. *)
+
+module Prng = Mcm_util.Prng
+module Jsonw = Mcm_util.Jsonw
+module Jsonp = Mcm_util.Jsonp
+module Suite = Mcm_core.Suite
+module Profile = Mcm_gpu.Profile
+module Device = Mcm_gpu.Device
+module Bug = Mcm_gpu.Bug
+module Params = Mcm_testenv.Params
+module Runner = Mcm_testenv.Runner
+module Request = Mcm_testenv.Request
+module Key = Mcm_campaign.Key
+module Store = Mcm_campaign.Store
+
+let check_str = Alcotest.(check string)
+
+let dir_counter = ref 0
+
+let rec rm_rf path =
+  if Sys.file_exists path then
+    if Sys.is_directory path then begin
+      Array.iter (fun name -> rm_rf (Filename.concat path name)) (Sys.readdir path);
+      Sys.rmdir path
+    end
+    else Sys.remove path
+
+let with_temp_dir f =
+  incr dir_counter;
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "mcm-pipeline-test-%d-%d" (Unix.getpid ()) !dir_counter)
+  in
+  rm_rf dir;
+  Unix.mkdir dir 0o755;
+  Fun.protect ~finally:(fun () -> rm_rf dir) (fun () -> f dir)
+
+(* A small pool of (test, device) material for random requests: two
+   correct devices, one buggy one (so outcome sets and histograms carry
+   forbidden behaviour too), three mutants of different families. *)
+let tests_pool =
+  lazy
+    (List.map
+       (fun n -> (Option.get (Suite.find n)).Suite.test)
+       [ "MP-CO-m"; "CoRR-m"; "MP-relacq-m3" ])
+
+let devices_pool =
+  lazy
+    [
+      Device.make Profile.nvidia;
+      Device.make Profile.intel;
+      Device.make ~bugs:[ Bug.Corr_reorder 0.5 ] Profile.amd;
+    ]
+
+let random_request ~seed ~iterations ~engine =
+  let g = Prng.create seed in
+  let tests = Lazy.force tests_pool in
+  let devices = Lazy.force devices_pool in
+  let test = List.nth tests (Prng.int g (List.length tests)) in
+  let device = List.nth devices (Prng.int g (List.length devices)) in
+  let env = Params.scaled (Params.random g Params.Parallel) 0.01 in
+  Request.make ~engine ~device ~env ~test ~iterations ~seed ()
+
+let point_arb =
+  (* (seed, iterations 0..3, domains 1..4, kernel engine?) *)
+  QCheck.(
+    quad small_int
+      (make (Gen.int_range 0 3))
+      (make (Gen.int_range 1 4))
+      bool)
+
+let engine_of_bool kernel = if kernel then Request.Kernel else Request.Interpreter
+
+(* -------------------------------------------------------------------- *)
+(* Request serialization.                                                 *)
+
+let prop_request_json_roundtrips =
+  (* The canonical cell serialization must survive a print/parse/print
+     cycle at the string level — what key stability and the store's
+     human-auditable payloads rest on. (String level: Jsonw prints 1.0
+     as "1", which reparses as an Int — tree equality is the wrong
+     contract for floats.) *)
+  QCheck.Test.make ~count:100 ~name:"Request.to_json survives print/parse/print" point_arb
+    (fun (seed, iterations, _domains, kernel) ->
+      let r = random_request ~seed ~iterations ~engine:(engine_of_bool kernel) in
+      List.for_all
+        (fun kind ->
+          let s = Jsonw.to_string (Request.to_json ~kind r) in
+          match Jsonp.parse s with
+          | Error _ -> false
+          | Ok j -> Jsonw.to_string j = s)
+        [ "run"; "histogram"; "outcomes" ])
+
+let prop_engine_names_roundtrip =
+  QCheck.Test.make ~count:10 ~name:"engine_of_name inverts engine_name" QCheck.bool
+    (fun kernel ->
+      let e = engine_of_bool kernel in
+      Request.engine_of_name (Request.engine_name e) = Some e)
+
+let prop_key_matches_legacy_cell_key =
+  (* Request.key must coincide with the pre-pipeline Runner.cell_key for
+     every cell — the invariant that keeps existing stores warm. *)
+  QCheck.Test.make ~count:100 ~name:"Request.key == Runner.cell_key" point_arb
+    (fun (seed, iterations, _domains, kernel) ->
+      let engine = engine_of_bool kernel in
+      let r = random_request ~seed ~iterations ~engine in
+      List.for_all
+        (fun kind ->
+          Request.key ~kind r
+          = Runner.cell_key ~engine ~kind ~device:r.Request.device ~env:r.Request.env
+              ~test:r.Request.test ~iterations ~seed ())
+        [ "run"; "histogram"; "outcomes" ])
+
+(* -------------------------------------------------------------------- *)
+(* Key stability: pinned hex vectors.                                     *)
+
+(* These hashes are the on-disk contract: they freeze Key.code_version,
+   the canonical field order, and every serialized component. If one of
+   these changes value, every existing campaign store goes cold — bump
+   {!Key.code_version} deliberately rather than chasing the new hex. *)
+let test_pinned_key_vectors () =
+  let device = Device.make Profile.nvidia in
+  let env = Params.scaled Params.pte_baseline 0.02 in
+  let test = (Option.get (Suite.find "MP-CO-m")).Suite.test in
+  let req engine = Request.make ~engine ~device ~env ~test ~iterations:3 ~seed:42 () in
+  List.iter
+    (fun (kind, engine, expected) ->
+      check_str
+        (Printf.sprintf "%s/%s key" kind (Request.engine_name engine))
+        expected
+        (Key.to_hex (Request.key ~kind (req engine))))
+    [
+      ("run", Request.Kernel, "4b5ba87d94c30a01");
+      ("histogram", Request.Kernel, "f99832e836e7f338");
+      ("outcomes", Request.Kernel, "269078ab102941cb");
+      ("run", Request.Interpreter, "740d517631b4f638");
+    ]
+
+(* -------------------------------------------------------------------- *)
+(* exec vs the pre-pipeline entry points.                                 *)
+
+let prop_exec_rate_equals_run =
+  QCheck.Test.make ~count:25 ~name:"exec Rate == Runner.run (and raw run_campaign)" point_arb
+    (fun (seed, iterations, domains, kernel) ->
+      let engine = engine_of_bool kernel in
+      let r = random_request ~seed ~iterations ~engine in
+      let { Request.device; env; test; _ } = r in
+      let via_exec = Runner.exec Runner.Rate r (Request.context ~domains ()) in
+      let via_wrapper = Runner.run ~engine ~domains ~device ~env ~test ~iterations ~seed () in
+      let via_engine =
+        fst (Runner.run_campaign ~engine ~classify:None ~device ~env ~test ~iterations ~seed ())
+      in
+      via_exec = via_wrapper && via_exec = via_engine)
+
+let prop_exec_histogram_equals_wrapper =
+  QCheck.Test.make ~count:25 ~name:"exec Histogram == run_with_histogram" point_arb
+    (fun (seed, iterations, domains, kernel) ->
+      let engine = engine_of_bool kernel in
+      let r = random_request ~seed ~iterations ~engine in
+      let { Request.device; env; test; _ } = r in
+      Runner.exec Runner.Histogram r (Request.context ~domains ())
+      = Runner.run_with_histogram ~engine ~domains ~device ~env ~test ~iterations ~seed ())
+
+let prop_exec_outcomes_equals_wrapper =
+  QCheck.Test.make ~count:25 ~name:"exec Outcomes == run_with_outcomes" point_arb
+    (fun (seed, iterations, domains, kernel) ->
+      let engine = engine_of_bool kernel in
+      let r = random_request ~seed ~iterations ~engine in
+      let { Request.device; env; test; _ } = r in
+      Runner.exec Runner.Outcomes r (Request.context ~domains ())
+      = Runner.run_with_outcomes ~engine ~domains ~device ~env ~test ~iterations ~seed ())
+
+let prop_exec_store_transparent =
+  (* Under every collector: a cold store run equals the uncached run,
+     and the warm rerun (served entirely from disk, through the codec)
+     equals both — the end-to-end bit-identity contract. *)
+  QCheck.Test.make ~count:15 ~name:"exec through a store == exec without one" point_arb
+    (fun (seed, iterations, domains, kernel) ->
+      let r = random_request ~seed ~iterations ~engine:(engine_of_bool kernel) in
+      let agree : type a. a Runner.collect -> bool =
+       fun c ->
+        let bare = Runner.exec c r (Request.context ~domains ()) in
+        with_temp_dir (fun dir ->
+            Store.with_store dir (fun store ->
+                let ctx = Request.context ~domains ~store () in
+                let cold = Runner.exec c r ctx in
+                let warm = Runner.exec c r ctx in
+                cold = bare && warm = bare))
+      in
+      agree Runner.Rate && agree Runner.Histogram && agree Runner.Outcomes)
+
+let () =
+  Alcotest.run "pipeline"
+    [
+      ( "request",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_request_json_roundtrips; prop_engine_names_roundtrip;
+            prop_key_matches_legacy_cell_key ] );
+      ("keys", [ Alcotest.test_case "pinned hex vectors" `Quick test_pinned_key_vectors ]);
+      ( "exec",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_exec_rate_equals_run;
+            prop_exec_histogram_equals_wrapper;
+            prop_exec_outcomes_equals_wrapper;
+            prop_exec_store_transparent;
+          ] );
+    ]
