@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-instance bench-instance-smoke bench-store bench-store-smoke bench-pipeline bench-pipeline-smoke oracle oracle-smoke check clean
+.PHONY: all build test bench bench-smoke bench-instance bench-instance-smoke bench-oracle bench-oracle-smoke bench-store bench-store-smoke bench-pipeline bench-pipeline-smoke oracle oracle-smoke check clean
 
 all: build
 
@@ -28,6 +28,21 @@ bench-instance:
 # Same contract at CI speed (small instance counts).
 bench-instance-smoke:
 	MCM_BENCH_SMOKE=1 MCM_BENCH_PART=instance dune exec --profile release bench/main.exe
+
+# Axiomatic-oracle benchmark (writes BENCH_oracle.json): enumeration
+# throughput, the sharded allowed-set grid, and the engine ladder —
+# both oracle engines count growing Library.ladder rungs (exact
+# agreement asserted, speedup and asymptotic gap recorded), then race a
+# certification on a 4-thread/16-instruction rung the brute-force
+# engine cannot finish within a 10x budget. Fails if the engines
+# disagree on any rung.
+bench-oracle:
+	MCM_BENCH_PART=oracle dune exec bench/main.exe
+
+# Same agreement contract at CI speed: fast ladder rungs only, and the
+# race runs on a smaller rung (its timeout is recorded, not asserted).
+bench-oracle-smoke:
+	MCM_BENCH_SMOKE=1 MCM_BENCH_PART=oracle dune exec bench/main.exe
 
 # Campaign store: cold vs warm sweep plus crash recovery (writes
 # BENCH_store.json into a scratch _bench_store/ directory). Fails if a
@@ -66,7 +81,7 @@ oracle-smoke:
 
 # The one target CI needs: build, full test suite, smoke benchmarks,
 # smoke oracle.
-check: build test bench-smoke bench-instance-smoke bench-store-smoke bench-pipeline-smoke oracle-smoke
+check: build test bench-smoke bench-instance-smoke bench-oracle-smoke bench-store-smoke bench-pipeline-smoke oracle-smoke
 
 clean:
 	dune clean

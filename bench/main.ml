@@ -29,6 +29,9 @@ module Tuning = Mcm_harness.Tuning
 module Grid = Mcm_harness.Grid
 module Experiments = Mcm_harness.Experiments
 module Oracle_enum = Mcm_oracle.Enumerate
+module Oracle_propagate = Mcm_oracle.Propagate
+module Oracle_engine = Mcm_oracle.Engine
+module Oracle_certify = Mcm_oracle.Certify
 module Oracle_outcome = Mcm_oracle.Outcome
 module Table = Mcm_util.Table
 module Prng = Mcm_util.Prng
@@ -476,12 +479,18 @@ let instance_bench ~smoke () =
 (* ------------------------------------------------------------------ *)
 (* Part 2b: the axiomatic-oracle benchmark                              *)
 
-(* Two numbers worth tracking for the oracle: raw enumeration throughput
+(* Numbers worth tracking for the oracle: raw enumeration throughput
    (candidate executions consistency-checked per second, on the biggest
-   candidate spaces we ship) and the domain-pool speedup of the grid
-   enumeration that Certify/Soundness fan out. Results land in
-   BENCH_oracle.json; bit-identity across domain counts is asserted, not
-   assumed. MCM_BENCH_SMOKE=1 shrinks the grid to the classic library. *)
+   candidate spaces we ship), the domain-pool speedup of the grid
+   enumeration that Certify/Soundness fan out, and the engine ladder —
+   both engines counting the consistent executions of growing
+   Library.ladder rungs, with exact agreement asserted and the
+   propagate/enumerate speedup and asymptotic gap recorded, topped by a
+   certification race on a rung the brute-force engine cannot finish
+   within a 10x budget. Results land in BENCH_oracle.json; bit-identity
+   across domain counts and engine agreement are asserted, not assumed.
+   MCM_BENCH_SMOKE=1 shrinks the grid to the classic library and the
+   ladder to its fast rungs. *)
 
 let oracle_bench ~smoke () =
   section "Axiomatic oracle: enumeration throughput and grid speedup";
@@ -522,6 +531,78 @@ let oracle_bench ~smoke () =
         (d, t, speedup, identical))
       (if smoke then [ 2; 4 ] else [ 2; 4; 8 ])
   in
+  (* Engine ladder: both engines count the consistent executions of
+     growing Library.ladder rungs. Agreement is exact-count equality —
+     the engines claim bit-identical streams, so any rung mismatch is a
+     correctness failure, not noise. The asymptotic gap is candidate
+     space over decision-tree nodes the propagation engine actually
+     visits. *)
+  Printf.printf "  engine ladder (consistent-execution counts, both engines)\n%!";
+  let ladder_rungs =
+    List.map
+      (fun (stores, loads) ->
+        let t = Library.ladder ~stores ~loads in
+        let space = Oracle_enum.count t in
+        let st = Oracle_propagate.stats t.Litmus.model t in
+        let pc, prop_s =
+          wall (fun () -> Oracle_engine.count_consistent Oracle_engine.Propagate t.Litmus.model t)
+        in
+        let ec, enum_s =
+          wall (fun () -> Oracle_engine.count_consistent Oracle_engine.Enumerate t.Litmus.model t)
+        in
+        let agree = pc = ec in
+        let speedup = if prop_s > 0. then enum_s /. prop_s else 0. in
+        let gap = float_of_int space /. float_of_int (max 1 st.Oracle_propagate.explored) in
+        Printf.printf
+          "  %-14s %9d candidates  %8d consistent  enum %7.3fs  prop %7.3fs  %6.1fx  gap %5.1fx%s\n%!"
+          t.Litmus.name space pc enum_s prop_s speedup gap
+          (if agree then "" else "  COUNTS DIVERGED");
+        (t, stores, loads, space, st, pc, prop_s, ec, enum_s, speedup, gap, agree))
+      (if smoke then [ (1, 1); (1, 2) ] else [ (1, 1); (1, 2); (2, 1) ])
+  in
+  (* Certification race on the top rung: the propagation engine certifies
+     the mutant-style "target allowed, non-vacuous" claim to completion;
+     the brute-force engine then gets a 10x wall-clock budget for the
+     same witness search. On the full rung (4 threads, 16 instructions,
+     2.25e8 candidates) it cannot finish — that asymptotic separation is
+     the point of the second engine, so it is recorded here rather than
+     asserted away. *)
+  let race_stores, race_loads = if smoke then (2, 1) else (2, 2) in
+  let race_test = Library.ladder ~stores:race_stores ~loads:race_loads in
+  let race_space = Oracle_enum.count race_test in
+  let verdict, prop_race_s =
+    wall (fun () -> Oracle_certify.mutant ~engine:Oracle_engine.Propagate race_test)
+  in
+  let budget_s = 10. *. prop_race_s in
+  let visited = ref 0 in
+  let race_result, enum_race_s =
+    let deadline = Unix.gettimeofday () +. budget_s in
+    wall (fun () ->
+        match
+          Oracle_enum.iter race_test ~f:(fun x ->
+              incr visited;
+              if !visited land 8191 = 0 && Unix.gettimeofday () > deadline then raise Exit;
+              if
+                Mcm_memmodel.Model.consistent race_test.Litmus.model x
+                && race_test.Litmus.target (Litmus.outcome_of_execution race_test x)
+              then raise Stdlib.Not_found)
+        with
+        | () -> "exhausted"
+        | exception Stdlib.Not_found -> "found"
+        | exception Exit -> "timeout")
+  in
+  Printf.printf
+    "  race %-11s propagate certified (ok=%b) in %.3fs; enumerate got %.3fs and %s after %d of \
+     %d candidates (%.3fs)\n%!"
+    race_test.Litmus.name verdict.Oracle_certify.ok prop_race_s budget_s race_result !visited
+    race_space enum_race_s;
+  let engines_agree =
+    List.for_all (fun (_, _, _, _, _, _, _, _, _, _, _, agree) -> agree) ladder_rungs
+    && verdict.Oracle_certify.ok
+    (* an exhausted (not timed-out) enumeration that found no witness
+       contradicts the propagation engine's certificate *)
+    && race_result <> "exhausted"
+  in
   let json =
     Jsonw.Obj
       [
@@ -555,6 +636,46 @@ let oracle_bench ~smoke () =
                      ("identical_to_serial", Jsonw.Bool identical);
                    ])
                rows) );
+        ( "engine_ladder",
+          Jsonw.List
+            (List.map
+               (fun (t, stores, loads, space, st, pc, prop_s, ec, enum_s, speedup, gap, agree) ->
+                 Jsonw.Obj
+                   [
+                     ("test", Jsonw.String t.Litmus.name);
+                     ("stores", Jsonw.Int stores);
+                     ("loads", Jsonw.Int loads);
+                     ("candidates", Jsonw.Int space);
+                     ("consistent_propagate", Jsonw.Int pc);
+                     ("consistent_enumerate", Jsonw.Int ec);
+                     ("propagate_s", Jsonw.Float prop_s);
+                     ("enumerate_s", Jsonw.Float enum_s);
+                     ("speedup", Jsonw.Float speedup);
+                     ("explored", Jsonw.Int st.Oracle_propagate.explored);
+                     ("pruned", Jsonw.Int st.Oracle_propagate.pruned);
+                     ("asymptotic_gap", Jsonw.Float gap);
+                     ("agree", Jsonw.Bool agree);
+                   ])
+               ladder_rungs) );
+        ( "race",
+          Jsonw.Obj
+            [
+              ("test", Jsonw.String race_test.Litmus.name);
+              ("threads", Jsonw.Int (Array.length race_test.Litmus.threads));
+              ( "instructions",
+                Jsonw.Int
+                  (Array.fold_left
+                     (fun acc th -> acc + List.length th)
+                     0 race_test.Litmus.threads) );
+              ("candidates", Jsonw.Int race_space);
+              ("propagate_certified_ok", Jsonw.Bool verdict.Oracle_certify.ok);
+              ("propagate_s", Jsonw.Float prop_race_s);
+              ("enumerate_budget_s", Jsonw.Float budget_s);
+              ("enumerate_result", Jsonw.String race_result);
+              ("enumerate_s", Jsonw.Float enum_race_s);
+              ("enumerate_candidates_visited", Jsonw.Int !visited);
+            ] );
+        ("engines_agree", Jsonw.Bool engines_agree);
       ]
   in
   let path =
@@ -569,6 +690,10 @@ let oracle_bench ~smoke () =
   Printf.printf "  wrote %s\n%!" path;
   if List.exists (fun (_, _, _, identical) -> not identical) rows then begin
     prerr_endline "bench: sharded oracle grid diverged from the serial enumeration";
+    exit 1
+  end;
+  if not engines_agree then begin
+    prerr_endline "bench: the propagation and brute-force oracle engines disagree";
     exit 1
   end
 

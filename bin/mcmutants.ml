@@ -459,21 +459,23 @@ let table4_cmd =
 (* oracle: certification and simulator soundness                        *)
 
 let oracle_cmd =
-  let run jobs json_path no_certify no_soundness smoke iterations seed tests store_dir resume =
+  let run engine jobs json_path no_certify no_soundness smoke inject_bug iterations seed tests
+      store_dir resume =
     let module Certify = Mcm_oracle.Certify in
     let module Soundness = Mcm_oracle.Soundness in
+    let module Engine = Mcm_oracle.Engine in
     let module Jsonw = Mcm_util.Jsonw in
     let failures = ref 0 in
-    let json_fields = ref [] in
+    let json_fields = ref [ ("engine", Jsonw.String (Engine.name engine)) ] in
     let certify_reports =
       if no_certify then []
       else begin
-        Printf.printf "certifying the generated suite (%d tests, %d jobs)...\n%!"
-          (List.length (Suite.all ())) jobs;
-        let suite_report = Certify.suite ~domains:jobs () in
+        Printf.printf "certifying the generated suite (%d tests, %d jobs, %s engine)...\n%!"
+          (List.length (Suite.all ())) jobs (Engine.name engine);
+        let suite_report = Certify.suite ~engine ~domains:jobs () in
         Format.printf "%a" Certify.pp_report suite_report;
         Printf.printf "certifying the classic library (%d tests)...\n%!" (List.length Library.all);
-        let library_report = Certify.library ~domains:jobs () in
+        let library_report = Certify.library ~engine ~domains:jobs () in
         Format.printf "%a" Certify.pp_report library_report;
         failures := !failures + suite_report.Certify.failures + library_report.Certify.failures;
         [ ("certify_suite", suite_report); ("certify_library", library_report) ]
@@ -495,6 +497,16 @@ let oracle_cmd =
             1 )
         else (None, None, iterations)
       in
+      (* A deliberately broken device: the soundness check must fail on
+         it, which is how the checker (and both engines' counter-example
+         paths) are exercised end to end. *)
+      let devices =
+        if inject_bug then
+          Some
+            (Option.value devices ~default:(Device.all_correct ())
+            @ [ Device.make ~bugs:[ Bug.Coherence_alias 1.0 ] Profile.intel ])
+        else devices
+      in
       let n_tests =
         match tests with
         | Some t -> List.length t
@@ -510,7 +522,7 @@ let oracle_cmd =
             | Some journal ->
                 let sweep = Soundness.check_key ~iterations ~seed ?devices ?envs ?tests () in
                 check_resume ~resume ~sweep journal);
-            Soundness.check ~ctx ~iterations ~seed ?devices ?envs ?tests ())
+            Soundness.check ~engine ~ctx ~iterations ~seed ?devices ?envs ?tests ())
       in
       Format.printf "%a" Soundness.pp_report report;
       failures := !failures + report.Soundness.total_violations;
@@ -546,14 +558,34 @@ let oracle_cmd =
       value & opt_all string []
       & info [ "test" ] ~docv:"TEST" ~doc:"Restrict the soundness matrix to these tests (repeatable).")
   in
+  let engine_arg =
+    let module Engine = Mcm_oracle.Engine in
+    let engine_conv = Arg.enum (List.map (fun e -> (Engine.name e, e)) Engine.all) in
+    Arg.(
+      value
+      & opt engine_conv Engine.default
+      & info [ "engine" ] ~docv:"ENGINE"
+          ~doc:
+            "Oracle engine: $(b,propagate) (constraint propagation, the default) or \
+             $(b,enumerate) (the brute-force reference). Both give identical results; \
+             enumerate is the always-available cross-check.")
+  in
+  let inject_bug =
+    Arg.(
+      value & flag
+      & info [ "inject-bug" ]
+          ~doc:
+            "Add a deliberately buggy device (coherence disabled) to the soundness matrix; the \
+             oracle must then report violations and exit non-zero — a self-test of the checker.")
+  in
   Cmd.v
     (Cmd.info "oracle"
        ~doc:
-         "Certify every conformance test and mutant by exhaustive enumeration, and check the \
+         "Certify every conformance test and mutant against the axiomatic oracle, and check the \
           simulator's observed outcomes are axiomatically allowed")
     Term.(
-      const run $ jobs_arg $ json_path $ no_certify $ no_soundness $ smoke $ iterations_arg
-      $ seed_arg $ oracle_tests $ store_arg $ resume_arg)
+      const run $ engine_arg $ jobs_arg $ json_path $ no_certify $ no_soundness $ smoke
+      $ inject_bug $ iterations_arg $ seed_arg $ oracle_tests $ store_arg $ resume_arg)
 
 (* ------------------------------------------------------------------ *)
 (* models: print the axiomatic models in CAT style                      *)

@@ -214,6 +214,28 @@ let rwc =
       o.Litmus.regs.(1).(0) = 1 && o.Litmus.regs.(1).(1) = 0 && o.Litmus.regs.(2).(0) = 0)
     "t1.r0 = 1 && t1.r1 = 0 && t2.r0 = 0"
 
+(* Scalable four-thread store-buffering ladder for benchmarking the
+   oracle engines. Deliberately *not* in [all]: its purpose is a
+   candidate space that grows as ((stores + loads)! / loads!)^4 × ...,
+   not certification coverage, and adding rungs would silently grow the
+   golden certification counts. Values are fixed per thread slot
+   ([tid * stores + k + 1]) so the builder is free of evaluation-order
+   effects and every value is distinct and nonzero. *)
+let ladder ~stores ~loads =
+  if stores < 1 || loads < 1 then invalid_arg "Library.ladder: stores and loads must be >= 1";
+  let thread tid writes_loc reads_loc =
+    List.init stores (fun k -> Store { loc = writes_loc; value = (tid * stores) + k + 1 })
+    @ List.init loads (fun i -> Load { reg = i; loc = reads_loc })
+  in
+  let t0_first = 1 and t2_first = (2 * stores) + 1 in
+  mk
+    (Printf.sprintf "ladder-s%d-l%d" stores loads)
+    "ladder" Model.Sc_per_location
+    [ thread 0 x y; thread 1 x y; thread 2 y x; thread 3 y x ]
+    2
+    (fun o -> o.Litmus.regs.(0).(0) = t2_first && o.Litmus.regs.(2).(0) = t0_first)
+    "t0.r0 = first y-store of t2 && t2.r0 = first x-store of t0"
+
 let all =
   [
     corr; cowr; corw; coww; mp; mp_relacq; mp_co; lb; lb_relacq; sb; sb_relacq_rmw; s; s_relacq;

@@ -107,8 +107,22 @@ val rwc : Litmus.t
     thread 2's, while thread 2, after writing, fails to observe
     thread 0's write. *)
 
+val ladder : stores:int -> loads:int -> Litmus.t
+(** [ladder ~stores ~loads] is a scalable four-thread store-buffering
+    shape for benchmarking the oracle engines: threads 0–1 each store
+    [x] [stores] times then load [y] [loads] times; threads 2–3 do the
+    opposite. The target — thread 0's first [y] read sees thread 2's
+    {e first} store while thread 2's first [x] read sees thread 0's
+    {e first} store — is allowed under SC-per-location and (for
+    [stores >= 2]) unreachable serially, since a serial thread's
+    non-final store is shadowed before any other thread runs. The
+    candidate space grows multiplicatively with both knobs, which is the
+    point: it separates the engines asymptotically. Not part of {!all}
+    ({!expectation} is [None]); raises [Invalid_argument] unless both
+    knobs are [>= 1]. *)
+
 val all : Litmus.t list
-(** Every test above. Names are unique. *)
+(** Every test above (excluding {!ladder} rungs). Names are unique. *)
 
 val find : string -> Litmus.t option
 (** [find name] looks a test up by (case-insensitive) name. *)

@@ -72,17 +72,26 @@ type relations = {
   po_sw_po : Relation.t;
 }
 
-let relations x =
-  let n = Array.length x.events in
+(* po and po_loc depend only on the event array, not on the rf/co
+   choices — they are the fixed skeleton every candidate execution of a
+   test shares, which is why the propagation engine can seed its
+   incremental closure with them before making any choice. *)
+let static_po events =
+  let n = Array.length events in
   let po = ref (Relation.empty n) in
   for a = 0 to n - 1 do
     for b = 0 to n - 1 do
-      let ea = x.events.(a) and eb = x.events.(b) in
+      let ea = events.(a) and eb = events.(b) in
       if ea.Event.tid = eb.Event.tid && ea.Event.idx < eb.Event.idx then po := Relation.add !po a b
     done
   done;
   let po = !po in
-  let po_loc = Relation.restrict po (fun a b -> Event.same_loc x.events.(a) x.events.(b)) in
+  let po_loc = Relation.restrict po (fun a b -> Event.same_loc events.(a) events.(b)) in
+  (po, po_loc)
+
+let relations x =
+  let n = Array.length x.events in
+  let po, po_loc = static_po x.events in
   let rf = ref (Relation.empty n) in
   Array.iteri
     (fun r src -> match src with Some w when Event.is_read x.events.(r) -> rf := Relation.add !rf w r | _ -> ())

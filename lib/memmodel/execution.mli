@@ -48,6 +48,13 @@ type relations = {
   po_sw_po : Relation.t;  (** the release/acquire ordering [po ; sw ; po] *)
 }
 
+val static_po : Event.t array -> Relation.t * Relation.t
+(** [static_po events] is [(po, po_loc)] — the two derived relations
+    that depend only on the event array, not on any [rf]/[co] choice.
+    They are the fixed skeleton shared by every candidate execution of a
+    test; {!relations} is built on top of this, and the oracle's
+    propagation engine seeds its incremental closure with it. *)
+
 val relations : t -> relations
 (** [relations x] computes every derived relation. Cost is cubic in the
     event count, which is ≤ 16 for litmus tests. *)

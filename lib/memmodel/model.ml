@@ -14,13 +14,23 @@ let of_string s =
   | "rel-acq-sc-per-loc" | "relacq" | "rel-acq" -> Some Relacq_sc_per_location
   | _ -> None
 
+(* Every model's hb is [base ∪ com], optionally extended with the
+   release/acquire ordering [po ; sw ; po]. This decomposition is shared
+   with the oracle's propagation engine, which rebuilds the same edge
+   set incrementally: the base is fixed per test, and com/po_sw_po grow
+   monotonically as rf and co choices are made. *)
+let hb_base = function Sc -> `Po | Sc_per_location | Relacq_sc_per_location -> `Po_loc
+let hb_includes_sw = function Relacq_sc_per_location -> true | Sc | Sc_per_location -> false
+
 let hb m x =
   let r = Execution.relations x in
-  match m with
-  | Sc -> Relation.union r.Execution.po r.Execution.com
-  | Sc_per_location -> Relation.union r.Execution.po_loc r.Execution.com
-  | Relacq_sc_per_location ->
-      Relation.union r.Execution.po_loc (Relation.union r.Execution.com r.Execution.po_sw_po)
+  let base =
+    match hb_base m with `Po -> r.Execution.po | `Po_loc -> r.Execution.po_loc
+  in
+  let base =
+    if hb_includes_sw m then Relation.union base r.Execution.po_sw_po else base
+  in
+  Relation.union base r.Execution.com
 
 let rmw_atomic (x : Execution.t) =
   let ok = ref true in

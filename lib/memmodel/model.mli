@@ -24,6 +24,17 @@ val of_string : string -> t option
 (** Parses the output of [name] (case-insensitive); also accepts the
     aliases ["sc"], ["coherence"], ["sc-per-loc"], ["relacq"]. *)
 
+val hb_base : t -> [ `Po | `Po_loc ]
+(** The choice-independent skeleton of [m]'s happens-before relation:
+    full program order for {!Sc}, its same-location restriction for the
+    per-location models. Together with {!hb_includes_sw} this is the
+    decomposition [hb = base ∪ com (∪ po;sw;po)] that {!hb} computes and
+    the oracle's propagation engine rebuilds edge-by-edge. *)
+
+val hb_includes_sw : t -> bool
+(** Whether [m]'s happens-before includes the release/acquire ordering
+    [po ; sw ; po] (true only for {!Relacq_sc_per_location}). *)
+
 val hb : t -> Execution.t -> Relation.t
 (** [hb m x] is the happens-before relation [m] induces over [x]
     (not transitively closed). *)

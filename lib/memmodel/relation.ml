@@ -170,6 +170,65 @@ let find_cycle r =
   done;
   !result
 
+module Closure = struct
+  (* One byte per pair: reach.[a*n+b] <> '\000' iff b is reachable from a
+     through one or more edges. Kept transitively closed by [add], so a
+     cycle is detected the instant its last edge arrives. *)
+  type c = { n : int; reach : Bytes.t }
+
+  let create n =
+    if n < 0 then invalid_arg "Relation.Closure.create: negative size";
+    { n; reach = Bytes.make (n * n) '\000' }
+
+  let size c = c.n
+  let copy c = { c with reach = Bytes.copy c.reach }
+
+  let reaches c a b =
+    if a < 0 || a >= c.n || b < 0 || b >= c.n then
+      invalid_arg "Relation.Closure: index out of bounds";
+    Bytes.unsafe_get c.reach ((a * c.n) + b) <> '\000'
+
+  let add c a b =
+    if a < 0 || a >= c.n || b < 0 || b >= c.n then
+      invalid_arg "Relation.Closure: index out of bounds";
+    if a = b || Bytes.unsafe_get c.reach ((b * c.n) + a) <> '\000' then false
+    else begin
+      (* Everything that reaches a (plus a itself) now reaches everything
+         reached from b (plus b itself). The state is untouched when the
+         edge would close a cycle, so the caller can keep using [c]. *)
+      for x = 0 to c.n - 1 do
+        if x = a || Bytes.unsafe_get c.reach ((x * c.n) + a) <> '\000' then begin
+          let row = x * c.n in
+          Bytes.unsafe_set c.reach (row + b) '\001';
+          for y = 0 to c.n - 1 do
+            if Bytes.unsafe_get c.reach ((b * c.n) + y) <> '\000' then
+              Bytes.unsafe_set c.reach (row + y) '\001'
+          done
+        end
+      done;
+      true
+    end
+
+  let of_relation (r : t) =
+    let c = create r.n in
+    let ok = ref true in
+    for a = 0 to r.n - 1 do
+      for b = 0 to r.n - 1 do
+        if r.m.(a).(b) then if not (add c a b) then ok := false
+      done
+    done;
+    if !ok then Some c else None
+
+  let to_relation c =
+    let r = empty c.n in
+    for a = 0 to c.n - 1 do
+      for b = 0 to c.n - 1 do
+        if Bytes.unsafe_get c.reach ((a * c.n) + b) <> '\000' then r.m.(a).(b) <- true
+      done
+    done;
+    r
+end
+
 let equal r s = r.n = s.n && r.m = s.m
 
 let subset r s =

@@ -68,6 +68,45 @@ val find_cycle : t -> int list option
     cyclic, [None] otherwise. Used to report the happens-before cycle that
     makes a candidate execution inconsistent. *)
 
+(** Incremental acyclic reachability, for engines that grow a relation
+    one edge at a time and must notice the first edge that closes a
+    cycle. The constraint-propagation oracle engine keeps one closure
+    per search node: {!Closure.copy} at each branch, {!Closure.add} per
+    propagated happens-before edge, and a [false] return prunes the
+    whole subtree — sound because every edge it adds is present in every
+    completion of the partial execution. *)
+module Closure : sig
+  type c
+  (** A mutable, transitively closed reachability structure over
+      [\[0, size)]. Unlike {!t}, operations mutate in place. *)
+
+  val create : int -> c
+  (** The empty closure over [n] elements.
+      @raise Invalid_argument if [n < 0]. *)
+
+  val size : c -> int
+  val copy : c -> c
+  (** An independent copy; mutating one never affects the other. *)
+
+  val reaches : c -> int -> int -> bool
+  (** [reaches c a b] holds when [b] is reachable from [a] through one or
+      more added edges. *)
+
+  val add : c -> int -> int -> bool
+  (** [add c a b] inserts the edge [a → b] and re-closes transitively.
+      Returns [false] — leaving [c] {e unchanged} — when the edge would
+      create a cycle (including [a = b]); [true] otherwise. Adding an
+      edge already implied by [c] is a harmless no-op that returns
+      [true]. *)
+
+  val of_relation : t -> c option
+  (** [of_relation r] closes [r]; [None] when [r] is cyclic. *)
+
+  val to_relation : c -> t
+  (** The closure as a {!t} — equals [transitive_closure] of the added
+      edges. *)
+end
+
 val equal : t -> t -> bool
 (** Structural equality of relations over equal carriers. *)
 

@@ -39,10 +39,10 @@ let forbidden_evidence m t =
           | v :: _ -> Ok ("RMW atomicity violation: " ^ v)
           | [] -> Error "exhibiting candidates are neither cyclic nor atomicity-violating"))
 
-let conformance t =
+let conformance ?engine t =
   let m = t.Litmus.model in
   let base = { test = t.Litmus.name; model = m; role = "conformance"; ok = false; detail = "" } in
-  match Outcome.witness m t with
+  match Outcome.witness ?engine m t with
   | Some x ->
       {
         base with
@@ -56,10 +56,10 @@ let conformance t =
       | Ok evidence -> { base with ok = true; detail = evidence }
       | Error reason -> { base with detail = reason })
 
-let mutant ?(role = "mutant") t =
+let mutant ?engine ?(role = "mutant") t =
   let m = t.Litmus.model in
   let base = { test = t.Litmus.name; model = m; role; ok = false; detail = "" } in
-  match Outcome.witness m t with
+  match Outcome.witness ?engine m t with
   | None ->
       {
         base with
@@ -104,24 +104,24 @@ let grid ?domains ~f inputs =
   in
   of_verdicts verdicts
 
-let suite ?domains () =
+let suite ?engine ?domains () =
   grid ?domains (Suite.all ()) ~f:(fun (e : Suite.entry) ->
       match e.Suite.role with
-      | Suite.Conformance -> conformance e.Suite.test
+      | Suite.Conformance -> conformance ?engine e.Suite.test
       | Suite.Mutant_of parent ->
-          let v = mutant ~role:("mutant of " ^ parent) e.Suite.test in
+          let v = mutant ?engine ~role:("mutant of " ^ parent) e.Suite.test in
           if v.ok then
             { v with detail = v.detail ^ "; disruption: " ^ Mutator.disruption e.Suite.mutator }
           else v)
 
-let library ?domains () =
+let library ?engine ?domains () =
   grid ?domains Library.all ~f:(fun t ->
       match Library.expectation t with
-      | Some `Disallowed -> { (conformance t) with role = "library" }
+      | Some `Disallowed -> { (conformance ?engine t) with role = "library" }
       | Some `Allowed | None -> (
           let m = t.Litmus.model in
           let base = { test = t.Litmus.name; model = m; role = "library"; ok = false; detail = "" } in
-          match Outcome.witness m t with
+          match Outcome.witness ?engine m t with
           | Some x ->
               {
                 base with

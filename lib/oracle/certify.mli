@@ -13,7 +13,14 @@
 
     Every certificate carries evidence: a consistent witness execution's
     outcome for "allowed", a forbidden happens-before cycle (or RMW
-    atomicity violation) for "disallowed". *)
+    atomicity violation) for "disallowed".
+
+    The [?engine] selector ({!Engine.t}, default [Propagate]) picks the
+    consistent-execution engine behind the witness searches; verdicts
+    are engine-independent because the engines agree candidate-for-
+    candidate. The vacuity and forbidden-cycle evidence scans always run
+    on the brute-force enumeration — they need {e inconsistent}
+    candidates, which {!Propagate} prunes by design. *)
 
 type verdict = {
   test : string;  (** test name *)
@@ -28,18 +35,18 @@ type report = {
   failures : int;  (** number of verdicts with [ok = false] *)
 }
 
-val conformance : Mcm_litmus.Litmus.t -> verdict
+val conformance : ?engine:Engine.t -> Mcm_litmus.Litmus.t -> verdict
 (** [conformance t] certifies that [t]'s target is disallowed under
     [t.model] and non-vacuous (some candidate execution — necessarily
     inconsistent — exhibits it). Evidence: the forbidden cycle. *)
 
-val mutant : ?role:string -> Mcm_litmus.Litmus.t -> verdict
+val mutant : ?engine:Engine.t -> ?role:string -> Mcm_litmus.Litmus.t -> verdict
 (** [mutant t] certifies that [t]'s target is allowed under [t.model]
     (evidence: a witness outcome) and non-vacuous: no whole-thread-
     at-a-time serial execution exhibits it, so killing the mutant
     requires genuine interleaving or weak-memory behaviour. *)
 
-val suite : ?domains:int -> unit -> report
+val suite : ?engine:Engine.t -> ?domains:int -> unit -> report
 (** [suite ()] certifies the entire generated suite
     ({!Mcm_core.Suite.all}): every conformance test via {!conformance},
     every mutant via {!mutant} — proving each mutator product flips its
@@ -48,7 +55,7 @@ val suite : ?domains:int -> unit -> report
     the per-test work across a {!Mcm_util.Pool}; the report is
     bit-identical for every value. *)
 
-val library : ?domains:int -> unit -> report
+val library : ?engine:Engine.t -> ?domains:int -> unit -> report
 (** [library ()] certifies every hand-written classic test against its
     documented status ({!Mcm_litmus.Library.expectation}): enumeration
     must find the target allowed (with witness) or disallowed (with

@@ -19,6 +19,28 @@
     consumers may retain it (e.g. as a witness) without aliasing the
     enumerator's scratch state. *)
 
+(** The candidate space of a compiled test: which events choose rf
+    sources, and which writes each location offers them. This record is
+    the {e shared decision tree} of both oracle engines: {!Propagate}
+    builds it through the same functions, so its pruned search visits
+    the surviving leaves in exactly the order {!fold} visits them —
+    which is what makes the two engines' witness choices (not just their
+    outcome sets) bit-identical. *)
+type space = {
+  events : Mcm_memmodel.Event.t array;
+  reads : int list;  (** read/RMW event ids, ascending *)
+  writes_by_loc : (int * int list) list;
+      (** per location (ascending), write ids in id order *)
+}
+
+val space : Mcm_litmus.Litmus.t -> space
+(** [space t] compiles [t] and lays out its candidate space. *)
+
+val rf_choices : space -> int -> int option list
+(** [rf_choices sp r] is read [r]'s choice list, in decision order: the
+    initial state first ([None]), then every same-location write other
+    than [r] itself in id order (an RMW cannot read its own write). *)
+
 val fold : Mcm_litmus.Litmus.t -> init:'a -> f:('a -> Mcm_memmodel.Execution.t -> 'a) -> 'a
 (** [fold t ~init ~f] folds [f] over every candidate execution of [t],
     in a fixed deterministic order. Consistency is {e not} filtered. *)

@@ -13,15 +13,16 @@ let mem s o = List.mem o s
 let subset a b = List.for_all (fun o -> mem b o) a
 let equal (a : set) (b : set) = a = b
 
-let allowed m t =
-  Enumerate.fold_consistent m t ~init:[] ~f:(fun acc x -> Litmus.outcome_of_execution t x :: acc)
+let allowed ?(engine = Engine.default) m t =
+  Engine.fold_consistent engine m t ~init:[] ~f:(fun acc x ->
+      Litmus.outcome_of_execution t x :: acc)
   |> of_outcomes
 
-let allowed_grid ?domains points =
+let allowed_grid ?(engine = Engine.default) ?domains points =
   let arr = Array.of_list points in
   let compute i =
     let m, t = arr.(i) in
-    allowed m t
+    allowed ~engine m t
   in
   match domains with
   | None | Some 1 -> List.init (Array.length arr) compute
@@ -31,19 +32,18 @@ let allowed_grid ?domains points =
 
 exception Found of Execution.t
 
-let witness m t =
+let witness ?(engine = Engine.default) m t =
   match
-    Enumerate.iter t ~f:(fun x ->
-        if Model.consistent m x && t.Litmus.target (Litmus.outcome_of_execution t x) then
-          raise (Found x))
+    Engine.iter_consistent engine m t ~f:(fun x ->
+        if t.Litmus.target (Litmus.outcome_of_execution t x) then raise (Found x))
   with
   | () -> None
   | exception Found x -> Some x
 
-let target_allowed m t = witness m t <> None
+let target_allowed ?engine m t = witness ?engine m t <> None
 
-let counterexample m t o =
-  if mem (allowed m t) o then None
+let counterexample ?engine m t o =
+  if mem (allowed ?engine m t) o then None
   else
     let producing =
       Enumerate.fold t ~init:[] ~f:(fun acc x ->

@@ -6,19 +6,28 @@
     produce. This set is the oracle every consumer checks against: the
     simulator is sound iff every outcome it ever produces is a member
     ({!Soundness}), and a mutant is valid iff its target intersects the
-    set while its conformance twin's target does not ({!Certify}). *)
+    set while its conformance twin's target does not ({!Certify}).
+
+    Every query takes an [?engine] selector ({!Engine.t}, default
+    {!Engine.default}[ = Propagate]). The two engines produce
+    bit-identical results — same sets, same witnesses — so the selector
+    is purely a cost knob; [Enumerate] stays available as the
+    brute-force differential reference. *)
 
 type set
 (** A canonical (sorted, duplicate-free) set of outcomes. Two [set]s
     computed in any order — serially or sharded across a domain pool —
     are structurally equal iff they contain the same outcomes. *)
 
-val allowed : Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> set
-(** [allowed m t] enumerates every candidate execution of [t], keeps the
-    ones consistent under [m], and projects them onto outcomes. *)
+val allowed : ?engine:Engine.t -> Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> set
+(** [allowed m t] visits every candidate execution of [t] consistent
+    under [m] (through [engine]) and projects them onto outcomes. *)
 
 val allowed_grid :
-  ?domains:int -> (Mcm_memmodel.Model.t * Mcm_litmus.Litmus.t) list -> set list
+  ?engine:Engine.t ->
+  ?domains:int ->
+  (Mcm_memmodel.Model.t * Mcm_litmus.Litmus.t) list ->
+  set list
 (** [allowed_grid ~domains points] is [List.map (fun (m, t) -> allowed m t)]
     with the grid points sharded across a {!Mcm_util.Pool} of [domains]
     domains (default: serial). Results are positionally aligned with the
@@ -35,17 +44,27 @@ val mem : set -> Mcm_litmus.Litmus.outcome -> bool
 val subset : set -> set -> bool
 val equal : set -> set -> bool
 
-val target_allowed : Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> bool
+val target_allowed : ?engine:Engine.t -> Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> bool
 (** [target_allowed m t] holds when some consistent candidate under [m]
     exhibits [t]'s target behaviour. Short-circuits at the first
     witness rather than building the full set. *)
 
-val witness : Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> Mcm_memmodel.Execution.t option
+val witness :
+  ?engine:Engine.t ->
+  Mcm_memmodel.Model.t ->
+  Mcm_litmus.Litmus.t ->
+  Mcm_memmodel.Execution.t option
 (** [witness m t] is a consistent candidate exhibiting the target, when
-    one exists — the evidence attached to "allowed" certificates. *)
+    one exists — the evidence attached to "allowed" certificates. Both
+    engines visit consistent candidates in the same order, so the
+    returned witness is engine-independent. *)
 
 val counterexample :
-  Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> Mcm_litmus.Litmus.outcome -> string option
+  ?engine:Engine.t ->
+  Mcm_memmodel.Model.t ->
+  Mcm_litmus.Litmus.t ->
+  Mcm_litmus.Litmus.outcome ->
+  string option
 (** [counterexample m t o] explains why outcome [o] is {e not} allowed
     under [m]: the happens-before cycle (via {!Mcm_memmodel.Model.hb_cycle})
     or RMW-atomicity violation of a candidate producing [o] — preferring

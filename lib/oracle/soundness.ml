@@ -46,8 +46,8 @@ let default_tests () =
   let names = List.map (fun t -> t.Litmus.name) suite in
   suite @ List.filter (fun t -> not (List.mem t.Litmus.name names)) Library.all
 
-let explain t o =
-  match Outcome.counterexample t.Litmus.model t o with
+let explain ?engine t o =
+  match Outcome.counterexample ?engine t.Litmus.model t o with
   | Some e -> e
   | None -> "(outcome is allowed — explanation requested in error)"
 
@@ -77,8 +77,8 @@ let check_key ?(iterations = 2) ?(seed = 20230325) ?devices ?envs ?tests () =
   let tests = match tests with Some t -> t | None -> default_tests () in
   check_key_resolved ~iterations ~seed ~devices ~envs ~tests:(Array.of_list tests)
 
-let check ?(ctx = Request.serial) ?(iterations = 2) ?(seed = 20230325) ?devices ?envs ?tests ()
-    =
+let check ?engine ?(ctx = Request.serial) ?(iterations = 2) ?(seed = 20230325) ?devices ?envs
+    ?tests () =
   let devices = match devices with Some d -> d | None -> Device.all_correct () in
   let envs = match envs with Some e -> e | None -> default_envs () in
   let tests = match tests with Some t -> t | None -> default_tests () in
@@ -89,7 +89,7 @@ let check ?(ctx = Request.serial) ?(iterations = 2) ?(seed = 20230325) ?devices 
   let stage1 =
     Grid.map ctx ~n:(Array.length tests) ~f:(fun i ->
         let t = tests.(i) in
-        let allowed = Outcome.allowed t.Litmus.model t in
+        let allowed = Outcome.allowed ?engine t.Litmus.model t in
         let seq_violations =
           List.filter_map
             (fun o ->
@@ -101,7 +101,7 @@ let check ?(ctx = Request.serial) ?(iterations = 2) ?(seed = 20230325) ?devices 
                     v_device = "-";
                     v_env = "-";
                     v_outcome = o;
-                    v_explanation = explain t o;
+                    v_explanation = explain ?engine t o;
                   })
             (List.sort_uniq compare (Classify.sequential_outcomes t))
         in
@@ -149,7 +149,7 @@ let check ?(ctx = Request.serial) ?(iterations = 2) ?(seed = 20230325) ?devices 
                     v_device = Device.name device;
                     v_env = env_name;
                     v_outcome = o;
-                    v_explanation = explain t o;
+                    v_explanation = explain ?engine t o;
                   })
             observed
         in

@@ -71,6 +71,7 @@ val check_key :
     check before re-entering it. *)
 
 val check :
+  ?engine:Engine.t ->
   ?ctx:Mcm_testenv.Request.ctx ->
   ?iterations:int ->
   ?seed:int ->
@@ -84,7 +85,11 @@ val check :
     serial outcomes; then for every (test × device × env) grid point run
     a campaign of [iterations] kernel launches (default 2, seed default
     20230325) under the [Mcm_testenv.Runner.Outcomes] collector and
-    check every observed outcome. Devices default to the four correct
+    check every observed outcome. [engine] selects the oracle engine
+    behind the allowed sets and counter-example membership checks
+    (default {!Engine.default}); reports are engine-independent, so
+    {!check_key} deliberately excludes it — cached shards are shared
+    across engines. Devices default to the four correct
     study profiles. Both stages run as [Mcm_harness.Grid]s under [ctx]
     (default serial): [ctx.domains] fans the grid out — one domain task
     per grid point — with a bit-identical report for every value;

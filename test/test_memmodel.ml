@@ -426,6 +426,88 @@ let prop_acyclic_iff_no_cycle_found =
       let r = rel_of pairs in
       Relation.is_acyclic r = (Relation.find_cycle r = None))
 
+(* -------------------------------------------------------------------- *)
+(* Incremental closure (Relation.Closure): the propagation engine's
+   workhorse. Its contract is checked against the immutable relation
+   algebra as the reference implementation.                              *)
+
+let test_closure_basics () =
+  let c = Relation.Closure.create 4 in
+  check "add 0->1" true (Relation.Closure.add c 0 1);
+  check "add 1->2" true (Relation.Closure.add c 1 2);
+  check "reaches transitively" true (Relation.Closure.reaches c 0 2);
+  check "no reverse reach" false (Relation.Closure.reaches c 2 0);
+  check "cycle-closing add refused" false (Relation.Closure.add c 2 0);
+  check "refused add left state unchanged" false (Relation.Closure.reaches c 2 0);
+  check "self edge refused" false (Relation.Closure.add c 3 3);
+  check "duplicate add is a no-op success" true (Relation.Closure.add c 0 1);
+  check "copy is independent" true
+    (let d = Relation.Closure.copy c in
+     ignore (Relation.Closure.add d 0 3);
+     Relation.Closure.reaches d 0 3 && not (Relation.Closure.reaches c 0 3))
+
+let test_closure_of_relation () =
+  let acyclic = rel_of [ (0, 1); (1, 2); (3, 4) ] in
+  (match Relation.Closure.of_relation acyclic with
+  | None -> Alcotest.fail "of_relation rejected an acyclic relation"
+  | Some c ->
+      check "to_relation = transitive_closure" true
+        (Relation.equal (Relation.Closure.to_relation c) (Relation.transitive_closure acyclic)));
+  check "cyclic relation rejected" true
+    (Relation.Closure.of_relation (rel_of [ (0, 1); (1, 0) ]) = None)
+
+(* Replay a random edge list through the incremental closure and through
+   the immutable algebra side by side: each add must succeed exactly
+   when the edge keeps the accumulated graph acyclic (and is not a
+   self-loop), and the final closure must be the transitive closure of
+   the accepted edges. *)
+let prop_closure_add_tracks_acyclicity =
+  QCheck.Test.make ~count:300 ~name:"Closure.add accepts exactly the acyclicity-preserving edges"
+    arbitrary_relation (fun pairs ->
+      let c = Relation.Closure.create 6 in
+      let kept = ref [] in
+      List.for_all
+        (fun (a, b) ->
+          let expected =
+            a <> b && Relation.is_acyclic (rel_of ((a, b) :: !kept))
+          in
+          let got = Relation.Closure.add c a b in
+          if got then kept := (a, b) :: !kept;
+          got = expected)
+        pairs
+      && Relation.equal (Relation.Closure.to_relation c)
+           (Relation.transitive_closure (rel_of !kept)))
+
+let prop_closure_roundtrip =
+  QCheck.Test.make ~count:300 ~name:"of_relation/to_relation is the transitive closure"
+    arbitrary_relation (fun pairs ->
+      let r = rel_of pairs in
+      match Relation.Closure.of_relation r with
+      | Some c -> Relation.equal (Relation.Closure.to_relation c) (Relation.transitive_closure r)
+      | None -> not (Relation.is_acyclic r))
+
+(* static_po must agree with the po/po_loc the full relation derivation
+   computes — it is the piece the propagation engine precomputes once
+   per test instead of once per candidate. *)
+let test_static_po_agrees_with_relations () =
+  List.iter
+    (fun t ->
+      let x =
+        match
+          Mcm_litmus.Enumerate.candidates t
+        with
+        | x :: _ -> x
+        | [] -> Alcotest.failf "%s has no candidates" t.Mcm_litmus.Litmus.name
+      in
+      let r = Execution.relations x in
+      let po, po_loc = Execution.static_po x.Execution.events in
+      check (t.Mcm_litmus.Litmus.name ^ ": static po") true (Relation.equal po r.Execution.po);
+      check
+        (t.Mcm_litmus.Litmus.name ^ ": static po_loc")
+        true
+        (Relation.equal po_loc r.Execution.po_loc))
+    Mcm_litmus.Library.all
+
 let () =
   Alcotest.run "memmodel"
     [
@@ -482,4 +564,11 @@ let () =
             prop_closure_idempotent; prop_closure_contains; prop_union_commutative;
             prop_inverse_involutive; prop_compose_associative; prop_acyclic_iff_no_cycle_found;
           ] );
+      ( "incremental-closure",
+        Alcotest.test_case "basics" `Quick test_closure_basics
+        :: Alcotest.test_case "of_relation" `Quick test_closure_of_relation
+        :: Alcotest.test_case "static_po agrees with relations" `Quick
+             test_static_po_agrees_with_relations
+        :: List.map QCheck_alcotest.to_alcotest
+             [ prop_closure_add_tracks_acyclicity; prop_closure_roundtrip ] );
     ]

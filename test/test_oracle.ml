@@ -1,27 +1,36 @@
 (* Tests for the axiomatic oracle (lib/oracle).
 
-   Four layers of assurance:
+   Five layers of assurance:
 
    1. Engine cross-checks — the oracle's streaming enumerator must agree
       candidate-for-candidate and outcome-for-outcome with the older
       list-based enumerator in Mcm_litmus, and its analytic candidate
-      count with actual enumeration.
+      count with actual enumeration; and the constraint-propagation
+      engine must reproduce the brute-force engine's consistent stream
+      in order, execution for execution, over the whole corpus and the
+      benchmark ladder.
    2. Golden allowed-outcome counts — for every shipped test (classic
       library + generated suite) and every model, the size of the
-      allowed-outcome set is pinned. A model or enumerator change that
-      shifts any set shows up as an exact diff. Regenerate after an
-      intentional change with:
+      allowed-outcome set is pinned, through BOTH engines. A model or
+      engine change that shifts any set shows up as an exact diff.
+      Regenerate after an intentional change with:
         MCM_GOLDEN_REGEN=1 dune exec test/test_oracle.exe
    3. Certification — every conformance test is provably disallowed,
-      every mutant provably allowed and non-vacuous; the certifier also
-      rejects hand-built vacuous/inverted tests.
+      every mutant provably allowed and non-vacuous, with identical
+      verdict reports from both engines; the certifier also rejects
+      hand-built vacuous/inverted tests, and a deliberately weakened
+      model (the po;sw;po / po -> po_loc hb edge dropped) is flagged
+      identically by both engines.
    4. Soundness — the simulator's observed outcomes are axiomatically
       allowed on correct devices, and the checker catches an injected
-      coherence bug with a counter-example trace.
-
-   Plus qcheck properties: allowed-set monotonicity along the model
-   lattice for random programs, and bit-identity of the pool-sharded
-   grid enumeration for any domain count. *)
+      coherence bug with the same counter-example traces through either
+      engine.
+   5. qcheck properties — allowed-set monotonicity along the model
+      lattice, bit-identity of the pool-sharded grid for any domain
+      count, and the engine differential on random wide programs
+      (2–3 threads, fences, RMWs): identical ordered streams, allowed
+      sets, witnesses and certification verdicts, with Enumerate as the
+      reference. *)
 
 module Model = Mcm_memmodel.Model
 module Litmus = Mcm_litmus.Litmus
@@ -34,6 +43,8 @@ module Device = Mcm_gpu.Device
 module Bug = Mcm_gpu.Bug
 module Params = Mcm_testenv.Params
 module Enumerate = Mcm_oracle.Enumerate
+module Propagate = Mcm_oracle.Propagate
+module Engine = Mcm_oracle.Engine
 module Outcome = Mcm_oracle.Outcome
 module Certify = Mcm_oracle.Certify
 module Soundness = Mcm_oracle.Soundness
@@ -96,15 +107,63 @@ let test_target_allowed_agrees () =
     Library.all
 
 (* -------------------------------------------------------------------- *)
+(* 1b. Engine differential: the constraint-propagation engine must agree
+      with the brute-force enumerator not just on sets but on the exact
+      ordered stream of consistent executions — the contract that makes
+      witnesses, fold orders and certification verdicts
+      engine-independent. *)
+
+(* The closure-free identity of a candidate: its rf assignment and
+   coherence order. *)
+let exec_key (x : Mcm_memmodel.Execution.t) =
+  (Array.to_list x.Mcm_memmodel.Execution.rf, x.Mcm_memmodel.Execution.co)
+
+let stream engine m t =
+  Engine.fold_consistent engine m t ~init:[] ~f:(fun acc x -> exec_key x :: acc) |> List.rev
+
+let test_corpus_streams_identical () =
+  List.iter
+    (fun t ->
+      List.iter
+        (fun m ->
+          check
+            (Printf.sprintf "%s under %s: identical ordered consistent streams" t.Litmus.name
+               (Model.name m))
+            true
+            (stream Engine.Propagate m t = stream Engine.Enumerate m t))
+        Model.all)
+    (all_tests ())
+
+let test_propagate_stats_consistent_matches () =
+  List.iter
+    (fun t ->
+      List.iter
+        (fun m ->
+          let st = Propagate.stats m t in
+          check_int
+            (Printf.sprintf "%s under %s: stats.consistent = enumerate count" t.Litmus.name
+               (Model.name m))
+            (Enumerate.count_consistent m t) st.Propagate.consistent;
+          check
+            (Printf.sprintf "%s under %s: explored bounded by candidate work" t.Litmus.name
+               (Model.name m))
+            true
+            (st.Propagate.consistent <= st.Propagate.explored))
+        Model.all)
+    Library.all
+
+(* -------------------------------------------------------------------- *)
 (* 2. Golden allowed-outcome counts: name, |allowed| under SC,
-      rel-acq-SC-per-loc, SC-per-loc (the Model.all order).              *)
+      rel-acq-SC-per-loc, SC-per-loc (the Model.all order). Pinned
+      through BOTH engines — a pruning bug that shifts any set shows up
+      as an exact diff against the same table. *)
 
 type row = string * int * int * int
 
-let rows () : row list =
+let rows ?engine () : row list =
   List.map
     (fun t ->
-      match List.map (fun m -> Outcome.size (Outcome.allowed m t)) Model.all with
+      match List.map (fun m -> Outcome.size (Outcome.allowed ?engine m t)) Model.all with
       | [ sc; relacq; scpl ] -> (t.Litmus.name, sc, relacq, scpl)
       | _ -> assert false)
     (all_tests ())
@@ -188,14 +247,18 @@ let expected : row list =
 
 let pp_row (name, sc, relacq, scpl) = Printf.sprintf "(%S, %d, %d, %d);" name sc relacq scpl
 
-let test_golden_counts () =
-  let actual = rows () in
+let golden_counts engine () =
+  let actual = rows ~engine () in
   check_int "row count" (List.length expected) (List.length actual);
   List.iter2
     (fun a e ->
       if a <> e then
-        Alcotest.failf "allowed-set drift:\n  expected %s\n  actual   %s" (pp_row e) (pp_row a))
+        Alcotest.failf "allowed-set drift (%s engine):\n  expected %s\n  actual   %s"
+          (Engine.name engine) (pp_row e) (pp_row a))
     actual expected
+
+let test_golden_counts_enumerate () = golden_counts Engine.Enumerate ()
+let test_golden_counts_propagate () = golden_counts Engine.Propagate ()
 
 let test_monotone_along_lattice () =
   (* Permissiveness chain: allowed(SC) ⊆ allowed(rel-acq) ⊆ allowed(SC-per-loc),
@@ -236,6 +299,22 @@ let test_certify_library () =
   check_int "library size" (List.length Library.all) (List.length r.Certify.verdicts);
   check_int "no failures" 0 r.Certify.failures
 
+(* The golden certification counts (52/52 suite + 21/21 library) through
+   both engines, and verdict-for-verdict equality between them — the
+   evidence strings embed witness outcomes, so equality here also pins
+   the engines to the same witnesses. *)
+let test_certify_reports_engine_independent () =
+  let se = Certify.suite ~engine:Engine.Enumerate () in
+  let sp = Certify.suite ~engine:Engine.Propagate () in
+  check_int "suite 52/52 via enumerate" 0 se.Certify.failures;
+  check_int "suite 52/52 via propagate" 0 sp.Certify.failures;
+  check "identical suite reports" true (se = sp);
+  let le = Certify.library ~engine:Engine.Enumerate () in
+  let lp = Certify.library ~engine:Engine.Propagate () in
+  check_int "library 21/21 via enumerate" 0 le.Certify.failures;
+  check_int "library 21/21 via propagate" 0 lp.Certify.failures;
+  check "identical library reports" true (le = lp)
+
 let contains hay needle =
   let n = String.length needle and h = String.length hay in
   let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
@@ -272,6 +351,85 @@ let test_conformance_evidence_is_a_cycle () =
   let v = Certify.conformance Library.corr in
   check "ok" true v.Certify.ok;
   check "cycle evidence" true (contains v.Certify.detail "hb cycle")
+
+(* ------------------------------------------------------------------ *)
+(* 3b. Negative differential: weaken the model under a known-disallowed
+      test and both engines must flag the SAME certification failures —
+      the propagation engine must not "rescue" a broken rule by pruning
+      differently than brute force filters. *)
+
+let test_weakened_model_same_failure_both_engines () =
+  (* MP-relacq's target is disallowed only because rel-acq adds the
+     po;sw;po edge; re-pinning the test to plain SC-per-location drops
+     that hb edge, so the conformance certificate must fail (target
+     becomes allowed) — identically through both engines, including the
+     witness embedded in the verdict. *)
+  let weakened =
+    { Library.mp_relacq with Litmus.name = "MP-relacq-weakened"; model = Model.Sc_per_location }
+  in
+  let ve = Certify.conformance ~engine:Engine.Enumerate weakened in
+  let vp = Certify.conformance ~engine:Engine.Propagate weakened in
+  check "enumerate flags the failure" false ve.Certify.ok;
+  check "propagate flags the failure" false vp.Certify.ok;
+  check "mentions ALLOWED" true (contains vp.Certify.detail "ALLOWED");
+  check "identical verdicts" true (ve = vp);
+  (* The same drop seen from the coherence side: SC forbids SB's target
+     through full po; relaxing to SC-per-location keeps only same-
+     location program order, and the target becomes allowed. *)
+  let sb_sc = { Library.sb with Litmus.name = "SB-as-SC"; model = Model.Sc } in
+  let sb_weak = { Library.sb with Litmus.name = "SB-weakened" } in
+  check "SB disallowed under SC (enumerate)" true
+    (Certify.conformance ~engine:Engine.Enumerate sb_sc).Certify.ok;
+  check "SB disallowed under SC (propagate)" true
+    (Certify.conformance ~engine:Engine.Propagate sb_sc).Certify.ok;
+  let we = Certify.conformance ~engine:Engine.Enumerate sb_weak in
+  let wp = Certify.conformance ~engine:Engine.Propagate sb_weak in
+  check "weakened SB fails both engines" true ((not we.Certify.ok) && not wp.Certify.ok);
+  check "identical weakened-SB verdicts" true (we = wp)
+
+let test_vacuity_rejection_same_both_engines () =
+  let vacuous =
+    {
+      Library.mp with
+      Litmus.name = "MP-vacuous";
+      target = (fun o -> o.Litmus.regs.(1).(0) = 1 && o.Litmus.regs.(1).(1) = 1);
+      target_desc = "t1.r0 = 1 && t1.r1 = 1";
+    }
+  in
+  let ve = Certify.mutant ~engine:Engine.Enumerate vacuous in
+  let vp = Certify.mutant ~engine:Engine.Propagate vacuous in
+  check "both reject" true ((not ve.Certify.ok) && not vp.Certify.ok);
+  check "both flag vacuous" true
+    (contains ve.Certify.detail "vacuous" && contains vp.Certify.detail "vacuous");
+  check "identical verdicts" true (ve = vp)
+
+(* ------------------------------------------------------------------ *)
+(* 3c. The ladder: the bench's scalable rungs stay honest in the test
+      suite — well-formed, certifiable, and counted identically by both
+      engines on the rungs cheap enough for CI. *)
+
+let test_ladder_well_formed_and_certifiable () =
+  List.iter
+    (fun (stores, loads) ->
+      let t = Library.ladder ~stores ~loads in
+      check (t.Litmus.name ^ " well-formed") true (Litmus.well_formed t = Ok ());
+      check (t.Litmus.name ^ " not in Library.all") true (Library.expectation t = None))
+    [ (1, 1); (1, 2); (2, 1); (2, 2) ];
+  (* stores >= 2 makes the target non-vacuous (a serial thread's
+     non-final store is shadowed), so the rung certifies as a mutant. *)
+  let v = Certify.mutant ~engine:Engine.Propagate (Library.ladder ~stores:2 ~loads:1) in
+  check "s2-l1 certifies as allowed + non-vacuous" true v.Certify.ok
+
+let test_ladder_small_rung_streams_identical () =
+  let t = Library.ladder ~stores:1 ~loads:2 in
+  check "s1-l2: identical ordered streams" true
+    (stream Engine.Propagate t.Litmus.model t = stream Engine.Enumerate t.Litmus.model t)
+
+let test_ladder_medium_rung_counts_agree () =
+  let t = Library.ladder ~stores:2 ~loads:1 in
+  check_int "s2-l1: identical consistent counts"
+    (Engine.count_consistent Engine.Enumerate t.Litmus.model t)
+    (Engine.count_consistent Engine.Propagate t.Litmus.model t)
 
 (* -------------------------------------------------------------------- *)
 (* 4. Soundness.                                                         *)
@@ -316,6 +474,20 @@ let test_soundness_catches_injected_bug () =
     |> List.hd
   in
   check "explained by a forbidden cycle" true (contains v.Soundness.v_explanation "cycle")
+
+let test_soundness_injected_bug_same_both_engines () =
+  (* The injected-bug failure path, differentially: the violation set and
+     every counter-example explanation must be identical whichever
+     engine computed the allowed sets. *)
+  let buggy = Device.make ~bugs:[ Bug.Corr_reorder 0.5 ] Profile.intel in
+  let corr = (Option.get (Suite.find "CoRR")).Suite.test in
+  let run engine =
+    Soundness.check ~engine ~iterations:2 ~devices:[ buggy ] ~envs:small_env ~tests:[ corr ] ()
+  in
+  let re = run Engine.Enumerate and rp = run Engine.Propagate in
+  check "enumerate finds violations" true (re.Soundness.total_violations > 0);
+  check "propagate finds violations" true (rp.Soundness.total_violations > 0);
+  check "identical reports" true (re = rp)
 
 let test_soundness_jobs_invariant () =
   let run domains =
@@ -411,6 +583,119 @@ let prop_consistent_count_bounded =
           c >= 0 && c <= total)
         Model.all)
 
+(* ------------------------------------------------------------------ *)
+(* qcheck: engine differential on random programs.
+
+   A wider generator than [gen_program]: 2–3 threads of 1–3
+   instructions. Two-instruction threads can never form the po;sw;po
+   shape (a fence needs a neighbour on each side), so the differential
+   properties need three-instruction threads to exercise the propagation
+   engine's release/acquire edges at all. Budgets keep the candidate
+   space enumerable: at most 3 stores per location, at most 4 reads in
+   the whole program, at most 2 locations. *)
+let gen_program_wide st =
+  let open QCheck.Gen in
+  let nthreads = 2 + int_bound 1 st in
+  let nlocs = 1 + int_bound 1 st in
+  let next_value = Array.make nlocs 0 in
+  let stores_left = Array.make nlocs 3 in
+  let reads_left = ref 4 in
+  let fresh_value l =
+    next_value.(l) <- next_value.(l) + 1;
+    next_value.(l)
+  in
+  let thread _ =
+    let n = 1 + int_bound 2 st in
+    let reg = ref 0 in
+    List.init n (fun _ ->
+        let loc = int_bound (nlocs - 1) st in
+        match int_bound 3 st with
+        | 0 when !reads_left > 0 ->
+            decr reads_left;
+            let r = !reg in
+            incr reg;
+            Instr.Load { reg = r; loc }
+        | 1 when stores_left.(loc) > 0 ->
+            stores_left.(loc) <- stores_left.(loc) - 1;
+            Instr.Store { loc; value = fresh_value loc }
+        | 2 when !reads_left > 0 && stores_left.(loc) > 0 ->
+            decr reads_left;
+            stores_left.(loc) <- stores_left.(loc) - 1;
+            let r = !reg in
+            incr reg;
+            Instr.Rmw { reg = r; loc; value = fresh_value loc }
+        | _ -> Instr.Fence)
+  in
+  let threads = Array.init nthreads thread in
+  {
+    Litmus.name = "rand-wide";
+    family = "qcheck";
+    model = Model.Sc_per_location;
+    threads;
+    nlocs;
+    target = (fun _ -> false);
+    target_desc = "none";
+  }
+
+let program_wide_arb = QCheck.make ~print:(fun t -> Litmus.to_string t) gen_program_wide
+
+(* The strongest differential claim, from which set/witness/verdict
+   agreement all follow: both engines produce the SAME consistent
+   executions in the SAME order, under every model. *)
+let prop_streams_identical =
+  QCheck.Test.make ~count:80
+    ~name:"propagate stream = enumerate stream (ordered, every model)" program_wide_arb (fun t ->
+      List.for_all (fun m -> stream Engine.Propagate m t = stream Engine.Enumerate m t) Model.all)
+
+let prop_allowed_sets_identical =
+  QCheck.Test.make ~count:80 ~name:"allowed sets identical through both engines"
+    program_wide_arb (fun t ->
+      List.for_all
+        (fun m ->
+          Outcome.equal
+            (Outcome.allowed ~engine:Engine.Propagate m t)
+            (Outcome.allowed ~engine:Engine.Enumerate m t))
+        Model.all)
+
+(* Random targets: point the test at the outcome of one of its own
+   candidate executions (index chosen by qcheck), so roughly half the
+   targets are allowed and the rest exercise the no-witness path. *)
+let with_random_target (t, idx) =
+  let outcomes =
+    Enumerate.fold t ~init:[] ~f:(fun acc x -> Litmus.outcome_of_execution t x :: acc)
+    |> List.sort_uniq compare
+  in
+  match outcomes with
+  | [] -> None
+  | _ ->
+      let o = List.nth outcomes (idx mod List.length outcomes) in
+      Some { t with Litmus.target = (fun o' -> o' = o); target_desc = "random candidate outcome" }
+
+let prop_witnesses_identical =
+  QCheck.Test.make ~count:60 ~name:"witness identical through both engines (random targets)"
+    QCheck.(pair program_wide_arb (make (QCheck.Gen.int_bound 1000)))
+    (fun (t, idx) ->
+      match with_random_target (t, idx) with
+      | None -> QCheck.assume_fail ()
+      | Some t ->
+          List.for_all
+            (fun m ->
+              Option.map exec_key (Outcome.witness ~engine:Engine.Propagate m t)
+              = Option.map exec_key (Outcome.witness ~engine:Engine.Enumerate m t))
+            Model.all)
+
+let prop_certification_verdicts_identical =
+  QCheck.Test.make ~count:40
+    ~name:"certification verdicts identical through both engines (random targets)"
+    QCheck.(pair program_wide_arb (make (QCheck.Gen.int_bound 1000)))
+    (fun (t, idx) ->
+      match with_random_target (t, idx) with
+      | None -> QCheck.assume_fail ()
+      | Some t ->
+          Certify.mutant ~engine:Engine.Propagate t = Certify.mutant ~engine:Engine.Enumerate t
+          && Certify.conformance ~engine:Engine.Propagate t
+             = Certify.conformance ~engine:Engine.Enumerate t)
+
 let () =
   if Sys.getenv_opt "MCM_GOLDEN_REGEN" <> None then begin
     List.iter (fun r -> Printf.printf "    %s\n" (pp_row r)) (rows ());
@@ -428,15 +713,32 @@ let () =
             test_allowed_agrees_with_list_enumerator;
           Alcotest.test_case "target_allowed agrees" `Slow test_target_allowed_agrees;
         ] );
+      ( "engine-differential",
+        [
+          Alcotest.test_case "corpus streams identical (73 tests x 3 models)" `Slow
+            test_corpus_streams_identical;
+          Alcotest.test_case "propagate stats agree with enumerate counts" `Quick
+            test_propagate_stats_consistent_matches;
+          Alcotest.test_case "ladder s1-l2 streams identical" `Quick
+            test_ladder_small_rung_streams_identical;
+          Alcotest.test_case "ladder s2-l1 counts agree" `Slow test_ladder_medium_rung_counts_agree;
+          Alcotest.test_case "ladder rungs well-formed and certifiable" `Quick
+            test_ladder_well_formed_and_certifiable;
+        ] );
       ( "goldens",
         [
-          Alcotest.test_case "allowed-outcome counts" `Quick test_golden_counts;
+          Alcotest.test_case "allowed-outcome counts (enumerate)" `Quick
+            test_golden_counts_enumerate;
+          Alcotest.test_case "allowed-outcome counts (propagate)" `Quick
+            test_golden_counts_propagate;
           Alcotest.test_case "monotone along the lattice" `Slow test_monotone_along_lattice;
         ] );
       ( "certify",
         [
           Alcotest.test_case "whole generated suite" `Quick test_certify_suite;
           Alcotest.test_case "whole classic library" `Quick test_certify_library;
+          Alcotest.test_case "reports engine-independent (52/52 + 21/21 both ways)" `Slow
+            test_certify_reports_engine_independent;
           Alcotest.test_case "rejects allowed conformance" `Quick
             test_certify_rejects_allowed_conformance;
           Alcotest.test_case "rejects vacuous mutant" `Quick test_certify_rejects_vacuous_mutant;
@@ -444,11 +746,17 @@ let () =
             test_certify_rejects_disallowed_mutant;
           Alcotest.test_case "conformance evidence is a cycle" `Quick
             test_conformance_evidence_is_a_cycle;
+          Alcotest.test_case "weakened model flagged identically by both engines" `Quick
+            test_weakened_model_same_failure_both_engines;
+          Alcotest.test_case "vacuity rejected identically by both engines" `Quick
+            test_vacuity_rejection_same_both_engines;
         ] );
       ( "soundness",
         [
           Alcotest.test_case "correct devices are sound" `Quick test_soundness_correct_devices;
           Alcotest.test_case "injected bug is caught" `Quick test_soundness_catches_injected_bug;
+          Alcotest.test_case "injected bug reported identically by both engines" `Quick
+            test_soundness_injected_bug_same_both_engines;
           Alcotest.test_case "jobs-invariant report" `Quick test_soundness_jobs_invariant;
         ] );
       ( "properties",
@@ -458,5 +766,13 @@ let () =
             prop_monotone_random;
             prop_grid_jobs_identical;
             prop_consistent_count_bounded;
+          ] );
+      ( "properties-differential",
+        qcheck
+          [
+            prop_streams_identical;
+            prop_allowed_sets_identical;
+            prop_witnesses_identical;
+            prop_certification_verdicts_identical;
           ] );
     ]
