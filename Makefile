@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-instance bench-instance-smoke bench-oracle bench-oracle-smoke bench-store bench-store-smoke bench-pipeline bench-pipeline-smoke oracle oracle-smoke check clean
+.PHONY: all build test bench bench-smoke bench-instance bench-instance-smoke bench-oracle bench-oracle-smoke bench-store bench-store-smoke bench-pipeline bench-pipeline-smoke bench-serve bench-serve-smoke oracle oracle-smoke check clean
 
 all: build
 
@@ -69,6 +69,19 @@ bench-pipeline:
 bench-pipeline-smoke:
 	MCM_BENCH_SMOKE=1 MCM_BENCH_PART=pipeline dune exec bench/main.exe
 
+# Campaign service: the multi-client daemon vs the direct store path
+# (writes BENCH_serve.json, scratch dir _bench_serve/). Fails if dedup
+# computes any cell twice, if a warm grid misses, or (non-smoke) if
+# 2-client aggregate throughput drops below 0.95x of the direct path or
+# warm-hit latency exceeds 10 ms/cell.
+bench-serve:
+	MCM_BENCH_PART=serve dune exec bench/main.exe
+
+# Same functional contracts (dedup, warm hits) at CI speed; the timing
+# floors are not asserted.
+bench-serve-smoke:
+	MCM_BENCH_SMOKE=1 MCM_BENCH_PART=serve dune exec bench/main.exe
+
 # Full axiomatic oracle: certify every generated/classic test and run
 # the simulator soundness matrix over the whole library (minutes).
 oracle:
@@ -81,9 +94,9 @@ oracle-smoke:
 
 # The one target CI needs: build, full test suite, smoke benchmarks,
 # smoke oracle.
-check: build test bench-smoke bench-instance-smoke bench-oracle-smoke bench-store-smoke bench-pipeline-smoke oracle-smoke
+check: build test bench-smoke bench-instance-smoke bench-oracle-smoke bench-store-smoke bench-pipeline-smoke bench-serve-smoke oracle-smoke
 
 clean:
 	dune clean
-	rm -f BENCH_parallel.json BENCH_oracle.json BENCH_instance.json BENCH_store.json BENCH_pipeline.json
-	rm -rf _bench_store _bench_pipeline
+	rm -f BENCH_parallel.json BENCH_oracle.json BENCH_instance.json BENCH_store.json BENCH_pipeline.json BENCH_serve.json
+	rm -rf _bench_store _bench_pipeline _bench_serve

@@ -1073,6 +1073,316 @@ let pipeline_bench ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Part 2e: the campaign-service benchmark                              *)
+
+(* Three contracts for `mcmutants serve`, recorded in BENCH_serve.json:
+
+   1. Throughput: two clients splitting a cold grid between them over
+      the daemon's socket must aggregate to at least 95% of the
+      single-client direct store path (Grid.run with a store) — the
+      protocol, fsync-per-cell and scheduling may cost at most 5%.
+   2. Dedup: two clients submitting the SAME cold grid concurrently
+      cause each distinct cell to execute exactly once.
+   3. Warm latency: a fully cached grid answers in under 10 ms per cell
+      including the socket round-trip.
+
+   Timing contracts are asserted in non-smoke runs; the functional
+   contracts (dedup counts, warm hits) are asserted always. *)
+
+module Proto = Mcm_serve.Proto
+module Server = Mcm_serve.Server
+module Client = Mcm_serve.Client
+
+let serve_bench ~smoke () =
+  section "Campaign service: multi-client daemon vs direct store path";
+  let jobs = 2 in
+  let devices = [ Device.make Profile.nvidia; Device.make Profile.intel ] in
+  let test_names = [ "MP-CO-m"; "CoRR-m"; "MP-relacq-m3" ] in
+  let tests =
+    List.filter_map
+      (fun name -> Option.map (fun (e : Suite.entry) -> e.Suite.test) (Suite.find name))
+      test_names
+  in
+  let base = Params.scaled Params.pte_baseline 0.02 in
+  let envs =
+    List.init (if smoke then 2 else 4) (fun i -> { base with Params.testing_workgroups = 2 + (2 * i) })
+  in
+  let iterations = if smoke then 2 else 40 in
+  let seed = 20230325 in
+  let triples =
+    Array.of_list
+      (List.concat_map
+         (fun device ->
+           List.concat_map
+             (fun (name, test) -> List.map (fun env -> (device, env, name, test)) envs)
+             (List.combine test_names tests))
+         devices)
+  in
+  let n = Array.length triples in
+  Printf.printf "  grid of %d campaign cells (%d iterations per cell, %d worker domain(s))\n%!" n
+    iterations jobs;
+  let cell_seed i = Prng.mix seed i in
+  let root =
+    match Sys.getenv_opt "MCM_BENCH_SERVE_DIR" with
+    | Some p when p <> "" -> p
+    | _ -> "_bench_serve"
+  in
+  rm_rf root;
+  Unix.mkdir root 0o755;
+  (* 1a. The yardstick: the same cold grid through Grid.run + a store —
+     what one client sweeping directly would do. It runs in a forked
+     child because creating worker domains in this process would forbid
+     the forks the daemon and client phases need (Unix.fork is
+     single-domain-only on OCaml 5); the child is timed fork-to-exit,
+     the same boundary the serve phase is timed over. *)
+  let direct_dir = Filename.concat root "direct" in
+  let (), direct_s =
+    wall (fun () ->
+        match Unix.fork () with
+        | 0 ->
+            let code =
+              try
+                let request i =
+                  let device, env, _, test = triples.(i) in
+                  Request.make ~device ~env ~test ~iterations ~seed:(cell_seed i) ()
+                in
+                let grid = Grid.make Runner.Rate ~n ~request in
+                Store.with_store direct_dir (fun store ->
+                    ignore (Grid.run (Request.context ~domains:jobs ~store ()) grid));
+                0
+              with _ -> 1
+            in
+            Unix._exit code
+        | pid -> (
+            match snd (Unix.waitpid [] pid) with
+            | Unix.WEXITED 0 -> ()
+            | _ ->
+                prerr_endline "bench: direct sweep failed";
+                exit 1))
+  in
+  Printf.printf "  direct store path       %8.3f s  (%5.1f cells/s)\n%!" direct_s
+    (float_of_int n /. direct_s);
+  (* The daemon, forked like the CLI would run it. *)
+  let socket = Filename.concat root "serve.sock" in
+  let store_dir = Filename.concat root "store" in
+  let daemon =
+    match Unix.fork () with
+    | 0 ->
+        let code =
+          try
+            let devnull = Unix.openfile "/dev/null" [ Unix.O_WRONLY ] 0 in
+            Unix.dup2 devnull Unix.stderr;
+            ignore
+              (Server.run
+                 { Server.store_dir; socket_path = socket; port = None; jobs; verbose = false });
+            0
+          with _ -> 1
+        in
+        Unix._exit code
+    | pid -> pid
+  in
+  let connect name =
+    match Client.connect ~name socket with
+    | Ok c -> c
+    | Error e ->
+        prerr_endline ("bench: connect: " ^ e);
+        exit 1
+  in
+  let mk_cell i =
+    let _, env, name, _ = triples.(i) in
+    let device, _, _, _ = triples.(i) in
+    {
+      Proto.c_test = Proto.Name name;
+      c_device = String.lowercase_ascii device.Mcm_gpu.Device.profile.Profile.short_name;
+      c_bugs = false;
+      c_env = env;
+      c_iterations = iterations;
+      c_seed = cell_seed i;
+      c_engine = Request.Kernel;
+    }
+  in
+  let submit_indices client indices =
+    match Client.submit ~kind:"run" client (List.map mk_cell indices) with
+    | Ok g -> g
+    | Error e ->
+        prerr_endline ("bench: submit: " ^ e);
+        exit 1
+  in
+  (* A report counter, read over an admin session. *)
+  let report_total name =
+    let c = connect "bench-report" in
+    Client.send c Proto.Report;
+    let rec next () =
+      match Client.recv c with
+      | Ok (Proto.Reply { op = "report"; data }) -> data
+      | Ok _ -> next ()
+      | Error e ->
+          prerr_endline ("bench: report: " ^ e);
+          exit 1
+    in
+    let data = next () in
+    Client.close c;
+    let module Jsonp = Mcm_util.Jsonp in
+    Option.value ~default:(-1)
+      (Option.bind (Option.bind (Jsonp.member "totals" data) (Jsonp.member name)) Jsonp.to_int)
+  in
+  (* 1b. Two clients split the cold grid: child processes so the
+     submissions genuinely overlap; the parent times both from fork to
+     the second exit. *)
+  let halves =
+    ( List.init n (fun i -> i) |> List.filter (fun i -> i mod 2 = 0),
+      List.init n (fun i -> i) |> List.filter (fun i -> i mod 2 = 1) )
+  in
+  let fork_client name indices =
+    match Unix.fork () with
+    | 0 ->
+        let code =
+          try
+            let c = connect name in
+            let g = submit_indices c indices in
+            Client.close c;
+            if Array.length g.Client.cells = List.length indices then 0 else 1
+          with _ -> 2
+        in
+        Unix._exit code
+    | pid -> pid
+  in
+  let reap pid what =
+    match snd (Unix.waitpid [] pid) with
+    | Unix.WEXITED 0 -> ()
+    | _ ->
+        Printf.eprintf "bench: %s client failed\n" what;
+        exit 1
+  in
+  let (), serve_s =
+    wall (fun () ->
+        let a = fork_client "half-a" (fst halves) in
+        let b = fork_client "half-b" (snd halves) in
+        reap a "first";
+        reap b "second")
+  in
+  let computed_cold = report_total "computed" in
+  let serve_vs_direct = if serve_s > 0. then direct_s /. serve_s else 0. in
+  Printf.printf "  serve, 2 clients, cold  %8.3f s  (%5.1f cells/s)  %.2fx of direct\n%!" serve_s
+    (float_of_int n /. serve_s) serve_vs_direct;
+  if computed_cold <> n then begin
+    Printf.eprintf "bench: cold halves computed %d cells, expected %d\n" computed_cold n;
+    exit 1
+  end;
+  (* 2. Dedup: both clients submit the SAME grid (fresh seeds, so every
+     cell is cold) at the same time; the ledger must show each distinct
+     cell computed exactly once. *)
+  let dedup_seed = seed + 1 in
+  let mk_dedup i = { (mk_cell i) with Proto.c_seed = Prng.mix dedup_seed i } in
+  let dedup_indices = List.init (min n (if smoke then 4 else 8)) (fun i -> i) in
+  let before = report_total "computed" in
+  let fork_dedup name =
+    match Unix.fork () with
+    | 0 ->
+        let code =
+          try
+            let c = connect name in
+            match Client.submit ~kind:"run" c (List.map mk_dedup dedup_indices) with
+            | Ok _ ->
+                Client.close c;
+                0
+            | Error _ -> 1
+          with _ -> 2
+        in
+        Unix._exit code
+    | pid -> pid
+  in
+  let a = fork_dedup "dedup-a" in
+  let b = fork_dedup "dedup-b" in
+  reap a "dedup-a";
+  reap b "dedup-b";
+  let dedup_computed = report_total "computed" - before in
+  let dedup_cells = List.length dedup_indices in
+  Printf.printf "  dedup: 2 x %d identical cells -> %d computed\n%!" dedup_cells dedup_computed;
+  (* 3. Warm latency: the full grid again, now entirely cached. *)
+  let warm_client = connect "warm" in
+  let warm, warm_s = wall (fun () -> submit_indices warm_client (List.init n (fun i -> i))) in
+  Client.close warm_client;
+  let warm_ms_per_cell = 1000. *. warm_s /. float_of_int n in
+  Printf.printf "  warm grid               %8.3f s  (%.3f ms/cell, %d/%d hits)\n%!" warm_s
+    warm_ms_per_cell warm.Client.hits warm.Client.total;
+  (* Shut the daemon down cleanly and reap it. *)
+  let c = connect "bench-shutdown" in
+  Client.send c Proto.Shutdown;
+  (match Client.recv c with Ok _ | Error _ -> ());
+  Client.close c;
+  (match snd (Unix.waitpid [] daemon) with
+  | Unix.WEXITED 0 -> ()
+  | _ ->
+      prerr_endline "bench: daemon did not exit cleanly";
+      exit 1);
+  let json =
+    Jsonw.Obj
+      [
+        ("benchmark", Jsonw.String "campaign-service");
+        ("smoke", Jsonw.Bool smoke);
+        ("grid_points", Jsonw.Int n);
+        ("iterations", Jsonw.Int iterations);
+        ("direct_s", Jsonw.Float direct_s);
+        ( "multi_client",
+          Jsonw.Obj
+            [
+              ("clients", Jsonw.Int 2);
+              ("seconds", Jsonw.Float serve_s);
+              ("throughput_vs_direct", Jsonw.Float serve_vs_direct);
+              ("throughput_floor", Jsonw.Float 0.95);
+            ] );
+        ( "dedup",
+          Jsonw.Obj
+            [
+              ("submitted", Jsonw.Int (2 * dedup_cells));
+              ("distinct", Jsonw.Int dedup_cells);
+              ("computed", Jsonw.Int dedup_computed);
+            ] );
+        ( "warm",
+          Jsonw.Obj
+            [
+              ("seconds", Jsonw.Float warm_s);
+              ("ms_per_cell", Jsonw.Float warm_ms_per_cell);
+              ("ms_per_cell_budget", Jsonw.Float 10.);
+              ("hits", Jsonw.Int warm.Client.hits);
+            ] );
+      ]
+  in
+  let path =
+    match Sys.getenv_opt "MCM_BENCH_SERVE_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_serve.json"
+  in
+  let oc = open_out path in
+  Jsonw.to_channel oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" path;
+  if dedup_computed <> dedup_cells then begin
+    Printf.eprintf "bench: dedup broke — %d distinct cells but %d computed\n" dedup_cells
+      dedup_computed;
+    exit 1
+  end;
+  if warm.Client.hits <> n then begin
+    Printf.eprintf "bench: warm grid expected %d hits, got %d\n" n warm.Client.hits;
+    exit 1
+  end;
+  if not smoke then begin
+    if serve_vs_direct < 0.95 then begin
+      Printf.eprintf
+        "bench: multi-client throughput %.2fx of the direct path is below the 0.95x contract\n"
+        serve_vs_direct;
+      exit 1
+    end;
+    if warm_ms_per_cell > 10. then begin
+      Printf.eprintf "bench: warm-hit latency %.2f ms/cell exceeds the 10 ms contract\n"
+        warm_ms_per_cell;
+      exit 1
+    end
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Part 3: Bechamel micro-benchmarks                                    *)
 
 open Bechamel
@@ -1196,9 +1506,10 @@ let () =
   | Some "oracle" -> oracle_bench ~smoke ()
   | Some "store" -> store_bench ~smoke ()
   | Some "pipeline" -> pipeline_bench ~smoke ()
+  | Some "serve" -> serve_bench ~smoke ()
   | Some part ->
       Printf.eprintf
-        "bench: unknown MCM_BENCH_PART %S (instance|parallel|oracle|store|pipeline)\n" part;
+        "bench: unknown MCM_BENCH_PART %S (instance|parallel|oracle|store|pipeline|serve)\n" part;
       exit 2
   | None ->
       (* The instance bench is NOT part of the default runs: its
@@ -1216,6 +1527,7 @@ let () =
         oracle_bench ~smoke:true ();
         store_bench ~smoke:true ();
         pipeline_bench ~smoke:true ();
+        serve_bench ~smoke:true ();
         print_endline "smoke ok."
       end
       else begin
@@ -1225,6 +1537,7 @@ let () =
         oracle_bench ~smoke:false ();
         store_bench ~smoke:false ();
         pipeline_bench ~smoke:false ();
+        serve_bench ~smoke:false ();
         run_benchmarks ();
         print_newline ();
         print_endline "done."

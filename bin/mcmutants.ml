@@ -856,25 +856,28 @@ let cache_cmd =
       & info [ "store" ] ~docv:"DIR" ~doc:"Campaign store directory.")
   in
   let stats_cmd =
+    (* A read-only snapshot, not a writer open: stats must work while a
+       daemon or sweep holds the writer lock and appends. *)
     let run dir =
-      Store.with_store dir (fun store ->
-          print_store_warnings store;
-          let s = Store.stats store in
-          Printf.printf "store: %s\n" s.Store.s_dir;
-          Printf.printf "records: %d\n" s.Store.s_records;
-          Printf.printf "segments: %d (%d bytes)\n" s.Store.s_segments s.Store.s_bytes;
-          Printf.printf "recovered at open: %d bad record(s), %d duplicate(s), %d torn tail(s)\n"
-            s.Store.s_disk_bad s.Store.s_disk_duplicates s.Store.s_torn_tails;
-          let j = Journal.open_ (journal_path dir) in
-          (match Journal.header j with
-          | None -> print_endline "journal: none"
-          | Some h ->
-              Printf.printf "journal: sweep %s, %d/%d cell(s) durable%s\n"
-                (CKey.to_hex h.Journal.sweep) (Journal.progress j) h.Journal.cells
-                (if Journal.finished j then " (finished)" else " (interrupted — resumable)"));
-          Journal.close j)
+      let ro = try Store.Ro.open_ro dir with Failure msg -> or_die (Error msg) in
+      List.iter (fun w -> Printf.eprintf "store: %s\n" w) (Store.Ro.warnings ro);
+      Printf.printf "store: %s (read-only snapshot)\n" (Store.Ro.dir ro);
+      Printf.printf "records: %d\n" (Store.Ro.count ro);
+      Printf.printf "segments: %d (%d bytes)\n" (Store.Ro.segments ro) (Store.Ro.bytes ro);
+      let j = Journal.open_ (journal_path dir) in
+      (match Journal.header j with
+      | None -> print_endline "journal: none"
+      | Some h ->
+          Printf.printf "journal: sweep %s, %d/%d cell(s) durable%s\n"
+            (CKey.to_hex h.Journal.sweep) (Journal.progress j) h.Journal.cells
+            (if Journal.finished j then " (finished)" else " (interrupted — resumable)"));
+      Journal.close j
     in
-    Cmd.v (Cmd.info "stats" ~doc:"Report a store's records, segments and recovery counters")
+    Cmd.v
+      (Cmd.info "stats"
+         ~doc:
+           "Report a store's records, segments and journal, from a lock-free read-only \
+            snapshot (safe while a daemon or sweep is writing)")
       Term.(const run $ store_req)
   in
   let gc_cmd =
@@ -917,22 +920,375 @@ let cache_cmd =
     [ stats_cmd; gc_cmd; verify_cmd ]
 
 (* ------------------------------------------------------------------ *)
+(* serve / submit / watch / report / admin: the campaign service        *)
+
+module Proto = Mcm_serve.Proto
+module Server = Mcm_serve.Server
+module Client = Mcm_serve.Client
+
+let socket_arg =
+  let doc = "Daemon socket path (defaults to STORE/serve.sock on the serve side)." in
+  Arg.(value & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let socket_req =
+  let doc = "Daemon socket path." in
+  Arg.(required & opt (some string) None & info [ "socket" ] ~docv:"PATH" ~doc)
+
+let serve_cmd =
+  let run store_dir socket port jobs verbose =
+    let socket =
+      match socket with Some s -> s | None -> Filename.concat store_dir "serve.sock"
+    in
+    match
+      Server.run { Server.store_dir; socket_path = socket; port; jobs; verbose }
+    with
+    | summary ->
+        Printf.printf
+          "serve: done — %d session(s), %d warm hit(s), %d computed, %d deduplicated\n"
+          summary.Server.sessions summary.Server.served summary.Server.computed
+          summary.Server.joined
+    | exception Failure msg -> or_die (Error msg)
+  in
+  let store_req =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "store" ] ~docv:"DIR" ~doc:"Campaign store directory (the daemon is its single writer).")
+  in
+  let port =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "port" ] ~docv:"N" ~doc:"Also listen on TCP 127.0.0.1:$(docv).")
+  in
+  let verbose = Arg.(value & flag & info [ "verbose" ] ~doc:"Log every service event to stderr.") in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the campaign daemon: serve warm hits from the store instantly, deduplicate \
+          identical in-flight requests across clients, execute misses with per-client fair \
+          scheduling, stream results back incrementally")
+    Term.(const run $ store_req $ socket_arg $ port $ jobs_arg $ verbose)
+
+(* Build the submit grid client-side: name-or-file tests crossed with
+   one device/env/engine configuration, the environment shipped as full
+   canonical params so the daemon needs no tuning context. *)
+let submit_cells tests litmus_files device env_name iterations seed bugs scale engine =
+  let env = or_die (parse_env env_name seed scale) in
+  let engine = or_die (find_engine engine) in
+  (match Profile.find device with
+  | Some _ -> ()
+  | None -> or_die (Error (Printf.sprintf "unknown device %S (nvidia|amd|intel|m1)" device)));
+  let named =
+    List.map
+      (fun name ->
+        (* Resolve locally first for a friendly error; send the name so
+           the daemon's key matches direct CLI runs over the same suite. *)
+        ignore (or_die (find_test name));
+        {
+          Proto.c_test = Proto.Name name;
+          c_device = device;
+          c_bugs = bugs;
+          c_env = env;
+          c_iterations = iterations;
+          c_seed = seed;
+          c_engine = engine;
+        })
+      tests
+  in
+  let sourced =
+    List.map
+      (fun path ->
+        let src =
+          try In_channel.with_open_bin path In_channel.input_all
+          with Sys_error e -> or_die (Error e)
+        in
+        (match Mcm_litmus.Parse.parse src with
+        | Ok _ -> ()
+        | Error e -> or_die (Error (path ^ ": " ^ e)));
+        {
+          Proto.c_test = Proto.Source src;
+          c_device = device;
+          c_bugs = bugs;
+          c_env = env;
+          c_iterations = iterations;
+          c_seed = seed;
+          c_engine = engine;
+        })
+      litmus_files
+  in
+  match named @ sourced with
+  | [] -> or_die (Error "nothing to submit (give TEST names or --litmus FILE)")
+  | cells -> cells
+
+let submit_cmd =
+  let run socket tests litmus_files device env_name iterations seed bugs scale engine kind
+      priority json =
+    let cells = submit_cells tests litmus_files device env_name iterations seed bugs scale engine in
+    let client = or_die (Client.connect ~name:"submit" socket) in
+    let on_event msg = if json then print_endline (String.trim (Proto.server_to_line msg)) in
+    (match Client.submit ~priority ~on_event ~kind client cells with
+    | Error e ->
+        Client.close client;
+        or_die (Error e)
+    | Ok grid ->
+        Client.close client;
+        if not json then begin
+          Printf.printf "submitted %d cell(s): %d warm hit(s), %d queued, %d deduplicated\n"
+            grid.Client.total grid.Client.hits grid.Client.queued grid.Client.joined;
+          Array.iteri
+            (fun i r ->
+              let label =
+                match (List.nth cells i).Proto.c_test with
+                | Proto.Name n -> n
+                | Proto.Source _ -> List.nth litmus_files (i - List.length tests)
+              in
+              match (kind, Runner.result_of_json r.Client.payload) with
+              | "run", Ok res ->
+                  Printf.printf "%-24s %s  kills %d/%d  rate %s /s  key %s\n" label
+                    (if r.Client.cached then "cached " else "computed")
+                    res.Runner.kills res.Runner.instances
+                    (Table.rate_cell res.Runner.rate)
+                    r.Client.key
+              | _ ->
+                  Printf.printf "%-24s %s  key %s  %s\n" label
+                    (if r.Client.cached then "cached " else "computed")
+                    r.Client.key
+                    (Mcm_util.Jsonw.to_string r.Client.payload))
+            grid.Client.cells
+        end)
+  in
+  let tests =
+    Arg.(value & pos_all string [] & info [] ~docv:"TEST" ~doc:"Test names to submit.")
+  in
+  let litmus_files =
+    Arg.(
+      value & opt_all string []
+      & info [ "litmus" ] ~docv:"FILE" ~doc:"Submit a textual litmus source file (repeatable).")
+  in
+  let kind =
+    Arg.(
+      value
+      & opt (enum [ ("run", "run"); ("histogram", "histogram"); ("outcomes", "outcomes") ]) "run"
+      & info [ "kind" ] ~docv:"KIND" ~doc:"Result payload: run, histogram or outcomes.")
+  in
+  let priority =
+    Arg.(
+      value & opt int 0
+      & info [ "priority" ] ~docv:"N" ~doc:"Scheduling priority (higher runs first).")
+  in
+  let json =
+    Arg.(value & flag & info [ "json" ] ~doc:"Stream the raw protocol events as JSONL instead.")
+  in
+  Cmd.v
+    (Cmd.info "submit"
+       ~doc:
+         "Submit campaign cells to a running daemon and stream the results back (warm hits \
+          answer instantly; identical in-flight cells are deduplicated across clients)")
+    Term.(
+      const run $ socket_req $ tests $ litmus_files $ device_arg $ env_arg $ iterations_arg
+      $ seed_arg $ bugs_arg $ scale_arg $ engine_arg $ kind $ priority $ json)
+
+let watch_cmd =
+  let run socket =
+    let client = or_die (Client.connect ~name:"watch" socket) in
+    Client.send client Proto.Watch;
+    let rec loop () =
+      match Client.recv client with
+      | Error e ->
+          Client.close client;
+          or_die (Error e)
+      | Ok (Proto.Progress { queued; inflight; clients; served; computed }) ->
+          Printf.printf "queued %d  inflight %d  clients %d  served %d  computed %d\n%!" queued
+            inflight clients served computed;
+          loop ()
+      | Ok (Proto.Bye { reason }) ->
+          Printf.printf "daemon: bye (%s)\n" reason;
+          Client.close client
+      | Ok _ -> loop ()
+    in
+    loop ()
+  in
+  Cmd.v
+    (Cmd.info "watch" ~doc:"Attach to a daemon and stream queue/progress events until it exits")
+    Term.(const run $ socket_req)
+
+let report_cmd =
+  let run socket json =
+    let client = or_die (Client.connect ~name:"report" socket) in
+    Client.send client Proto.Report;
+    let rec next () =
+      match Client.recv client with
+      | Error e ->
+          Client.close client;
+          or_die (Error e)
+      | Ok (Proto.Reply { op = "report"; data }) ->
+          Client.close client;
+          data
+      | Ok _ -> next ()
+    in
+    let data = next () in
+    if json then print_endline (Mcm_util.Jsonw.to_string data)
+    else begin
+      let module Jsonp = Mcm_util.Jsonp in
+      let int path v = Option.value ~default:0 (Option.bind (Jsonp.member path v) Jsonp.to_int) in
+      let str path v =
+        Option.value ~default:"" (Option.bind (Jsonp.member path v) Jsonp.to_string_opt)
+      in
+      (match Jsonp.member "totals" data with
+      | Some t ->
+          Printf.printf
+            "daemon totals: %d session(s), %d submission(s), %d cell(s) — %d hit(s), %d \
+             joined, %d computed\n"
+            (int "sessions" t) (int "submissions" t) (int "cells" t) (int "hits" t)
+            (int "joined" t) (int "computed" t)
+      | None -> ());
+      (match Jsonp.member "store" data with
+      | Some s -> Printf.printf "store: %s (%d record(s))\n" (str "dir" s) (int "records" s)
+      | None -> ());
+      let rows = match Jsonp.member "rows" data with Some r -> Jsonp.to_list r | None -> [] in
+      if rows <> [] then begin
+        let t =
+          Table.create
+            ~aligns:
+              [ Table.Left; Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+                Table.Right; Table.Right ]
+            [ "Test"; "Device"; "Env"; "Cells"; "Hits"; "Joined"; "Computed"; "Hit rate" ]
+        in
+        List.iter
+          (fun r ->
+            let cells = int "cells" r in
+            let hits = int "hits" r in
+            Table.add_row t
+              [
+                str "test" r;
+                str "device" r;
+                str "env" r;
+                string_of_int cells;
+                string_of_int hits;
+                string_of_int (int "joined" r);
+                string_of_int (int "computed" r);
+                (if cells > 0 then Table.pct_cell (float_of_int hits /. float_of_int cells)
+                 else "-");
+              ])
+          rows;
+        Table.print t
+      end
+    end
+  in
+  let json = Arg.(value & flag & info [ "json" ] ~doc:"Print the raw report JSON.") in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Per-test/per-device/per-environment service counters of a running daemon: hit \
+          rates, dedup joins, computed cells and outcome totals")
+    Term.(const run $ socket_req $ json)
+
+let admin_cmd =
+  let run socket action =
+    let client = or_die (Client.connect ~name:"admin" socket) in
+    let finish () = Client.close client in
+    (match action with
+    | "ping" -> (
+        Client.send client Proto.Ping;
+        match Client.recv client with
+        | Ok Proto.Pong ->
+            print_endline "pong";
+            finish ()
+        | Ok _ | Error _ ->
+            finish ();
+            or_die (Error "no pong from daemon"))
+    | "queue" -> (
+        Client.send client Proto.Queue;
+        let rec next () =
+          match Client.recv client with
+          | Ok (Proto.Reply { op = "queue"; data }) ->
+              print_endline (Mcm_util.Jsonw.to_string data);
+              finish ()
+          | Ok _ -> next ()
+          | Error e ->
+              finish ();
+              or_die (Error e)
+        in
+        next ())
+    | "drain" -> (
+        Client.send client Proto.Drain;
+        let rec next () =
+          match Client.recv client with
+          | Ok (Proto.Reply { op = "drain"; data }) ->
+              Printf.printf "draining: %s\n" (Mcm_util.Jsonw.to_string data);
+              finish ()
+          | Ok _ -> next ()
+          | Error e ->
+              finish ();
+              or_die (Error e)
+        in
+        next ())
+    | "shutdown" -> (
+        Client.send client Proto.Shutdown;
+        (* The daemon answers with Bye as it exits. *)
+        match Client.recv client with
+        | Ok (Proto.Bye _) | Error _ ->
+            print_endline "daemon shut down";
+            finish ()
+        | Ok _ ->
+            print_endline "shutdown requested";
+            finish ())
+    | other -> or_die (Error (Printf.sprintf "unknown action %S (ping|queue|drain|shutdown)" other)))
+  in
+  let action =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ACTION" ~doc:"ping, queue, drain or shutdown.")
+  in
+  Cmd.v
+    (Cmd.info "admin"
+       ~doc:
+         "Administer a running daemon: ping it, inspect the queue and in-flight cells, drain \
+          admissions, or shut it down gracefully")
+    Term.(const run $ socket_req $ action)
+
+(* ------------------------------------------------------------------ *)
 (* version: binary + campaign key code version                          *)
 
-let binary_version = "1.0.0"
+let binary_version = "1.1.0"
 
 let version_cmd =
-  let run () =
-    Printf.printf "mcmutants %s\n" binary_version;
-    Printf.printf "campaign key code version: %s\n" CKey.code_version;
-    Printf.printf "engines: %s\n" (String.concat ", " (List.map fst Request.engines))
+  let run json =
+    if json then
+      print_endline
+        (Mcm_util.Jsonw.to_string
+           (Mcm_util.Jsonw.Obj
+              [
+                ("version", Mcm_util.Jsonw.String binary_version);
+                ("keyCodeVersion", Mcm_util.Jsonw.String CKey.code_version);
+                ("protocol", Mcm_util.Jsonw.Int Proto.protocol_version);
+                ( "engines",
+                  Mcm_util.Jsonw.List
+                    (List.map (fun (n, _) -> Mcm_util.Jsonw.String n) Request.engines) );
+              ]))
+    else begin
+      Printf.printf "mcmutants %s\n" binary_version;
+      Printf.printf "campaign key code version: %s\n" CKey.code_version;
+      Printf.printf "serve protocol version: %d\n" Proto.protocol_version;
+      Printf.printf "engines: %s\n" (String.concat ", " (List.map fst Request.engines))
+    end
+  in
+  let json =
+    Arg.(
+      value & flag
+      & info [ "json" ]
+          ~doc:
+            "Print versions as JSON (includes the serve protocol version, so clients can \
+             handshake-check a daemon).")
   in
   Cmd.v
     (Cmd.info "version"
        ~doc:
-         "Print the binary version and the campaign store's key code version (a code-version \
-          bump is why a store goes cold after an upgrade)")
-    Term.(const run $ const ())
+         "Print the binary version, the campaign store's key code version (a code-version \
+          bump is why a store goes cold after an upgrade) and the serve protocol version")
+    Term.(const run $ json)
 
 let main =
   let doc = "MC Mutants: mutation testing for memory consistency specifications (ASPLOS '23)" in
@@ -940,7 +1296,8 @@ let main =
     [
       list_cmd; show_cmd; enumerate_cmd; run_cmd; parse_cmd; export_cmd; wgsl_cmd; table2_cmd; table3_cmd; fig5_cmd;
       fig6_cmd; table4_cmd; tune_cmd; analysis_cmd; cts_cmd; prune_cmd; emit_suite_cmd; models_cmd;
-      oracle_cmd; cache_cmd; version_cmd;
+      oracle_cmd; cache_cmd; serve_cmd; submit_cmd; watch_cmd; report_cmd; admin_cmd;
+      version_cmd;
     ]
 
 let () = exit (Cmd.eval main)

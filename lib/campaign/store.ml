@@ -303,6 +303,71 @@ let with_store ?fsync_every dir f =
   let t = open_store ?fsync_every dir in
   Fun.protect ~finally:(fun () -> close t) (fun () -> f t)
 
+(* Read-only snapshot access: the multi-reader half of the store
+   discipline. No lock, no truncation, no file creation — a reader must
+   be able to run while a live writer (the serve daemon, a sweep) holds
+   [LOCK] and appends. Complete lines are immutable once written, so
+   loading them yields a consistent prefix of the writer's store; a torn
+   tail is simply skipped (it is either a crash artifact the writer will
+   repair, or an append racing this very read). *)
+module Ro = struct
+  type ro = {
+    ro_dir : string;
+    ro_index : (Key.t, Jsonw.t) Hashtbl.t;
+    ro_warns : string list;  (** oldest first *)
+    ro_segments : int;
+    ro_bytes : int;
+  }
+
+  let open_ro dir =
+    if not (Sys.file_exists dir && Sys.is_directory dir) then
+      failwith (Printf.sprintf "Mcm_campaign.Store: %s is not a readable store directory" dir);
+    let index = Hashtbl.create 1024 in
+    let warns = ref [] in
+    let warn msg = warns := msg :: !warns in
+    let bytes = ref 0 in
+    let segments = list_segments dir in
+    List.iter
+      (fun (_, name) ->
+        let content = read_file (Filename.concat dir name) in
+        bytes := !bytes + String.length content;
+        let torn_at =
+          scan_lines content (fun line ->
+              if line <> "" then
+                match parse_record line with
+                | Record (key, payload) ->
+                    if Hashtbl.mem index key then
+                      warn
+                        (Printf.sprintf "%s: duplicate key %s (first record wins)" name
+                           (Key.to_hex key))
+                    else Hashtbl.add index key payload
+                | Bad e -> warn (Printf.sprintf "%s: skipping bad record (%s)" name e))
+        in
+        match torn_at with
+        | None -> ()
+        | Some offset ->
+            warn
+              (Printf.sprintf
+                 "%s: skipping torn tail at byte %d (left for the writer to repair)" name
+                 offset))
+      segments;
+    {
+      ro_dir = dir;
+      ro_index = index;
+      ro_warns = List.rev !warns;
+      ro_segments = List.length segments;
+      ro_bytes = !bytes;
+    }
+
+  let dir ro = ro.ro_dir
+  let find ro key = Hashtbl.find_opt ro.ro_index key
+  let mem ro key = Hashtbl.mem ro.ro_index key
+  let count ro = Hashtbl.length ro.ro_index
+  let warnings ro = ro.ro_warns
+  let segments ro = ro.ro_segments
+  let bytes ro = ro.ro_bytes
+end
+
 type verify_report = {
   v_segments : int;
   v_records : int;

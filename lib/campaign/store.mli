@@ -24,12 +24,20 @@
     pattern {!Sched} enforces). Cells are memoization entries of pure
     functions, so losing records is always safe — they are recomputed.
 
-    Opening a store takes an exclusive writer lock ([dir/LOCK], POSIX
-    [lockf]); a second {e process} opening the same directory fails at
+    Store discipline: single writer, many readers. Opening a store for
+    writing takes an exclusive writer lock ([dir/LOCK], POSIX [lockf]);
+    a second {e process} opening the same directory for writing fails at
     {!open_store} with an error naming the lock path, instead of silently
     interleaving segment appends. The lock is per-process (handles inside
     one process are unaffected) and is released by the kernel if the
-    process dies, so crash recovery and resume never find a stale lock. *)
+    process dies, so crash recovery and resume never find a stale lock.
+    Read paths are lock-free: {!Ro.open_ro} snapshots the segments
+    without touching the lock (or the files — a torn tail is skipped,
+    never truncated), and {!verify} scans read-only, so [mcmutants cache
+    stats]/[verify] and daemon-side readers run concurrently with a live
+    writer. Because segments are append-only and records are complete
+    lines, a snapshot read while the writer appends sees a prefix of the
+    store — every complete record it finds is valid. *)
 
 type t
 
@@ -84,6 +92,37 @@ val close : t -> unit
 
 val with_store : ?fsync_every:int -> string -> (t -> 'a) -> 'a
 (** Open, apply, and {!close} (also on exceptions). *)
+
+(** {2 Read-only snapshot access}
+
+    The multi-reader half of the store discipline: a lock-free,
+    mutation-free view of the segments as they were at open time. Safe
+    while another process holds the writer lock and appends — complete
+    lines are immutable once written, so the snapshot is a consistent
+    prefix of the writer's store. A torn tail (the writer, or a crash,
+    mid-append) is skipped but {e not} truncated: repair belongs to the
+    writer's recovery path, never to a reader. *)
+module Ro : sig
+  type ro
+
+  val open_ro : string -> ro
+  (** [open_ro dir] snapshot-loads every complete record. Never takes
+      the writer lock, never creates or modifies anything on disk.
+      Raises [Failure] only if [dir] is not a readable directory. *)
+
+  val dir : ro -> string
+  val find : ro -> Key.t -> Mcm_util.Jsonw.t option
+  val mem : ro -> Key.t -> bool
+  val count : ro -> int
+
+  val warnings : ro -> string list
+  (** Anomalies seen while loading, oldest first: skipped bad records,
+      duplicate keys (first wins), torn tails left in place. *)
+
+  val segments : ro -> int
+  val bytes : ro -> int
+  (** Segment count and total segment bytes at snapshot time. *)
+end
 
 (** {2 Offline integrity checking} *)
 

@@ -1,0 +1,168 @@
+module Jsonw = Mcm_util.Jsonw
+module Key = Mcm_campaign.Key
+
+type t = {
+  fd : Unix.file_descr;
+  frame : Proto.Frame.t;
+  mutable queue : string list;  (** complete lines read but not yet consumed *)
+  mutable proto : int;
+  mutable keyv : string;
+  mutable closed : bool;
+}
+
+let protocol t = t.proto
+let key_version t = t.keyv
+
+let close t =
+  if not t.closed then begin
+    t.closed <- true;
+    try Unix.close t.fd with Unix.Unix_error _ -> ()
+  end
+
+let send t msg =
+  let line = Proto.client_to_line msg in
+  let len = String.length line in
+  let sent = ref 0 in
+  while !sent < len do
+    sent := !sent + Unix.write_substring t.fd line !sent (len - !sent)
+  done
+
+let recv t =
+  (* Serve queued lines first: one read can deliver several messages
+     (ack + warm-hit results + done arrive in a single flush) and every
+     one of them must reach the caller, in order. *)
+  let rec next () =
+    match t.queue with
+    | line :: rest -> (
+        t.queue <- rest;
+        match Proto.server_of_line line with
+        | Ok msg -> Ok msg
+        | Error e -> Error ("bad server message: " ^ e))
+    | [] -> (
+        let buf = Bytes.create 65536 in
+        match Unix.read t.fd buf 0 (Bytes.length buf) with
+        | 0 -> Error "connection closed by daemon"
+        | n ->
+            t.queue <- Proto.Frame.feed t.frame (Bytes.sub_string buf 0 n);
+            next ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            Error "timed out waiting for the daemon"
+        | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))
+  in
+  next ()
+
+let handshake ?(name = "mcmutants") ?(check_key = true) t =
+  send t (Proto.Hello { client = name; protocol = Proto.protocol_version });
+  match recv t with
+  | Ok (Proto.Welcome { protocol; key_version; server = _ }) ->
+      t.proto <- protocol;
+      t.keyv <- key_version;
+      if check_key && key_version <> Key.code_version then
+        Error
+          (Printf.sprintf
+             "daemon key code version %s differs from this binary's %s: cached results would \
+              not be shared (upgrade one side, or pass --no-check-key)"
+             key_version Key.code_version)
+      else Ok t
+  | Ok (Proto.Error { message; _ }) -> Error ("daemon refused the handshake: " ^ message)
+  | Ok _ -> Error "daemon sent an unexpected first message"
+  | Error e -> Error ("handshake failed: " ^ e)
+
+let dial ?(retry_for = 5.) ?(timeout = 120.) make_socket addr =
+  let deadline = Unix.gettimeofday () +. retry_for in
+  let rec attempt () =
+    let fd = make_socket () in
+    match Unix.connect fd addr with
+    | () ->
+        Unix.setsockopt_float fd Unix.SO_RCVTIMEO timeout;
+        Ok fd
+    | exception Unix.Unix_error ((Unix.ECONNREFUSED | Unix.ENOENT), _, _)
+      when Unix.gettimeofday () < deadline ->
+        Unix.close fd;
+        Unix.sleepf 0.05;
+        attempt ()
+    | exception Unix.Unix_error (e, _, _) ->
+        Unix.close fd;
+        Error (Unix.error_message e)
+  in
+  attempt ()
+
+let connect ?name ?retry_for ?timeout ?check_key path =
+  match
+    dial ?retry_for ?timeout
+      (fun () -> Unix.socket ~cloexec:true Unix.PF_UNIX Unix.SOCK_STREAM 0)
+      (Unix.ADDR_UNIX path)
+  with
+  | Error e -> Error (Printf.sprintf "%s: %s" path e)
+  | Ok fd ->
+      let t = { fd; frame = Proto.Frame.create (); queue = []; proto = 0; keyv = ""; closed = false } in
+      let r = handshake ?name ?check_key t in
+      (match r with Error _ -> close t | Ok _ -> ());
+      r
+
+let connect_tcp ?name ?retry_for ?timeout ?check_key ~host ~port () =
+  match
+    let addr =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.getaddrinfo host "" [ Unix.AI_FAMILY Unix.PF_INET ] with
+        | { Unix.ai_addr = Unix.ADDR_INET (a, _); _ } :: _ -> a
+        | _ -> failwith ("cannot resolve " ^ host))
+    in
+    dial ?retry_for ?timeout
+      (fun () -> Unix.socket ~cloexec:true Unix.PF_INET Unix.SOCK_STREAM 0)
+      (Unix.ADDR_INET (addr, port))
+  with
+  | Error e -> Error (Printf.sprintf "%s:%d: %s" host port e)
+  | Ok fd ->
+      let t = { fd; frame = Proto.Frame.create (); queue = []; proto = 0; keyv = ""; closed = false } in
+      let r = handshake ?name ?check_key t in
+      (match r with Error _ -> close t | Ok _ -> ());
+      r
+  | exception Failure e -> Error e
+
+type cell_result = { key : string; cached : bool; payload : Jsonw.t }
+
+type grid_result = {
+  total : int;
+  hits : int;
+  queued : int;
+  joined : int;
+  cells : cell_result array;
+}
+
+let submission_counter = ref 0
+
+let submit ?(priority = 0) ?(on_event = fun _ -> ()) ~kind t cells =
+  incr submission_counter;
+  let id = Printf.sprintf "sub-%d-%d" (Unix.getpid ()) !submission_counter in
+  send t (Proto.Submit { id; kind; priority; cells });
+  let n = List.length cells in
+  let results = Array.make n None in
+  let ack = ref None in
+  let rec wait () =
+    match recv t with
+    | Error e -> Error e
+    | Ok msg -> (
+        on_event msg;
+        match msg with
+        | Proto.Ack { id = aid; total; hits; queued; joined } when aid = id ->
+            ack := Some (total, hits, queued, joined);
+            wait ()
+        | Proto.Result { id = rid; cell; key; cached; payload } when rid = id ->
+            if cell >= 0 && cell < n then results.(cell) <- Some { key; cached; payload };
+            wait ()
+        | Proto.Done { id = did } when did = id -> (
+            match !ack with
+            | None -> Error "daemon completed the grid without acknowledging it"
+            | Some (total, hits, queued, joined) ->
+                if Array.exists Option.is_none results then
+                  Error "daemon reported done with cells missing"
+                else
+                  Ok { total; hits; queued; joined; cells = Array.map Option.get results })
+        | Proto.Error { id = Some eid; message } when eid = id -> Error message
+        | Proto.Error { id = None; message } -> Error message
+        | Proto.Bye { reason } -> Error ("daemon said goodbye: " ^ reason)
+        | _ -> wait () (* progress and unrelated events stream through *))
+  in
+  wait ()

@@ -1,0 +1,79 @@
+(** A blocking client for the campaign daemon.
+
+    Wraps one socket session: connect (with retries while the daemon is
+    still starting), the [Hello]/[Welcome] handshake — refusing a daemon
+    whose protocol or {!Mcm_campaign.Key.code_version} differs, so a
+    client never trusts cache keys computed under different semantics —
+    and line-framed send/receive of {!Proto} messages. {!submit} drives
+    a whole grid: send, stream, collect.
+
+    Used by the [mcmutants submit]/[watch]/[report]/[admin] subcommands,
+    the serve tests and the serve benchmark. *)
+
+type t
+
+val connect :
+  ?name:string ->
+  ?retry_for:float ->
+  ?timeout:float ->
+  ?check_key:bool ->
+  string ->
+  (t, string) result
+(** [connect path] dials the Unix-domain socket at [path] and performs
+    the handshake. [retry_for] keeps retrying a refused/absent socket
+    for that many seconds (default 5 — covers a daemon that is still
+    binding); [timeout] bounds every receive (default 120 s);
+    [check_key] (default true) fails the handshake if the daemon's key
+    code version differs from this binary's. *)
+
+val connect_tcp :
+  ?name:string ->
+  ?retry_for:float ->
+  ?timeout:float ->
+  ?check_key:bool ->
+  host:string ->
+  port:int ->
+  unit ->
+  (t, string) result
+
+val protocol : t -> int
+val key_version : t -> string
+(** The daemon's handshake answers. *)
+
+val send : t -> Proto.client_msg -> unit
+(** Write one message (blocking). *)
+
+val recv : t -> (Proto.server_msg, string) result
+(** Read the next message (blocking, up to the connect [timeout]).
+    [Error] on EOF, timeout or an unparseable line. *)
+
+val close : t -> unit
+
+(** {2 Grid submission} *)
+
+type cell_result = {
+  key : string;  (** 16-hex store key *)
+  cached : bool;  (** served from the store (true) or computed now *)
+  payload : Mcm_util.Jsonw.t;  (** the store payload, verbatim *)
+}
+
+type grid_result = {
+  total : int;
+  hits : int;  (** warm hits at submit time *)
+  queued : int;  (** cells this submission put in the queue *)
+  joined : int;  (** cells deduplicated onto in-flight work *)
+  cells : cell_result array;  (** indexed like the submitted list *)
+}
+
+val submit :
+  ?priority:int ->
+  ?on_event:(Proto.server_msg -> unit) ->
+  kind:string ->
+  t ->
+  Proto.cell list ->
+  (grid_result, string) result
+(** [submit ~kind t cells] sends the grid and blocks until every cell's
+    result arrived ([Done]), returning the acknowledgement split and the
+    per-cell payloads. [on_event] observes every raw event as it
+    streams. [Error] on a daemon-side rejection, disconnect, or
+    timeout. *)

@@ -204,3 +204,86 @@ let to_json env =
       ("permuteFirst", Jsonw.Int env.permute_first);
       ("permuteSecond", Jsonw.Int env.permute_second);
     ]
+
+(* The wire codec's read half. Field-by-field inverse of [to_json]:
+   every field is required and must carry the exact name/type [to_json]
+   writes, so a request that round-trips is canonical by construction. *)
+let of_json v =
+  let module Jsonp = Mcm_util.Jsonp in
+  let ( let* ) = Result.bind in
+  let int name =
+    match Option.bind (Jsonp.member name v) Jsonp.to_int with
+    | Some i -> Ok i
+    | None -> Error (Printf.sprintf "env: missing or non-integer %S" name)
+  in
+  let str name =
+    match Option.bind (Jsonp.member name v) Jsonp.to_string_opt with
+    | Some s -> Ok s
+    | None -> Error (Printf.sprintf "env: missing or non-string %S" name)
+  in
+  let enum name decode =
+    let* s = str name in
+    match decode s with
+    | Some x -> Ok x
+    | None -> Error (Printf.sprintf "env: unknown %S value %S" name s)
+  in
+  let pattern_of_name = function
+    | "store-store" -> Some Store_store
+    | "store-load" -> Some Store_load
+    | "load-store" -> Some Load_store
+    | "load-load" -> Some Load_load
+    | _ -> None
+  in
+  let* mode =
+    enum "mode" (function "single" -> Some Single | "parallel" -> Some Parallel | _ -> None)
+  in
+  let* scope =
+    enum "scope" (function
+      | "inter-workgroup" -> Some Inter_workgroup
+      | "intra-workgroup" -> Some Intra_workgroup
+      | _ -> None)
+  in
+  let* testing_workgroups = int "testingWorkgroups" in
+  let* threads_per_workgroup = int "threadsPerWorkgroup" in
+  let* shuffle_pct = int "shufflePct" in
+  let* barrier_pct = int "barrierPct" in
+  let* mem_stress_pct = int "memStressPct" in
+  let* mem_stress_iterations = int "memStressIterations" in
+  let* mem_stress_pattern = enum "memStressPattern" pattern_of_name in
+  let* pre_stress_pct = int "preStressPct" in
+  let* pre_stress_iterations = int "preStressIterations" in
+  let* pre_stress_pattern = enum "preStressPattern" pattern_of_name in
+  let* stress_line_size = int "stressLineSize" in
+  let* stress_target_lines = int "stressTargetLines" in
+  let* scratch_memory_size = int "scratchMemorySize" in
+  let* mem_stride = int "memStride" in
+  let* stress_strategy =
+    enum "stressStrategy" (function
+      | "round-robin" -> Some Round_robin
+      | "chunking" -> Some Chunking
+      | _ -> None)
+  in
+  let* permute_first = int "permuteFirst" in
+  let* permute_second = int "permuteSecond" in
+  Ok
+    {
+      mode;
+      scope;
+      testing_workgroups;
+      threads_per_workgroup;
+      shuffle_pct;
+      barrier_pct;
+      mem_stress_pct;
+      mem_stress_iterations;
+      mem_stress_pattern;
+      pre_stress_pct;
+      pre_stress_iterations;
+      pre_stress_pattern;
+      stress_line_size;
+      stress_target_lines;
+      scratch_memory_size;
+      mem_stride;
+      stress_strategy;
+      permute_first;
+      permute_second;
+    }

@@ -101,3 +101,8 @@ val extra_instrs_per_thread : t -> int
 
 val pp : Format.formatter -> t -> unit
 val to_json : t -> Mcm_util.Jsonw.t
+
+val of_json : Mcm_util.Jsonw.t -> (t, string) result
+(** Inverse of {!to_json} — the wire codec the serve protocol uses to
+    ship environments. [of_json (to_json env) = Ok env] for every [env];
+    errors name the missing or ill-typed field. *)

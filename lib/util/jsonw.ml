@@ -30,6 +30,11 @@ let rec write buf = function
       if Float.is_nan f then Buffer.add_string buf "\"nan\""
       else if f = Float.infinity then Buffer.add_string buf "\"inf\""
       else if f = Float.neg_infinity then Buffer.add_string buf "\"-inf\""
+      else if f = 0. && 1. /. f < 0. then
+        (* %.17g prints negative zero as "-0", which reads back as the
+           integer 0 — the one finite float that would break byte-stable
+           print/parse round-trips (the serve protocol's contract). *)
+        Buffer.add_string buf "-0.0"
       else Buffer.add_string buf (Printf.sprintf "%.17g" f)
   | String s -> escape_to buf s
   | List vs ->
