@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-instance bench-instance-smoke bench-oracle bench-oracle-smoke bench-store bench-store-smoke bench-pipeline bench-pipeline-smoke bench-serve bench-serve-smoke oracle oracle-smoke check clean
+.PHONY: all build test bench bench-smoke bench-instance bench-instance-smoke bench-oracle bench-oracle-smoke bench-store bench-store-smoke bench-pipeline bench-pipeline-smoke bench-serve bench-serve-smoke bench-schemata bench-schemata-smoke oracle oracle-smoke check clean
 
 all: build
 
@@ -82,6 +82,19 @@ bench-serve:
 bench-serve-smoke:
 	MCM_BENCH_SMOKE=1 MCM_BENCH_PART=serve dune exec bench/main.exe
 
+# Mutant-schemata plan vs per-cell compilation over a Table-4-shaped
+# matrix (writes BENCH_schemata.json). Built with --profile release for
+# the same inlining reasons as bench-instance. Fails if any cell's
+# result diverges from the per-cell reference or (non-smoke) if the
+# schema plan's sweep speedup is under the 2x contract.
+bench-schemata:
+	MCM_BENCH_PART=schemata dune exec --profile release bench/main.exe
+
+# Same bit-identity contract at CI speed (the 2x floor is not asserted
+# — the smoke matrix is too small to time meaningfully).
+bench-schemata-smoke:
+	MCM_BENCH_SMOKE=1 MCM_BENCH_PART=schemata dune exec --profile release bench/main.exe
+
 # Full axiomatic oracle: certify every generated/classic test and run
 # the simulator soundness matrix over the whole library (minutes).
 oracle:
@@ -94,9 +107,9 @@ oracle-smoke:
 
 # The one target CI needs: build, full test suite, smoke benchmarks,
 # smoke oracle.
-check: build test bench-smoke bench-instance-smoke bench-oracle-smoke bench-store-smoke bench-pipeline-smoke bench-serve-smoke oracle-smoke
+check: build test bench-smoke bench-instance-smoke bench-oracle-smoke bench-store-smoke bench-pipeline-smoke bench-serve-smoke bench-schemata-smoke oracle-smoke
 
 clean:
 	dune clean
-	rm -f BENCH_parallel.json BENCH_oracle.json BENCH_instance.json BENCH_store.json BENCH_pipeline.json BENCH_serve.json
+	rm -f BENCH_parallel.json BENCH_oracle.json BENCH_instance.json BENCH_store.json BENCH_pipeline.json BENCH_serve.json BENCH_schemata.json
 	rm -rf _bench_store _bench_pipeline _bench_serve

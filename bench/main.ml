@@ -1383,6 +1383,256 @@ let serve_bench ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Part 2f: the mutant-schemata benchmark                               *)
+
+(* The schema plan's contract, recorded in BENCH_schemata.json:
+
+   1. Correctness: a full-matrix sweep under the schema plan (shared
+      kernel images, prefab memoization, workspace arena, family-grouped
+      dispatch) is bit-identical to the per-cell plan, which compiles
+      every cell from scratch — the reference path. Asserted always;
+      divergence exits non-zero.
+   2. Speed: on a Table 4-shaped matrix in the compile-dominated regime
+      (Single-mode environments run one instance per iteration, a seeds
+      axis makes whole campaign prefixes recur), the schema plan must be
+      at least 2x faster than per-cell compilation. Asserted in
+      non-smoke runs; smoke grids are too small to time.
+   3. The column API: one [Kernel.Schema] image over a conformance test,
+      all its mutants and a bug-injection variant — one compile and one
+      workspace for the whole column — replays every variant against
+      per-variant [Kernel.compile] with outcome and PRNG-state equality
+      checked draw for draw.
+
+   Engine counters (images compiled, schema/prefab reuses, workspace
+   reuses) are recorded for the schema run so the reuse the speedup
+   claims actually happened is visible in the JSON. *)
+
+module Kernel = Mcm_gpu.Kernel
+
+let schemata_bench ~smoke () =
+  section "Mutant schemata: per-cell compilation vs shared images";
+  let seed = 20230325 in
+  let iterations = 1 in
+  let n_envs = if smoke then 2 else 4 in
+  let n_seeds = if smoke then 2 else 32 in
+  (* The three Table 4 case studies: (vendor, conformance test) columns
+     of conf :: mutants, on the vendor's buggy device. *)
+  let cases =
+    List.map
+      (fun (profile, conf_name, _) ->
+        let device =
+          match Bug.paper_bug profile with
+          | Some bug -> Device.make ~bugs:[ bug ] profile
+          | None -> Device.make profile
+        in
+        let conf = (Option.get (Suite.find conf_name)).Suite.test in
+        let mutants = List.map (fun (e : Suite.entry) -> e.Suite.test) (Suite.mutants_of conf_name) in
+        (conf_name, device, conf :: mutants))
+      Experiments.Table4.cases
+  in
+  (* Single-mode environments execute one instance per iteration, so a
+     cell's cost is dominated by the campaign prefix (compile, workspace,
+     weak params, horizon) — the work the schema plan memoizes. The
+     seeds axis makes full (engine, test, device, env) prefixes recur. *)
+  let cells =
+    Array.of_list
+      (List.concat_map
+         (fun (conf_name, device, tests) ->
+           let g = Prng.create (Prng.mix seed (Hashtbl.hash conf_name)) in
+           let envs =
+             List.init n_envs (fun _ -> Params.scaled (Params.random g Params.Single) 0.02)
+           in
+           List.concat_map
+             (fun (test : Litmus.t) ->
+               List.concat_map
+                 (fun env ->
+                   List.init n_seeds (fun s ->
+                       let seed =
+                         Prng.mix seed (Hashtbl.hash (conf_name, test.Litmus.name, s))
+                       in
+                       Request.make ~device ~env ~test ~iterations ~seed ()))
+                 envs)
+             tests)
+         cases)
+  in
+  let n = Array.length cells in
+  let col = n_envs * n_seeds in
+  let family i = i / col in
+  let grid = Grid.make ~family Runner.Rate ~n ~request:(Array.get cells) in
+  let sweep plan () = Grid.run (Request.context ~plan ~domains:1 ()) grid in
+  Printf.printf
+    "  matrix of %d cells (%d columns x %d envs x %d seeds, %d iteration(s), Single mode)\n%!" n
+    (n / col) n_envs n_seeds iterations;
+  (* Reference results + the schema run's counter delta, before the
+     timed reps warm any domain-local cache. *)
+  let reference = sweep Request.Per_cell () in
+  let s0 = Runner.engine_stats () in
+  let schema_res = sweep Request.Schema () in
+  let counters = Runner.engine_stats_sub (Runner.engine_stats ()) s0 in
+  let identical = schema_res = reference in
+  Printf.printf "  schema run: %s\n%!" (Format.asprintf "%a" Runner.pp_engine_stats counters);
+  let time_min ~reps f =
+    let best = ref infinity in
+    for _ = 1 to reps do
+      let _, t = wall f in
+      if t < !best then best := t
+    done;
+    !best
+  in
+  let reps = if smoke then 1 else 10 in
+  let per_cell_s = time_min ~reps (sweep Request.Per_cell) in
+  let schema_s = time_min ~reps (sweep Request.Schema) in
+  let speedup = if schema_s > 0. then per_cell_s /. schema_s else 0. in
+  Printf.printf "  per-cell plan           %8.4f s\n%!" per_cell_s;
+  Printf.printf "  schema plan             %8.4f s   %5.2fx%s\n%!" schema_s speedup
+    (if identical then "   (bit-identical)" else "   RESULTS DIVERGED");
+  (* The column API head to head: one schema image + one workspace for
+     conf :: mutants :: bug variant, against a fresh compile + workspace
+     per variant, outcomes and PRNG states compared draw for draw. *)
+  let profile = Profile.nvidia in
+  let conf_name = "MP-CO" in
+  let conf = (Option.get (Suite.find conf_name)).Suite.test in
+  let env = Params.scaled Params.pte_baseline 0.02 in
+  let variant_of device (test : Litmus.t) =
+    let roles = Litmus.nthreads test in
+    let weak =
+      Gpu_instance.effective_params device.Device.profile
+        ~amplification:(Runner.amplification device env ~roles)
+    in
+    (weak, Device.effect device, test)
+  in
+  let correct = Device.make profile in
+  let buggy =
+    match Bug.paper_bug profile with
+    | Some bug -> Device.make ~bugs:[ bug ] profile
+    | None -> correct
+  in
+  let variants =
+    Array.of_list
+      (variant_of correct conf
+       :: List.map
+            (fun (e : Suite.entry) -> variant_of correct e.Suite.test)
+            (Suite.mutants_of conf_name)
+      @ [ variant_of buggy conf ])
+  in
+  let runs_per_variant = if smoke then 50 else 2_000 in
+  let starts_of (test : Litmus.t) =
+    Array.init (Litmus.nthreads test) (fun r -> 2. *. float_of_int r)
+  in
+  let column_agrees = ref true in
+  let schema_col_s =
+    let (), t =
+      wall (fun () ->
+          let s = Kernel.Schema.compile ~variants in
+          let ws = Kernel.Schema.workspace s in
+          Array.iteri
+            (fun v (_, _, test) ->
+              let g = Prng.create (Prng.mix seed v) in
+              let starts = starts_of test in
+              for _ = 1 to runs_per_variant do
+                ignore (Kernel.Schema.run s ws ~variant:v ~prng:g ~starts)
+              done)
+            variants)
+    in
+    t
+  in
+  let per_variant_col_s =
+    let (), t =
+      wall (fun () ->
+          Array.iteri
+            (fun v (weak, bugs, test) ->
+              let k = Kernel.compile ~weak ~bugs ~test in
+              let kws = Kernel.workspace k in
+              let g = Prng.create (Prng.mix seed v) in
+              let starts = starts_of test in
+              for _ = 1 to runs_per_variant do
+                ignore (Kernel.run k kws ~prng:g ~starts)
+              done)
+            variants)
+    in
+    t
+  in
+  (* The equality replay (outside the timed regions): both paths from
+     one seed, outcome and PRNG state compared after every instance. *)
+  let s = Kernel.Schema.compile ~variants in
+  let ws = Kernel.Schema.workspace s in
+  Array.iteri
+    (fun v (weak, bugs, test) ->
+      let k = Kernel.compile ~weak ~bugs ~test in
+      let kws = Kernel.workspace k in
+      let gs = Prng.create (Prng.mix seed v) in
+      let gk = Prng.create (Prng.mix seed v) in
+      let starts = starts_of test in
+      for _ = 1 to runs_per_variant do
+        let os = Kernel.Schema.run s ws ~variant:v ~prng:gs ~starts in
+        let ok = Kernel.run k kws ~prng:gk ~starts in
+        if not (os = ok && Prng.state gs = Prng.state gk) then column_agrees := false
+      done)
+    variants;
+  let column_speedup = if schema_col_s > 0. then per_variant_col_s /. schema_col_s else 0. in
+  Printf.printf "  column of %d variants, %d runs each\n" (Array.length variants)
+    runs_per_variant;
+  Printf.printf "    per-variant compile   %8.4f s\n%!" per_variant_col_s;
+  Printf.printf "    one schema image      %8.4f s   %5.2fx%s\n%!" schema_col_s column_speedup
+    (if !column_agrees then "   (bit-identical, PRNG states equal)"
+     else "   RESULTS DIVERGED");
+  let all_identical = identical && !column_agrees in
+  let json =
+    Jsonw.Obj
+      [
+        ("benchmark", Jsonw.String "mutant-schemata");
+        ("smoke", Jsonw.Bool smoke);
+        ("kernel_code_version", Jsonw.Int Kernel.code_version);
+        ("grid_points", Jsonw.Int n);
+        ("columns", Jsonw.Int (n / col));
+        ("envs", Jsonw.Int n_envs);
+        ("seeds", Jsonw.Int n_seeds);
+        ("iterations", Jsonw.Int iterations);
+        ("per_cell_s", Jsonw.Float per_cell_s);
+        ("schema_s", Jsonw.Float schema_s);
+        ("speedup", Jsonw.Float speedup);
+        ("speedup_target", Jsonw.Float 2.);
+        ("identical_to_per_cell", Jsonw.Bool all_identical);
+        ( "engine",
+          Jsonw.Obj
+            [
+              ("kernels_compiled", Jsonw.Int counters.Runner.kernels_compiled);
+              ("schema_reuses", Jsonw.Int counters.Runner.schema_reuses);
+              ("workspaces_built", Jsonw.Int counters.Runner.workspaces_built);
+              ("workspace_reuses", Jsonw.Int counters.Runner.workspace_reuses);
+            ] );
+        ( "column",
+          Jsonw.Obj
+            [
+              ("variants", Jsonw.Int (Array.length variants));
+              ("runs_per_variant", Jsonw.Int runs_per_variant);
+              ("per_variant_s", Jsonw.Float per_variant_col_s);
+              ("schema_s", Jsonw.Float schema_col_s);
+              ("speedup", Jsonw.Float column_speedup);
+              ("agrees", Jsonw.Bool !column_agrees);
+            ] );
+      ]
+  in
+  let path =
+    match Sys.getenv_opt "MCM_BENCH_SCHEMATA_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_schemata.json"
+  in
+  let oc = open_out path in
+  Jsonw.to_channel oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" path;
+  if not all_identical then begin
+    prerr_endline "bench: schema plan diverged from per-cell compilation";
+    exit 1
+  end;
+  if (not smoke) && speedup < 2. then begin
+    Printf.eprintf "bench: schema plan speedup %.2fx is below the 2x contract\n" speedup;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Part 3: Bechamel micro-benchmarks                                    *)
 
 open Bechamel
@@ -1507,9 +1757,11 @@ let () =
   | Some "store" -> store_bench ~smoke ()
   | Some "pipeline" -> pipeline_bench ~smoke ()
   | Some "serve" -> serve_bench ~smoke ()
+  | Some "schemata" -> schemata_bench ~smoke ()
   | Some part ->
       Printf.eprintf
-        "bench: unknown MCM_BENCH_PART %S (instance|parallel|oracle|store|pipeline|serve)\n" part;
+        "bench: unknown MCM_BENCH_PART %S (instance|parallel|oracle|store|pipeline|serve|schemata)\n"
+        part;
       exit 2
   | None ->
       (* The instance bench is NOT part of the default runs: its
@@ -1528,6 +1780,7 @@ let () =
         store_bench ~smoke:true ();
         pipeline_bench ~smoke:true ();
         serve_bench ~smoke:true ();
+        schemata_bench ~smoke:true ();
         print_endline "smoke ok."
       end
       else begin
@@ -1538,6 +1791,7 @@ let () =
         store_bench ~smoke:false ();
         pipeline_bench ~smoke:false ();
         serve_bench ~smoke:false ();
+        schemata_bench ~smoke:false ();
         run_benchmarks ();
         print_newline ();
         print_endline "done."

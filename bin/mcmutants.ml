@@ -145,23 +145,35 @@ let journal_path dir = Filename.concat dir "journal.jsonl"
 let print_store_warnings store =
   List.iter (fun w -> Printf.eprintf "store: %s\n" w) (Store.warnings store)
 
-(* Build the execution context around [f]: [jobs] worker domains, plus
-   the store and journal when a store directory was given. The journal is
-   also passed separately for the --resume contract check. Cache traffic
-   goes to stderr so stdout stays byte-identical with and without a
-   store. *)
-let with_ctx ~jobs store_dir f =
+(* Build the execution context around [f]: [jobs] worker domains, the
+   compile/memoization plan, plus the store and journal when a store
+   directory was given. The journal is also passed separately for the
+   --resume contract check. Cache traffic and the engine's
+   compile/memoization counters go to stderr so stdout stays
+   byte-identical with and without a store (and across plans). *)
+let with_ctx ?(plan = Request.Schema) ~jobs store_dir f =
+  let engine0 = Runner.engine_stats () in
+  let print_engine_stats () =
+    let d = Runner.engine_stats_sub (Runner.engine_stats ()) engine0 in
+    Printf.eprintf "engine: %s\n%!" (Format.asprintf "%a" Runner.pp_engine_stats d)
+  in
   match store_dir with
-  | None -> f (Request.context ~domains:jobs ()) None
+  | None ->
+      let result = f (Request.context ~domains:jobs ~plan ()) None in
+      print_engine_stats ();
+      result
   | Some dir ->
       Store.with_store dir (fun store ->
           print_store_warnings store;
           Journal.with_journal (journal_path dir) (fun journal ->
               let before = Store.count store in
-              let result = f (Request.context ~domains:jobs ~store ~journal ()) (Some journal) in
+              let result =
+                f (Request.context ~domains:jobs ~store ~journal ~plan ()) (Some journal)
+              in
               let computed = Store.count store - before in
               Printf.eprintf "store: %d record(s), %d added this run\n%!" (Store.count store)
                 computed;
+              print_engine_stats ();
               result))
 
 (* --resume contract: the journal must already describe this sweep. *)
@@ -261,12 +273,29 @@ let find_engine name =
         (Printf.sprintf "unknown engine %S (%s)" name
            (String.concat "|" (List.map fst Request.engines)))
 
+let plan_arg =
+  let doc =
+    "Compile/memoization plan: $(b,schema) (compile-once kernel images shared across cells + \
+     cross-cell memoization, the default) or $(b,per-cell) (fresh compilation per cell, the \
+     reference path). Results are bit-identical either way; only wall clock differs."
+  in
+  Arg.(value & opt string "schema" & info [ "plan" ] ~docv:"PLAN" ~doc)
+
+let find_plan name =
+  match Request.plan_of_name name with
+  | Some p -> Ok p
+  | None ->
+      Error
+        (Printf.sprintf "unknown plan %S (%s)" name
+           (String.concat "|" (List.map fst Request.plans)))
+
 let run_cmd =
-  let run name device env iterations seed bugs scale histogram jobs engine store_dir =
+  let run name device env iterations seed bugs scale histogram jobs engine plan store_dir =
     let test = or_die (find_test name) in
     let profile = or_die (find_device device) in
     let env = or_die (parse_env env seed scale) in
     let engine = or_die (find_engine engine) in
+    let plan = or_die (find_plan plan) in
     let device =
       if bugs then
         match Bug.paper_bug profile with
@@ -285,7 +314,7 @@ let run_cmd =
     let t0 = Unix.gettimeofday () in
     let request = Request.make ~engine ~device ~env ~test ~iterations ~seed () in
     let r, breakdown, chunk =
-      with_ctx ~jobs store_dir (fun ctx _journal ->
+      with_ctx ~plan ~jobs store_dir (fun ctx _journal ->
           let chunk = Request.chunk_for ctx ~n:iterations in
           if histogram then
             let r, h = Runner.exec Runner.Histogram request ctx in
@@ -326,7 +355,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run" ~doc:"Run one test in a testing environment on a simulated device")
     Term.(const run $ test_arg $ device_arg $ env_arg $ iterations_arg $ seed_arg $ bugs_arg
-          $ scale_arg $ histogram_arg $ jobs_arg $ engine_arg $ store_arg)
+          $ scale_arg $ histogram_arg $ jobs_arg $ engine_arg $ plan_arg $ store_arg)
 
 (* ------------------------------------------------------------------ *)
 (* parse / export: the textual litmus format                            *)
@@ -397,14 +426,14 @@ let table3_cmd =
   let run () = Table.print (Experiments.table3 ()) in
   Cmd.v (Cmd.info "table3" ~doc:"Reproduce Table 3 (device inventory)") Term.(const run $ const ())
 
-let sweep_of_config ?store_dir ?(resume = false) jobs =
+let sweep_of_config ?store_dir ?(resume = false) ?plan jobs =
   let config = try Tuning.default_config () with Failure msg -> or_die (Error msg) in
   Printf.printf
     "tuning sweep: %d envs/category, %d SITE iters, %d PTE iters, scale %.3f, seed %d, %d jobs\n%!"
     config.Tuning.n_envs config.Tuning.site_iterations config.Tuning.pte_iterations
     config.Tuning.scale config.Tuning.seed jobs;
   if resume && store_dir = None then or_die (Error "--resume requires --store DIR");
-  with_ctx ~jobs store_dir (fun ctx journal ->
+  with_ctx ?plan ~jobs store_dir (fun ctx journal ->
       (match journal with
       | None -> ()
       | Some journal ->
@@ -415,8 +444,9 @@ let sweep_of_config ?store_dir ?(resume = false) jobs =
       Tuning.sweep ~ctx config)
 
 let fig5_cmd =
-  let run jobs store_dir resume =
-    let runs = sweep_of_config ?store_dir ~resume jobs in
+  let run jobs store_dir resume plan =
+    let plan = or_die (find_plan plan) in
+    let runs = sweep_of_config ?store_dir ~resume ~plan jobs in
     List.iter
       (fun (title, t) ->
         print_newline ();
@@ -431,29 +461,32 @@ let fig5_cmd =
   in
   Cmd.v
     (Cmd.info "fig5" ~doc:"Reproduce Figure 5 (mutation scores and death rates)")
-    Term.(const run $ jobs_arg $ store_arg $ resume_arg)
+    Term.(const run $ jobs_arg $ store_arg $ resume_arg $ plan_arg)
 
 let fig6_cmd =
-  let run jobs store_dir resume =
-    let runs = sweep_of_config ?store_dir ~resume jobs in
+  let run jobs store_dir resume plan =
+    let plan = or_die (find_plan plan) in
+    let runs = sweep_of_config ?store_dir ~resume ~plan jobs in
     print_newline ();
     print_endline "Figure 6: mutation score vs per-test time budget (merged environments, Alg. 1)";
     Table.print (Experiments.Fig6.table runs)
   in
   Cmd.v
     (Cmd.info "fig6" ~doc:"Reproduce Figure 6 (reproducible mutation score vs time budget)")
-    Term.(const run $ jobs_arg $ store_arg $ resume_arg)
+    Term.(const run $ jobs_arg $ store_arg $ resume_arg $ plan_arg)
 
 let table4_cmd =
-  let run scale jobs store_dir =
+  let run scale jobs store_dir plan =
+    let plan = or_die (find_plan plan) in
     let rows =
-      with_ctx ~jobs store_dir (fun ctx _journal -> Experiments.Table4.compute ~ctx ?scale ())
+      with_ctx ~plan ~jobs store_dir (fun ctx _journal ->
+          Experiments.Table4.compute ~ctx ?scale ())
     in
     Table.print (Experiments.Table4.table rows)
   in
   Cmd.v
     (Cmd.info "table4" ~doc:"Reproduce Table 4 (mutant kills vs real-bug correlation)")
-    Term.(const run $ scale_arg $ jobs_arg $ store_arg)
+    Term.(const run $ scale_arg $ jobs_arg $ store_arg $ plan_arg)
 
 (* ------------------------------------------------------------------ *)
 (* oracle: certification and simulator soundness                        *)
@@ -1146,6 +1179,12 @@ let report_cmd =
       (match Jsonp.member "store" data with
       | Some s -> Printf.printf "store: %s (%d record(s))\n" (str "dir" s) (int "records" s)
       | None -> ());
+      (match Jsonp.member "engine" data with
+      | Some e ->
+          Printf.printf
+            "engine: %d kernel(s) compiled, %d schema reuse(s), %d workspace reuse(s)\n"
+            (int "kernelsCompiled" e) (int "schemaReuses" e) (int "workspaceReuses" e)
+      | None -> ());
       let rows = match Jsonp.member "rows" data with Some r -> Jsonp.to_list r | None -> [] in
       if rows <> [] then begin
         let t =
@@ -1252,7 +1291,7 @@ let admin_cmd =
 (* ------------------------------------------------------------------ *)
 (* version: binary + campaign key code version                          *)
 
-let binary_version = "1.1.0"
+let binary_version = "1.2.0"
 
 let version_cmd =
   let run json =
@@ -1263,6 +1302,7 @@ let version_cmd =
               [
                 ("version", Mcm_util.Jsonw.String binary_version);
                 ("keyCodeVersion", Mcm_util.Jsonw.String CKey.code_version);
+                ("kernelCodeVersion", Mcm_util.Jsonw.Int Mcm_gpu.Kernel.code_version);
                 ("protocol", Mcm_util.Jsonw.Int Proto.protocol_version);
                 ( "engines",
                   Mcm_util.Jsonw.List
@@ -1271,6 +1311,7 @@ let version_cmd =
     else begin
       Printf.printf "mcmutants %s\n" binary_version;
       Printf.printf "campaign key code version: %s\n" CKey.code_version;
+      Printf.printf "kernel code version: %d\n" Mcm_gpu.Kernel.code_version;
       Printf.printf "serve protocol version: %d\n" Proto.protocol_version;
       Printf.printf "engines: %s\n" (String.concat ", " (List.map fst Request.engines))
     end

@@ -72,9 +72,32 @@ let device_fields (device : Device.t) =
         ] );
   ]
 
+(* The kernel's code version rides in every cell key (not just kernel-
+   engine cells: the interpreter is differentially locked to the kernel,
+   so a kernel-semantics bump invalidates both engines' results at
+   once). Bumping [Kernel.code_version] therefore re-addresses the whole
+   store, which is the point: schema-era results never alias pre-schema
+   ones. *)
+let kernel_version_field = ("kernelVersion", Jsonw.Int Mcm_gpu.Kernel.code_version)
+
+(* The cell prefix: every field of {!cell_fields} except the payload
+   kind, iteration count and seed. Cells sharing a prefix share all of
+   the runner's derived setup (compiled image, effective weak params,
+   instance counts, slice horizon) — this list is the canonical identity
+   under which that work may be memoized. *)
+let prefix_fields ~engine ~test ~device ~env () =
+  [
+    kernel_version_field;
+    ("engine", Jsonw.String engine);
+    ("test", Jsonw.String (test_blob test));
+  ]
+  @ device_fields device
+  @ [ ("env", env) ]
+
 let cell_fields ~kind ~engine ~test ~device ~env ~iterations ~seed () =
   [
     ("kind", Jsonw.String kind);
+    kernel_version_field;
     ("engine", Jsonw.String engine);
     ("test", Jsonw.String (test_blob test));
   ]

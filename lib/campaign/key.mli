@@ -49,6 +49,20 @@ val test_blob : Mcm_litmus.Litmus.t -> string
     suites are generated once), so hot sweep loops pay the serialization
     only once per test. *)
 
+val prefix_fields :
+  engine:string ->
+  test:Mcm_litmus.Litmus.t ->
+  device:Mcm_gpu.Device.t ->
+  env:Mcm_util.Jsonw.t ->
+  unit ->
+  (string * Mcm_util.Jsonw.t) list
+(** The canonical {e prefix} of a cell: {!cell_fields} minus the payload
+    kind, iteration count and seed. Two cells with equal prefix share
+    every piece of the runner's derived setup (compiled kernel image,
+    effective weak parameters, instance counts, slice horizon), so this
+    list is the canonical identity under which
+    {!Mcm_testenv.Runner}'s cross-cell memoization operates. *)
+
 val cell_fields :
   kind:string ->
   engine:string ->

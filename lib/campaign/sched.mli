@@ -41,6 +41,7 @@ val run :
   ?shard:int ->
   ?chunk:int ->
   ?journal:Journal.t * Key.t ->
+  ?family:(int -> int) ->
   store:Store.t ->
   key:(int -> Key.t) ->
   encode:('b -> Mcm_util.Jsonw.t) ->
@@ -57,4 +58,13 @@ val run :
     configuration key, is {!Journal.start}ed before work and
     {!Journal.finish}ed after, with a checkpoint after every durable
     shard. [f] must be pure up to its index — the whole point is not to
-    call it twice. *)
+    call it twice.
+
+    [family i], when given, is the schema-family id of cell [i] (cells
+    of one family share a compiled kernel image and memoized campaign
+    prefix — see {!Mcm_testenv.Request.prefix_key}). Misses are
+    stable-sorted by family before sharding, so whole columns run
+    consecutively on a warm domain. Grouping is purely a dispatch-order
+    optimisation: results still land at their grid indices and [stats]
+    is unchanged, so the output is bit-identical with or without
+    [family] — property-tested in [test/test_campaign.ml]. *)

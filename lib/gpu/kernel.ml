@@ -2,6 +2,12 @@ module Prng = Mcm_util.Prng
 module Litmus = Mcm_litmus.Litmus
 module Instr = Mcm_litmus.Instr
 
+(* Bump when the kernel's compiled form or execution semantics change in
+   a way that should re-key stored campaign results. v1 was the original
+   compiled kernel (PR 3, implicit); v2 introduced schema images and
+   cross-cell memoization. The store's cell keys record this number. *)
+let code_version = 2
+
 (* Event kinds as immediates; the order matches Instance.kind. *)
 let k_load = 0
 let k_store = 1
@@ -12,6 +18,7 @@ type t = {
   test : Litmus.t;
   weak : Instance.weak_params;
   bugs : Bug.effect;
+  image_id : int;  (* identifies the shared structural arrays below *)
   nthreads : int;
   nlocs : int;
   n : int;  (* total events *)
@@ -26,7 +33,7 @@ type t = {
 }
 
 type workspace = {
-  owner : t;
+  mutable owner : t;
   (* Per-event mutable state (the interpreter's record fields). *)
   time : float array;
   vis : float array;
@@ -49,6 +56,15 @@ type workspace = {
 }
 
 let test k = k.test
+let image_id k = k.image_id
+
+(* Compile / reuse counters, shared across domains. *)
+let images_built_c = Atomic.make 0
+let image_hits_c = Atomic.make 0
+let images_built () = Atomic.get images_built_c
+let image_hits () = Atomic.get image_hits_c
+
+let next_image_id = Atomic.make 0
 
 let compile ~weak ~bugs ~(test : Litmus.t) =
   let nthreads = Litmus.nthreads test in
@@ -91,10 +107,12 @@ let compile ~weak ~bugs ~(test : Litmus.t) =
         done;
         Array.of_list !acc)
   in
+  Atomic.incr images_built_c;
   {
     test;
     weak;
     bugs;
+    image_id = Atomic.fetch_and_add next_image_id 1;
     nthreads;
     nlocs = test.Litmus.nlocs;
     n;
@@ -107,6 +125,32 @@ let compile ~weak ~bugs ~(test : Litmus.t) =
     thread_off;
     loc_writes;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Per-domain image cache: the structural arrays of a compiled kernel
+   depend only on the test program, not on [weak]/[bugs], so cells that
+   differ only in environment, mutation flags or injected bugs can share
+   one image and rebind the scalar fields per cell. Keyed by test name
+   with a physical-equality check on the test itself (two distinct
+   programs that happen to share a name both compile). Domain-local, so
+   no locks; bounded, reset wholesale when full. *)
+
+let image_cache_max = 256
+
+let image_cache_key : (string, Litmus.t * t) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 64)
+
+let compile_cached ~weak ~bugs ~(test : Litmus.t) =
+  let cache = Domain.DLS.get image_cache_key in
+  match Hashtbl.find_opt cache test.Litmus.name with
+  | Some (t0, proto) when t0 == test ->
+      Atomic.incr image_hits_c;
+      { proto with weak; bugs }
+  | _ ->
+      if Hashtbl.length cache >= image_cache_max then Hashtbl.reset cache;
+      let k = compile ~weak ~bugs ~test in
+      Hashtbl.replace cache test.Litmus.name (test, k);
+      k
 
 let workspace k =
   {
@@ -127,6 +171,11 @@ let workspace k =
     rng = Prng.Raw.make ();
   }
 
+let adopt ws k =
+  if ws.owner.image_id <> k.image_id then
+    invalid_arg "Kernel.adopt: workspace compiled from another image";
+  ws.owner <- k
+
 let set_parent ws prng = Prng.Raw.load ws.parent prng
 
 let snapshot ws =
@@ -135,17 +184,27 @@ let snapshot ws =
     final = Array.copy ws.outcome.Litmus.final;
   }
 
-(* One instance, drawing from [ws.rng]. Mirrors Instance.run phase by
+(* One instance, drawing from [rng]. Mirrors Instance.run phase by
    phase; every conditional draw (bernoulli with p outside (0,1),
    exponential with mean <= 0) is reproduced exactly so the two engines
    consume identical PRNG streams. The steady-state path allocates
-   nothing: all scratch lives in [ws], the sorts are in-place insertion
-   sorts over total orders, and draws go through Prng.Raw. *)
-let run_core k ws ~starts =
-  if Array.length starts <> k.nthreads then invalid_arg "Kernel.run: starts length mismatch";
-  if ws.owner != k then invalid_arg "Kernel.run: workspace belongs to another kernel";
+   nothing: all scratch lives in the caller's arrays, the sorts are
+   in-place insertion sorts over total orders, and draws go through
+   Prng.Raw.
+
+   The scratch arrays are explicit parameters so the classic
+   per-kernel [workspace] and a {!Schema} workspace (whose flat arrays
+   are shared across variants and sized to the column's maxima) drive
+   the identical code. Capacity beyond [k]'s extents is harmless for
+   bit-identity: every array is written before it is read within this
+   run's extents ([active] only consulted for fences written this pass,
+   [co_pos] set by the coherence sort before the reads pass, [floors]
+   and [last_vis] filled to exactly nthreads*nlocs / nlocs, [order] and
+   [seq] rebuilt in-range), so stale contents beyond the extents never
+   influence a draw or an outcome. *)
+let exec_core k ~time ~vis ~active ~post_acquire ~co_pos ~seq ~seq_len ~co ~floors ~last_vis
+    ~order ~outcome ~rng ~starts =
   let weak = k.weak and bugs = k.bugs in
-  let rng = ws.rng in
   let n = k.n in
   let nthreads = k.nthreads and nlocs = k.nlocs in
   let ev_kind = k.ev_kind
@@ -155,13 +214,6 @@ let run_core k ws ~starts =
   and ev_po = k.ev_po
   and ev_thread = k.ev_thread
   and thread_off = k.thread_off in
-  let time = ws.time
-  and vis = ws.vis
-  and active = ws.active
-  and post_acquire = ws.post_acquire
-  and co_pos = ws.co_pos
-  and seq = ws.seq
-  and seq_len = ws.seq_len in
   let coherent = not (Prng.Raw.bernoulli rng bugs.Bug.p_coherence_alias) in
   (* Flatten: per-thread issue clocks; dropped fences become inactive. *)
   for tid = 0 to nthreads - 1 do
@@ -244,13 +296,13 @@ let run_core k ws ~starts =
     for tid = 0 to nthreads - 1 do
       let off = thread_off.(tid) in
       let len = seq_len.(tid) in
-      Array.fill ws.last_vis 0 nlocs neg_infinity;
+      Array.fill last_vis 0 nlocs neg_infinity;
       for s = 0 to len - 1 do
         let e = seq.(off + s) in
         if ev_kind.(e) = k_store || ev_kind.(e) = k_rmw then begin
           let l = ev_loc.(e) in
-          if vis.(e) <= ws.last_vis.(l) then vis.(e) <- ws.last_vis.(l) +. 1e-6;
-          ws.last_vis.(l) <- vis.(e)
+          if vis.(e) <= last_vis.(l) then vis.(e) <- last_vis.(l) +. 1e-6;
+          last_vis.(l) <- vis.(e)
         end
       done
     done;
@@ -259,7 +311,7 @@ let run_core k ws ~starts =
      (vis, time, thread, po) — a total order, so this insertion sort
      yields the same permutation as any other comparison sort. *)
   for l = 0 to nlocs - 1 do
-    let dst = ws.co.(l) in
+    let dst = co.(l) in
     let m = Array.length dst in
     Array.blit k.loc_writes.(l) 0 dst 0 m;
     for i = 1 to m - 1 do
@@ -285,7 +337,6 @@ let run_core k ws ~starts =
     done
   done;
   (* Global execution order: (issue time, event index) — total order. *)
-  let order = ws.order in
   for i = 0 to n - 1 do
     order.(i) <- i
   done;
@@ -305,8 +356,8 @@ let run_core k ws ~starts =
     order.(!j + 1) <- x
   done;
   (* Reads, in execution order, with per-thread coherence floors. *)
-  Array.fill ws.floors 0 (nthreads * nlocs) (-1);
-  let out = ws.outcome in
+  Array.fill floors 0 (nthreads * nlocs) (-1);
+  let out = outcome in
   for t = 0 to nthreads - 1 do
     let regs = out.Litmus.regs.(t) in
     Array.fill regs 0 (Array.length regs) 0
@@ -318,7 +369,7 @@ let run_core k ws ~starts =
     if kind = k_store then begin
       if coherent then begin
         let fi = (ev_thread.(i) * nlocs) + ev_loc.(i) in
-        if co_pos.(i) > ws.floors.(fi) then ws.floors.(fi) <- co_pos.(i)
+        if co_pos.(i) > floors.(fi) then floors.(fi) <- co_pos.(i)
       end
     end
     else if kind = k_load || kind = k_rmw then begin
@@ -332,7 +383,7 @@ let run_core k ws ~starts =
       in
       let self_pos = if kind = k_rmw then co_pos.(i) else -2 in
       let loc = ev_loc.(i) in
-      let writes = ws.co.(loc) in
+      let writes = co.(loc) in
       (* Reverse early-exit scan for the last visible write. *)
       let pos = ref (-1) in
       let w = ref (Array.length writes - 1) in
@@ -341,21 +392,28 @@ let run_core k ws ~starts =
         decr w
       done;
       let fi = (ev_thread.(i) * nlocs) + loc in
-      let pos = if coherent && ws.floors.(fi) > !pos then ws.floors.(fi) else !pos in
+      let pos = if coherent && floors.(fi) > !pos then floors.(fi) else !pos in
       let value = if pos < 0 then 0 else ev_value.(writes.(pos)) in
       if ev_reg.(i) >= 0 then out.Litmus.regs.(ev_thread.(i)).(ev_reg.(i)) <- value;
       if coherent then begin
-        if pos > ws.floors.(fi) then ws.floors.(fi) <- pos;
-        if kind = k_rmw && co_pos.(i) > ws.floors.(fi) then ws.floors.(fi) <- co_pos.(i)
+        if pos > floors.(fi) then floors.(fi) <- pos;
+        if kind = k_rmw && co_pos.(i) > floors.(fi) then floors.(fi) <- co_pos.(i)
       end
     end
   done;
   for l = 0 to nlocs - 1 do
-    let writes = ws.co.(l) in
+    let writes = co.(l) in
     let m = Array.length writes in
     if m > 0 then out.Litmus.final.(l) <- ev_value.(writes.(m - 1))
   done;
   out
+
+let run_core k ws ~starts =
+  if Array.length starts <> k.nthreads then invalid_arg "Kernel.run: starts length mismatch";
+  if ws.owner != k then invalid_arg "Kernel.run: workspace belongs to another kernel";
+  exec_core k ~time:ws.time ~vis:ws.vis ~active:ws.active ~post_acquire:ws.post_acquire
+    ~co_pos:ws.co_pos ~seq:ws.seq ~seq_len:ws.seq_len ~co:ws.co ~floors:ws.floors
+    ~last_vis:ws.last_vis ~order:ws.order ~outcome:ws.outcome ~rng:ws.rng ~starts
 
 let run_next k ws ~starts =
   Prng.Raw.split_into ~child:ws.rng ~parent:ws.parent;
@@ -366,3 +424,101 @@ let run k ws ~prng ~starts =
   let out = run_core k ws ~starts in
   Prng.Raw.store ws.rng prng;
   out
+
+(* ------------------------------------------------------------------ *)
+(* Mutant schemata: one image for a whole column of variants.          *)
+
+type image = t
+
+module Schema = struct
+  type t = { kernels : image array }
+
+  (* One shared scratch pool sized to the column's maxima plus the two
+     shapes that must match a variant exactly: [co.(v)] mirrors variant
+     v's per-location write tables (exec_core takes its loop bounds from
+     the destination's length) and [outcome.(v)] is shaped by variant
+     v's thread/register/location counts. *)
+  type workspace = {
+    owner : t;
+    time : float array;
+    vis : float array;
+    active : bool array;
+    post_acquire : bool array;
+    co_pos : int array;
+    seq : int array;
+    seq_len : int array;
+    co : int array array array;
+    floors : int array;
+    last_vis : float array;
+    order : int array;
+    outcome : Litmus.outcome array;
+    parent : Prng.Raw.state;
+    rng : Prng.Raw.state;
+  }
+
+  let compile ~variants =
+    if Array.length variants = 0 then invalid_arg "Kernel.Schema.compile: no variants";
+    let kernels =
+      Array.map (fun (weak, bugs, test) -> compile_cached ~weak ~bugs ~test) variants
+    in
+    { kernels }
+
+  let length s = Array.length s.kernels
+
+  let kernel s variant =
+    if variant < 0 || variant >= Array.length s.kernels then
+      invalid_arg "Kernel.Schema: variant out of range";
+    s.kernels.(variant)
+
+  let workspace s =
+    let maxf f = Array.fold_left (fun acc k -> max acc (f k)) 1 s.kernels in
+    let n = maxf (fun k -> k.n) in
+    let nthreads = maxf (fun k -> k.nthreads) in
+    let nlocs = maxf (fun k -> k.nlocs) in
+    let cells = maxf (fun k -> k.nthreads * k.nlocs) in
+    {
+      owner = s;
+      time = Array.make n 0.;
+      vis = Array.make n 0.;
+      active = Array.make n true;
+      post_acquire = Array.make n false;
+      co_pos = Array.make n (-1);
+      seq = Array.make n 0;
+      seq_len = Array.make nthreads 0;
+      co = Array.map (fun k -> Array.map Array.copy k.loc_writes) s.kernels;
+      floors = Array.make cells (-1);
+      last_vis = Array.make nlocs neg_infinity;
+      order = Array.init n (fun i -> i);
+      outcome = Array.map (fun k -> Litmus.empty_outcome k.test) s.kernels;
+      parent = Prng.Raw.make ();
+      rng = Prng.Raw.make ();
+    }
+
+  let set_parent ws prng = Prng.Raw.load ws.parent prng
+
+  let run_core s ws ~variant ~starts =
+    if variant < 0 || variant >= Array.length s.kernels then
+      invalid_arg "Kernel.Schema: variant out of range";
+    if ws.owner != s then invalid_arg "Kernel.run: workspace belongs to another kernel";
+    let k = s.kernels.(variant) in
+    if Array.length starts <> k.nthreads then invalid_arg "Kernel.run: starts length mismatch";
+    exec_core k ~time:ws.time ~vis:ws.vis ~active:ws.active ~post_acquire:ws.post_acquire
+      ~co_pos:ws.co_pos ~seq:ws.seq ~seq_len:ws.seq_len ~co:ws.co.(variant) ~floors:ws.floors
+      ~last_vis:ws.last_vis ~order:ws.order ~outcome:ws.outcome.(variant) ~rng:ws.rng ~starts
+
+  let run_next s ws ~variant ~starts =
+    Prng.Raw.split_into ~child:ws.rng ~parent:ws.parent;
+    run_core s ws ~variant ~starts
+
+  let run s ws ~variant ~prng ~starts =
+    Prng.Raw.load ws.rng prng;
+    let out = run_core s ws ~variant ~starts in
+    Prng.Raw.store ws.rng prng;
+    out
+
+  let snapshot ws ~variant =
+    if variant < 0 || variant >= Array.length ws.outcome then
+      invalid_arg "Kernel.Schema: variant out of range";
+    let out = ws.outcome.(variant) in
+    { Litmus.regs = Array.map Array.copy out.Litmus.regs; final = Array.copy out.Litmus.final }
+end

@@ -13,13 +13,27 @@
     same total-order tie-breaks in the coherence/visibility sorts, so
     its outcomes are bit-identical to the interpreter's. The interpreter
     remains the reference implementation; [test/test_kernel.ml] checks
-    the equivalence by differential property testing. *)
+    the equivalence by differential property testing. {!Schema} and
+    {!compile_cached} share {e immutable} structural arrays between
+    kernels and reuse {e over-sized} scratch between variants; neither
+    sharing can influence a draw or an outcome (every scratch array is
+    written before it is read within a run's extents), so they inherit
+    the same contract, checked by [test/test_schema.ml]. *)
+
+val code_version : int
+(** Version of the kernel's compiled form and execution semantics,
+    recorded in store cell keys so results computed by different kernel
+    generations are content-addressed distinctly. v1 = the original
+    compiled kernel; v2 = schema images + cross-cell memoization. *)
 
 type t
-(** An immutable compiled template: int-array event descriptions
+(** A compiled template: int-array event descriptions
     (kind/loc/value/reg/po/thread), per-thread slice offsets into the
-    flat event array, and per-location write-index tables. Shareable
-    across domains. *)
+    flat event array, and per-location write-index tables — all
+    immutable and shareable across domains — plus the scalar
+    [weak]/[bugs] parameters of this cell. Kernels produced by
+    {!compile_cached} for the same test share one {e image} (the
+    structural arrays) and differ only in the scalars. *)
 
 type workspace
 (** Mutable per-instance scratch (issue/visibility times, coherence
@@ -27,15 +41,38 @@ type workspace
     outcome record, PRNG states). One per domain — not thread-safe. *)
 
 val compile : weak:Instance.weak_params -> bugs:Bug.effect -> test:Mcm_litmus.Litmus.t -> t
-(** [compile ~weak ~bugs ~test] builds the template. Do this once per
+(** [compile ~weak ~bugs ~test] builds the template from scratch. This
+    is the reference path: one fresh image per call. Do this once per
     campaign, not per instance. *)
+
+val compile_cached :
+  weak:Instance.weak_params -> bugs:Bug.effect -> test:Mcm_litmus.Litmus.t -> t
+(** Like {!compile}, but memoizes the image (the expensive structural
+    flattening and write tables, which depend only on [test]) in a
+    bounded domain-local cache keyed by test name + physical identity,
+    so cells differing only in environment, mutation scalars or bug
+    flags rebind the scalars onto one shared image. Bit-identical to
+    {!compile} — the image is immutable. *)
 
 val test : t -> Mcm_litmus.Litmus.t
 (** The litmus test the kernel was compiled from. *)
 
+val image_id : t -> int
+(** Identity of the kernel's structural image. Kernels with equal
+    [image_id] physically share their event arrays and write tables, so
+    a workspace sized for one fits the other exactly (see {!adopt}). *)
+
 val workspace : t -> workspace
 (** A fresh workspace sized for [t]. Allocate once per domain and reuse
     for every instance that domain executes. *)
+
+val adopt : workspace -> t -> unit
+(** [adopt ws k] rebinds [ws] to [k] so it can be reused across cells
+    that share an image (e.g. kernels from {!compile_cached} differing
+    only in [weak]/[bugs]).
+
+    @raise Invalid_argument if [ws]'s owner has a different
+    {!image_id}. *)
 
 val set_parent : workspace -> Mcm_util.Prng.t -> unit
 (** [set_parent ws prng] captures [prng]'s current state as the
@@ -64,3 +101,83 @@ val run :
 
 val snapshot : workspace -> Mcm_litmus.Litmus.outcome
 (** A deep copy of the workspace's current outcome. *)
+
+type image = t
+(** Alias for referring to single-variant kernels from inside
+    {!Schema}'s signature. *)
+
+val images_built : unit -> int
+(** Process-wide count of structural images compiled from scratch (every
+    {!compile} call, including {!compile_cached} misses). *)
+
+val image_hits : unit -> int
+(** Process-wide count of {!compile_cached} calls answered by a cached
+    image. *)
+
+(** Mutant schemata: a conformance test and all of its variants
+    (mutants, bug-injection points) compiled into {e one} shared
+    structure, each selected at run time by a variant index — one
+    compilation pass and one warm workspace per column instead of one
+    per cell.
+
+    The schema workspace pools the flat scratch arrays at the column's
+    maximum extents and keeps only the shape-exact pieces (per-location
+    coherence buffers, the outcome record) per variant, so switching
+    variant between runs costs nothing. Running variant [v] through a
+    schema consumes the same PRNG draws and produces bit-identical
+    outcomes to compiling variant [v] alone with {!compile} and running
+    it in its own workspace. *)
+module Schema : sig
+  type nonrec t
+  (** A compiled column of variants. Images are obtained through
+      {!compile_cached}, so schemas over overlapping variant sets share
+      structural arrays. *)
+
+  type workspace
+  (** Shared mutable scratch for the whole column. One per domain — not
+      thread-safe. *)
+
+  val compile : variants:(Instance.weak_params * Bug.effect * Mcm_litmus.Litmus.t) array -> t
+  (** [compile ~variants] compiles every [(weak, bugs, test)] variant of
+      the column into one schema.
+
+      @raise Invalid_argument if [variants] is empty. *)
+
+  val length : t -> int
+  (** Number of variants in the column. *)
+
+  val kernel : t -> int -> image
+  (** [kernel s v] is variant [v]'s kernel — the same value a
+      {!compile_cached} of that variant would return, usable with the
+      top-level [workspace]/[run] API.
+
+      @raise Invalid_argument if [v] is out of range. *)
+
+  val set_parent : workspace -> Mcm_util.Prng.t -> unit
+  (** As the top-level {!val:set_parent}: the parent stream is shared by
+      all variants, matching a runner that interleaves variants within
+      one iteration. *)
+
+  val workspace : t -> workspace
+  (** A fresh workspace sized for the column's maxima. *)
+
+  val run_next : t -> workspace -> variant:int -> starts:float array -> Mcm_litmus.Litmus.outcome
+  (** As the top-level {!val:run_next}, for the selected variant. *)
+
+  val run :
+    t ->
+    workspace ->
+    variant:int ->
+    prng:Mcm_util.Prng.t ->
+    starts:float array ->
+    Mcm_litmus.Litmus.outcome
+  (** As the top-level {!val:run}, for the selected variant: bit-identical
+      to running the variant's own {!compile}d kernel.
+
+      @raise Invalid_argument if [variant] is out of range, [starts]
+      doesn't match the variant's thread count, or [ws] belongs to a
+      different schema. *)
+
+  val snapshot : workspace -> variant:int -> Mcm_litmus.Litmus.outcome
+  (** A deep copy of the variant's current outcome. *)
+end

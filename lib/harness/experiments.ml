@@ -275,8 +275,13 @@ module Table4 = struct
                tests)
            case_data)
     in
+    (* Cells are laid out column-major per (case, test): [n_envs]
+       consecutive cells share one compiled image and workspace shape,
+       so the column index is the natural schema family. *)
+    let family i = i / n_envs in
     let results =
-      Grid.run ctx (Grid.make Runner.Rate ~n:(Array.length cells) ~request:(Array.get cells))
+      Grid.run ctx
+        (Grid.make ~family Runner.Rate ~n:(Array.length cells) ~request:(Array.get cells))
     in
     let off = ref 0 in
     List.map

@@ -84,6 +84,11 @@ module Table4 : sig
     n_envs : int;
   }
 
+  val cases : (Mcm_gpu.Profile.t * string * string) list
+  (** The three (vendor profile, conformance test, mutator name) case
+      studies of Sec. 5.4 — also the matrix shape the schemata bench
+      reuses. *)
+
   val compute :
     ?ctx:Mcm_testenv.Request.ctx ->
     ?n_envs:int ->

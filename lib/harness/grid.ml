@@ -8,9 +8,10 @@ type 'a t = {
   n : int;
   request : int -> Request.t;
   sweep : Mcm_campaign.Key.t option;
+  family : (int -> int) option;
 }
 
-let make ?sweep collect ~n ~request = { collect; n; request; sweep }
+let make ?sweep ?family collect ~n ~request = { collect; n; request; sweep; family }
 
 (* Bare parallel map through the context — the store-less grid dispatch
    every driver used to hand-roll. *)
@@ -23,8 +24,11 @@ let map (c : Request.ctx) ~n ~f =
 
 let run_stats (c : Request.ctx) g =
   (* Cells compute serially — the grid axis is the parallel unit, and
-     store/journal I/O stays confined to this (the calling) domain. *)
-  let cell i = Runner.exec g.collect (g.request i) Request.serial in
+     store/journal I/O stays confined to this (the calling) domain. The
+     context's plan rides along: it only selects the compile/memoization
+     strategy inside the worker domain. *)
+  let cell_ctx = { Request.serial with Request.plan = c.Request.plan } in
+  let cell i = Runner.exec g.collect (g.request i) cell_ctx in
   match c.Request.store with
   | None -> (map c ~n:g.n ~f:cell, None)
   | Some store ->
@@ -35,9 +39,9 @@ let run_stats (c : Request.ctx) g =
         | _ -> None
       in
       let arr, stats =
-        Sched.run ~domains:c.Request.domains ?chunk:c.Request.chunk ?journal ~store ~key
-          ~encode:(Runner.encode g.collect) ~decode:(Runner.decode g.collect) ~f:cell ~n:g.n
-          ()
+        Sched.run ~domains:c.Request.domains ?chunk:c.Request.chunk ?journal ?family:g.family
+          ~store ~key ~encode:(Runner.encode g.collect) ~decode:(Runner.decode g.collect)
+          ~f:cell ~n:g.n ()
       in
       (arr, Some stats)
 

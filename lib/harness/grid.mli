@@ -20,6 +20,7 @@ type 'a t
 
 val make :
   ?sweep:Mcm_campaign.Key.t ->
+  ?family:(int -> int) ->
   'a Mcm_testenv.Runner.collect ->
   n:int ->
   request:(int -> Mcm_testenv.Request.t) ->
@@ -28,7 +29,11 @@ val make :
     request (n-1) |]] under [collect]. [request] must be pure — it is
     called more than once per index (keys, then compute). [sweep], the
     sweep's configuration key, enables resume journaling when the
-    context also carries a journal; without it the journal is ignored. *)
+    context also carries a journal; without it the journal is ignored.
+    [family], the schema-family id of a cell (cells of one family share
+    a compiled image and memoized campaign prefix), lets
+    {!Mcm_campaign.Sched} group misses into columns before dispatch —
+    purely a wall-clock optimisation, bit-identical either way. *)
 
 val run : Mcm_testenv.Request.ctx -> 'a t -> 'a array
 

@@ -133,10 +133,19 @@ let sweep ?(ctx = Request.serial) ?devices ?tests config =
     Request.make ~device ~env ~test ~iterations ~seed ()
   in
   let n = Array.length grid in
+  (* Schema families: points sharing (device, test) share a compiled
+     image and workspace shape, so grouping miss dispatch by that pair
+     keeps pool domains warm. A hash collision merely merges two
+     families — grouping is a wall-clock hint, never semantic. *)
+  let family i =
+    let _, _, _, device, _, _, test, _ = point_args i in
+    Hashtbl.hash (Device.name device, test.Litmus.name) land max_int
+  in
   (* Only the Runner.result is the memoized payload; the surrounding
      [run] record is reassembled from the grid below. *)
   let results =
-    Grid.run ctx (Grid.make ~sweep:(sweep_key config ~devices ~tests) Runner.Rate ~n ~request)
+    Grid.run ctx
+      (Grid.make ~sweep:(sweep_key config ~devices ~tests) ~family Runner.Rate ~n ~request)
   in
   Array.to_list
     (Array.mapi

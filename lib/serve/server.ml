@@ -446,6 +446,17 @@ let report_json st =
             ("joined", Jsonw.Int st.n_joined);
             ("computed", Jsonw.Int st.n_computed);
           ] );
+      (* Process-wide engine counters: schema-image and prefix/workspace
+         reuse across everything this daemon computed so far. *)
+      ( "engine",
+        let e = Runner.engine_stats () in
+        Jsonw.Obj
+          [
+            ("kernelsCompiled", Jsonw.Int e.Runner.kernels_compiled);
+            ("schemaReuses", Jsonw.Int e.Runner.schema_reuses);
+            ("workspacesBuilt", Jsonw.Int e.Runner.workspaces_built);
+            ("workspaceReuses", Jsonw.Int e.Runner.workspace_reuses);
+          ] );
       ("rows", Jsonw.List rows);
     ]
 

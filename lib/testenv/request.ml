@@ -36,16 +36,33 @@ let to_json ~kind r = Jsonw.Obj (to_fields ~kind r)
 
 let key ~kind r = Key.of_fields (to_fields ~kind r)
 
+let prefix_key r =
+  Key.of_fields
+    (Key.prefix_fields ~engine:(engine_name r.engine) ~test:r.test ~device:r.device
+       ~env:(Params.to_json r.env) ())
+
+type plan = Per_cell | Schema
+
+let plan_name = function Per_cell -> "per-cell" | Schema -> "schema"
+
+(* The plan registry: every compile/memoization strategy the runner can
+   execute, by CLI name. *)
+let plans = [ ("per-cell", Per_cell); ("schema", Schema) ]
+
+let plan_of_name name = List.assoc_opt (String.lowercase_ascii name) plans
+
 type ctx = {
   domains : int;
   chunk : int option;
   store : Mcm_campaign.Store.t option;
   journal : Mcm_campaign.Journal.t option;
+  plan : plan;
 }
 
-let serial = { domains = 1; chunk = None; store = None; journal = None }
+let serial = { domains = 1; chunk = None; store = None; journal = None; plan = Schema }
 
-let context ?(domains = 1) ?chunk ?store ?journal () = { domains; chunk; store; journal }
+let context ?(domains = 1) ?chunk ?store ?journal ?(plan = Schema) () =
+  { domains; chunk; store; journal; plan }
 
 let chunk_for c ~n =
   match c.chunk with

@@ -63,6 +63,40 @@ val key : kind:string -> t -> Mcm_campaign.Key.t
     store code version prepended. Byte-identical to what
     {!Mcm_campaign.Key.cell} produces for the same fields. *)
 
+val prefix_key : t -> Mcm_campaign.Key.t
+(** The canonical hash of the cell's {e prefix}
+    ({!Mcm_campaign.Key.prefix_fields}: everything but the payload kind,
+    iteration count and seed). Requests with equal prefix key share all
+    of the runner's derived setup — the identity under which
+    {!Runner}'s cross-cell memoization and {!Mcm_campaign.Sched}'s
+    schema-family grouping operate. *)
+
+(** {2 Plans} *)
+
+(** How the runner compiles and shares per-cell setup across a
+    campaign or grid. *)
+type plan =
+  | Per_cell
+      (** The reference path: every cell compiles its own kernel and
+          allocates (or single-slot-reuses) its own workspaces —
+          exactly the pre-schema behaviour. *)
+  | Schema
+      (** Mutant-schemata path: cells sharing a structural image reuse
+          one compiled image, one workspace arena and the memoized
+          campaign prefix (effective weak params, instance counts,
+          horizon). Bit-identical to {!Per_cell} by construction;
+          differentially tested in [test/test_schema.ml]. *)
+
+val plan_name : plan -> string
+(** ["per-cell"] / ["schema"] — the CLI names. Plans do {e not} appear
+    in campaign keys: both produce bit-identical results. *)
+
+val plans : (string * plan) list
+(** The plan registry, by canonical name. *)
+
+val plan_of_name : string -> plan option
+(** Case-insensitive lookup in {!plans}. *)
+
 (** {2 Execution contexts} *)
 
 type ctx = {
@@ -70,19 +104,21 @@ type ctx = {
   chunk : int option;  (** pool dispatch chunk; [None] = {!chunk_for} default *)
   store : Mcm_campaign.Store.t option;  (** memoize cells here *)
   journal : Mcm_campaign.Journal.t option;  (** checkpoint sweeps here *)
+  plan : plan;  (** compile/memoization strategy; {!Schema} by default *)
 }
 
 val serial : ctx
-(** One domain, default chunking, no store, no journal. *)
+(** One domain, default chunking, no store, no journal, schema plan. *)
 
 val context :
   ?domains:int ->
   ?chunk:int ->
   ?store:Mcm_campaign.Store.t ->
   ?journal:Mcm_campaign.Journal.t ->
+  ?plan:plan ->
   unit ->
   ctx
-(** [domains] defaults to 1. *)
+(** [domains] defaults to 1, [plan] to {!Schema}. *)
 
 val chunk_for : ctx -> n:int -> int
 (** The pool dispatch chunk for an [n]-task grid: the context's [chunk]

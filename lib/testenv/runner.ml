@@ -102,7 +102,8 @@ let tally_add a b =
    workspace on the kernel's identity means a domain reuses its
    workspace across every iteration of a campaign while a new campaign
    (new kernel) transparently replaces it. A fresh key per campaign
-   would leak DLS slots instead. *)
+   would leak DLS slots instead. This is the reference (Per_cell)
+   path's workspace strategy; the Schema plan uses the arena below. *)
 let ws_slot : (Kernel.t * Kernel.workspace) option Domain.DLS.key =
   Domain.DLS.new_key (fun () -> None)
 
@@ -114,11 +115,106 @@ let workspace_for kernel =
       Domain.DLS.set ws_slot (Some (kernel, ws));
       ws
 
-(* Build the campaign's per-iteration function plus the derived constants.
-   Everything the returned closure captures is immutable (or, for the
-   classifier's table, written before and only read after), so it is safe
-   to call from any domain. *)
-let campaign ~engine ~classify ~collect ~device ~env ~test ~seed =
+(* ------------------------------------------------------------------ *)
+(* Cross-cell memoization (the Schema plan).
+
+   Engine-wide counters first: cheap atomics, bumped once per cell or
+   per cross-cell reuse (never per instance), read by [engine_stats]. *)
+
+let prefab_hits_c = Atomic.make 0
+let workspaces_built_c = Atomic.make 0
+let workspace_reuses_c = Atomic.make 0
+
+type engine_stats = {
+  kernels_compiled : int;
+  schema_reuses : int;
+  workspaces_built : int;
+  workspace_reuses : int;
+}
+
+let engine_stats () =
+  {
+    kernels_compiled = Kernel.images_built ();
+    schema_reuses = Kernel.image_hits () + Atomic.get prefab_hits_c;
+    workspaces_built = Atomic.get workspaces_built_c;
+    workspace_reuses = Atomic.get workspace_reuses_c;
+  }
+
+let engine_stats_sub a b =
+  {
+    kernels_compiled = a.kernels_compiled - b.kernels_compiled;
+    schema_reuses = a.schema_reuses - b.schema_reuses;
+    workspaces_built = a.workspaces_built - b.workspaces_built;
+    workspace_reuses = a.workspace_reuses - b.workspace_reuses;
+  }
+
+let pp_engine_stats fmt s =
+  Format.fprintf fmt "%d kernel(s) compiled, %d schema reuse(s), %d workspace reuse(s)"
+    s.kernels_compiled s.schema_reuses s.workspace_reuses
+
+(* Per-domain workspace arena: one workspace per kernel *image*, reused
+   across every cell whose kernel shares that image (the scratch arrays
+   depend only on the image's extents, and [Kernel.adopt] rebinds the
+   workspace to the current cell's kernel). Bounded; reset wholesale
+   when full — the workspaces are reallocated on demand. *)
+let arena_max = 64
+
+let arena_key : (int, Kernel.t * Kernel.workspace) Hashtbl.t Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> Hashtbl.create 16)
+
+let arena_workspace k =
+  let tbl = Domain.DLS.get arena_key in
+  let id = Kernel.image_id k in
+  match Hashtbl.find_opt tbl id with
+  | Some (k0, ws) when k0 == k -> ws
+  | Some (_, ws) ->
+      (* Same image, different cell: the cross-cell reuse this arena
+         exists for. *)
+      Kernel.adopt ws k;
+      Atomic.incr workspace_reuses_c;
+      Hashtbl.replace tbl id (k, ws);
+      ws
+  | None ->
+      if Hashtbl.length tbl >= arena_max then Hashtbl.reset tbl;
+      let ws = Kernel.workspace k in
+      Atomic.incr workspaces_built_c;
+      Hashtbl.replace tbl id (k, ws);
+      ws
+
+(* The memoized campaign prefix: everything [campaign] derives from
+   (engine, test, device, env) before touching iterations or seed —
+   effective weak params, bug effect, instance counts, slice shapes,
+   the horizon, the iteration time, and (for the kernel engine) the
+   compiled kernel itself. Cells that differ only in mutation scalars,
+   bug flags, iterations or seed reuse one prefab.
+
+   Keyed per domain (no locks) by test name, refined by physical
+   equality on the test (its [target] is a closure) and structural
+   equality on the device/env records (pure scalar data) — an exact,
+   cheap refinement of the canonical prefix identity that
+   [Key.prefix_fields] serializes. *)
+type prefab = {
+  p_test : Litmus.t;
+  p_device : Device.t;
+  p_env : Params.t;
+  p_engine : engine;
+  p_bugs : Mcm_gpu.Bug.effect;
+  p_instances : int;
+  p_slice_instrs : int array;
+  p_weak : Instance.weak_params;
+  p_horizon : float;
+  p_iteration_ns : float;
+  p_kernel : Kernel.t option;
+}
+
+let prefab_max = 512
+
+type prefab_cache = { tbl : (string, prefab list) Hashtbl.t; mutable count : int }
+
+let prefab_key : prefab_cache Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> { tbl = Hashtbl.create 64; count = 0 })
+
+let build_prefab ~plan ~engine ~device ~env ~test =
   let profile = device.Device.profile in
   let bugs = Device.effect device in
   let roles = Litmus.nthreads test in
@@ -146,15 +242,94 @@ let campaign ~engine ~classify ~collect ~device ~env ~test ~seed =
       ~threads_per_workgroup:env.Params.threads_per_workgroup ~instrs_per_thread
       ~stress_intensity:(Params.stress_intensity env)
   in
-  (* The kernel engine compiles the (test, device, env) triple once per
-     campaign; each domain then executes every instance against its own
-     reused workspace, so the steady-state instance path allocates
-     nothing. Both engines consume identical PRNG draws — the kernel's
-     parent stream is the iteration PRNG captured after [role_starts],
-     and [run_next] splits a child per executed instance exactly as the
-     interpreter arm's [Prng.split] does. *)
   let kernel =
-    match engine with Interpreter -> None | Kernel -> Some (Kernel.compile ~weak ~bugs ~test)
+    match engine with
+    | Interpreter -> None
+    | Kernel ->
+        Some
+          (match plan with
+          | Request.Per_cell -> Kernel.compile ~weak ~bugs ~test
+          | Request.Schema -> Kernel.compile_cached ~weak ~bugs ~test)
+  in
+  {
+    p_test = test;
+    p_device = device;
+    p_env = env;
+    p_engine = engine;
+    p_bugs = bugs;
+    p_instances = instances;
+    p_slice_instrs = slice_instrs;
+    p_weak = weak;
+    p_horizon = horizon;
+    p_iteration_ns = iteration_ns;
+    p_kernel = kernel;
+  }
+
+let prefab_matches p ~engine ~device ~env ~test =
+  (* Physical equality first: sweeps share device/env values across
+     cells, so the structural compare (polymorphic, over float-bearing
+     records) only runs when a cell rebuilt them. *)
+  p.p_test == test && p.p_engine = engine
+  && (p.p_device == device || p.p_device = device)
+  && (p.p_env == env || p.p_env = env)
+
+let prefab_for ~plan ~engine ~device ~env ~test =
+  match plan with
+  | Request.Per_cell -> build_prefab ~plan ~engine ~device ~env ~test
+  | Request.Schema -> (
+      let cache = Domain.DLS.get prefab_key in
+      let name = test.Litmus.name in
+      let bucket = Option.value ~default:[] (Hashtbl.find_opt cache.tbl name) in
+      match bucket with
+      (* The common sweep pattern holds one (device, env) fixed across a
+         run of seeds; keep the bucket move-to-front so that run pays
+         one head probe per lookup. *)
+      | p :: _ when prefab_matches p ~engine ~device ~env ~test ->
+          Atomic.incr prefab_hits_c;
+          p
+      | bucket -> (
+      let hit = List.find_opt (fun p -> prefab_matches p ~engine ~device ~env ~test) bucket in
+      match hit with
+      | Some p ->
+          Atomic.incr prefab_hits_c;
+          Hashtbl.replace cache.tbl name (p :: List.filter (fun q -> q != p) bucket);
+          p
+      | None ->
+          if cache.count >= prefab_max then begin
+            Hashtbl.reset cache.tbl;
+            cache.count <- 0
+          end;
+          let p = build_prefab ~plan ~engine ~device ~env ~test in
+          let bucket = Option.value ~default:[] (Hashtbl.find_opt cache.tbl name) in
+          Hashtbl.replace cache.tbl name (p :: bucket);
+          cache.count <- cache.count + 1;
+          p))
+
+(* Build the campaign's per-iteration function plus the derived constants.
+   Everything the returned closure captures is immutable (or, for the
+   classifier's table, written before and only read after), so it is safe
+   to call from any domain. *)
+let campaign ~engine ~plan ~classify ~collect ~device ~env ~test ~seed =
+  let pf = prefab_for ~plan ~engine ~device ~env ~test in
+  let profile = device.Device.profile in
+  let bugs = pf.p_bugs in
+  let roles = Litmus.nthreads test in
+  let instances = pf.p_instances in
+  let slice_instrs = pf.p_slice_instrs in
+  let weak = pf.p_weak in
+  let horizon = pf.p_horizon in
+  let iteration_ns = pf.p_iteration_ns in
+  (* The kernel engine compiles the (test, device, env) triple once per
+     campaign (Per_cell) or once per image family (Schema); each domain
+     then executes every instance against its own reused workspace, so
+     the steady-state instance path allocates nothing. Both engines
+     consume identical PRNG draws — the kernel's parent stream is the
+     iteration PRNG captured after [role_starts], and [run_next] splits
+     a child per executed instance exactly as the interpreter arm's
+     [Prng.split] does. *)
+  let kernel = pf.p_kernel in
+  let acquire_ws =
+    match plan with Request.Per_cell -> workspace_for | Request.Schema -> arena_workspace
   in
   let run_iteration it =
     let prng = Prng.create (Prng.mix seed it) in
@@ -165,7 +340,7 @@ let campaign ~engine ~classify ~collect ~device ~env ~test ~seed =
           ( (fun s -> Instance.run ~prng:(Prng.split prng) ~weak ~bugs ~test ~starts:s),
             fun o -> o )
       | Some k ->
-          let ws = workspace_for k in
+          let ws = acquire_ws k in
           Kernel.set_parent ws prng;
           (* The kernel returns its workspace's reused outcome record;
              snapshot it only when the campaign actually collects. *)
@@ -208,10 +383,10 @@ let campaign ~engine ~classify ~collect ~device ~env ~test ~seed =
   in
   (run_iteration, instances, iteration_ns)
 
-let run_campaign ?(engine = Kernel) ?domains ?chunk ?(collect = false) ~classify ~device ~env
-    ~test ~iterations ~seed () =
+let run_campaign ?(engine = Kernel) ?(plan = Request.Schema) ?domains ?chunk
+    ?(collect = false) ~classify ~device ~env ~test ~iterations ~seed () =
   let run_iteration, instances, iteration_ns =
-    campaign ~engine ~classify ~collect ~device ~env ~test ~seed
+    campaign ~engine ~plan ~classify ~collect ~device ~env ~test ~seed
   in
   let tally =
     match domains with
@@ -401,8 +576,8 @@ let compute : type a. a collect -> Request.t -> ctx:Request.ctx -> a =
   let domains = if ctx.Request.domains <= 1 then None else Some ctx.Request.domains in
   let chunk = Request.chunk_for ctx ~n:r.Request.iterations in
   let go ?(collect = false) ~classify () =
-    run_campaign ~engine:r.Request.engine ?domains ~chunk ~collect ~classify
-      ~device:r.Request.device ~env:r.Request.env ~test:r.Request.test
+    run_campaign ~engine:r.Request.engine ~plan:ctx.Request.plan ?domains ~chunk ~collect
+      ~classify ~device:r.Request.device ~env:r.Request.env ~test:r.Request.test
       ~iterations:r.Request.iterations ~seed:r.Request.seed ()
   in
   match c with

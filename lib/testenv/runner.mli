@@ -113,6 +113,7 @@ type tally = {
 
 val run_campaign :
   ?engine:engine ->
+  ?plan:Request.plan ->
   ?domains:int ->
   ?chunk:int ->
   ?collect:bool ->
@@ -128,7 +129,17 @@ val run_campaign :
     buckets ([None] leaves them zero); [collect] (default [false])
     accumulates the observed-outcome set. [domains]/[chunk] shard the
     iteration axis over a transient pool; the tally is bit-identical
-    for every sharding. *)
+    for every sharding.
+
+    [plan] (default {!Request.Schema}) picks the compile/memoization
+    strategy: [Per_cell] compiles a fresh kernel and derives the full
+    campaign prefix from scratch — the reference path; [Schema] reuses
+    the memoized prefix (compiled image, effective weak params,
+    instance counts, horizon) and a per-domain workspace arena across
+    cells sharing the canonical prefix. The two plans are bit-identical
+    in result and tally — memoized values are pure functions of the
+    prefix, and shared scratch never influences a PRNG draw (see
+    {!Mcm_gpu.Kernel}). *)
 
 (** {2 The unified pipeline}
 
@@ -234,6 +245,34 @@ val cell_key :
     payload shapes: {!run} stores ["run"], {!run_with_histogram}
     ["histogram"], {!run_with_outcomes} ["outcomes"]. [engine] defaults
     to [Kernel], matching the run functions. *)
+
+(** {2 Engine counters}
+
+    Process-wide compile/memoization totals, reported by sweep drivers
+    and [mcmutants report] next to the store's hit/miss stats. Cheap
+    atomics bumped per cell (never per instance); monotone, so drivers
+    snapshot before/after and {!engine_stats_sub} the two. *)
+
+type engine_stats = {
+  kernels_compiled : int;
+      (** structural images compiled from scratch ({!Mcm_gpu.Kernel}
+          [compile] calls, including cache misses) *)
+  schema_reuses : int;
+      (** cells served by a memoized image or campaign prefix instead of
+          a fresh compilation *)
+  workspaces_built : int;  (** workspaces allocated by the schema arena *)
+  workspace_reuses : int;
+      (** cross-cell workspace rebinds (same image, different cell) *)
+}
+
+val engine_stats : unit -> engine_stats
+(** The current process-wide totals. *)
+
+val engine_stats_sub : engine_stats -> engine_stats -> engine_stats
+(** Field-wise difference, for before/after deltas. *)
+
+val pp_engine_stats : Format.formatter -> engine_stats -> unit
+(** ["N kernel(s) compiled, N schema reuse(s), N workspace reuse(s)"]. *)
 
 val result_to_json : result -> Mcm_util.Jsonw.t
 val result_of_json : Mcm_util.Jsonw.t -> (result, string) Stdlib.result

@@ -380,6 +380,34 @@ let test_sched_decode_failure_recomputes () =
           check_int "all misses" 5 stats.Sched.misses;
           check_int "store unchanged" count_before (Store.count store)))
 
+let prop_sched_family_grouping_invisible =
+  (* The schema plan's dispatch hook: grouping misses by family may
+     change dispatch order only — same results at the same grid indices
+     and the same hit/miss/decode stats, over a mixed warm/cold store
+     and through the decode-failure demotion path. *)
+  QCheck.Test.make ~count:25 ~name:"family grouping: bit-identical results and stats"
+    QCheck.(triple small_int (make (Gen.int_range 1 25)) bool)
+    (fun (seed, n, reject_all) ->
+      let f i = (i * i) + seed in
+      let family i = Hashtbl.hash (seed, i mod 4) land max_int in
+      let prepopulate store =
+        (* A deterministic subset is already cached, so both runs see the
+           same hit/miss mix. *)
+        for i = 0 to n - 1 do
+          if (i + seed) mod 3 = 0 then Store.add store (sched_key i) (encode_int (f i))
+        done
+      in
+      let decode = if reject_all then fun _ -> Error "stale codec" else decode_int in
+      let run ?family () =
+        with_temp_dir (fun dir ->
+            Store.with_store dir (fun store ->
+                prepopulate store;
+                Sched.run ?family ~store ~key:sched_key ~encode:encode_int ~decode ~f ~n ()))
+      in
+      let out_u, stats_u = run () in
+      let out_g, stats_g = run ~family () in
+      out_u = out_g && stats_u = stats_g)
+
 let test_sched_journal_checkpoints () =
   with_temp_dir (fun dir ->
       Store.with_store dir (fun store ->
@@ -530,6 +558,7 @@ let () =
           Alcotest.test_case "cold then warm" `Quick test_sched_cold_then_warm;
           Alcotest.test_case "decode failure" `Quick test_sched_decode_failure_recomputes;
           Alcotest.test_case "journal checkpoints" `Quick test_sched_journal_checkpoints;
+          QCheck_alcotest.to_alcotest prop_sched_family_grouping_invisible;
         ] );
       ( "resume",
         [ Alcotest.test_case "kill and resume" `Quick test_kill_and_resume ] );

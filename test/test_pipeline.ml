@@ -120,10 +120,16 @@ let prop_key_matches_legacy_cell_key =
 (* Key stability: pinned hex vectors.                                     *)
 
 (* These hashes are the on-disk contract: they freeze Key.code_version,
-   the canonical field order, and every serialized component. If one of
-   these changes value, every existing campaign store goes cold — bump
-   {!Key.code_version} deliberately rather than chasing the new hex. *)
+   Kernel.code_version (v2: schema images + cross-cell memoization —
+   the deliberate re-addressing that keeps schema-era results distinct
+   from pre-schema stores), the canonical field order, and every
+   serialized component. If one of these changes value, every existing
+   campaign store goes cold — bump a code version deliberately rather
+   than chasing the new hex. *)
 let test_pinned_key_vectors () =
+  (* The vectors below embed kernelVersion:2; freezing the version here
+     makes an accidental bump (which would cold every store) explicit. *)
+  Alcotest.(check int) "kernel code version" 2 Mcm_gpu.Kernel.code_version;
   let device = Device.make Profile.nvidia in
   let env = Params.scaled Params.pte_baseline 0.02 in
   let test = (Option.get (Suite.find "MP-CO-m")).Suite.test in
@@ -135,10 +141,10 @@ let test_pinned_key_vectors () =
         expected
         (Key.to_hex (Request.key ~kind (req engine))))
     [
-      ("run", Request.Kernel, "4b5ba87d94c30a01");
-      ("histogram", Request.Kernel, "f99832e836e7f338");
-      ("outcomes", Request.Kernel, "269078ab102941cb");
-      ("run", Request.Interpreter, "740d517631b4f638");
+      ("run", Request.Kernel, "d2670c5b881a95f4");
+      ("histogram", Request.Kernel, "258ca242af3f2b6d");
+      ("outcomes", Request.Kernel, "ee8cd655bc324826");
+      ("run", Request.Interpreter, "00fdbbd155eacf4b");
     ]
 
 (* -------------------------------------------------------------------- *)
