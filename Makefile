@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-instance bench-instance-smoke bench-oracle bench-oracle-smoke bench-store bench-store-smoke bench-pipeline bench-pipeline-smoke bench-serve bench-serve-smoke bench-schemata bench-schemata-smoke oracle oracle-smoke check clean
+.PHONY: all build test bench bench-smoke bench-instance bench-instance-smoke bench-oracle bench-oracle-smoke bench-store bench-store-smoke bench-pipeline bench-pipeline-smoke bench-serve bench-serve-smoke bench-schemata bench-schemata-smoke bench-corpus bench-corpus-smoke oracle oracle-smoke check clean
 
 all: build
 
@@ -95,6 +95,21 @@ bench-schemata:
 bench-schemata-smoke:
 	MCM_BENCH_SMOKE=1 MCM_BENCH_PART=schemata dune exec --profile release bench/main.exe
 
+# Generated litmus corpus: synthesis + oracle-certified admission
+# throughput, byte-reproducibility across domain counts, and a
+# generated-corpus campaign through the schemata plan with a store
+# (writes BENCH_corpus.json, scratch dir _bench_corpus/). Fails if the
+# two oracle engines disagree on any admission verdict, if seeded
+# generation is not byte-reproducible, or if the warm campaign rerun is
+# not served 100% from cache bit-identically.
+bench-corpus:
+	MCM_BENCH_PART=corpus dune exec bench/main.exe
+
+# Same contracts at CI speed (a smaller shape; every contract is still
+# asserted — none of them are timing floors).
+bench-corpus-smoke:
+	MCM_BENCH_SMOKE=1 MCM_BENCH_PART=corpus dune exec bench/main.exe
+
 # Full axiomatic oracle: certify every generated/classic test and run
 # the simulator soundness matrix over the whole library (minutes).
 oracle:
@@ -107,9 +122,9 @@ oracle-smoke:
 
 # The one target CI needs: build, full test suite, smoke benchmarks,
 # smoke oracle.
-check: build test bench-smoke bench-instance-smoke bench-oracle-smoke bench-store-smoke bench-pipeline-smoke bench-serve-smoke bench-schemata-smoke oracle-smoke
+check: build test bench-smoke bench-instance-smoke bench-oracle-smoke bench-store-smoke bench-pipeline-smoke bench-serve-smoke bench-schemata-smoke bench-corpus-smoke oracle-smoke
 
 clean:
 	dune clean
-	rm -f BENCH_parallel.json BENCH_oracle.json BENCH_instance.json BENCH_store.json BENCH_pipeline.json BENCH_serve.json BENCH_schemata.json
-	rm -rf _bench_store _bench_pipeline _bench_serve
+	rm -f BENCH_parallel.json BENCH_oracle.json BENCH_instance.json BENCH_store.json BENCH_pipeline.json BENCH_serve.json BENCH_schemata.json BENCH_corpus.json
+	rm -rf _bench_store _bench_pipeline _bench_serve _bench_corpus

@@ -1633,6 +1633,160 @@ let schemata_bench ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Part: generated corpus                                               *)
+
+(* Contracts, asserted on every run (exit 1 on violation):
+
+   1. the admission gate is sound by construction — zero uncertified
+      entries and zero cross-engine disagreements with the check on;
+   2. seeded generation is byte-reproducible: the same configuration
+      serializes to the same bytes across domain counts;
+   3. a generated corpus is an ordinary campaign — through the schemata
+      plan with a store, a warm rerun is served 100% from cache and is
+      bit-identical to the cold run.
+
+   The recorded numbers (candidate executions certified per second and
+   the admission rate) track the generator's throughput; the campaign
+   section tracks that corpus cells stay store-cacheable. *)
+
+module Corpus = Mcm_corpus.Corpus
+module CShape = Mcm_corpus.Shape
+module CAdmit = Mcm_corpus.Admit
+
+let corpus_bench ~smoke () =
+  section "Generated corpus: synthesis, oracle-certified admission, campaign";
+  let shape_spec = if smoke then "2x3x2" else "2x5x2" in
+  let shape =
+    match CShape.of_spec shape_spec with
+    | Ok s -> s
+    | Error e ->
+        Printf.eprintf "bench: bad corpus shape %s: %s\n" shape_spec e;
+        exit 1
+  in
+  let meta = { Corpus.default_meta with Corpus.shape } in
+  (* 1. Generation + admission throughput, cross-engine check on. *)
+  let corpus, gen_s = wall (fun () -> Corpus.generate ~cross_check:true ~domains:2 meta) in
+  let s = corpus.Corpus.stats in
+  let candidates_per_s =
+    if gen_s > 0. then float_of_int s.CAdmit.candidates /. gen_s else 0.
+  in
+  let admission_rate =
+    if s.CAdmit.programs > 0 then
+      float_of_int s.CAdmit.admitted /. float_of_int s.CAdmit.programs
+    else 0.
+  in
+  let engines_agree = s.CAdmit.uncertified = 0 && s.CAdmit.disagreements = 0 in
+  Printf.printf
+    "  shape %s: %d programs through the gate (%d raw enumerations), %d candidate executions\n"
+    shape_spec s.CAdmit.programs s.CAdmit.raw s.CAdmit.candidates;
+  Printf.printf
+    "  admitted %d (%d conformance, %d weak, %d interleaved, %d operator mutants)\n"
+    s.CAdmit.admitted s.CAdmit.conformance s.CAdmit.weak s.CAdmit.interleaved
+    s.CAdmit.operator_mutants;
+  Printf.printf "  admission              %8.4f s   %8.0f candidates/s, rate %.2f\n"
+    gen_s candidates_per_s admission_rate;
+  Printf.printf "  cross-engine check     %s\n%!"
+    (if engines_agree then "both oracle engines agree on every verdict"
+     else
+       Printf.sprintf "%d uncertified, %d DISAGREEMENT(S)" s.CAdmit.uncertified
+         s.CAdmit.disagreements);
+  (* 2. Byte reproducibility across domain counts. *)
+  let corpus1 = Corpus.generate ~cross_check:true ~domains:1 meta in
+  let reproducible = Corpus.to_string corpus = Corpus.to_string corpus1 in
+  Printf.printf "  reproducibility        %s\n%!"
+    (if reproducible then "byte-identical across domain counts" else "BYTES DIVERGED");
+  (* 3. The corpus as a campaign: schemata plan + store, cold then warm. *)
+  let root =
+    match Sys.getenv_opt "MCM_BENCH_CORPUS_DIR" with
+    | Some p when p <> "" -> p
+    | _ -> "_bench_corpus"
+  in
+  rm_rf root;
+  let entries = Array.of_list corpus.Corpus.entries in
+  let n = Array.length entries in
+  let device = Device.make Profile.nvidia in
+  let env = Params.scaled Params.pte_baseline 0.02 in
+  let iterations = if smoke then 2 else 20 in
+  let request i =
+    Request.make ~device ~env ~test:entries.(i).CAdmit.test ~iterations ~seed:20230325 ()
+  in
+  let grid = Grid.make Runner.Rate ~n ~request in
+  let sweep () =
+    Store.with_store root (fun store ->
+        Grid.run_stats (Request.context ~domains:2 ~store ~plan:Request.Schema ()) grid)
+  in
+  let (cold_res, _), cold_s = wall sweep in
+  let (warm_res, warm_stats), warm_s = wall sweep in
+  let warm_hits, warm_misses =
+    match warm_stats with
+    | Some st -> (st.Mcm_campaign.Sched.hits, st.Mcm_campaign.Sched.misses)
+    | None -> (0, n)
+  in
+  let campaign_identical = warm_res = cold_res in
+  let warm_all_hits = warm_hits = n && warm_misses = 0 in
+  Printf.printf "  campaign (%d cells, %d iterations, schemata plan + store)\n" n iterations;
+  Printf.printf "    cold store           %8.4f s\n" cold_s;
+  Printf.printf "    warm store           %8.4f s   %d/%d hit(s)%s\n%!" warm_s warm_hits n
+    (if campaign_identical then "   (bit-identical)" else "   RESULTS DIVERGED");
+  let json =
+    Jsonw.Obj
+      [
+        ("benchmark", Jsonw.String "corpus");
+        ("smoke", Jsonw.Bool smoke);
+        ("corpus_version", Jsonw.String Mcm_corpus.Version.version);
+        ("shape", Jsonw.String shape_spec);
+        ("raw", Jsonw.Int s.CAdmit.raw);
+        ("programs", Jsonw.Int s.CAdmit.programs);
+        ("candidates", Jsonw.Int s.CAdmit.candidates);
+        ("admitted", Jsonw.Int s.CAdmit.admitted);
+        ("conformance", Jsonw.Int s.CAdmit.conformance);
+        ("weak", Jsonw.Int s.CAdmit.weak);
+        ("interleaved", Jsonw.Int s.CAdmit.interleaved);
+        ("operator_mutants", Jsonw.Int s.CAdmit.operator_mutants);
+        ("generation_s", Jsonw.Float gen_s);
+        ("candidates_per_s", Jsonw.Float candidates_per_s);
+        ("admission_rate", Jsonw.Float admission_rate);
+        ("engines_agree", Jsonw.Bool engines_agree);
+        ("reproducible", Jsonw.Bool reproducible);
+        ( "campaign",
+          Jsonw.Obj
+            [
+              ("cells", Jsonw.Int n);
+              ("iterations", Jsonw.Int iterations);
+              ("cold_s", Jsonw.Float cold_s);
+              ("warm_s", Jsonw.Float warm_s);
+              ("warm_hits", Jsonw.Int warm_hits);
+              ("warm_misses", Jsonw.Int warm_misses);
+              ("identical", Jsonw.Bool campaign_identical);
+            ] );
+      ]
+  in
+  let path =
+    match Sys.getenv_opt "MCM_BENCH_CORPUS_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_corpus.json"
+  in
+  let oc = open_out path in
+  Jsonw.to_channel oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" path;
+  if not engines_agree then begin
+    prerr_endline "bench: corpus admission verdicts diverged between oracle engines";
+    exit 1
+  end;
+  if not reproducible then begin
+    prerr_endline "bench: seeded corpus generation is not byte-reproducible";
+    exit 1
+  end;
+  if not (warm_all_hits && campaign_identical) then begin
+    Printf.eprintf
+      "bench: corpus campaign cache contract violated (%d/%d warm hits, identical=%B)\n"
+      warm_hits n campaign_identical;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Part 3: Bechamel micro-benchmarks                                    *)
 
 open Bechamel
@@ -1758,9 +1912,10 @@ let () =
   | Some "pipeline" -> pipeline_bench ~smoke ()
   | Some "serve" -> serve_bench ~smoke ()
   | Some "schemata" -> schemata_bench ~smoke ()
+  | Some "corpus" -> corpus_bench ~smoke ()
   | Some part ->
       Printf.eprintf
-        "bench: unknown MCM_BENCH_PART %S (instance|parallel|oracle|store|pipeline|serve|schemata)\n"
+        "bench: unknown MCM_BENCH_PART %S (instance|parallel|oracle|store|pipeline|serve|schemata|corpus)\n"
         part;
       exit 2
   | None ->
@@ -1781,6 +1936,7 @@ let () =
         pipeline_bench ~smoke:true ();
         serve_bench ~smoke:true ();
         schemata_bench ~smoke:true ();
+        corpus_bench ~smoke:true ();
         print_endline "smoke ok."
       end
       else begin
@@ -1792,6 +1948,7 @@ let () =
         pipeline_bench ~smoke:false ();
         serve_bench ~smoke:false ();
         schemata_bench ~smoke:false ();
+        corpus_bench ~smoke:false ();
         run_benchmarks ();
         print_newline ();
         print_endline "done."

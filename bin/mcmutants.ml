@@ -1289,6 +1289,271 @@ let admin_cmd =
     Term.(const run $ socket_req $ action)
 
 (* ------------------------------------------------------------------ *)
+(* corpus: generated litmus corpus                                      *)
+
+module Corpus = Mcm_corpus.Corpus
+module CShape = Mcm_corpus.Shape
+module CAdmit = Mcm_corpus.Admit
+module HGrid = Mcm_harness.Grid
+
+let corpus_arg =
+  let doc = "Corpus file (written by $(b,corpus generate))." in
+  Arg.(value & opt string "corpus.json" & info [ "corpus" ] ~docv:"FILE" ~doc)
+
+let load_corpus path = or_die (Corpus.load ~path)
+
+let corpus_generate_cmd =
+  let run shape_spec model_s rmw fence bound_s seed ops_s oracle_engine_s cross_check jobs out =
+    (* Strict flag parsing in the MCM_* convention: malformed values
+       fail loudly, naming the flag. *)
+    let shape =
+      or_die (Result.map_error (fun e -> "--shape: " ^ e) (CShape.of_spec ~rmw ~fence shape_spec))
+    in
+    let model =
+      match Model.of_string model_s with
+      | Some m -> m
+      | None ->
+          or_die
+            (Error
+               (Printf.sprintf "--model: unknown model %S (%s)" model_s
+                  (String.concat "|" (List.map Model.name Model.all))))
+    in
+    let bound =
+      Option.map
+        (fun s ->
+          match int_of_string_opt s with
+          | Some n when n > 0 -> n
+          | _ -> or_die (Error (Printf.sprintf "--bound: expected a positive integer, got %S" s)))
+        bound_s
+    in
+    let ops =
+      match String.lowercase_ascii ops_s with
+      | "none" -> []
+      | s ->
+          List.map
+            (fun name ->
+              match Mutator.op_of_string name with
+              | Some op -> op
+              | None ->
+                  or_die
+                    (Error
+                       (Printf.sprintf "--ops: unknown operator %S (%s, or none)" name
+                          (String.concat "|" (List.map Mutator.op_name Mutator.all_ops)))))
+            (String.split_on_char ',' s)
+    in
+    let engine =
+      match Mcm_oracle.Engine.of_string oracle_engine_s with
+      | Some e -> e
+      | None ->
+          or_die
+            (Error
+               (Printf.sprintf "--engine: unknown oracle engine %S (%s)" oracle_engine_s
+                  (String.concat "|" (List.map Mcm_oracle.Engine.name Mcm_oracle.Engine.all))))
+    in
+    let meta = { Corpus.shape; model; seed; bound; ops; engine } in
+    let t0 = Unix.gettimeofday () in
+    let corpus = Corpus.generate ~cross_check ~domains:jobs meta in
+    let wall = Unix.gettimeofday () -. t0 in
+    let s = corpus.Corpus.stats in
+    Printf.printf "corpus version: %s\n" Mcm_corpus.Version.version;
+    Printf.printf "shape: %s, model %s, seed %d%s\n"
+      (Format.asprintf "%a" CShape.pp shape)
+      (Model.name model) seed
+      (match bound with None -> "" | Some b -> Printf.sprintf ", bound %d" b);
+    Printf.printf
+      "programs: %d canonical (of %d raw), %d candidate executions enumerated\n"
+      s.CAdmit.programs s.CAdmit.raw s.CAdmit.candidates;
+    Printf.printf
+      "admitted: %d (%d conformance, %d weak, %d interleaved, %d operator mutants); %d \
+       rejected, %d duplicates\n"
+      s.CAdmit.admitted s.CAdmit.conformance s.CAdmit.weak s.CAdmit.interleaved
+      s.CAdmit.operator_mutants s.CAdmit.rejected s.CAdmit.duplicates;
+    if s.CAdmit.uncertified > 0 || s.CAdmit.disagreements > 0 then begin
+      Printf.eprintf "mcmutants: admission failed: %d uncertified, %d engine disagreement(s)\n"
+        s.CAdmit.uncertified s.CAdmit.disagreements;
+      exit 1
+    end;
+    if cross_check then print_endline "cross-check: both oracle engines agree on every verdict";
+    Corpus.save ~path:out corpus;
+    Printf.printf "corpus key: %s\nwrote %s\n" (CKey.to_hex (Corpus.key corpus)) out;
+    Printf.eprintf "wall time: %.3f s (%.0f candidates/s)\n" wall
+      (if wall > 0. then float_of_int s.CAdmit.candidates /. wall else 0.)
+  in
+  let shape_arg =
+    let doc =
+      "Shape budget THREADSxEVENTSxLOCS (e.g. $(b,2x4x2)): maximum threads, total \
+       instructions and distinct locations to enumerate."
+    in
+    Arg.(value & opt string "2x4x2" & info [ "shape" ] ~docv:"KxExL" ~doc)
+  in
+  let model_arg =
+    let doc = "Memory consistency model to certify against: sc, sc-per-loc or relacq." in
+    Arg.(value & opt string "sc-per-loc" & info [ "model" ] ~docv:"MODEL" ~doc)
+  in
+  let rmw_arg =
+    Arg.(value & flag & info [ "rmw" ] ~doc:"Admit read-modify-writes into the alphabet.")
+  in
+  let fence_arg = Arg.(value & flag & info [ "fence" ] ~doc:"Admit fences into the alphabet.") in
+  let bound_arg =
+    let doc =
+      "Cap the canonical programs fed to the oracle; beyond it a $(b,--seed)-driven uniform \
+       sample is taken."
+    in
+    Arg.(value & opt (some string) None & info [ "bound" ] ~docv:"N" ~doc)
+  in
+  let ops_arg =
+    let doc =
+      "Comma-separated mutation operators applied to the paper suite's conformance tests \
+       (sdl, ror, uoi), or $(b,none)."
+    in
+    Arg.(value & opt string "sdl,ror,uoi" & info [ "ops" ] ~docv:"OPS" ~doc)
+  in
+  let oracle_engine_arg =
+    let doc = "Oracle engine for admission: enumerate or propagate." in
+    Arg.(value & opt string "propagate" & info [ "engine" ] ~docv:"ENGINE" ~doc)
+  in
+  let cross_check_arg =
+    Arg.(
+      value & flag
+      & info [ "cross-check" ]
+          ~doc:
+            "Re-run every admission under the second oracle engine and fail on any verdict \
+             difference.")
+  in
+  let out_arg =
+    Arg.(value & opt string "corpus.json" & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  Cmd.v
+    (Cmd.info "generate"
+       ~doc:
+         "Enumerate, derive and oracle-certify a litmus corpus (deterministic in its \
+          configuration; the output is byte-reproducible)")
+    Term.(
+      const run $ shape_arg $ model_arg $ rmw_arg $ fence_arg $ bound_arg $ seed_arg $ ops_arg
+      $ oracle_engine_arg $ cross_check_arg $ jobs_arg $ out_arg)
+
+let corpus_list_cmd =
+  let run path =
+    let corpus = load_corpus path in
+    let t =
+      Table.create
+        ~aligns:[ Table.Left; Table.Left; Table.Left; Table.Left; Table.Left ]
+        [ "Name"; "Polarity"; "Model"; "Origin"; "Skeleton" ]
+    in
+    List.iter
+      (fun (e : CAdmit.entry) ->
+        Table.add_row t
+          [
+            e.CAdmit.test.Litmus.name;
+            CAdmit.polarity_name e.CAdmit.polarity;
+            Model.name e.CAdmit.test.Litmus.model;
+            (match (e.CAdmit.parent, e.CAdmit.op) with
+            | Some p, Some op -> op ^ " of " ^ p
+            | _ -> "generated");
+            e.CAdmit.skeleton;
+          ])
+      corpus.Corpus.entries;
+    Table.print t;
+    let s = corpus.Corpus.stats in
+    Printf.printf
+      "\n%d entries (%d conformance, %d weak, %d interleaved, %d operator mutants)\ncorpus key: \
+       %s\n"
+      s.CAdmit.admitted s.CAdmit.conformance s.CAdmit.weak s.CAdmit.interleaved
+      s.CAdmit.operator_mutants
+      (CKey.to_hex (Corpus.key corpus))
+  in
+  Cmd.v
+    (Cmd.info "list" ~doc:"List a corpus file's entries and its content key")
+    Term.(const run $ corpus_arg)
+
+let corpus_certify_cmd =
+  let run path jobs =
+    let corpus = load_corpus path in
+    let rechecks = Corpus.recertify ~domains:jobs corpus in
+    let bad =
+      List.filter
+        (fun (r : Corpus.recheck) -> not (r.Corpus.engines_agree && r.Corpus.matches_stored))
+        rechecks
+    in
+    List.iter
+      (fun (r : Corpus.recheck) -> Printf.printf "FAIL %s: %s\n" r.Corpus.name r.Corpus.detail)
+      bad;
+    Printf.printf
+      "corpus certify: %d entr%s re-proved under both oracle engines, %d divergence(s)\n"
+      (List.length rechecks)
+      (if List.length rechecks = 1 then "y" else "ies")
+      (List.length bad);
+    if bad <> [] then exit 1
+  in
+  Cmd.v
+    (Cmd.info "certify"
+       ~doc:
+         "Re-certify every entry of a corpus under both oracle engines and fail on any \
+          disagreement or drift from the stored certificates")
+    Term.(const run $ corpus_arg $ jobs_arg)
+
+let corpus_run_cmd =
+  let run path device env iterations seed scale jobs engine plan store_dir =
+    let corpus = load_corpus path in
+    let profile = or_die (find_device device) in
+    let env = or_die (parse_env env seed scale) in
+    let engine = or_die (find_engine engine) in
+    let plan = or_die (find_plan plan) in
+    let device = Device.make profile in
+    let entries = Array.of_list corpus.Corpus.entries in
+    let n = Array.length entries in
+    Printf.printf "corpus: %d entries (key %s)\ndevice: %s\nenvironment: %s\n" n
+      (CKey.to_hex (Corpus.key corpus))
+      (Device.name device)
+      (Format.asprintf "%a" Params.pp env);
+    let request i =
+      Request.make ~engine ~device ~env ~test:entries.(i).CAdmit.test ~iterations ~seed ()
+    in
+    let t0 = Unix.gettimeofday () in
+    let results =
+      with_ctx ~plan ~jobs store_dir (fun ctx _journal ->
+          HGrid.run ctx (HGrid.make Runner.Rate ~n ~request))
+    in
+    let wall = Unix.gettimeofday () -. t0 in
+    let t =
+      Table.create
+        ~aligns:[ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right ]
+        [ "Name"; "Polarity"; "Kills"; "Instances"; "Rate (/s)" ]
+    in
+    let kills = ref 0 in
+    Array.iteri
+      (fun i (r : Runner.result) ->
+        kills := !kills + r.Runner.kills;
+        Table.add_row t
+          [
+            entries.(i).CAdmit.test.Litmus.name;
+            CAdmit.polarity_name entries.(i).CAdmit.polarity;
+            string_of_int r.Runner.kills;
+            string_of_int r.Runner.instances;
+            Table.rate_cell r.Runner.rate;
+          ])
+      results;
+    Table.print t;
+    Printf.printf "\n%d cell(s), %d target observation(s) in total\n" n !kills;
+    Printf.eprintf "wall time: %.3f s\n" wall
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:
+         "Run every test of a corpus through the campaign pipeline (store-cacheable: cells \
+          are content-addressed like any other campaign cell)")
+    Term.(
+      const run $ corpus_arg $ device_arg $ env_arg $ iterations_arg $ seed_arg $ scale_arg
+      $ jobs_arg $ engine_arg $ plan_arg $ store_arg)
+
+let corpus_cmd =
+  Cmd.group
+    (Cmd.info "corpus"
+       ~doc:
+         "Generated litmus corpus: template-driven synthesis with oracle-certified admission")
+    [ corpus_generate_cmd; corpus_certify_cmd; corpus_list_cmd; corpus_run_cmd ]
+
+(* ------------------------------------------------------------------ *)
 (* version: binary + campaign key code version                          *)
 
 let binary_version = "1.2.0"
@@ -1303,6 +1568,7 @@ let version_cmd =
                 ("version", Mcm_util.Jsonw.String binary_version);
                 ("keyCodeVersion", Mcm_util.Jsonw.String CKey.code_version);
                 ("kernelCodeVersion", Mcm_util.Jsonw.Int Mcm_gpu.Kernel.code_version);
+                ("corpusVersion", Mcm_util.Jsonw.String Mcm_corpus.Version.version);
                 ("protocol", Mcm_util.Jsonw.Int Proto.protocol_version);
                 ( "engines",
                   Mcm_util.Jsonw.List
@@ -1312,6 +1578,7 @@ let version_cmd =
       Printf.printf "mcmutants %s\n" binary_version;
       Printf.printf "campaign key code version: %s\n" CKey.code_version;
       Printf.printf "kernel code version: %d\n" Mcm_gpu.Kernel.code_version;
+      Printf.printf "corpus generator version: %s\n" Mcm_corpus.Version.version;
       Printf.printf "serve protocol version: %d\n" Proto.protocol_version;
       Printf.printf "engines: %s\n" (String.concat ", " (List.map fst Request.engines))
     end
@@ -1338,7 +1605,7 @@ let main =
       list_cmd; show_cmd; enumerate_cmd; run_cmd; parse_cmd; export_cmd; wgsl_cmd; table2_cmd; table3_cmd; fig5_cmd;
       fig6_cmd; table4_cmd; tune_cmd; analysis_cmd; cts_cmd; prune_cmd; emit_suite_cmd; models_cmd;
       oracle_cmd; cache_cmd; serve_cmd; submit_cmd; watch_cmd; report_cmd; admin_cmd;
-      version_cmd;
+      corpus_cmd; version_cmd;
     ]
 
 let () = exit (Cmd.eval main)

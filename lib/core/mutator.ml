@@ -21,6 +21,64 @@ let disruption = function
       "the inner access pair moves to a second location, weakening po-loc to plain po"
   | Weakening_sw -> "one or both release/acquire fences are removed, breaking the sw edge"
 
+type op = Sdl | Ror | Uoi
+
+let op_name = function Sdl -> "sdl" | Ror -> "ror" | Uoi -> "uoi"
+let all_ops = [ Sdl; Ror; Uoi ]
+
+let op_of_string s =
+  match String.lowercase_ascii s with
+  | "sdl" | "delete" | "deletion" -> Some Sdl
+  | "ror" | "reorder" | "relax" -> Some Ror
+  | "uoi" | "unfence" | "defence" -> Some Uoi
+  | _ -> None
+
+let op_disruption = function
+  | Sdl ->
+      "statement deletion: one memory access is removed, dropping every ordering edge through it"
+  | Ror -> "ordering relaxation: an adjacent program-order pair is reversed"
+  | Uoi -> "fence removal: one fence is deleted, narrowing the synchronisation it provided"
+
+let replace_thread threads tid instrs =
+  let copy = Array.copy threads in
+  copy.(tid) <- instrs;
+  copy
+
+let delete_at instrs i = List.filteri (fun j _ -> j <> i) instrs
+
+let apply_op op threads =
+  let variants = ref [] in
+  let add tid i t = variants := (Printf.sprintf "t%d.%d" tid i, t) :: !variants in
+  Array.iteri
+    (fun tid instrs ->
+      let arr = Array.of_list instrs in
+      let n = Array.length arr in
+      match op with
+      | Sdl ->
+          (* Delete one memory access; never empty a thread (the outcome
+             frame would silently change shape). *)
+          for i = 0 to n - 1 do
+            if Instr.is_memory_access arr.(i) && n > 1 then
+              add tid i (replace_thread threads tid (delete_at instrs i))
+          done
+      | Ror ->
+          (* Reverse one adjacent program-order pair. Identical pairs and
+             fence-fence pairs swap to themselves and are skipped. *)
+          for i = 0 to n - 2 do
+            let a = arr.(i) and b = arr.(i + 1) in
+            if a <> b && (Instr.is_memory_access a || Instr.is_memory_access b) then
+              let swapped =
+                List.mapi (fun j x -> if j = i then b else if j = i + 1 then a else x) instrs
+              in
+              add tid i (replace_thread threads tid swapped)
+          done
+      | Uoi ->
+          for i = 0 to n - 1 do
+            if arr.(i) = Instr.Fence then add tid i (replace_thread threads tid (delete_at instrs i))
+          done)
+    threads;
+  List.rev !variants
+
 type pair = { conformance : Litmus.t; mutants : Litmus.t list }
 
 let ( let* ) = Result.bind

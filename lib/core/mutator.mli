@@ -40,6 +40,55 @@ val disruption : kind -> string
     behaviour from disallowed to allowed. Quoted in the oracle's
     mutant-validity certificates. *)
 
+(** {2 Corpus operator layer}
+
+    Beyond the paper's three template mutators, the generated-corpus
+    subsystem ({!Mcm_corpus}) applies classic mutation {e operators} to
+    existing programs — dextool's taxonomy transplanted to litmus tests.
+    Operators are pure program transforms; they carry no derived target.
+    The corpus admission gate derives and oracle-certifies a target for
+    every variant ({!Mcm_corpus.Admit}), exactly as for enumerated
+    programs, so operator mutants are machine-checked the same way the
+    paper suite is. *)
+
+type op =
+  | Sdl
+      (** statement deletion: remove one memory access (never emptying a
+          thread) — the [sdl] operator. Dropping an access drops every
+          program-order edge through it, typically legalising an
+          interleaving-killed behaviour. *)
+  | Ror
+      (** ordering relaxation: reverse one adjacent program-order pair —
+          [ror]-style, with "relational operator" read as the po
+          constraint between neighbours. Generalises the paper's
+          reversing-po-loc disruptor to any adjacent pair. *)
+  | Uoi
+      (** fence removal: delete one fence — [uoi]-style interface
+          weakening. In this IR fences have no scope parameter, so scope
+          narrowing degenerates to removal; generalises the paper's
+          weakening-sw disruptor to one fence at a time on any test. *)
+
+val op_name : op -> string
+(** ["sdl"], ["ror"], ["uoi"] — the CLI and JSON spelling. *)
+
+val all_ops : op list
+
+val op_of_string : string -> op option
+(** Parses {!op_name} output (case-insensitive); also accepts the
+    aliases ["delete"], ["reorder"], ["unfence"] and friends. *)
+
+val op_disruption : op -> string
+(** One-line description of what the operator breaks, quoted in corpus
+    certificates alongside {!disruption}. *)
+
+val apply_op : op -> Mcm_litmus.Instr.t list array -> (string * Mcm_litmus.Instr.t list array) list
+(** [apply_op op threads] is every single-application variant of [op] on
+    [threads], in deterministic (thread, index) order, each labelled
+    ["t<tid>.<idx>"] by the program point it transformed. Variants that
+    are identities (swapping equal instructions) or that would empty a
+    thread are skipped. Well-formedness is preserved: deletion and
+    reordering never introduce duplicate registers or values. *)
+
 (** A conformance test paired with its mutants. *)
 type pair = {
   conformance : Mcm_litmus.Litmus.t;

@@ -1,0 +1,370 @@
+module Model = Mcm_memmodel.Model
+module Litmus = Mcm_litmus.Litmus
+module Enumerate = Mcm_litmus.Enumerate
+module Classify = Mcm_litmus.Classify
+module Mutator = Mcm_core.Mutator
+module Engine = Mcm_oracle.Engine
+module Outcome = Mcm_oracle.Outcome
+module Certify = Mcm_oracle.Certify
+module Key = Mcm_campaign.Key
+module Pool = Mcm_util.Pool
+module Jsonw = Mcm_util.Jsonw
+
+type polarity = Conformance | Mutant_weak | Mutant_interleaved
+
+let polarity_name = function
+  | Conformance -> "conformance"
+  | Mutant_weak -> "mutant-weak"
+  | Mutant_interleaved -> "mutant-interleaved"
+
+let polarity_of_string = function
+  | "conformance" -> Some Conformance
+  | "mutant-weak" -> Some Mutant_weak
+  | "mutant-interleaved" -> Some Mutant_interleaved
+  | _ -> None
+
+type entry = {
+  test : Litmus.t;
+  polarity : polarity;
+  skeleton : string;
+  parent : string option;
+  op : string option;
+  verdict : Certify.verdict;
+}
+
+type stats = {
+  raw : int;
+  programs : int;
+  candidates : int;
+  admitted : int;
+  conformance : int;
+  weak : int;
+  interleaved : int;
+  operator_mutants : int;
+  rejected : int;
+  duplicates : int;
+  uncertified : int;
+  disagreements : int;
+}
+
+let zero_stats =
+  {
+    raw = 0;
+    programs = 0;
+    candidates = 0;
+    admitted = 0;
+    conformance = 0;
+    weak = 0;
+    interleaved = 0;
+    operator_mutants = 0;
+    rejected = 0;
+    duplicates = 0;
+    uncertified = 0;
+    disagreements = 0;
+  }
+
+let combine_stats a b =
+  {
+    raw = a.raw + b.raw;
+    programs = a.programs + b.programs;
+    candidates = a.candidates + b.candidates;
+    admitted = a.admitted + b.admitted;
+    conformance = a.conformance + b.conformance;
+    weak = a.weak + b.weak;
+    interleaved = a.interleaved + b.interleaved;
+    operator_mutants = a.operator_mutants + b.operator_mutants;
+    rejected = a.rejected + b.rejected;
+    duplicates = a.duplicates + b.duplicates;
+    uncertified = a.uncertified + b.uncertified;
+    disagreements = a.disagreements + b.disagreements;
+  }
+
+let stats_fields s =
+  [
+    ("raw", Jsonw.Int s.raw);
+    ("programs", Jsonw.Int s.programs);
+    ("candidates", Jsonw.Int s.candidates);
+    ("admitted", Jsonw.Int s.admitted);
+    ("conformance", Jsonw.Int s.conformance);
+    ("weak", Jsonw.Int s.weak);
+    ("interleaved", Jsonw.Int s.interleaved);
+    ("operatorMutants", Jsonw.Int s.operator_mutants);
+    ("rejected", Jsonw.Int s.rejected);
+    ("duplicates", Jsonw.Int s.duplicates);
+    ("uncertified", Jsonw.Int s.uncertified);
+    ("disagreements", Jsonw.Int s.disagreements);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Target derivation                                                    *)
+
+(* Render a target set exactly as Parse.to_source renders targets: a
+   disjunction of full-outcome conjunctions (final locations first, then
+   registers), over canonically sorted outcomes. Byte-compatibility here
+   is what keeps store keys stable across print/parse round-trips. *)
+let conjunction (o : Litmus.outcome) =
+  let parts = ref [] in
+  Array.iteri
+    (fun l v -> parts := Printf.sprintf "%s == %d" (Litmus.loc_name l) v :: !parts)
+    o.Litmus.final;
+  Array.iteri
+    (fun tid regs ->
+      Array.iteri (fun r v -> parts := Printf.sprintf "P%d:r%d == %d" tid r v :: !parts) regs)
+    o.Litmus.regs;
+  "(" ^ String.concat " && " (List.rev !parts) ^ ")"
+
+let describe = function
+  | [] -> "false"
+  | outcomes -> String.concat " || " (List.map conjunction outcomes)
+
+let diff a b = List.filter (fun o -> not (List.mem o b)) a
+
+(* The outcome frame a derivation works in. *)
+type frame = {
+  all : Litmus.outcome list;  (* every candidate outcome, sorted *)
+  allowed : Litmus.outcome list;  (* consistent under the model *)
+  sc : Litmus.outcome list;  (* consistent under plain SC *)
+  serial : Litmus.outcome list;  (* whole-thread-at-a-time baseline *)
+  ncandidates : int;
+}
+
+let frame ~engine probe =
+  let cands = Enumerate.candidates probe in
+  let all =
+    List.sort_uniq compare (List.map (Litmus.outcome_of_execution probe) cands)
+  in
+  let allowed = Outcome.elements (Outcome.allowed ~engine probe.Litmus.model probe) in
+  let sc = Outcome.elements (Outcome.allowed ~engine Model.Sc probe) in
+  let serial = List.sort_uniq compare (Classify.sequential_outcomes probe) in
+  { all; allowed; sc; serial; ncandidates = List.length cands }
+
+let probe ~model ~nlocs ~name threads =
+  {
+    Litmus.name;
+    family = "corpus-probe";
+    model;
+    threads;
+    nlocs;
+    target = (fun _ -> false);
+    target_desc = "false";
+  }
+
+let with_target probe ~name ~family set =
+  {
+    probe with
+    Litmus.name;
+    family;
+    target = (fun o -> List.mem o set);
+    target_desc = describe set;
+  }
+
+(* Conformance: the outcomes the model forbids. Mutant ladder: weak
+   behaviour if the model allows any, else SC-consistent behaviour that
+   no serial execution reaches. *)
+let conformance_set f = diff f.all f.allowed
+
+let mutant_set f =
+  match diff f.allowed f.sc with
+  | _ :: _ as weak -> Some (Mutant_weak, weak)
+  | [] -> ( match diff f.allowed f.serial with [] -> None | inter -> Some (Mutant_interleaved, inter))
+
+let certify ~engine polarity test =
+  match polarity with
+  | Conformance -> Certify.conformance ~engine test
+  | Mutant_weak | Mutant_interleaved ->
+      Certify.mutant ~engine ~role:("corpus " ^ polarity_name polarity) test
+
+(* One derivation under one engine: the admitted (polarity, test,
+   verdict) list for a program, plus rejected/uncertified counts. *)
+let derive ~engine ~model ~nlocs ~skeleton ~base_name ~family ~parent ~op ~mutant_only threads =
+  let p = probe ~model ~nlocs ~name:base_name threads in
+  match Litmus.well_formed p with
+  | Error _ -> ([], 0, 1, 0)
+  | Ok () ->
+      let f = frame ~engine p in
+      let consider =
+        (if mutant_only then []
+         else
+           match conformance_set f with
+           | [] -> []
+           | set -> [ (Conformance, base_name ^ "-c", set) ])
+        @
+        match mutant_set f with
+        | None -> []
+        | Some (pol, set) ->
+            let suffix = match pol with Mutant_weak -> "-w" | _ -> "-i" in
+            [ (pol, base_name ^ suffix, set) ]
+      in
+      let entries, uncertified =
+        List.fold_left
+          (fun (acc, bad) (pol, name, set) ->
+            let test = with_target p ~name ~family set in
+            let verdict = certify ~engine pol test in
+            if verdict.Certify.ok then
+              (( { test; polarity = pol; skeleton; parent; op; verdict } :: acc), bad)
+            else (acc, bad + 1))
+          ([], 0) consider
+      in
+      let rejected = if consider = [] then 1 else 0 in
+      (List.rev entries, f.ncandidates, rejected, uncertified)
+
+let other_engine = function Engine.Enumerate -> Engine.Propagate | Engine.Propagate -> Engine.Enumerate
+
+(* A derivation's observable admission verdict, for cross-engine
+   comparison: what was admitted, with which target and certificate. *)
+let verdict_fingerprint (entries, _, rejected, uncertified) =
+  ( List.map
+      (fun e ->
+        ( e.test.Litmus.name,
+          e.test.Litmus.target_desc,
+          polarity_name e.polarity,
+          e.verdict.Certify.ok,
+          e.verdict.Certify.detail ))
+      entries,
+    rejected,
+    uncertified )
+
+let derive_checked ~engine ~cross_check ~model ~nlocs ~skeleton ~base_name ~family ~parent ~op
+    ~mutant_only threads =
+  let first =
+    derive ~engine ~model ~nlocs ~skeleton ~base_name ~family ~parent ~op ~mutant_only threads
+  in
+  let disagreements =
+    if not cross_check then 0
+    else
+      let second =
+        derive ~engine:(other_engine engine) ~model ~nlocs ~skeleton ~base_name ~family ~parent ~op
+          ~mutant_only threads
+      in
+      if verdict_fingerprint first = verdict_fingerprint second then 0 else 1
+  in
+  (first, disagreements)
+
+(* ------------------------------------------------------------------ *)
+(* Dedup                                                                *)
+
+let entry_key e =
+  e.skeleton ^ "|" ^ Model.name e.test.Litmus.model ^ "|" ^ polarity_name e.polarity
+
+let dedup entries =
+  let seen = Hashtbl.create 64 in
+  let kept =
+    List.filter
+      (fun e ->
+        let k = entry_key e in
+        if Hashtbl.mem seen k then false
+        else begin
+          Hashtbl.add seen k ();
+          true
+        end)
+      entries
+  in
+  (kept, List.length entries - List.length kept)
+
+(* ------------------------------------------------------------------ *)
+(* Parallel driving                                                     *)
+
+let with_pool ~domains f =
+  let pool = Pool.create ~domains () in
+  Fun.protect ~finally:(fun () -> Pool.shutdown pool) (fun () -> f pool)
+
+let short_hash s = Printf.sprintf "%Lx" (Key.fnv1a64 s)
+
+let generated ?(engine = Engine.default) ?(cross_check = false) ?(domains = 1) ?bound ?(seed = 0)
+    ~model shape =
+  let skeletons, raw = Generate.enumerate shape in
+  let sampled =
+    match bound with None -> skeletons | Some b -> Generate.sample ~seed ~bound:b skeletons
+  in
+  let arr = Array.of_list sampled in
+  let family = Version.family ~tag:"generated" in
+  let results =
+    with_pool ~domains (fun pool ->
+        Pool.map_array pool ~n:(Array.length arr) ~f:(fun i ->
+            let sk = arr.(i) in
+            let skeleton = Generate.to_string sk in
+            let base_name = "g" ^ short_hash skeleton in
+            derive_checked ~engine ~cross_check ~model ~nlocs:(Generate.nlocs sk) ~skeleton
+              ~base_name ~family ~parent:None ~op:None ~mutant_only:false
+              (Generate.concretize sk)))
+  in
+  let entries, stats =
+    Array.fold_left
+      (fun (acc, st) ((entries, cands, rejected, uncertified), disagreements) ->
+        let st =
+          {
+            st with
+            candidates = st.candidates + cands;
+            rejected = st.rejected + rejected;
+            uncertified = st.uncertified + uncertified;
+            disagreements = st.disagreements + disagreements;
+          }
+        in
+        (acc @ entries, st))
+      ([], { zero_stats with raw; programs = Array.length arr })
+      results
+  in
+  let entries, dups = dedup entries in
+  let count p = List.length (List.filter (fun e -> e.polarity = p) entries) in
+  ( entries,
+    {
+      stats with
+      admitted = List.length entries;
+      conformance = count Conformance;
+      weak = count Mutant_weak;
+      interleaved = count Mutant_interleaved;
+      duplicates = stats.duplicates + dups;
+    } )
+
+let operator_mutants ?(engine = Engine.default) ?(cross_check = false) ?(domains = 1) ~ops tests =
+  let variants =
+    List.concat_map
+      (fun test ->
+        List.concat_map
+          (fun op ->
+            List.map
+              (fun (label, threads) -> (test, op, label, threads))
+              (Mutator.apply_op op test.Litmus.threads))
+          ops)
+      tests
+  in
+  let arr = Array.of_list variants in
+  let results =
+    with_pool ~domains (fun pool ->
+        Pool.map_array pool ~n:(Array.length arr) ~f:(fun i ->
+            let parent, op, label, threads = arr.(i) in
+            let op_name = Mutator.op_name op in
+            let skeleton = Generate.to_string (Generate.canonical (Generate.of_threads threads)) in
+            let base_name = Printf.sprintf "%s-%s-%s" parent.Litmus.name op_name label in
+            derive_checked ~engine ~cross_check ~model:parent.Litmus.model
+              ~nlocs:parent.Litmus.nlocs ~skeleton ~base_name
+              ~family:(Version.family ~tag:("op-" ^ op_name))
+              ~parent:(Some parent.Litmus.name) ~op:(Some op_name) ~mutant_only:true threads))
+  in
+  let entries, stats =
+    Array.fold_left
+      (fun (acc, st) ((entries, cands, rejected, uncertified), disagreements) ->
+        let st =
+          {
+            st with
+            candidates = st.candidates + cands;
+            rejected = st.rejected + rejected;
+            uncertified = st.uncertified + uncertified;
+            disagreements = st.disagreements + disagreements;
+          }
+        in
+        (acc @ entries, st))
+      ([], { zero_stats with programs = Array.length arr })
+      results
+  in
+  let entries, dups = dedup entries in
+  let count p = List.length (List.filter (fun e -> e.polarity = p) entries) in
+  ( entries,
+    {
+      stats with
+      admitted = List.length entries;
+      weak = count Mutant_weak;
+      interleaved = count Mutant_interleaved;
+      operator_mutants = List.length entries;
+      duplicates = stats.duplicates + dups;
+    } )

@@ -1,0 +1,72 @@
+(** The deterministic, content-addressed corpus format.
+
+    A corpus is the output of one seeded generation run: its
+    configuration ({!meta}), the admitted entries, and the admission
+    statistics. The JSON serialization is canonical — entries in
+    admission order, every test stored as its
+    {!Mcm_litmus.Parse.to_source} program text — so the same (shape,
+    model, seed, bound, ops, engine) always serializes to the same
+    bytes, and {!key} content-addresses the whole corpus through
+    {!Mcm_campaign.Key} (the generated tests' families already carry
+    {!Version.version}, so every campaign cell a corpus run produces is
+    keyed to the generator that made it).
+
+    {!load} re-parses every entry's program text and re-derives its
+    in-memory form, then recomputes {!key}; a mismatch against the
+    recorded key — a hand-edited file, or a corpus written by a
+    different generator version — is a load error, not a silent
+    acceptance. *)
+
+type meta = {
+  shape : Shape.t;
+  model : Mcm_memmodel.Model.t;
+  seed : int;  (** drives sampling when [bound] caps the program count *)
+  bound : int option;  (** cap on canonical programs fed to the oracle *)
+  ops : Mcm_core.Mutator.op list;
+      (** operators applied to the paper suite's conformance tests;
+          [[]] disables the operator stage *)
+  engine : Mcm_oracle.Engine.t;  (** oracle engine used for admission *)
+}
+
+val default_meta : meta
+(** {!Shape.default} under [Sc_per_location], seed 0, no bound, all
+    operators, default engine. *)
+
+type t = { meta : meta; entries : Admit.entry list; stats : Admit.stats }
+
+val generate : ?cross_check:bool -> ?domains:int -> meta -> t
+(** One full generation run: enumerate + sample + admit the shape, then
+    the operator stage over {!Mcm_core.Suite.conformance_tests}, then a
+    global behavioural dedup. Deterministic for equal [meta]. *)
+
+val key : t -> Mcm_campaign.Key.t
+(** The corpus content key: generator version, meta and every entry's
+    canonical test serialization ({!Mcm_campaign.Key.test_blob}). *)
+
+val to_json : t -> Mcm_util.Jsonw.t
+
+val to_string : t -> string
+(** Canonical bytes: [Jsonw.to_string (to_json t)] — byte-identical for
+    equal corpora, the reproducibility contract the bench asserts. *)
+
+val save : path:string -> t -> unit
+
+val load : path:string -> (t, string) result
+(** Parse, rebuild every entry (program text through
+    {!Mcm_litmus.Parse.parse}, stored family restored), and verify the
+    recorded content key against the recomputed one. *)
+
+val of_string : string -> (t, string) result
+
+(** One entry's re-proof, for [mcmutants corpus certify]. *)
+type recheck = {
+  name : string;
+  engines_agree : bool;  (** Enumerate and Propagate verdicts identical *)
+  matches_stored : bool;  (** fresh verdict equals the stored certificate *)
+  detail : string;  (** the fresh verdict's evidence, or the divergence *)
+}
+
+val recertify : ?domains:int -> t -> recheck list
+(** Re-certify every entry under {e both} oracle engines through the
+    gate's own path ({!Admit.certify}) and compare against the stored
+    certificate. Any [false] field is admission-verdict drift. *)

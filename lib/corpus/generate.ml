@@ -1,0 +1,203 @@
+module Instr = Mcm_litmus.Instr
+module Litmus = Mcm_litmus.Litmus
+module Prng = Mcm_util.Prng
+
+type sym = Ld of int | St of int | Um of int | Fn
+type skeleton = sym list array
+
+let sym_string = function
+  | Ld l -> "L" ^ Litmus.loc_name l
+  | St l -> "S" ^ Litmus.loc_name l
+  | Um l -> "U" ^ Litmus.loc_name l
+  | Fn -> "F"
+
+let to_string sk =
+  String.concat " | "
+    (Array.to_list (Array.map (fun t -> String.concat " " (List.map sym_string t)) sk))
+
+let nlocs sk =
+  Array.fold_left
+    (fun acc t ->
+      List.fold_left
+        (fun acc s -> match s with Ld l | St l | Um l -> max acc (l + 1) | Fn -> acc)
+        acc t)
+    0 sk
+
+(* ------------------------------------------------------------------ *)
+(* Canonicalization                                                     *)
+
+let permutations xs =
+  let rec perms = function
+    | [] -> [ [] ]
+    | xs ->
+        List.concat
+          (List.mapi
+             (fun i x ->
+               let rest = List.filteri (fun j _ -> j <> i) xs in
+               List.map (fun p -> x :: p) (perms rest))
+             xs)
+  in
+  perms xs
+
+let renumber threads =
+  let map = Hashtbl.create 4 in
+  let next = ref 0 in
+  let num l =
+    match Hashtbl.find_opt map l with
+    | Some v -> v
+    | None ->
+        let v = !next in
+        incr next;
+        Hashtbl.add map l v;
+        v
+  in
+  List.map
+    (List.map (function Ld l -> Ld (num l) | St l -> St (num l) | Um l -> Um (num l) | Fn -> Fn))
+    threads
+
+let canonical threads =
+  let best = ref None in
+  List.iter
+    (fun perm ->
+      let cand = renumber perm in
+      match !best with
+      | None -> best := Some cand
+      | Some b -> if compare cand b < 0 then best := Some cand)
+    (permutations (Array.to_list threads));
+  Array.of_list (Option.get !best)
+
+(* ------------------------------------------------------------------ *)
+(* Enumeration                                                          *)
+
+let alphabet (shape : Shape.t) =
+  List.concat_map
+    (fun l -> (Ld l :: St l :: (if shape.rmw then [ Um l ] else [])))
+    (List.init shape.locs Fun.id)
+  @ (if shape.fence then [ Fn ] else [])
+
+(* Every way to split [n] events over [k] threads, each getting >= 1. *)
+let rec compositions n k =
+  if k = 1 then if n >= 1 then [ [ n ] ] else []
+  else
+    List.concat
+      (List.init (n - k + 1) (fun i ->
+           let first = i + 1 in
+           List.map (fun rest -> first :: rest) (compositions (n - first) (k - 1))))
+
+(* All symbol sequences of [len], pruning fences that cannot order
+   anything: leading, trailing, or adjacent to another fence. *)
+let iter_seqs alpha len f =
+  let rec go prev remaining acc =
+    if remaining = 0 then (if prev <> Some Fn then f (List.rev acc))
+    else
+      List.iter
+        (fun s ->
+          if not (s = Fn && (prev = None || prev = Some Fn)) then
+            go (Some s) (remaining - 1) (s :: acc))
+        alpha
+  in
+  go None len []
+
+let is_access = function Ld _ | St _ | Um _ -> true | Fn -> false
+let is_write = function St _ | Um _ -> true | Ld _ | Fn -> false
+let loc_of = function Ld l | St l | Um l -> Some l | Fn -> None
+
+(* A skeleton is statically interesting when every thread touches
+   memory, something writes, and some location is written by one thread
+   and touched by another — otherwise no target could ever derive. *)
+let interesting threads =
+  Array.for_all (List.exists is_access) threads
+  && Array.exists (List.exists is_write) threads
+  &&
+  let touched tid l =
+    List.exists (fun s -> loc_of s = Some l) threads.(tid)
+  and writes tid l =
+    List.exists (fun s -> is_write s && loc_of s = Some l) threads.(tid)
+  in
+  let n = Array.length threads in
+  let locs = nlocs threads in
+  let conflict = ref false in
+  for l = 0 to locs - 1 do
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        if i <> j && writes i l && touched j l then conflict := true
+      done
+    done
+  done;
+  !conflict
+
+let enumerate (shape : Shape.t) =
+  let alpha = alphabet shape in
+  let seen = Hashtbl.create 1024 in
+  let out = ref [] in
+  let raw = ref 0 in
+  let visit threads =
+    if interesting threads then begin
+      incr raw;
+      let c = canonical threads in
+      let key = to_string c in
+      if not (Hashtbl.mem seen key) then begin
+        Hashtbl.add seen key ();
+        out := c :: !out
+      end
+    end
+  in
+  for k = 2 to shape.threads do
+    for n = k to shape.events do
+      List.iter
+        (fun lens ->
+          let rec fill acc = function
+            | [] -> visit (Array.of_list (List.rev acc))
+            | len :: rest -> iter_seqs alpha len (fun seq -> fill (seq :: acc) rest)
+          in
+          fill [] lens)
+        (compositions n k)
+    done
+  done;
+  (List.rev !out, !raw)
+
+(* ------------------------------------------------------------------ *)
+(* Concretisation                                                       *)
+
+let of_threads threads =
+  Array.map
+    (List.map (function
+      | Instr.Load { loc; _ } -> Ld loc
+      | Instr.Store { loc; _ } -> St loc
+      | Instr.Rmw { loc; _ } -> Um loc
+      | Instr.Fence -> Fn))
+    threads
+
+let concretize sk =
+  let next_value = Hashtbl.create 4 and next_reg = Hashtbl.create 4 in
+  let fresh tbl key =
+    let v = try Hashtbl.find tbl key with Not_found -> 0 in
+    Hashtbl.replace tbl key (v + 1);
+    v
+  in
+  Array.mapi
+    (fun tid syms ->
+      List.map
+        (function
+          | Ld l -> Instr.Load { reg = fresh next_reg tid; loc = l }
+          | St l -> Instr.Store { loc = l; value = 1 + fresh next_value l }
+          | Um l -> Instr.Rmw { reg = fresh next_reg tid; loc = l; value = 1 + fresh next_value l }
+          | Fn -> Instr.Fence)
+        syms)
+    sk
+
+(* ------------------------------------------------------------------ *)
+(* Seeded sampling                                                      *)
+
+let sample ~seed ~bound xs =
+  let n = List.length xs in
+  if bound >= n then xs
+  else begin
+    let idx = Array.init n Fun.id in
+    let g = Prng.create seed in
+    Prng.shuffle_in_place g idx;
+    let chosen = Array.sub idx 0 (max 0 bound) in
+    Array.sort compare chosen;
+    let arr = Array.of_list xs in
+    Array.to_list (Array.map (fun i -> arr.(i)) chosen)
+  end

@@ -1,0 +1,38 @@
+(** Bounded program shapes for the litmus enumerator.
+
+    A shape is the structural budget the generator enumerates within:
+    how many threads, how many events in total, how many distinct
+    locations, and whether RMWs and fences join the instruction
+    alphabet. Shapes parse from the CLI spelling
+    ["THREADSxEVENTSxLOCS"] (e.g. ["2x4x2"]); parsing is strict in the
+    PR-4 [MCM_*] convention — any malformed or out-of-range component
+    is an [Error] naming the offending piece, never a silent default. *)
+
+type t = {
+  threads : int;  (** maximum thread count, [2..3] *)
+  events : int;  (** maximum total instruction count, [threads..6] *)
+  locs : int;  (** maximum distinct locations, [1..3] *)
+  rmw : bool;  (** admit read-modify-writes into the alphabet *)
+  fence : bool;  (** admit fences into the alphabet *)
+}
+
+val default : t
+(** [2x4x2], no RMWs, no fences — the classic two-thread/four-event
+    space where the paper's weak-memory tests live. *)
+
+val of_spec : ?rmw:bool -> ?fence:bool -> string -> (t, string) result
+(** [of_spec "KxExL"] parses and validates a shape. Errors name what is
+    wrong (["expected THREADSxEVENTSxLOCS (e.g. 2x4x2), got \"...\""],
+    ["threads must be in 2..3, got 7"], …) so the CLI can prefix the
+    flag name and fail loudly. *)
+
+val to_spec : t -> string
+(** The ["KxExL"] spelling back (RMW/fence flags are not part of it). *)
+
+val fields : t -> (string * Mcm_util.Jsonw.t) list
+(** Canonical JSON fields — part of the corpus content key. *)
+
+val of_json : Mcm_util.Jsonw.t -> (t, string) result
+(** Inverse of [Obj (fields t)]. *)
+
+val pp : Format.formatter -> t -> unit

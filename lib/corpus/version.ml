@@ -1,0 +1,7 @@
+let generator = 1
+
+let version =
+  Printf.sprintf "gen%d+%s" generator
+    (String.concat "+" (List.map Mcm_core.Mutator.op_name Mcm_core.Mutator.all_ops))
+
+let family ~tag = Printf.sprintf "corpus/%s/%s" version tag

@@ -1,0 +1,25 @@
+(** Corpus generator identity.
+
+    Generated tests are content-addressed through the campaign store
+    ({!Mcm_campaign.Key}), whose test serialization hashes the [family]
+    field. The corpus stamps {!version} — generator code version plus
+    the operator set — into every generated test's family via {!family},
+    so bumping the generator (or growing the operator set) re-addresses
+    every cached cell at once: a stale store can never alias results
+    computed for a differently-generated corpus. The same string is
+    surfaced as [corpusVersion] in [mcmutants version --json] and in
+    every saved corpus file. *)
+
+val generator : int
+(** The generator code version. Bump on any change to enumeration,
+    canonicalization, concretisation or target derivation that can alter
+    what a (shape, seed) pair produces. *)
+
+val version : string
+(** ["gen<N>+sdl+ror+uoi"] — {!generator} plus the operator set
+    ({!Mcm_core.Mutator.all_ops}), in registry order. *)
+
+val family : tag:string -> string
+(** [family ~tag] is ["corpus/<version>/<tag>"] — the [family] of a
+    generated test. [tag] distinguishes enumerated tests
+    (["generated"]) from operator mutants (["op-sdl"], …). *)
