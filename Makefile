@@ -1,4 +1,4 @@
-.PHONY: all build test bench bench-smoke bench-instance bench-instance-smoke bench-oracle bench-oracle-smoke bench-store bench-store-smoke bench-pipeline bench-pipeline-smoke bench-serve bench-serve-smoke bench-schemata bench-schemata-smoke bench-corpus bench-corpus-smoke oracle oracle-smoke check clean
+.PHONY: all build test bench bench-smoke bench-instance bench-instance-smoke bench-oracle bench-oracle-smoke bench-store bench-store-smoke bench-pipeline bench-pipeline-smoke bench-serve bench-serve-smoke bench-schemata bench-schemata-smoke bench-corpus bench-corpus-smoke bench-scope bench-scope-smoke oracle oracle-smoke check clean
 
 all: build
 
@@ -110,6 +110,19 @@ bench-corpus:
 bench-corpus-smoke:
 	MCM_BENCH_SMOKE=1 MCM_BENCH_PART=corpus dune exec bench/main.exe
 
+# Memory-scope bench (writes BENCH_scope.json): scoped allowed-sets
+# bit-identical under both oracle engines across layouts, and the
+# Scope_dropped bug injection detected by a device-scope conformance
+# test exactly when testing spans workgroups, with both execution
+# engines bit-identical. Exits 1 on any disagreement.
+bench-scope:
+	MCM_BENCH_PART=scope dune exec bench/main.exe
+
+# Same contracts at CI speed (fewer iterations; every contract is still
+# asserted).
+bench-scope-smoke:
+	MCM_BENCH_SMOKE=1 MCM_BENCH_PART=scope dune exec bench/main.exe
+
 # Full axiomatic oracle: certify every generated/classic test and run
 # the simulator soundness matrix over the whole library (minutes).
 oracle:
@@ -122,9 +135,9 @@ oracle-smoke:
 
 # The one target CI needs: build, full test suite, smoke benchmarks,
 # smoke oracle.
-check: build test bench-smoke bench-instance-smoke bench-oracle-smoke bench-store-smoke bench-pipeline-smoke bench-serve-smoke bench-schemata-smoke bench-corpus-smoke oracle-smoke
+check: build test bench-smoke bench-instance-smoke bench-oracle-smoke bench-store-smoke bench-pipeline-smoke bench-serve-smoke bench-schemata-smoke bench-corpus-smoke bench-scope-smoke oracle-smoke
 
 clean:
 	dune clean
-	rm -f BENCH_parallel.json BENCH_oracle.json BENCH_instance.json BENCH_store.json BENCH_pipeline.json BENCH_serve.json BENCH_schemata.json BENCH_corpus.json
+	rm -f BENCH_parallel.json BENCH_oracle.json BENCH_instance.json BENCH_store.json BENCH_pipeline.json BENCH_serve.json BENCH_schemata.json BENCH_corpus.json BENCH_scope.json
 	rm -rf _bench_store _bench_pipeline _bench_serve _bench_corpus

@@ -117,7 +117,7 @@ let print_reproductions () =
     let kills = ref 0 in
     for _ = 1 to 3000 do
       let starts = [| Prng.float g 40.; Prng.float g 40. |] in
-      let o = Gpu_instance.run ~prng:(Prng.split g) ~weak ~bugs:Bug.none ~test ~starts in
+      let o = Gpu_instance.run ~prng:(Prng.split g) ~weak ~bugs:Bug.none ~test ~starts () in
       if test.Litmus.target o then incr kills
     done;
     !kills
@@ -320,13 +320,13 @@ let instance_bench ~smoke () =
   in
   let starts = Array.init roles (fun r -> 2. *. float_of_int r) in
   let runs = if smoke then 5_000 else 300_000 in
-  let kernel = Mcm_gpu.Kernel.compile ~weak ~bugs ~test in
+  let kernel = Mcm_gpu.Kernel.compile ~weak ~bugs ~test () in
   let ws = Mcm_gpu.Kernel.workspace kernel in
   Mcm_gpu.Kernel.set_parent ws (Prng.create seed);
   let loop_interp () =
     let g = Prng.create seed in
     for _ = 1 to runs do
-      ignore (Gpu_instance.run ~prng:(Prng.split g) ~weak ~bugs ~test ~starts)
+      ignore (Gpu_instance.run ~prng:(Prng.split g) ~weak ~bugs ~test ~starts ())
     done
   in
   let loop_kernel () =
@@ -1523,7 +1523,7 @@ let schemata_bench ~smoke () =
   let schema_col_s =
     let (), t =
       wall (fun () ->
-          let s = Kernel.Schema.compile ~variants in
+          let s = Kernel.Schema.compile ~variants () in
           let ws = Kernel.Schema.workspace s in
           Array.iteri
             (fun v (_, _, test) ->
@@ -1541,7 +1541,7 @@ let schemata_bench ~smoke () =
       wall (fun () ->
           Array.iteri
             (fun v (weak, bugs, test) ->
-              let k = Kernel.compile ~weak ~bugs ~test in
+              let k = Kernel.compile ~weak ~bugs ~test () in
               let kws = Kernel.workspace k in
               let g = Prng.create (Prng.mix seed v) in
               let starts = starts_of test in
@@ -1554,11 +1554,11 @@ let schemata_bench ~smoke () =
   in
   (* The equality replay (outside the timed regions): both paths from
      one seed, outcome and PRNG state compared after every instance. *)
-  let s = Kernel.Schema.compile ~variants in
+  let s = Kernel.Schema.compile ~variants () in
   let ws = Kernel.Schema.workspace s in
   Array.iteri
     (fun v (weak, bugs, test) ->
-      let k = Kernel.compile ~weak ~bugs ~test in
+      let k = Kernel.compile ~weak ~bugs ~test () in
       let kws = Kernel.workspace k in
       let gs = Prng.create (Prng.mix seed v) in
       let gk = Prng.create (Prng.mix seed v) in
@@ -1787,6 +1787,151 @@ let corpus_bench ~smoke () =
   end
 
 (* ------------------------------------------------------------------ *)
+(* Part: memory scopes — BENCH_scope.json                               *)
+
+(* Two contracts behind the scoped semantics:
+
+   1. Both oracle engines compute identical scoped allowed-sets across
+      MP/LB/SB, their fence-narrowed variants, and both thread layouts
+      (engines_agree) — the scoped sw gate is implemented twice, in
+      enumeration filtering and in constraint propagation, and must
+      never drift.
+   2. The Scope_dropped bug injection is detected exactly when testing
+      spans workgroups: a device-scope conformance test kills it
+      inter-workgroup, sees nothing intra-workgroup, and a clean device
+      never violates. Both execution engines must report bit-identical
+      campaigns (identical).
+
+   Any violated contract exits 1. *)
+
+let scope_bench ~smoke () =
+  let module Scope = Mcm_memmodel.Scope in
+  let module Instr = Mcm_litmus.Instr in
+  section "Memory scopes: oracle agreement + scope-drop detection";
+  (* 1. Scoped oracle layer, both engines, both layouts. *)
+  let narrowed (t : Litmus.t) =
+    {
+      t with
+      Litmus.name = t.Litmus.name ^ "-wg";
+      threads =
+        Array.map
+          (List.map (fun i ->
+               if Instr.is_fence i then Instr.with_scope Scope.Workgroup i else i))
+          t.Litmus.threads;
+    }
+  in
+  let base = [ Library.mp_relacq; Library.lb_relacq; Library.sb_relacq_rmw ] in
+  let tests = base @ List.map narrowed base in
+  let layouts = [ Scope.Inter; Scope.Intra ] in
+  let allowed_sets engine =
+    List.concat_map
+      (fun t ->
+        List.map
+          (fun layout ->
+            Oracle_outcome.elements (Oracle_outcome.allowed ~engine ~layout t.Litmus.model t))
+          layouts)
+      tests
+  in
+  let enum_sets, enum_s = wall (fun () -> allowed_sets Oracle_engine.Enumerate) in
+  let prop_sets, prop_s = wall (fun () -> allowed_sets Oracle_engine.Propagate) in
+  let engines_agree = enum_sets = prop_sets in
+  Printf.printf "  scoped allowed-sets (%d tests x %d layouts)\n" (List.length tests)
+    (List.length layouts);
+  Printf.printf "    enumerate            %8.4f s\n" enum_s;
+  Printf.printf "    propagate            %8.4f s\n" prop_s;
+  Printf.printf "    agreement            %s\n%!"
+    (if engines_agree then "bit-identical under both engines" else "ENGINES DIVERGED");
+  (* 2. Scope_dropped detection grid: {bugged, clean} devices x
+     {inter, intra} workgroup layouts, through both execution engines. *)
+  let bugged = Device.make ~bugs:[ Bug.Scope_dropped 1.0 ] Profile.nvidia in
+  let clean = Device.make Profile.nvidia in
+  let env_inter = Params.scaled Params.pte_baseline 0.05 in
+  let env_intra = Params.with_scope env_inter Params.Intra_workgroup in
+  let iterations = if smoke then 4 else 100 in
+  let detector = Library.mp_relacq in
+  let campaign engine =
+    List.map
+      (fun (device, env) ->
+        (Runner.run ~engine ~domains:2 ~device ~env ~test:detector ~iterations ~seed:20230325 ())
+          .Runner.kills)
+      [ (bugged, env_inter); (bugged, env_intra); (clean, env_inter) ]
+  in
+  let interp_kills, interp_s = wall (fun () -> campaign Runner.Interpreter) in
+  let kernel_kills, kernel_s = wall (fun () -> campaign Runner.Kernel) in
+  let identical = interp_kills = kernel_kills in
+  let inter_bug, intra_bug, inter_clean =
+    match interp_kills with
+    | [ a; b; c ] -> (a, b, c)
+    | _ -> assert false
+  in
+  let detected_only_inter = inter_bug > 0 && intra_bug = 0 && inter_clean = 0 in
+  Printf.printf "  scope-drop detection (%s, %d iterations)\n" detector.Litmus.name iterations;
+  Printf.printf "    bugged, inter-wg     %6d violation(s)%s\n" inter_bug
+    (if inter_bug > 0 then "   (bug caught)" else "   BUG MISSED");
+  Printf.printf "    bugged, intra-wg     %6d violation(s)%s\n" intra_bug
+    (if intra_bug = 0 then "   (invisible, as specified)" else "   FALSE ALARM");
+  Printf.printf "    clean,  inter-wg     %6d violation(s)%s\n" inter_clean
+    (if inter_clean = 0 then "" else "   FALSE ALARM");
+  Printf.printf "    interpreter          %8.4f s\n" interp_s;
+  Printf.printf "    kernel               %8.4f s   %s\n%!" kernel_s
+    (if identical then "(bit-identical campaigns)" else "RESULTS DIVERGED");
+  let json =
+    Jsonw.Obj
+      [
+        ("benchmark", Jsonw.String "scope");
+        ("smoke", Jsonw.Bool smoke);
+        ("key_code_version", Jsonw.String Mcm_campaign.Key.code_version);
+        ("kernel_code_version", Jsonw.Int Mcm_gpu.Kernel.code_version);
+        ("corpus_version", Jsonw.String Mcm_corpus.Version.version);
+        ( "oracle",
+          Jsonw.Obj
+            [
+              ("tests", Jsonw.Int (List.length tests));
+              ("layouts", Jsonw.Int (List.length layouts));
+              ("enumerate_s", Jsonw.Float enum_s);
+              ("propagate_s", Jsonw.Float prop_s);
+            ] );
+        ("engines_agree", Jsonw.Bool engines_agree);
+        ( "detection",
+          Jsonw.Obj
+            [
+              ("test", Jsonw.String detector.Litmus.name);
+              ("iterations", Jsonw.Int iterations);
+              ("inter_workgroup_bugged_kills", Jsonw.Int inter_bug);
+              ("intra_workgroup_bugged_kills", Jsonw.Int intra_bug);
+              ("inter_workgroup_clean_kills", Jsonw.Int inter_clean);
+              ("detected_only_inter_workgroup", Jsonw.Bool detected_only_inter);
+            ] );
+        ("identical", Jsonw.Bool identical);
+      ]
+  in
+  let path =
+    match Sys.getenv_opt "MCM_BENCH_SCOPE_OUT" with
+    | Some p when p <> "" -> p
+    | _ -> "BENCH_scope.json"
+  in
+  let oc = open_out path in
+  Jsonw.to_channel oc json;
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf "  wrote %s\n%!" path;
+  if not engines_agree then begin
+    prerr_endline "bench: scoped allowed-sets diverged between oracle engines";
+    exit 1
+  end;
+  if not identical then begin
+    prerr_endline "bench: scope-drop campaigns diverged between execution engines";
+    exit 1
+  end;
+  if not detected_only_inter then begin
+    Printf.eprintf
+      "bench: scope-drop detection contract violated (inter/bugged %d, intra/bugged %d, \
+       inter/clean %d)\n"
+      inter_bug intra_bug inter_clean;
+    exit 1
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Part 3: Bechamel micro-benchmarks                                    *)
 
 open Bechamel
@@ -1838,7 +1983,7 @@ let bench_tests () =
     Test.make ~name:"substrate/instance-run"
       (Staged.stage (fun () ->
            ignore
-             (Gpu_instance.run ~prng:g ~weak ~bugs:Bug.none ~test:conf ~starts:[| 0.; 10. |])));
+             (Gpu_instance.run ~prng:g ~weak ~bugs:Bug.none ~test:conf ~starts:[| 0.; 10. |] ())));
     (* The axiomatic core: enumerate-and-classify a 6-event test. *)
     Test.make ~name:"substrate/enumerate-mp-relacq"
       (Staged.stage (fun () -> ignore (Enumerate.consistent_outcomes conf.Litmus.model conf)));
@@ -1913,9 +2058,11 @@ let () =
   | Some "serve" -> serve_bench ~smoke ()
   | Some "schemata" -> schemata_bench ~smoke ()
   | Some "corpus" -> corpus_bench ~smoke ()
+  | Some "scope" -> scope_bench ~smoke ()
   | Some part ->
       Printf.eprintf
-        "bench: unknown MCM_BENCH_PART %S (instance|parallel|oracle|store|pipeline|serve|schemata|corpus)\n"
+        "bench: unknown MCM_BENCH_PART %S \
+         (instance|parallel|oracle|store|pipeline|serve|schemata|corpus|scope)\n"
         part;
       exit 2
   | None ->
@@ -1937,6 +2084,7 @@ let () =
         serve_bench ~smoke:true ();
         schemata_bench ~smoke:true ();
         corpus_bench ~smoke:true ();
+        scope_bench ~smoke:true ();
         print_endline "smoke ok."
       end
       else begin
@@ -1949,6 +2097,7 @@ let () =
         serve_bench ~smoke:false ();
         schemata_bench ~smoke:false ();
         corpus_bench ~smoke:false ();
+        scope_bench ~smoke:false ();
         run_benchmarks ();
         print_newline ();
         print_endline "done."

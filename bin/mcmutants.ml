@@ -1303,11 +1303,15 @@ let corpus_arg =
 let load_corpus path = or_die (Corpus.load ~path)
 
 let corpus_generate_cmd =
-  let run shape_spec model_s rmw fence bound_s seed ops_s oracle_engine_s cross_check jobs out =
+  let run shape_spec model_s rmw fence wg_fence bound_s seed ops_s oracle_engine_s cross_check
+      shard_s jobs out =
     (* Strict flag parsing in the MCM_* convention: malformed values
        fail loudly, naming the flag. *)
     let shape =
-      or_die (Result.map_error (fun e -> "--shape: " ^ e) (CShape.of_spec ~rmw ~fence shape_spec))
+      or_die
+        (Result.map_error
+           (fun e -> "--shape: " ^ e)
+           (CShape.of_spec ~rmw ~fence ~wg_fence shape_spec))
     in
     let model =
       match Model.of_string model_s with
@@ -1350,16 +1354,32 @@ let corpus_generate_cmd =
                (Printf.sprintf "--engine: unknown oracle engine %S (%s)" oracle_engine_s
                   (String.concat "|" (List.map Mcm_oracle.Engine.name Mcm_oracle.Engine.all))))
     in
-    let meta = { Corpus.shape; model; seed; bound; ops; engine } in
+    let shard =
+      Option.map
+        (fun s ->
+          let bad () =
+            or_die
+              (Error (Printf.sprintf "--shard: expected I/N with 0 <= I < N (e.g. 0/4), got %S" s))
+          in
+          match String.split_on_char '/' s with
+          | [ i_s; n_s ] -> (
+              match (int_of_string_opt i_s, int_of_string_opt n_s) with
+              | Some k, Some n when n > 0 && 0 <= k && k < n -> (k, n)
+              | _ -> bad ())
+          | _ -> bad ())
+        shard_s
+    in
+    let meta = { Corpus.shape; model; seed; bound; ops; engine; shard } in
     let t0 = Unix.gettimeofday () in
     let corpus = Corpus.generate ~cross_check ~domains:jobs meta in
     let wall = Unix.gettimeofday () -. t0 in
     let s = corpus.Corpus.stats in
     Printf.printf "corpus version: %s\n" Mcm_corpus.Version.version;
-    Printf.printf "shape: %s, model %s, seed %d%s\n"
+    Printf.printf "shape: %s, model %s, seed %d%s%s\n"
       (Format.asprintf "%a" CShape.pp shape)
       (Model.name model) seed
-      (match bound with None -> "" | Some b -> Printf.sprintf ", bound %d" b);
+      (match bound with None -> "" | Some b -> Printf.sprintf ", bound %d" b)
+      (match shard with None -> "" | Some (k, n) -> Printf.sprintf ", shard %d/%d" k n);
     Printf.printf
       "programs: %d canonical (of %d raw), %d candidate executions enumerated\n"
       s.CAdmit.programs s.CAdmit.raw s.CAdmit.candidates;
@@ -1394,6 +1414,14 @@ let corpus_generate_cmd =
     Arg.(value & flag & info [ "rmw" ] ~doc:"Admit read-modify-writes into the alphabet.")
   in
   let fence_arg = Arg.(value & flag & info [ "fence" ] ~doc:"Admit fences into the alphabet.") in
+  let wg_fence_arg =
+    Arg.(
+      value & flag
+      & info [ "wg-fence" ]
+          ~doc:
+            "Admit workgroup-scope fences into the alphabet (implies nothing about $(b,--fence): \
+             the two scopes are independent symbols).")
+  in
   let bound_arg =
     let doc =
       "Cap the canonical programs fed to the oracle; beyond it a $(b,--seed)-driven uniform \
@@ -1404,9 +1432,9 @@ let corpus_generate_cmd =
   let ops_arg =
     let doc =
       "Comma-separated mutation operators applied to the paper suite's conformance tests \
-       (sdl, ror, uoi), or $(b,none)."
+       (sdl, ror, uoi, fsn), or $(b,none)."
     in
-    Arg.(value & opt string "sdl,ror,uoi" & info [ "ops" ] ~docv:"OPS" ~doc)
+    Arg.(value & opt string "sdl,ror,uoi,fsn" & info [ "ops" ] ~docv:"OPS" ~doc)
   in
   let oracle_engine_arg =
     let doc = "Oracle engine for admission: enumerate or propagate." in
@@ -1420,6 +1448,15 @@ let corpus_generate_cmd =
             "Re-run every admission under the second oracle engine and fail on any verdict \
              difference.")
   in
+  let shard_arg =
+    let doc =
+      "Generate only shard $(i,I) of $(i,N) (e.g. $(b,0/4)): a deterministic, disjoint, \
+       union-complete slice of candidate enumeration, so large shapes fan out across processes. \
+       Each shard does 1/N of the oracle work; the shard is recorded in the corpus meta and its \
+       content key."
+    in
+    Arg.(value & opt (some string) None & info [ "shard" ] ~docv:"I/N" ~doc)
+  in
   let out_arg =
     Arg.(value & opt string "corpus.json" & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
   in
@@ -1429,8 +1466,8 @@ let corpus_generate_cmd =
          "Enumerate, derive and oracle-certify a litmus corpus (deterministic in its \
           configuration; the output is byte-reproducible)")
     Term.(
-      const run $ shape_arg $ model_arg $ rmw_arg $ fence_arg $ bound_arg $ seed_arg $ ops_arg
-      $ oracle_engine_arg $ cross_check_arg $ jobs_arg $ out_arg)
+      const run $ shape_arg $ model_arg $ rmw_arg $ fence_arg $ wg_fence_arg $ bound_arg
+      $ seed_arg $ ops_arg $ oracle_engine_arg $ cross_check_arg $ shard_arg $ jobs_arg $ out_arg)
 
 let corpus_list_cmd =
   let run path =
@@ -1556,7 +1593,8 @@ let corpus_cmd =
 (* ------------------------------------------------------------------ *)
 (* version: binary + campaign key code version                          *)
 
-let binary_version = "1.2.0"
+(* 1.3.0: first-class memory scopes (key v2, kernel v3, corpus gen2). *)
+let binary_version = "1.3.0"
 
 let version_cmd =
   let run json =

@@ -26,8 +26,8 @@ let () =
       model = Model.Sc_per_location;
       threads =
         [|
-          [ Instr.Load { reg = 0; loc = 0 }; Instr.Load { reg = 1; loc = 0 } ];
-          [ Instr.Store { loc = 0; value = 1 } ];
+          [ (Instr.load ~reg:0 ~loc:0 ()); (Instr.load ~reg:1 ~loc:0 ()) ];
+          [ (Instr.store ~loc:0 ~value:1 ()) ];
         |];
       nlocs = 1;
       target = (fun o -> o.Litmus.regs.(0).(0) = 1 && o.Litmus.regs.(0).(1) = 0);
@@ -51,8 +51,8 @@ let () =
       Litmus.name = "my-CoRR-mutant";
       threads =
         [|
-          [ Instr.Load { reg = 1; loc = 0 }; Instr.Load { reg = 0; loc = 0 } ];
-          [ Instr.Store { loc = 0; value = 1 } ];
+          [ (Instr.load ~reg:1 ~loc:0 ()); (Instr.load ~reg:0 ~loc:0 ()) ];
+          [ (Instr.store ~loc:0 ~value:1 ()) ];
         |];
     }
   in

@@ -7,7 +7,11 @@ module Bug = Mcm_gpu.Bug
 
 type t = int64
 
-let code_version = "mcm-cell-v1"
+(* v2: first-class memory scopes — instructions carry a scope, events
+   carry workgroup ids, scoped fences change engine and oracle
+   semantics, and [scopeDrop] joins the bug vector. Pre-scope cells
+   must never alias scoped ones, so the whole store re-addresses. *)
+let code_version = "mcm-cell-v2"
 
 let fnv_offset = 0xcbf29ce484222325L
 let fnv_prime = 0x100000001b3L
@@ -69,6 +73,7 @@ let device_fields (device : Device.t) =
           ("corrReorder", Jsonw.Float effect.Bug.p_corr_reorder);
           ("fenceDrop", Jsonw.Float effect.Bug.p_fence_drop);
           ("coherenceAlias", Jsonw.Float effect.Bug.p_coherence_alias);
+          ("scopeDrop", Jsonw.Float effect.Bug.p_scope_drop);
         ] );
   ]
 

@@ -74,6 +74,35 @@ let acquire_lock dir =
           dir path));
   fd
 
+(* Version stamp. Cells are content-addressed and every key embeds
+   [Key.code_version], so a stale store cannot corrupt results — old
+   cells simply never hit — but a pre-scope store silently going 100%
+   cold after an upgrade reads as data loss. Stamp the directory with
+   the key code version that addressed its cells and refuse loudly on
+   mismatch, naming both versions. *)
+let version_file = "VERSION"
+
+let version_mismatch dir stamped =
+  failwith
+    (Printf.sprintf
+       "Mcm_campaign.Store: %s was written under key code version %S but this binary addresses \
+        cells under %S (scoped cells never alias pre-scope ones) — point at a fresh store \
+        directory or delete the old one"
+       dir stamped Key.code_version)
+
+(* [~create] writes the stamp when absent (writer open); the read-only
+   path never creates files. A stamp-less directory that already holds
+   segments predates stamping — treat it as the pre-scope version. *)
+let check_version ~create dir =
+  let path = Filename.concat dir version_file in
+  if Sys.file_exists path then begin
+    let stamped = String.trim (read_file path) in
+    if stamped <> Key.code_version then version_mismatch dir stamped
+  end
+  else if list_segments dir <> [] then version_mismatch dir "pre-mcm-cell-v2 (no VERSION stamp)"
+  else if create then
+    Out_channel.with_open_bin path (fun oc -> output_string oc (Key.code_version ^ "\n"))
+
 (* Scan one segment's content into complete lines plus an optional torn
    tail (trailing bytes without a final newline — the signature of a
    crash mid-append). [f line] consumes each complete line; the returned
@@ -143,6 +172,7 @@ let load_segment t name =
 
 let open_store ?(fsync_every = 64) ?(max_segment_bytes = 8 * 1024 * 1024) dir =
   mkdir_p dir;
+  check_version ~create:true dir;
   let lock = acquire_lock dir in
   let t =
     {
@@ -322,6 +352,7 @@ module Ro = struct
   let open_ro dir =
     if not (Sys.file_exists dir && Sys.is_directory dir) then
       failwith (Printf.sprintf "Mcm_campaign.Store: %s is not a readable store directory" dir);
+    check_version ~create:false dir;
     let index = Hashtbl.create 1024 in
     let warns = ref [] in
     let warn msg = warns := msg :: !warns in

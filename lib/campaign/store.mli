@@ -47,7 +47,13 @@ val open_store : ?fsync_every:int -> ?max_segment_bytes:int -> string -> t
     writer lock on [dir/LOCK]; raises [Failure] naming the lock path if
     another process already holds it. [fsync_every] batches fsyncs
     (default 64 appends); [max_segment_bytes] rolls appends over to a
-    fresh segment past this size (default 8 MiB). *)
+    fresh segment past this size (default 8 MiB).
+
+    The directory is stamped ([dir/VERSION]) with {!Key.code_version};
+    opening a store stamped with a different key code version — or a
+    stamp-less directory that already holds segments, i.e. a pre-scope
+    store — raises [Failure] naming both versions rather than silently
+    running 100% cold. *)
 
 val dir : t -> string
 

@@ -3,6 +3,7 @@ module Relation = Mcm_memmodel.Relation
 module Execution = Mcm_memmodel.Execution
 module Litmus = Mcm_litmus.Litmus
 module Instr = Mcm_litmus.Instr
+module Scope = Mcm_memmodel.Scope
 
 type kind = Reversing_po_loc | Weakening_po_loc | Weakening_sw
 
@@ -21,16 +22,17 @@ let disruption = function
       "the inner access pair moves to a second location, weakening po-loc to plain po"
   | Weakening_sw -> "one or both release/acquire fences are removed, breaking the sw edge"
 
-type op = Sdl | Ror | Uoi
+type op = Sdl | Ror | Uoi | Fsn
 
-let op_name = function Sdl -> "sdl" | Ror -> "ror" | Uoi -> "uoi"
-let all_ops = [ Sdl; Ror; Uoi ]
+let op_name = function Sdl -> "sdl" | Ror -> "ror" | Uoi -> "uoi" | Fsn -> "fsn"
+let all_ops = [ Sdl; Ror; Uoi; Fsn ]
 
 let op_of_string s =
   match String.lowercase_ascii s with
   | "sdl" | "delete" | "deletion" -> Some Sdl
   | "ror" | "reorder" | "relax" -> Some Ror
   | "uoi" | "unfence" | "defence" -> Some Uoi
+  | "fsn" | "narrow" | "scope-narrow" -> Some Fsn
   | _ -> None
 
 let op_disruption = function
@@ -38,6 +40,9 @@ let op_disruption = function
       "statement deletion: one memory access is removed, dropping every ordering edge through it"
   | Ror -> "ordering relaxation: an adjacent program-order pair is reversed"
   | Uoi -> "fence removal: one fence is deleted, narrowing the synchronisation it provided"
+  | Fsn ->
+      "fence scope narrowing: one device-scope fence is demoted to workgroup scope, so it no \
+       longer orders accesses across workgroups"
 
 let replace_thread threads tid instrs =
   let copy = Array.copy threads in
@@ -74,7 +79,19 @@ let apply_op op threads =
           done
       | Uoi ->
           for i = 0 to n - 1 do
-            if arr.(i) = Instr.Fence then add tid i (replace_thread threads tid (delete_at instrs i))
+            if Instr.is_fence arr.(i) then add tid i (replace_thread threads tid (delete_at instrs i))
+          done
+      | Fsn ->
+          (* Demote one device-scope fence to workgroup scope; already-
+             narrow fences demote to themselves and are skipped. *)
+          for i = 0 to n - 1 do
+            if Instr.is_fence arr.(i) && Instr.scope arr.(i) = Scope.Device then
+              let narrowed =
+                List.mapi
+                  (fun j x -> if j = i then Instr.with_scope Scope.Workgroup x else x)
+                  instrs
+              in
+              add tid i (replace_thread threads tid narrowed)
           done)
     threads;
   List.rev !variants
@@ -99,9 +116,9 @@ let make_instrs roles =
   List.map
     (fun (tid, access, loc) ->
       match access with
-      | R -> Instr.Load { reg = fresh next_reg tid; loc }
-      | W -> Instr.Store { loc; value = 1 + fresh next_value loc }
-      | U -> Instr.Rmw { reg = fresh next_reg tid; loc; value = 1 + fresh next_value loc })
+      | R -> Instr.load ~reg:(fresh next_reg tid) ~loc ()
+      | W -> Instr.store ~loc ~value:(1 + fresh next_value loc) ()
+      | U -> Instr.rmw ~reg:(fresh next_reg tid) ~loc ~value:(1 + fresh next_value loc) ())
     roles
 
 let com_edge rels a b = Relation.mem rels.Execution.com a b
@@ -281,7 +298,7 @@ let m3_build (name, (ka, la), (kb, lb), (kc, lc), (kd, ld)) =
   match make_instrs [ (0, ka, la); (0, kb, lb); (1, kc, lc); (1, kd, ld) ] with
   | [ ia; ib; ic; id ] ->
       let threads ~fence0 ~fence1 =
-        let seq first fence second = if fence then [ first; Instr.Fence; second ] else [ first; second ] in
+        let seq first fence second = if fence then [ first; Instr.fence (); second ] else [ first; second ] in
         [| seq ia fence0 ib; seq ic fence1 id |]
       in
       (* Event ids depend on which fences remain. *)

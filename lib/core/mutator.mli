@@ -64,12 +64,18 @@ type op =
           reversing-po-loc disruptor to any adjacent pair. *)
   | Uoi
       (** fence removal: delete one fence — [uoi]-style interface
-          weakening. In this IR fences have no scope parameter, so scope
-          narrowing degenerates to removal; generalises the paper's
-          weakening-sw disruptor to one fence at a time on any test. *)
+          weakening. Generalises the paper's weakening-sw disruptor to
+          one fence at a time on any test. *)
+  | Fsn
+      (** fence scope narrowing: demote one device-scope fence to
+          workgroup scope. The fence still exists — it merely stops
+          ordering accesses across workgroups, which is precisely the
+          classic driver scope bug {!Mcm_gpu.Bug.Scope_dropped}
+          injects. Mutants from this operator are killable only by
+          inter-workgroup testing environments. *)
 
 val op_name : op -> string
-(** ["sdl"], ["ror"], ["uoi"] — the CLI and JSON spelling. *)
+(** ["sdl"], ["ror"], ["uoi"], ["fsn"] — the CLI and JSON spelling. *)
 
 val all_ops : op list
 

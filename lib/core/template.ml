@@ -92,7 +92,7 @@ let derive_first ~name ~family ~model ~nlocs ~pattern ~polarity variants =
   go (Printf.sprintf "%s: no program variants" name) variants
 
 let observer_thread ~obs_loc n_reads =
-  List.init n_reads (fun r -> Instr.Load { reg = r; loc = obs_loc })
+  List.init n_reads (fun r -> Instr.load ~reg:r ~loc:obs_loc ())
 
 let observer_ladder ?(require_observer = false) ~obs_loc threads =
   let with_observer n = Array.append threads [| observer_thread ~obs_loc n |] in

@@ -270,12 +270,26 @@ let with_pool ~domains f =
 
 let short_hash s = Printf.sprintf "%Lx" (Key.fnv1a64 s)
 
+(* Deterministic fan-out: shard [(k, n)] keeps every [n]-th element
+   starting at index [k] of the already-canonical, already-sampled
+   candidate list. Shards are disjoint by construction and their union
+   is the unsharded list, so N processes each do 1/N of the oracle
+   work and their corpora merge without overlap. *)
+let shard_slice shard l =
+  match shard with
+  | None -> l
+  | Some (k, n) ->
+      if n <= 0 || k < 0 || k >= n then
+        invalid_arg (Printf.sprintf "Admit: bad shard %d/%d (want 0 <= index < count)" k n)
+      else List.filteri (fun i _ -> i mod n = k) l
+
 let generated ?(engine = Engine.default) ?(cross_check = false) ?(domains = 1) ?bound ?(seed = 0)
-    ~model shape =
+    ?shard ~model shape =
   let skeletons, raw = Generate.enumerate shape in
   let sampled =
     match bound with None -> skeletons | Some b -> Generate.sample ~seed ~bound:b skeletons
   in
+  let sampled = shard_slice shard sampled in
   let arr = Array.of_list sampled in
   let family = Version.family ~tag:"generated" in
   let results =
@@ -316,7 +330,8 @@ let generated ?(engine = Engine.default) ?(cross_check = false) ?(domains = 1) ?
       duplicates = stats.duplicates + dups;
     } )
 
-let operator_mutants ?(engine = Engine.default) ?(cross_check = false) ?(domains = 1) ~ops tests =
+let operator_mutants ?(engine = Engine.default) ?(cross_check = false) ?(domains = 1) ?shard ~ops
+    tests =
   let variants =
     List.concat_map
       (fun test ->
@@ -328,6 +343,7 @@ let operator_mutants ?(engine = Engine.default) ?(cross_check = false) ?(domains
           ops)
       tests
   in
+  let variants = shard_slice shard variants in
   let arr = Array.of_list variants in
   let results =
     with_pool ~domains (fun pool ->

@@ -73,18 +73,27 @@ val generated :
   ?domains:int ->
   ?bound:int ->
   ?seed:int ->
+  ?shard:int * int ->
   model:Mcm_memmodel.Model.t ->
   Shape.t ->
   entry list * stats
 (** [generated ~model shape] enumerates, samples (when [bound] caps the
     program count; [seed] drives the sample, default 0), derives,
     certifies and dedups. [domains] shards per-program oracle work over
-    a {!Mcm_util.Pool}; results are bit-identical for every value. *)
+    a {!Mcm_util.Pool}; results are bit-identical for every value.
+
+    [shard:(k, n)] keeps only candidates at index [i] with
+    [i mod n = k] of the canonical (post-sample) program list, {e
+    before} any oracle work: each of [n] shards does 1/[n] of the
+    admission cost, shards are pairwise disjoint, and the union of all
+    [n] shards' candidate sets is exactly the unsharded set. Raises
+    [Invalid_argument] unless [0 <= k < n]. *)
 
 val operator_mutants :
   ?engine:Mcm_oracle.Engine.t ->
   ?cross_check:bool ->
   ?domains:int ->
+  ?shard:int * int ->
   ops:Mcm_core.Mutator.op list ->
   Mcm_litmus.Litmus.t list ->
   entry list * stats
@@ -93,7 +102,8 @@ val operator_mutants :
     target for each variant through the same ladder and admits it
     through the same gate. Variants keep their parent's concretisation
     so the relation to the parent stays readable; entry [family]
-    records the operator. *)
+    records the operator. [shard] slices the variant list exactly as in
+    {!generated}. *)
 
 val certify :
   engine:Mcm_oracle.Engine.t -> polarity -> Mcm_litmus.Litmus.t -> Mcm_oracle.Certify.verdict

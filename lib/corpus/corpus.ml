@@ -17,6 +17,7 @@ type meta = {
   bound : int option;
   ops : Mutator.op list;
   engine : Engine.t;
+  shard : (int * int) option;
 }
 
 let default_meta =
@@ -27,6 +28,7 @@ let default_meta =
     bound = None;
     ops = Mutator.all_ops;
     engine = Engine.default;
+    shard = None;
   }
 
 type t = { meta : meta; entries : Admit.entry list; stats : Admit.stats }
@@ -34,12 +36,13 @@ type t = { meta : meta; entries : Admit.entry list; stats : Admit.stats }
 let generate ?(cross_check = false) ?(domains = 1) meta =
   let gen_entries, gen_stats =
     Admit.generated ~engine:meta.engine ~cross_check ~domains ?bound:meta.bound ~seed:meta.seed
-      ~model:meta.model meta.shape
+      ?shard:meta.shard ~model:meta.model meta.shape
   in
   let op_entries, op_stats =
     if meta.ops = [] then ([], Admit.zero_stats)
     else
-      Admit.operator_mutants ~engine:meta.engine ~cross_check ~domains ~ops:meta.ops
+      Admit.operator_mutants ~engine:meta.engine ~cross_check ~domains ?shard:meta.shard
+        ~ops:meta.ops
         (List.map (fun e -> e.Suite.test) (Suite.conformance_tests ()))
   in
   let entries, dups = Admit.dedup (gen_entries @ op_entries) in
@@ -74,6 +77,10 @@ let meta_fields meta =
     ("bound", match meta.bound with None -> Jsonw.Null | Some b -> Jsonw.Int b);
     ("ops", Jsonw.List (List.map (fun o -> Jsonw.String (Mutator.op_name o)) meta.ops));
     ("engine", Jsonw.String (Engine.name meta.engine));
+    ( "shard",
+      match meta.shard with
+      | None -> Jsonw.Null
+      | Some (k, n) -> Jsonw.Obj [ ("index", Jsonw.Int k); ("of", Jsonw.Int n) ] );
   ]
 
 let key t =
@@ -119,9 +126,14 @@ let entry_to_json (e : Admit.entry) =
       ("source", Jsonw.String (Parse.to_source e.test));
     ]
 
+(* v2: scoped corpora — meta records the shard slice, skeletons may
+   carry workgroup fences. v1 files predate scopes and must not load
+   silently into a scoped binary. *)
+let format_version = 2
+
 let to_json t =
   Jsonw.Obj
-    (("formatVersion", Jsonw.Int 1)
+    (("formatVersion", Jsonw.Int format_version)
     :: meta_fields t.meta
     @ [
         ("key", Jsonw.String (Key.to_hex (key t)));
@@ -243,10 +255,32 @@ let meta_of_json j =
               | None -> Error "corpus: unknown operator in ops")
             (Ok []) (Jsonp.to_list l)
     in
-    Ok { shape; model; seed; bound; ops; engine }
+    let* shard =
+      match Jsonp.member "shard" j with
+      | None | Some Jsonw.Null -> Ok None
+      | Some s -> (
+          match
+            ( Option.bind (Jsonp.member "index" s) Jsonp.to_int,
+              Option.bind (Jsonp.member "of" s) Jsonp.to_int )
+          with
+          | Some k, Some n when 0 <= k && k < n -> Ok (Some (k, n))
+          | _ -> Error "corpus: malformed shard (want {index, of} with 0 <= index < of)")
+    in
+    Ok { shape; model; seed; bound; ops; engine; shard }
 
 let of_string s =
   let* j = Jsonp.parse s in
+  let* () =
+    match Option.bind (Jsonp.member "formatVersion" j) Jsonp.to_int with
+    | Some v when v = format_version -> Ok ()
+    | Some v ->
+        Error
+          (Printf.sprintf
+             "corpus file has formatVersion %d but this binary reads formatVersion %d (scoped \
+              corpora) — regenerate with this binary"
+             v format_version)
+    | None -> Error "corpus: missing formatVersion"
+  in
   let* meta = meta_of_json j in
   let* recorded_key = member_string "corpus" "key" j in
   let* entries =

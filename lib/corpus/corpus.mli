@@ -26,11 +26,18 @@ type meta = {
       (** operators applied to the paper suite's conformance tests;
           [[]] disables the operator stage *)
   engine : Mcm_oracle.Engine.t;  (** oracle engine used for admission *)
+  shard : (int * int) option;
+      (** [(index, of)] slice of candidate enumeration; [None] is the
+          whole space. Shards with equal meta-but-shard are pairwise
+          disjoint and union-complete (see {!Admit.generated}), so
+          generation fans out across processes. The shard is part of
+          the content key: a shard's corpus never masquerades as the
+          full one. *)
 }
 
 val default_meta : meta
 (** {!Shape.default} under [Sc_per_location], seed 0, no bound, all
-    operators, default engine. *)
+    operators, default engine, no shard. *)
 
 type t = { meta : meta; entries : Admit.entry list; stats : Admit.stats }
 

@@ -1,8 +1,9 @@
 module Instr = Mcm_litmus.Instr
 module Litmus = Mcm_litmus.Litmus
 module Prng = Mcm_util.Prng
+module Scope = Mcm_memmodel.Scope
 
-type sym = Ld of int | St of int | Um of int | Fn
+type sym = Ld of int | St of int | Um of int | Fn | Fw
 type skeleton = sym list array
 
 let sym_string = function
@@ -10,6 +11,7 @@ let sym_string = function
   | St l -> "S" ^ Litmus.loc_name l
   | Um l -> "U" ^ Litmus.loc_name l
   | Fn -> "F"
+  | Fw -> "Fw"
 
 let to_string sk =
   String.concat " | "
@@ -19,7 +21,7 @@ let nlocs sk =
   Array.fold_left
     (fun acc t ->
       List.fold_left
-        (fun acc s -> match s with Ld l | St l | Um l -> max acc (l + 1) | Fn -> acc)
+        (fun acc s -> match s with Ld l | St l | Um l -> max acc (l + 1) | Fn | Fw -> acc)
         acc t)
     0 sk
 
@@ -52,7 +54,11 @@ let renumber threads =
         v
   in
   List.map
-    (List.map (function Ld l -> Ld (num l) | St l -> St (num l) | Um l -> Um (num l) | Fn -> Fn))
+    (List.map (function
+      | Ld l -> Ld (num l)
+      | St l -> St (num l)
+      | Um l -> Um (num l)
+      | (Fn | Fw) as f -> f))
     threads
 
 let canonical threads =
@@ -74,6 +80,7 @@ let alphabet (shape : Shape.t) =
     (fun l -> (Ld l :: St l :: (if shape.rmw then [ Um l ] else [])))
     (List.init shape.locs Fun.id)
   @ (if shape.fence then [ Fn ] else [])
+  @ (if shape.wg_fence then [ Fw ] else [])
 
 (* Every way to split [n] events over [k] threads, each getting >= 1. *)
 let rec compositions n k =
@@ -84,23 +91,26 @@ let rec compositions n k =
            let first = i + 1 in
            List.map (fun rest -> first :: rest) (compositions (n - first) (k - 1))))
 
+let is_fence_sym = function Fn | Fw -> true | Ld _ | St _ | Um _ -> false
+
 (* All symbol sequences of [len], pruning fences that cannot order
    anything: leading, trailing, or adjacent to another fence. *)
 let iter_seqs alpha len f =
   let rec go prev remaining acc =
-    if remaining = 0 then (if prev <> Some Fn then f (List.rev acc))
+    if remaining = 0 then (
+      match prev with Some p when is_fence_sym p -> () | _ -> f (List.rev acc))
     else
       List.iter
         (fun s ->
-          if not (s = Fn && (prev = None || prev = Some Fn)) then
-            go (Some s) (remaining - 1) (s :: acc))
+          let prev_fence = match prev with None -> true | Some p -> is_fence_sym p in
+          if not (is_fence_sym s && prev_fence) then go (Some s) (remaining - 1) (s :: acc))
         alpha
   in
   go None len []
 
-let is_access = function Ld _ | St _ | Um _ -> true | Fn -> false
-let is_write = function St _ | Um _ -> true | Ld _ | Fn -> false
-let loc_of = function Ld l | St l | Um l -> Some l | Fn -> None
+let is_access = function Ld _ | St _ | Um _ -> true | Fn | Fw -> false
+let is_write = function St _ | Um _ -> true | Ld _ | Fn | Fw -> false
+let loc_of = function Ld l | St l | Um l -> Some l | Fn | Fw -> None
 
 (* A skeleton is statically interesting when every thread touches
    memory, something writes, and some location is written by one thread
@@ -165,7 +175,8 @@ let of_threads threads =
       | Instr.Load { loc; _ } -> Ld loc
       | Instr.Store { loc; _ } -> St loc
       | Instr.Rmw { loc; _ } -> Um loc
-      | Instr.Fence -> Fn))
+      | Instr.Fence { scope = Scope.Device } -> Fn
+      | Instr.Fence { scope = Scope.Workgroup } -> Fw))
     threads
 
 let concretize sk =
@@ -179,10 +190,11 @@ let concretize sk =
     (fun tid syms ->
       List.map
         (function
-          | Ld l -> Instr.Load { reg = fresh next_reg tid; loc = l }
-          | St l -> Instr.Store { loc = l; value = 1 + fresh next_value l }
-          | Um l -> Instr.Rmw { reg = fresh next_reg tid; loc = l; value = 1 + fresh next_value l }
-          | Fn -> Instr.Fence)
+          | Ld l -> Instr.load ~reg:(fresh next_reg tid) ~loc:l ()
+          | St l -> Instr.store ~loc:l ~value:(1 + fresh next_value l) ()
+          | Um l -> Instr.rmw ~reg:(fresh next_reg tid) ~loc:l ~value:(1 + fresh next_value l) ()
+          | Fn -> Instr.fence ()
+          | Fw -> Instr.fence ~scope:Scope.Workgroup ())
         syms)
     sk
 

@@ -16,7 +16,7 @@
     so reads-from is inferable from observed values and the generated
     program is {!Mcm_litmus.Litmus.well_formed} by construction. *)
 
-type sym = Ld of int | St of int | Um of int | Fn
+type sym = Ld of int | St of int | Um of int | Fn | Fw
 
 type skeleton = sym list array
 (** Canonical per-thread symbol lists. *)

@@ -1,9 +1,16 @@
 module Jsonw = Mcm_util.Jsonw
 module Jsonp = Mcm_util.Jsonp
 
-type t = { threads : int; events : int; locs : int; rmw : bool; fence : bool }
+type t = {
+  threads : int;
+  events : int;
+  locs : int;
+  rmw : bool;
+  fence : bool;
+  wg_fence : bool;  (* admit workgroup-scoped fences into the alphabet *)
+}
 
-let default = { threads = 2; events = 4; locs = 2; rmw = false; fence = false }
+let default = { threads = 2; events = 4; locs = 2; rmw = false; fence = false; wg_fence = false }
 
 (* The ranges keep exhaustive enumeration and per-program oracle checks
    tractable: 3x6x3 with the full alphabet is already tens of thousands
@@ -30,13 +37,13 @@ let validate t =
     Error (Printf.sprintf "locations must be in 1..%d, got %d" max_locs t.locs)
   else Ok t
 
-let of_spec ?(rmw = false) ?(fence = false) spec =
+let of_spec ?(rmw = false) ?(fence = false) ?(wg_fence = false) spec =
   match String.split_on_char 'x' (String.trim spec) with
   | [ k; e; l ] ->
       let* threads = component ~what:"threads" k in
       let* events = component ~what:"events" e in
       let* locs = component ~what:"locations" l in
-      validate { threads; events; locs; rmw; fence }
+      validate { threads; events; locs; rmw; fence; wg_fence }
   | _ -> Error (Printf.sprintf "expected THREADSxEVENTSxLOCS (e.g. 2x4x2), got %S" spec)
 
 let to_spec t = Printf.sprintf "%dx%dx%d" t.threads t.events t.locs
@@ -48,6 +55,7 @@ let fields t =
     ("locs", Jsonw.Int t.locs);
     ("rmw", Jsonw.Bool t.rmw);
     ("fence", Jsonw.Bool t.fence);
+    ("wgFence", Jsonw.Bool t.wg_fence);
   ]
 
 let of_json j =
@@ -69,9 +77,18 @@ let of_json j =
   let bool_member key =
     match Jsonp.member key j with Some (Jsonw.Bool b) -> b | _ -> false
   in
-  validate { threads; events; locs; rmw = bool_member "rmw"; fence = bool_member "fence" }
+  validate
+    {
+      threads;
+      events;
+      locs;
+      rmw = bool_member "rmw";
+      fence = bool_member "fence";
+      wg_fence = bool_member "wgFence";
+    }
 
 let pp ppf t =
-  Format.fprintf ppf "%s%s%s" (to_spec t)
+  Format.fprintf ppf "%s%s%s%s" (to_spec t)
     (if t.rmw then "+rmw" else "")
     (if t.fence then "+fence" else "")
+    (if t.wg_fence then "+wgfence" else "")

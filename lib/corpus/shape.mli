@@ -13,14 +13,15 @@ type t = {
   events : int;  (** maximum total instruction count, [threads..6] *)
   locs : int;  (** maximum distinct locations, [1..3] *)
   rmw : bool;  (** admit read-modify-writes into the alphabet *)
-  fence : bool;  (** admit fences into the alphabet *)
+  fence : bool;  (** admit device-scope fences into the alphabet *)
+  wg_fence : bool;  (** admit workgroup-scope fences into the alphabet *)
 }
 
 val default : t
 (** [2x4x2], no RMWs, no fences — the classic two-thread/four-event
     space where the paper's weak-memory tests live. *)
 
-val of_spec : ?rmw:bool -> ?fence:bool -> string -> (t, string) result
+val of_spec : ?rmw:bool -> ?fence:bool -> ?wg_fence:bool -> string -> (t, string) result
 (** [of_spec "KxExL"] parses and validates a shape. Errors name what is
     wrong (["expected THREADSxEVENTSxLOCS (e.g. 2x4x2), got \"...\""],
     ["threads must be in 2..3, got 7"], …) so the CLI can prefix the

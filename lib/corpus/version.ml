@@ -1,4 +1,8 @@
-let generator = 1
+(* gen2: scoped instructions — the skeleton alphabet gains workgroup
+   fences (Fw), specs carry a wgFence flag, and the scope-narrowing
+   mutation operator joins the op list. Pre-scope corpora name gen1 and
+   are refused at load with a regenerate hint. *)
+let generator = 2
 
 let version =
   Printf.sprintf "gen%d+%s" generator

@@ -2,14 +2,16 @@ type t =
   | Corr_reorder of float
   | Fence_weakened of float
   | Coherence_alias of float
+  | Scope_dropped of float
 
 type effect = {
   p_corr_reorder : float;
   p_fence_drop : float;
   p_coherence_alias : float;
+  p_scope_drop : float;
 }
 
-let none = { p_corr_reorder = 0.; p_fence_drop = 0.; p_coherence_alias = 0. }
+let none = { p_corr_reorder = 0.; p_fence_drop = 0.; p_coherence_alias = 0.; p_scope_drop = 0. }
 
 (* Independent chances combine as 1 - (1-p)(1-q). *)
 let combine p q = 1. -. ((1. -. p) *. (1. -. q))
@@ -20,7 +22,8 @@ let effect_of bugs =
       match bug with
       | Corr_reorder p -> { acc with p_corr_reorder = combine acc.p_corr_reorder p }
       | Fence_weakened p -> { acc with p_fence_drop = combine acc.p_fence_drop p }
-      | Coherence_alias p -> { acc with p_coherence_alias = combine acc.p_coherence_alias p })
+      | Coherence_alias p -> { acc with p_coherence_alias = combine acc.p_coherence_alias p }
+      | Scope_dropped p -> { acc with p_scope_drop = combine acc.p_scope_drop p })
     none bugs
 
 let paper_bug (p : Profile.t) =
@@ -37,3 +40,6 @@ let describe = function
       Printf.sprintf "release/acquire fences dropped (p=%.2f) — the AMD MP-relacq bug" p
   | Coherence_alias p ->
       Printf.sprintf "per-location coherence not enforced (p=%.2f) — the Kepler MP-CO bug" p
+  | Scope_dropped p ->
+      Printf.sprintf
+        "device-scope operations demoted to workgroup scope (p=%.2f) — the classic driver scope bug" p

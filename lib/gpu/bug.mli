@@ -26,6 +26,12 @@ type t =
       (** with this probability, an instance runs without same-location
           coherence enforcement (stale same-location reads, unordered
           same-thread writes) *)
+  | Scope_dropped of float
+      (** with this probability, each device-scope fence of an instance is
+          demoted to workgroup scope — the classic driver bug where
+          device-scope synchronization is compiled as if workgroup-scoped.
+          Invisible when all threads share a workgroup; a correctness bug
+          across workgroups. *)
 
 (** The per-instance effect of the active bug set, consumed by
     {!Instance.run}. *)
@@ -33,6 +39,7 @@ type effect = {
   p_corr_reorder : float;
   p_fence_drop : float;
   p_coherence_alias : float;
+  p_scope_drop : float;
 }
 
 val none : effect

@@ -1,6 +1,7 @@
 module Prng = Mcm_util.Prng
 module Litmus = Mcm_litmus.Litmus
 module Instr = Mcm_litmus.Instr
+module Scope = Mcm_memmodel.Scope
 
 type weak_params = {
   instr_latency_ns : float;
@@ -45,7 +46,8 @@ and kind = K_load | K_store | K_rmw | K_fence
 let is_mem e = e.kind <> K_fence
 let is_write e = e.kind = K_store || e.kind = K_rmw
 
-let run ~prng ~weak ~(bugs : Bug.effect) ~(test : Litmus.t) ~starts =
+let run ?(layout = Scope.default_layout) ~prng ~weak ~(bugs : Bug.effect) ~(test : Litmus.t) ~starts
+    () =
   let nthreads = Litmus.nthreads test in
   if Array.length starts <> nthreads then invalid_arg "Instance.run: starts length mismatch";
   let coherent = not (Prng.bernoulli prng bugs.Bug.p_coherence_alias) in
@@ -75,10 +77,24 @@ let run ~prng ~weak ~(bugs : Bug.effect) ~(test : Litmus.t) ~starts =
               :: !events
           in
           (match instr with
-          | Instr.Load { reg; loc } -> mk K_load loc 0 reg true
-          | Instr.Store { loc; value } -> mk K_store loc value (-1) true
-          | Instr.Rmw { reg; loc; value } -> mk K_rmw loc value reg true
-          | Instr.Fence -> mk K_fence (-1) 0 (-1) (not (Prng.bernoulli prng bugs.Bug.p_fence_drop)));
+          | Instr.Load { reg; loc; _ } -> mk K_load loc 0 reg true
+          | Instr.Store { loc; value; _ } -> mk K_store loc value (-1) true
+          | Instr.Rmw { reg; loc; value; _ } -> mk K_rmw loc value reg true
+          | Instr.Fence { scope } ->
+              (* A fence acts only when it survives Fence_weakened AND its
+                 (possibly Scope_dropped-demoted) scope reaches the other
+                 threads: device scope always, workgroup scope only when
+                 the layout co-locates all threads in one workgroup. With
+                 p_scope_drop = 0 the demotion draw is never consumed, so
+                 pre-scope draw sequences are reproduced exactly. *)
+              let dropped = Prng.bernoulli prng bugs.Bug.p_fence_drop in
+              let scope =
+                if scope = Scope.Device && Prng.bernoulli prng bugs.Bug.p_scope_drop then
+                  Scope.Workgroup
+                else scope
+              in
+              let reaches = scope = Scope.Device || layout = Scope.Intra in
+              mk K_fence (-1) 0 (-1) ((not dropped) && reaches));
           clock :=
             !clock +. (weak.instr_latency_ns *. (1. +. (weak.issue_jitter *. Prng.float prng 1.))))
         instrs)

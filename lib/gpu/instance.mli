@@ -45,14 +45,21 @@ val effective_params : Profile.t -> amplification:float -> weak_params
     {!Profile.stress_amplifier}. *)
 
 val run :
+  ?layout:Mcm_memmodel.Scope.layout ->
   prng:Mcm_util.Prng.t ->
   weak:weak_params ->
   bugs:Bug.effect ->
   test:Mcm_litmus.Litmus.t ->
   starts:float array ->
+  unit ->
   Mcm_litmus.Litmus.outcome
-(** [run ~prng ~weak ~bugs ~test ~starts] executes one instance of
-    [test] whose thread [i] begins at simulated time [starts.(i)] (ns)
-    and returns the observed outcome.
+(** [run ?layout ~prng ~weak ~bugs ~test ~starts ()] executes one
+    instance of [test] whose thread [i] begins at simulated time
+    [starts.(i)] (ns) and returns the observed outcome. [layout]
+    (default {!Scope.Inter}) decides whether workgroup-scoped fences
+    reach the other threads: under [Inter] every thread is its own
+    workgroup, so a workgroup fence (or a device fence demoted by
+    {!Bug.Scope_dropped}) is a no-op; under [Intra] all threads share a
+    workgroup and scope never weakens a fence.
     @raise Invalid_argument if [starts] does not have one entry per
     thread. *)

@@ -1,12 +1,14 @@
 module Prng = Mcm_util.Prng
 module Litmus = Mcm_litmus.Litmus
 module Instr = Mcm_litmus.Instr
+module Scope = Mcm_memmodel.Scope
 
 (* Bump when the kernel's compiled form or execution semantics change in
    a way that should re-key stored campaign results. v1 was the original
    compiled kernel (PR 3, implicit); v2 introduced schema images and
-   cross-cell memoization. The store's cell keys record this number. *)
-let code_version = 2
+   cross-cell memoization; v3 added the scope lane and scope-aware fence
+   semantics. The store's cell keys record this number. *)
+let code_version = 3
 
 (* Event kinds as immediates; the order matches Instance.kind. *)
 let k_load = 0
@@ -14,10 +16,15 @@ let k_store = 1
 let k_rmw = 2
 let k_fence = 3
 
+(* Scope lane immediates. *)
+let s_wg = 0
+let s_dev = 1
+
 type t = {
   test : Litmus.t;
   weak : Instance.weak_params;
   bugs : Bug.effect;
+  layout : Scope.layout;  (* scalar like [weak]/[bugs]: rebound per cell *)
   image_id : int;  (* identifies the shared structural arrays below *)
   nthreads : int;
   nlocs : int;
@@ -28,6 +35,7 @@ type t = {
   ev_reg : int array;  (* destination register, -1 otherwise *)
   ev_po : int array;  (* index within the issuing thread *)
   ev_thread : int array;
+  ev_scope : int array;  (* s_dev / s_wg, from the instruction's scope *)
   thread_off : int array;  (* length nthreads + 1; events are grouped by thread *)
   loc_writes : int array array;  (* per location, write event indices in event order *)
 }
@@ -66,7 +74,7 @@ let image_hits () = Atomic.get image_hits_c
 
 let next_image_id = Atomic.make 0
 
-let compile ~weak ~bugs ~(test : Litmus.t) =
+let compile ?(layout = Scope.default_layout) ~weak ~bugs ~(test : Litmus.t) () =
   let nthreads = Litmus.nthreads test in
   let n = Array.fold_left (fun acc l -> acc + List.length l) 0 test.Litmus.threads in
   let ev_kind = Array.make n 0 in
@@ -75,6 +83,7 @@ let compile ~weak ~bugs ~(test : Litmus.t) =
   let ev_reg = Array.make n (-1) in
   let ev_po = Array.make n 0 in
   let ev_thread = Array.make n 0 in
+  let ev_scope = Array.make n s_dev in
   let thread_off = Array.make (nthreads + 1) 0 in
   let i = ref 0 in
   Array.iteri
@@ -84,10 +93,10 @@ let compile ~weak ~bugs ~(test : Litmus.t) =
         (fun po instr ->
           let kind, loc, value, reg =
             match instr with
-            | Instr.Load { reg; loc } -> (k_load, loc, 0, reg)
-            | Instr.Store { loc; value } -> (k_store, loc, value, -1)
-            | Instr.Rmw { reg; loc; value } -> (k_rmw, loc, value, reg)
-            | Instr.Fence -> (k_fence, -1, 0, -1)
+            | Instr.Load { reg; loc; _ } -> (k_load, loc, 0, reg)
+            | Instr.Store { loc; value; _ } -> (k_store, loc, value, -1)
+            | Instr.Rmw { reg; loc; value; _ } -> (k_rmw, loc, value, reg)
+            | Instr.Fence _ -> (k_fence, -1, 0, -1)
           in
           ev_kind.(!i) <- kind;
           ev_loc.(!i) <- loc;
@@ -95,6 +104,7 @@ let compile ~weak ~bugs ~(test : Litmus.t) =
           ev_reg.(!i) <- reg;
           ev_po.(!i) <- po;
           ev_thread.(!i) <- tid;
+          ev_scope.(!i) <- (match Instr.scope instr with Scope.Device -> s_dev | Scope.Workgroup -> s_wg);
           incr i)
         instrs)
     test.Litmus.threads;
@@ -112,6 +122,7 @@ let compile ~weak ~bugs ~(test : Litmus.t) =
     test;
     weak;
     bugs;
+    layout;
     image_id = Atomic.fetch_and_add next_image_id 1;
     nthreads;
     nlocs = test.Litmus.nlocs;
@@ -122,6 +133,7 @@ let compile ~weak ~bugs ~(test : Litmus.t) =
     ev_reg;
     ev_po;
     ev_thread;
+    ev_scope;
     thread_off;
     loc_writes;
   }
@@ -140,15 +152,15 @@ let image_cache_max = 256
 let image_cache_key : (string, Litmus.t * t) Hashtbl.t Domain.DLS.key =
   Domain.DLS.new_key (fun () -> Hashtbl.create 64)
 
-let compile_cached ~weak ~bugs ~(test : Litmus.t) =
+let compile_cached ?(layout = Scope.default_layout) ~weak ~bugs ~(test : Litmus.t) () =
   let cache = Domain.DLS.get image_cache_key in
   match Hashtbl.find_opt cache test.Litmus.name with
   | Some (t0, proto) when t0 == test ->
       Atomic.incr image_hits_c;
-      { proto with weak; bugs }
+      { proto with weak; bugs; layout }
   | _ ->
       if Hashtbl.length cache >= image_cache_max then Hashtbl.reset cache;
-      let k = compile ~weak ~bugs ~test in
+      let k = compile ~layout ~weak ~bugs ~test () in
       Hashtbl.replace cache test.Litmus.name (test, k);
       k
 
@@ -215,14 +227,24 @@ let exec_core k ~time ~vis ~active ~post_acquire ~co_pos ~seq ~seq_len ~co ~floo
   and ev_thread = k.ev_thread
   and thread_off = k.thread_off in
   let coherent = not (Prng.Raw.bernoulli rng bugs.Bug.p_coherence_alias) in
-  (* Flatten: per-thread issue clocks; dropped fences become inactive. *)
+  (* Flatten: per-thread issue clocks; dropped fences become inactive, as
+     do fences whose (possibly Scope_dropped-demoted) scope does not
+     reach the other threads under this layout. Draw order mirrors
+     Instance.run exactly: fence-drop first, then — only for
+     device-scope fences — the demotion draw (skipped entirely when
+     p_scope_drop = 0, preserving pre-scope streams). *)
   for tid = 0 to nthreads - 1 do
     let clock = ref starts.(tid) in
     for i = thread_off.(tid) to thread_off.(tid + 1) - 1 do
       time.(i) <- !clock;
       post_acquire.(i) <- false;
-      if ev_kind.(i) = k_fence then
-        active.(i) <- not (Prng.Raw.bernoulli rng bugs.Bug.p_fence_drop);
+      if ev_kind.(i) = k_fence then begin
+        let dropped = Prng.Raw.bernoulli rng bugs.Bug.p_fence_drop in
+        let dev =
+          k.ev_scope.(i) = s_dev && not (Prng.Raw.bernoulli rng bugs.Bug.p_scope_drop)
+        in
+        active.(i) <- (not dropped) && (dev || k.layout = Scope.Intra)
+      end;
       clock :=
         !clock
         +. (weak.Instance.instr_latency_ns
@@ -456,10 +478,10 @@ module Schema = struct
     rng : Prng.Raw.state;
   }
 
-  let compile ~variants =
+  let compile ?(layout = Scope.default_layout) ~variants () =
     if Array.length variants = 0 then invalid_arg "Kernel.Schema.compile: no variants";
     let kernels =
-      Array.map (fun (weak, bugs, test) -> compile_cached ~weak ~bugs ~test) variants
+      Array.map (fun (weak, bugs, test) -> compile_cached ~layout ~weak ~bugs ~test ()) variants
     in
     { kernels }
 

@@ -24,7 +24,8 @@ val code_version : int
 (** Version of the kernel's compiled form and execution semantics,
     recorded in store cell keys so results computed by different kernel
     generations are content-addressed distinctly. v1 = the original
-    compiled kernel; v2 = schema images + cross-cell memoization. *)
+    compiled kernel; v2 = schema images + cross-cell memoization; v3 =
+    scope lane + scope-aware fence semantics. *)
 
 type t
 (** A compiled template: int-array event descriptions
@@ -40,18 +41,31 @@ type workspace
     positions and orders, floors matrix, order buffer, the reused
     outcome record, PRNG states). One per domain — not thread-safe. *)
 
-val compile : weak:Instance.weak_params -> bugs:Bug.effect -> test:Mcm_litmus.Litmus.t -> t
-(** [compile ~weak ~bugs ~test] builds the template from scratch. This
-    is the reference path: one fresh image per call. Do this once per
-    campaign, not per instance. *)
+val compile :
+  ?layout:Mcm_memmodel.Scope.layout ->
+  weak:Instance.weak_params ->
+  bugs:Bug.effect ->
+  test:Mcm_litmus.Litmus.t ->
+  unit ->
+  t
+(** [compile ?layout ~weak ~bugs ~test ()] builds the template from
+    scratch. [layout] (default {!Scope.Inter}) is a per-cell scalar like
+    [weak]/[bugs]; it governs whether workgroup-scoped fences act (see
+    {!Instance.run}). This is the reference path: one fresh image per
+    call. Do this once per campaign, not per instance. *)
 
 val compile_cached :
-  weak:Instance.weak_params -> bugs:Bug.effect -> test:Mcm_litmus.Litmus.t -> t
+  ?layout:Mcm_memmodel.Scope.layout ->
+  weak:Instance.weak_params ->
+  bugs:Bug.effect ->
+  test:Mcm_litmus.Litmus.t ->
+  unit ->
+  t
 (** Like {!compile}, but memoizes the image (the expensive structural
     flattening and write tables, which depend only on [test]) in a
     bounded domain-local cache keyed by test name + physical identity,
-    so cells differing only in environment, mutation scalars or bug
-    flags rebind the scalars onto one shared image. Bit-identical to
+    so cells differing only in environment, layout, mutation scalars or
+    bug flags rebind the scalars onto one shared image. Bit-identical to
     {!compile} — the image is immutable. *)
 
 val test : t -> Mcm_litmus.Litmus.t
@@ -137,9 +151,14 @@ module Schema : sig
   (** Shared mutable scratch for the whole column. One per domain — not
       thread-safe. *)
 
-  val compile : variants:(Instance.weak_params * Bug.effect * Mcm_litmus.Litmus.t) array -> t
-  (** [compile ~variants] compiles every [(weak, bugs, test)] variant of
-      the column into one schema.
+  val compile :
+    ?layout:Mcm_memmodel.Scope.layout ->
+    variants:(Instance.weak_params * Bug.effect * Mcm_litmus.Litmus.t) array ->
+    unit ->
+    t
+  (** [compile ?layout ~variants ()] compiles every [(weak, bugs, test)]
+      variant of the column into one schema; [layout] applies to the
+      whole column.
 
       @raise Invalid_argument if [variants] is empty. *)
 

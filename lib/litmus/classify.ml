@@ -18,12 +18,12 @@ let run_sequentially test order =
       List.iter
         (fun instr ->
           match instr with
-          | Instr.Load { reg; loc } -> outcome.Litmus.regs.(tid).(reg) <- memory.(loc)
-          | Instr.Store { loc; value } -> memory.(loc) <- value
-          | Instr.Rmw { reg; loc; value } ->
+          | Instr.Load { reg; loc; _ } -> outcome.Litmus.regs.(tid).(reg) <- memory.(loc)
+          | Instr.Store { loc; value; _ } -> memory.(loc) <- value
+          | Instr.Rmw { reg; loc; value; _ } ->
               outcome.Litmus.regs.(tid).(reg) <- memory.(loc);
               memory.(loc) <- value
-          | Instr.Fence -> ())
+          | Instr.Fence _ -> ())
         test.Litmus.threads.(tid))
     order;
   Array.blit memory 0 outcome.Litmus.final 0 test.Litmus.nlocs;

@@ -13,8 +13,8 @@ let rec permutations = function
           List.map (fun p -> x :: p) (permutations rest))
         l
 
-let candidates t =
-  let compiled = Litmus.compile t in
+let candidates ?layout t =
+  let compiled = Litmus.compile ?layout t in
   let events = compiled.Litmus.events in
   let n = Array.length events in
   let reads = ref [] in
@@ -62,20 +62,20 @@ let candidates t =
       List.map (fun co -> { Execution.events; rf; co }) co_orders)
     rf_assignments
 
-let consistent_outcomes m t =
+let consistent_outcomes ?layout m t =
   let outs =
     List.filter_map
       (fun x -> if Model.consistent m x then Some (Litmus.outcome_of_execution t x) else None)
-      (candidates t)
+      (candidates ?layout t)
   in
   List.sort_uniq compare outs
 
-let witness m t =
+let witness ?layout m t =
   List.find_opt
     (fun x -> Model.consistent m x && t.Litmus.target (Litmus.outcome_of_execution t x))
-    (candidates t)
+    (candidates ?layout t)
 
-let target_allowed m t = witness m t <> None
+let target_allowed ?layout m t = witness ?layout m t <> None
 
 let target_allowed_cat cat t =
   List.exists
@@ -90,11 +90,13 @@ let consistent_outcomes_cat cat t =
     (candidates t)
   |> List.sort_uniq compare
 
-let forbidden_cycle t =
-  if target_allowed t.Litmus.model t then None
+let forbidden_cycle ?layout t =
+  if target_allowed ?layout t.Litmus.model t then None
   else
     let exhibiting =
-      List.filter (fun x -> t.Litmus.target (Litmus.outcome_of_execution t x)) (candidates t)
+      List.filter
+        (fun x -> t.Litmus.target (Litmus.outcome_of_execution t x))
+        (candidates ?layout t)
     in
     (* Prefer a candidate whose only problem is the hb cycle (atomicity
        holds), so the reported cycle is the interesting one. *)
@@ -104,7 +106,7 @@ let forbidden_cycle t =
       (fun acc x -> match acc with Some _ -> acc | None -> Model.hb_cycle t.Litmus.model x)
       None pool
 
-let count_candidates t =
-  let all = candidates t in
+let count_candidates ?layout t =
+  let all = candidates ?layout t in
   let consistent = List.filter (Model.consistent t.Litmus.model) all in
   (List.length all, List.length consistent)

@@ -2,23 +2,28 @@
 
     Litmus tests are tiny, so every candidate execution — every choice of
     reads-from for each read and coherence order per location (Sec. 2.2) —
-    can be enumerated and checked against an MCS. This powers the
+    can be enumerated and checked against an MCS. [?layout] (default
+    {!Mcm_memmodel.Scope.Inter}) fixes the workgroup layout events are
+    compiled under, which scopes release/acquire synchronisation: under
+    [Inter] a workgroup-scoped fence orders nothing across threads. This
+    powers the
     machine-checked core invariant of the reproduction: for every generated
     conformance test the target behaviour is {e disallowed} under its MCS,
     and for every mutant it is {e allowed}. *)
 
-val candidates : Litmus.t -> Mcm_memmodel.Execution.t list
+val candidates : ?layout:Mcm_memmodel.Scope.layout -> Litmus.t -> Mcm_memmodel.Execution.t list
 (** [candidates t] enumerates all well-formed candidate executions of
     [t]: each read/RMW reads from the initial state or any same-location
     write other than itself, and each location's writes take every possible
     coherence order. Consistency is {e not} filtered here. *)
 
-val consistent_outcomes : Mcm_memmodel.Model.t -> Litmus.t -> Litmus.outcome list
+val consistent_outcomes :
+  ?layout:Mcm_memmodel.Scope.layout -> Mcm_memmodel.Model.t -> Litmus.t -> Litmus.outcome list
 (** [consistent_outcomes m t] is the deduplicated list of register
     outcomes over candidates consistent under [m] — the set of behaviours
     [m] allows [t] to produce. *)
 
-val target_allowed : Mcm_memmodel.Model.t -> Litmus.t -> bool
+val target_allowed : ?layout:Mcm_memmodel.Scope.layout -> Mcm_memmodel.Model.t -> Litmus.t -> bool
 (** [target_allowed m t] holds when some consistent candidate under [m]
     exhibits [t]'s target behaviour. A conformance test must satisfy
     [not (target_allowed t.model t)]; a mutant must satisfy
@@ -33,17 +38,21 @@ val target_allowed_cat : Mcm_memmodel.Cat.t -> Litmus.t -> bool
 val consistent_outcomes_cat : Mcm_memmodel.Cat.t -> Litmus.t -> Litmus.outcome list
 (** The outcomes a CAT model allows [t] to produce. *)
 
-val witness : Mcm_memmodel.Model.t -> Litmus.t -> Mcm_memmodel.Execution.t option
+val witness :
+  ?layout:Mcm_memmodel.Scope.layout ->
+  Mcm_memmodel.Model.t ->
+  Litmus.t ->
+  Mcm_memmodel.Execution.t option
 (** [witness m t] is a consistent candidate exhibiting the target, when
     one exists — evidence that the behaviour is allowed. *)
 
-val forbidden_cycle : Litmus.t -> string option
+val forbidden_cycle : ?layout:Mcm_memmodel.Scope.layout -> Litmus.t -> string option
 (** [forbidden_cycle t] explains why the target is disallowed: it picks a
     candidate exhibiting the target behaviour and reports its
     happens-before cycle under [t.model] (e.g. ["b -> c -> a -> b"]).
     Returns [None] when no candidate exhibits the target at all, or when
     the target is actually allowed. *)
 
-val count_candidates : Litmus.t -> int * int
+val count_candidates : ?layout:Mcm_memmodel.Scope.layout -> Litmus.t -> int * int
 (** [count_candidates t] is [(total, consistent)] under [t.model] — handy
     for reports and sanity checks. *)

@@ -1,24 +1,54 @@
+module Scope = Mcm_memmodel.Scope
+
 type t =
-  | Load of { reg : int; loc : int }
-  | Store of { loc : int; value : int }
-  | Rmw of { reg : int; loc : int; value : int }
-  | Fence
+  | Load of { reg : int; loc : int; scope : Scope.t }
+  | Store of { loc : int; value : int; scope : Scope.t }
+  | Rmw of { reg : int; loc : int; value : int; scope : Scope.t }
+  | Fence of { scope : Scope.t }
+
+let load ?(scope = Scope.Device) ~reg ~loc () = Load { reg; loc; scope }
+let store ?(scope = Scope.Device) ~loc ~value () = Store { loc; value; scope }
+let rmw ?(scope = Scope.Device) ~reg ~loc ~value () = Rmw { reg; loc; value; scope }
+let fence ?(scope = Scope.Device) () = Fence { scope }
 
 let uses_loc = function
   | Load { loc; _ } | Store { loc; _ } | Rmw { loc; _ } -> Some loc
-  | Fence -> None
+  | Fence _ -> None
 
 let defines_reg = function
   | Load { reg; _ } | Rmw { reg; _ } -> Some reg
-  | Store _ | Fence -> None
+  | Store _ | Fence _ -> None
 
-let is_memory_access = function Load _ | Store _ | Rmw _ -> true | Fence -> false
+let is_memory_access = function Load _ | Store _ | Rmw _ -> true | Fence _ -> false
+let is_fence = function Fence _ -> true | Load _ | Store _ | Rmw _ -> false
 
+let scope = function
+  | Load { scope; _ } | Store { scope; _ } | Rmw { scope; _ } | Fence { scope } -> scope
+
+let with_scope s = function
+  | Load i -> Load { i with scope = s }
+  | Store i -> Store { i with scope = s }
+  | Rmw i -> Rmw { i with scope = s }
+  | Fence _ -> Fence { scope = s }
+
+(* Device scope is the default and prints exactly as the pre-scope IR
+   did, so stored test blobs and goldens for unscoped programs are
+   byte-identical. Workgroup scope marks the operation: a [.wg] suffix
+   on atomics, and WGSL's own workgroup-scoped barrier for fences. *)
 let pp ~loc_names fmt = function
-  | Load { reg; loc } -> Format.fprintf fmt "r%d = atomicLoad(%s)" reg (loc_names loc)
-  | Store { loc; value } -> Format.fprintf fmt "atomicStore(%s, %d)" (loc_names loc) value
-  | Rmw { reg; loc; value } ->
+  | Load { reg; loc; scope = Scope.Device } ->
+      Format.fprintf fmt "r%d = atomicLoad(%s)" reg (loc_names loc)
+  | Load { reg; loc; scope = Scope.Workgroup } ->
+      Format.fprintf fmt "r%d = atomicLoad.wg(%s)" reg (loc_names loc)
+  | Store { loc; value; scope = Scope.Device } ->
+      Format.fprintf fmt "atomicStore(%s, %d)" (loc_names loc) value
+  | Store { loc; value; scope = Scope.Workgroup } ->
+      Format.fprintf fmt "atomicStore.wg(%s, %d)" (loc_names loc) value
+  | Rmw { reg; loc; value; scope = Scope.Device } ->
       Format.fprintf fmt "r%d = atomicExchange(%s, %d)" reg (loc_names loc) value
-  | Fence -> Format.fprintf fmt "storageBarrier()"
+  | Rmw { reg; loc; value; scope = Scope.Workgroup } ->
+      Format.fprintf fmt "r%d = atomicExchange.wg(%s, %d)" reg (loc_names loc) value
+  | Fence { scope = Scope.Device } -> Format.fprintf fmt "storageBarrier()"
+  | Fence { scope = Scope.Workgroup } -> Format.fprintf fmt "workgroupBarrier()"
 
 let to_string ~loc_names i = Format.asprintf "%a" (pp ~loc_names) i

@@ -3,19 +3,33 @@
     This is the subset of WGSL the paper tests: atomic loads, atomic
     stores, atomic read-modify-writes, and the release/acquire fence
     (WGSL's [storageBarrier] in its earlier, fence-semantics reading).
+    Every instruction carries a memory {!Scope.t}: device scope (the
+    default, and exactly the pre-scope semantics) or workgroup scope,
+    which only synchronizes within the issuing thread's workgroup.
     Locations and registers are small test-local integers; the testing
     environment maps virtual locations to physical memory at run time
     (Sec. 4.1). *)
 
+module Scope = Mcm_memmodel.Scope
+
 type t =
-  | Load of { reg : int; loc : int }
+  | Load of { reg : int; loc : int; scope : Scope.t }
       (** [reg := atomicLoad(&mem\[loc\])] *)
-  | Store of { loc : int; value : int }
+  | Store of { loc : int; value : int; scope : Scope.t }
       (** [atomicStore(&mem\[loc\], value)] *)
-  | Rmw of { reg : int; loc : int; value : int }
+  | Rmw of { reg : int; loc : int; value : int; scope : Scope.t }
       (** [reg := atomicExchange(&mem\[loc\], value)] — reads the old value
           and writes [value] indivisibly *)
-  | Fence  (** release/acquire fence across workgroups *)
+  | Fence of { scope : Scope.t }
+      (** release/acquire fence; device scope orders across workgroups,
+          workgroup scope only within one *)
+
+val load : ?scope:Scope.t -> reg:int -> loc:int -> unit -> t
+val store : ?scope:Scope.t -> loc:int -> value:int -> unit -> t
+val rmw : ?scope:Scope.t -> reg:int -> loc:int -> value:int -> unit -> t
+val fence : ?scope:Scope.t -> unit -> t
+(** Smart constructors; [scope] defaults to {!Scope.Device}, which is
+    the pre-scope behavior of every instruction. *)
 
 val uses_loc : t -> int option
 (** [uses_loc i] is the virtual location the instruction touches, [None]
@@ -27,7 +41,14 @@ val defines_reg : t -> int option
 val is_memory_access : t -> bool
 (** [is_memory_access i] holds for loads, stores and RMWs. *)
 
+val is_fence : t -> bool
+
+val scope : t -> Scope.t
+val with_scope : Scope.t -> t -> t
+
 val pp : loc_names:(int -> string) -> Format.formatter -> t -> unit
-(** Pretty-prints in the paper's style, e.g. ["r0 = atomicLoad(x)"]. *)
+(** Pretty-prints in the paper's style, e.g. ["r0 = atomicLoad(x)"].
+    Device scope prints exactly as the pre-scope IR did; workgroup scope
+    adds a [.wg] suffix ([workgroupBarrier()] for fences). *)
 
 val to_string : loc_names:(int -> string) -> t -> string

@@ -1,29 +1,35 @@
 module Model = Mcm_memmodel.Model
-open Instr
 
 let x = 0
 let y = 1
+
+(* All library tests are device-scoped (the smart-constructor default):
+   their certified statuses predate scopes and must not move. *)
+let ld reg loc = Instr.load ~reg ~loc ()
+let st loc value = Instr.store ~loc ~value ()
+let um reg loc value = Instr.rmw ~reg ~loc ~value ()
+let fen = Instr.fence ()
 
 let mk name family model threads nlocs target target_desc =
   { Litmus.name; family; model; threads = Array.of_list threads; nlocs; target; target_desc }
 
 let corr =
   mk "CoRR" "classic" Model.Sc_per_location
-    [ [ Load { reg = 0; loc = x }; Load { reg = 1; loc = x } ]; [ Store { loc = x; value = 1 } ] ]
+    [ [ ld 0 x; ld 1 x ]; [ st x 1 ] ]
     1
     (fun o -> o.Litmus.regs.(0).(0) = 1 && o.Litmus.regs.(0).(1) = 0)
     "t0.r0 = 1 && t0.r1 = 0"
 
 let cowr =
   mk "CoWR" "classic" Model.Sc_per_location
-    [ [ Store { loc = x; value = 1 }; Load { reg = 0; loc = x } ]; [ Store { loc = x; value = 2 } ] ]
+    [ [ st x 1; ld 0 x ]; [ st x 2 ] ]
     1
     (fun o -> o.Litmus.regs.(0).(0) = 2 && o.Litmus.final.(x) = 1)
     "t0.r0 = 2 && x = 1"
 
 let corw =
   mk "CoRW" "classic" Model.Sc_per_location
-    [ [ Load { reg = 0; loc = x }; Store { loc = x; value = 1 } ]; [ Store { loc = x; value = 2 } ] ]
+    [ [ ld 0 x; st x 1 ]; [ st x 2 ] ]
     1
     (fun o -> o.Litmus.regs.(0).(0) = 2 && o.Litmus.final.(x) = 2)
     "t0.r0 = 2 && x = 2"
@@ -31,19 +37,19 @@ let corw =
 let coww =
   mk "CoWW" "classic" Model.Sc_per_location
     [
-      [ Store { loc = x; value = 1 }; Store { loc = x; value = 2 } ];
-      [ Store { loc = x; value = 3 } ];
-      [ Load { reg = 0; loc = x }; Load { reg = 1; loc = x } ];
+      [ st x 1; st x 2 ];
+      [ st x 3 ];
+      [ ld 0 x; ld 1 x ];
     ]
     1
     (fun o -> o.Litmus.regs.(2).(0) = 2 && o.Litmus.regs.(2).(1) = 3 && o.Litmus.final.(x) = 1)
     "observer sees 2 then 3 && x = 1"
 
 let mp_threads ~fences =
-  let fence l = if fences then [ Fence ] @ l else l in
+  let fence l = if fences then [ fen ] @ l else l in
   [
-    Store { loc = x; value = 1 } :: fence [ Store { loc = y; value = 1 } ];
-    Load { reg = 0; loc = y } :: fence [ Load { reg = 1; loc = x } ];
+    st x 1 :: fence [ st y 1 ];
+    ld 0 y :: fence [ ld 1 x ];
   ]
 
 let mp_target o = o.Litmus.regs.(1).(0) = 1 && o.Litmus.regs.(1).(1) = 0
@@ -57,18 +63,18 @@ let mp_relacq =
 let mp_co =
   mk "MP-CO" "classic" Model.Sc_per_location
     [
-      [ Store { loc = x; value = 1 }; Store { loc = x; value = 2 } ];
-      [ Load { reg = 0; loc = x }; Load { reg = 1; loc = x } ];
+      [ st x 1; st x 2 ];
+      [ ld 0 x; ld 1 x ];
     ]
     1
     (fun o -> o.Litmus.regs.(1).(0) = 2 && o.Litmus.regs.(1).(1) = 1)
     "t1.r0 = 2 && t1.r1 = 1"
 
 let lb_threads ~fences =
-  let fence l = if fences then [ Fence ] @ l else l in
+  let fence l = if fences then [ fen ] @ l else l in
   [
-    Load { reg = 0; loc = x } :: fence [ Store { loc = y; value = 1 } ];
-    Load { reg = 0; loc = y } :: fence [ Store { loc = x; value = 1 } ];
+    ld 0 x :: fence [ st y 1 ];
+    ld 0 y :: fence [ st x 1 ];
   ]
 
 let lb_target o = o.Litmus.regs.(0).(0) = 1 && o.Litmus.regs.(1).(0) = 1
@@ -82,8 +88,8 @@ let lb_relacq =
 let sb =
   mk "SB" "classic" Model.Sc_per_location
     [
-      [ Store { loc = x; value = 1 }; Load { reg = 0; loc = y } ];
-      [ Store { loc = y; value = 1 }; Load { reg = 0; loc = x } ];
+      [ st x 1; ld 0 y ];
+      [ st y 1; ld 0 x ];
     ]
     2
     (fun o -> o.Litmus.regs.(0).(0) = 0 && o.Litmus.regs.(1).(0) = 0)
@@ -92,8 +98,8 @@ let sb =
 let sb_relacq_rmw =
   mk "SB-relacq-rmw" "classic" Model.Relacq_sc_per_location
     [
-      [ Store { loc = x; value = 1 }; Fence; Rmw { reg = 0; loc = y; value = 1 } ];
-      [ Rmw { reg = 0; loc = y; value = 2 }; Fence; Load { reg = 1; loc = x } ];
+      [ st x 1; fen; um 0 y 1 ];
+      [ um 0 y 2; fen; ld 1 x ];
     ]
     2
     (fun o ->
@@ -101,10 +107,10 @@ let sb_relacq_rmw =
     "t0.r0 = 0 && t1.r0 = 1 && t1.r1 = 0"
 
 let s_threads ~fences =
-  let fence l = if fences then [ Fence ] @ l else l in
+  let fence l = if fences then [ fen ] @ l else l in
   [
-    Store { loc = x; value = 2 } :: fence [ Store { loc = y; value = 1 } ];
-    [ Load { reg = 0; loc = y }; Store { loc = x; value = 1 } ];
+    st x 2 :: fence [ st y 1 ];
+    [ ld 0 y; st x 1 ];
   ]
 
 let s_target o = o.Litmus.regs.(1).(0) = 1 && o.Litmus.final.(x) = 2
@@ -117,16 +123,16 @@ let s_relacq =
      release/acquire chain of Fig. 3c. *)
   mk "S-relacq" "classic" Model.Relacq_sc_per_location
     [
-      [ Store { loc = x; value = 2 }; Fence; Store { loc = y; value = 1 } ];
-      [ Load { reg = 0; loc = y }; Fence; Store { loc = x; value = 1 } ];
+      [ st x 2; fen; st y 1 ];
+      [ ld 0 y; fen; st x 1 ];
     ]
     2 s_target s_desc
 
 let r =
   mk "R" "classic" Model.Sc_per_location
     [
-      [ Store { loc = x; value = 1 }; Store { loc = y; value = 1 } ];
-      [ Store { loc = y; value = 2 }; Load { reg = 0; loc = x } ];
+      [ st x 1; st y 1 ];
+      [ st y 2; ld 0 x ];
     ]
     2
     (fun o -> o.Litmus.regs.(1).(0) = 0 && o.Litmus.final.(y) = 2)
@@ -135,8 +141,8 @@ let r =
 let r_relacq_rmw =
   mk "R-relacq-rmw" "classic" Model.Relacq_sc_per_location
     [
-      [ Store { loc = x; value = 1 }; Fence; Store { loc = y; value = 1 } ];
-      [ Rmw { reg = 0; loc = y; value = 2 }; Fence; Load { reg = 1; loc = x } ];
+      [ st x 1; fen; st y 1 ];
+      [ um 0 y 2; fen; ld 1 x ];
     ]
     2
     (fun o -> o.Litmus.regs.(1).(0) = 1 && o.Litmus.regs.(1).(1) = 0)
@@ -145,8 +151,8 @@ let r_relacq_rmw =
 let two_plus_two_w =
   mk "2+2W" "classic" Model.Sc_per_location
     [
-      [ Store { loc = x; value = 1 }; Store { loc = y; value = 1 } ];
-      [ Store { loc = y; value = 2 }; Store { loc = x; value = 2 } ];
+      [ st x 1; st y 1 ];
+      [ st y 2; st x 2 ];
     ]
     2
     (fun o -> o.Litmus.final.(x) = 1 && o.Litmus.final.(y) = 2)
@@ -155,8 +161,8 @@ let two_plus_two_w =
 let two_plus_two_w_relacq_rmw =
   mk "2+2W-relacq-rmw" "classic" Model.Relacq_sc_per_location
     [
-      [ Store { loc = x; value = 1 }; Fence; Store { loc = y; value = 1 } ];
-      [ Rmw { reg = 0; loc = y; value = 2 }; Fence; Store { loc = x; value = 2 } ];
+      [ st x 1; fen; st y 1 ];
+      [ um 0 y 2; fen; st x 2 ];
     ]
     2
     (fun o -> o.Litmus.regs.(1).(0) = 1 && o.Litmus.final.(x) = 1)
@@ -167,10 +173,10 @@ let z = 2
 let iriw =
   mk "IRIW" "classic" Model.Sc_per_location
     [
-      [ Store { loc = x; value = 1 } ];
-      [ Store { loc = y; value = 1 } ];
-      [ Load { reg = 0; loc = x }; Load { reg = 1; loc = y } ];
-      [ Load { reg = 0; loc = y }; Load { reg = 1; loc = x } ];
+      [ st x 1 ];
+      [ st y 1 ];
+      [ ld 0 x; ld 1 y ];
+      [ ld 0 y; ld 1 x ];
     ]
     2
     (fun o ->
@@ -181,9 +187,9 @@ let iriw =
 let wrc =
   mk "WRC" "classic" Model.Sc_per_location
     [
-      [ Store { loc = x; value = 1 } ];
-      [ Load { reg = 0; loc = x }; Store { loc = y; value = 1 } ];
-      [ Load { reg = 0; loc = y }; Load { reg = 1; loc = x } ];
+      [ st x 1 ];
+      [ ld 0 x; st y 1 ];
+      [ ld 0 y; ld 1 x ];
     ]
     2
     (fun o ->
@@ -193,9 +199,9 @@ let wrc =
 let isa2 =
   mk "ISA2" "classic" Model.Sc_per_location
     [
-      [ Store { loc = x; value = 1 }; Store { loc = y; value = 1 } ];
-      [ Load { reg = 0; loc = y }; Store { loc = z; value = 1 } ];
-      [ Load { reg = 0; loc = z }; Load { reg = 1; loc = x } ];
+      [ st x 1; st y 1 ];
+      [ ld 0 y; st z 1 ];
+      [ ld 0 z; ld 1 x ];
     ]
     3
     (fun o ->
@@ -205,9 +211,9 @@ let isa2 =
 let rwc =
   mk "RWC" "classic" Model.Sc_per_location
     [
-      [ Store { loc = x; value = 1 } ];
-      [ Load { reg = 0; loc = x }; Load { reg = 1; loc = y } ];
-      [ Store { loc = y; value = 1 }; Load { reg = 0; loc = x } ];
+      [ st x 1 ];
+      [ ld 0 x; ld 1 y ];
+      [ st y 1; ld 0 x ];
     ]
     2
     (fun o ->
@@ -224,8 +230,8 @@ let rwc =
 let ladder ~stores ~loads =
   if stores < 1 || loads < 1 then invalid_arg "Library.ladder: stores and loads must be >= 1";
   let thread tid writes_loc reads_loc =
-    List.init stores (fun k -> Store { loc = writes_loc; value = (tid * stores) + k + 1 })
-    @ List.init loads (fun i -> Load { reg = i; loc = reads_loc })
+    List.init stores (fun k -> st writes_loc ((tid * stores) + k + 1))
+    @ List.init loads (fun i -> ld i reads_loc)
   in
   let t0_first = 1 and t2_first = (2 * stores) + 1 in
   mk

@@ -1,5 +1,6 @@
 module Event = Mcm_memmodel.Event
 module Execution = Mcm_memmodel.Execution
+module Scope = Mcm_memmodel.Scope
 
 type outcome = { regs : int array array; final : int array }
 
@@ -43,12 +44,12 @@ let well_formed t =
               Hashtbl.replace written r ()
           | None -> ());
           match i with
-          | Instr.Store { loc; value } | Instr.Rmw { loc; value; _ } ->
+          | Instr.Store { loc; value; _ } | Instr.Rmw { loc; value; _ } ->
               if value = 0 then note "thread %d stores value 0 (reserved for the initial state)" tid;
               if Hashtbl.mem values (loc, value) then
                 note "value %d stored twice to location %d" value loc;
               Hashtbl.replace values (loc, value) ()
-          | Instr.Load _ | Instr.Fence -> ()
+          | Instr.Load _ | Instr.Fence _ -> ()
         in
         List.iter check instrs)
       t.threads;
@@ -60,22 +61,23 @@ type compiled = {
   reg_of_event : (int * int) option array;
 }
 
-let compile t =
+let compile ?(layout = Scope.default_layout) t =
   let events = ref [] in
   let regs = ref [] in
   let id = ref 0 in
   Array.iteri
     (fun tid instrs ->
+      let wg = Scope.workgroup layout ~tid in
       List.iteri
         (fun idx i ->
           let kind, reg =
             match i with
-            | Instr.Load { reg; loc } -> (Event.Read { loc }, Some (tid, reg))
-            | Instr.Store { loc; value } -> (Event.Write { loc; value }, None)
-            | Instr.Rmw { reg; loc; value } -> (Event.Rmw { loc; value }, Some (tid, reg))
-            | Instr.Fence -> (Event.Fence, None)
+            | Instr.Load { reg; loc; _ } -> (Event.Read { loc }, Some (tid, reg))
+            | Instr.Store { loc; value; _ } -> (Event.Write { loc; value }, None)
+            | Instr.Rmw { reg; loc; value; _ } -> (Event.Rmw { loc; value }, Some (tid, reg))
+            | Instr.Fence _ -> (Event.Fence, None)
           in
-          events := { Event.id = !id; tid; idx; kind } :: !events;
+          events := { Event.id = !id; tid; idx; wg; scope = Instr.scope i; kind } :: !events;
           regs := reg :: !regs;
           incr id)
         instrs)

@@ -54,8 +54,11 @@ type compiled = {
           value-capturing load or RMW bound to [reg] *)
 }
 
-val compile : t -> compiled
-(** [compile t] lowers every instruction to its event. *)
+val compile : ?layout:Mcm_memmodel.Scope.layout -> t -> compiled
+(** [compile ?layout t] lowers every instruction to its event, stamping
+    each with its scope and with the issuing thread's workgroup under
+    [layout] (default {!Scope.Inter}: one workgroup per thread, the
+    pre-scope behavior). *)
 
 val outcome_of_execution : t -> Mcm_memmodel.Execution.t -> outcome
 (** [outcome_of_execution t x] reads back registers and final memory from

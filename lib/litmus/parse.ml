@@ -1,4 +1,5 @@
 module Model = Mcm_memmodel.Model
+module Scope = Mcm_memmodel.Scope
 
 (* ------------------------------------------------------------------ *)
 (* Target condition expressions                                         *)
@@ -177,13 +178,23 @@ let parse_reg word =
 let parse_value word =
   match int_of_string_opt word with Some v -> v | None -> fail "bad value %s" word
 
+(* A trailing [wg]/[dev] token scopes the instruction; absent means
+   device scope, and the printer below emits the marker only for
+   workgroup scope, so pre-scope sources round-trip byte-identically. *)
+let split_scope tokens =
+  match List.rev tokens with
+  | last :: rest_rev when Scope.of_string last <> None ->
+      (List.rev rest_rev, Option.get (Scope.of_string last))
+  | _ -> (tokens, Scope.Device)
+
 let parse_instruction b tokens =
+  let tokens, scope = split_scope tokens in
   match tokens with
-  | [ "store"; loc; value ] -> Instr.Store { loc = loc_id b loc; value = parse_value value }
-  | [ "fence" ] -> Instr.Fence
-  | [ reg; "="; "load"; loc ] -> Instr.Load { reg = parse_reg reg; loc = loc_id b loc }
+  | [ "store"; loc; value ] -> Instr.Store { loc = loc_id b loc; value = parse_value value; scope }
+  | [ "fence" ] -> Instr.Fence { scope }
+  | [ reg; "="; "load"; loc ] -> Instr.Load { reg = parse_reg reg; loc = loc_id b loc; scope }
   | [ reg; "="; "exchange"; loc; value ] ->
-      Instr.Rmw { reg = parse_reg reg; loc = loc_id b loc; value = parse_value value }
+      Instr.Rmw { reg = parse_reg reg; loc = loc_id b loc; value = parse_value value; scope }
   | _ -> fail "unrecognised instruction: %s" (String.concat " " tokens)
 
 let parse source =
@@ -287,12 +298,18 @@ let model_keyword = function
   | Model.Sc_per_location -> "sc-per-loc"
   | Model.Relacq_sc_per_location -> "relacq"
 
-let instruction_source ~loc_names = function
-  | Instr.Store { loc; value } -> Printf.sprintf "store %s %d" (loc_names loc) value
-  | Instr.Load { reg; loc } -> Printf.sprintf "r%d = load %s" reg (loc_names loc)
-  | Instr.Rmw { reg; loc; value } ->
-      Printf.sprintf "r%d = exchange %s %d" reg (loc_names loc) value
-  | Instr.Fence -> "fence"
+let instruction_source ~loc_names i =
+  let body =
+    match i with
+    | Instr.Store { loc; value; _ } -> Printf.sprintf "store %s %d" (loc_names loc) value
+    | Instr.Load { reg; loc; _ } -> Printf.sprintf "r%d = load %s" reg (loc_names loc)
+    | Instr.Rmw { reg; loc; value; _ } ->
+        Printf.sprintf "r%d = exchange %s %d" reg (loc_names loc) value
+    | Instr.Fence _ -> "fence"
+  in
+  match Instr.scope i with
+  | Scope.Device -> body
+  | Scope.Workgroup -> body ^ " " ^ Scope.name Scope.Workgroup
 
 let to_source test =
   (match Litmus.well_formed test with

@@ -4,7 +4,7 @@ type kind =
   | Rmw of { loc : int; value : int }
   | Fence
 
-type t = { id : int; tid : int; idx : int; kind : kind }
+type t = { id : int; tid : int; idx : int; wg : int; scope : Scope.t; kind : kind }
 
 let is_read e = match e.kind with Read _ | Rmw _ -> true | Write _ | Fence -> false
 let is_write e = match e.kind with Write _ | Rmw _ -> true | Read _ | Fence -> false
@@ -29,12 +29,15 @@ let loc_name l =
   match l with 0 -> "x" | 1 -> "y" | 2 -> "z" | n -> "l" ^ string_of_int n
 
 let pp fmt e =
+  (* Device scope is the default and prints unmarked, so pre-scope
+     output (goldens, counterexample reports) is byte-identical. *)
+  let sc = match e.scope with Scope.Workgroup -> ".wg" | Scope.Device -> "" in
   let body =
     match e.kind with
-    | Read { loc } -> Printf.sprintf "R %s" (loc_name loc)
-    | Write { loc; value } -> Printf.sprintf "W %s=%d" (loc_name loc) value
-    | Rmw { loc; value } -> Printf.sprintf "RMW %s=%d" (loc_name loc) value
-    | Fence -> "F"
+    | Read { loc } -> Printf.sprintf "R%s %s" sc (loc_name loc)
+    | Write { loc; value } -> Printf.sprintf "W%s %s=%d" sc (loc_name loc) value
+    | Rmw { loc; value } -> Printf.sprintf "RMW%s %s=%d" sc (loc_name loc) value
+    | Fence -> "F" ^ sc
   in
   Format.fprintf fmt "[t%d.%d %s]" e.tid e.idx body
 

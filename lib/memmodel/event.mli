@@ -19,6 +19,8 @@ type t = {
   id : int;  (** unique within an execution; also the index used by {!Relation} *)
   tid : int;  (** issuing thread *)
   idx : int;  (** position in the issuing thread's program order *)
+  wg : int;  (** issuing thread's workgroup (see {!Scope.workgroup}) *)
+  scope : Scope.t;  (** memory scope the operation was issued at *)
   kind : kind;
 }
 

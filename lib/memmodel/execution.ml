@@ -135,14 +135,19 @@ let relations x =
   let fr = !fr in
   let com = Relation.union rf (Relation.union co fr) in
   (* sw: release fence f_r -> acquire fence f_a, different threads, with a
-     write w po-after f_r read by a read r po-before f_a. *)
+     write w po-after f_r read by a read r po-before f_a. Scoped: the
+     edge only forms when each fence's scope covers the partner's
+     workgroup (all-Device reduces to the unscoped definition). *)
   let sw = ref (Relation.empty n) in
   for f_r = 0 to n - 1 do
     if Event.is_fence x.events.(f_r) then
       for f_a = 0 to n - 1 do
+        let er = x.events.(f_r) and ea = x.events.(f_a) in
         if
-          Event.is_fence x.events.(f_a)
-          && x.events.(f_r).Event.tid <> x.events.(f_a).Event.tid
+          Event.is_fence ea
+          && er.Event.tid <> ea.Event.tid
+          && Scope.covers er.Event.scope ~own:er.Event.wg ~other:ea.Event.wg
+          && Scope.covers ea.Event.scope ~own:ea.Event.wg ~other:er.Event.wg
         then begin
           let linked = ref false in
           for w = 0 to n - 1 do

@@ -1,0 +1,37 @@
+type t = Workgroup | Device
+
+let name = function Workgroup -> "wg" | Device -> "dev"
+
+let of_string = function
+  | "wg" | "workgroup" -> Some Workgroup
+  | "dev" | "device" -> Some Device
+  | _ -> None
+
+let pp fmt s = Format.pp_print_string fmt (name s)
+
+let wider_or_equal a b =
+  match (a, b) with
+  | Device, _ -> true
+  | Workgroup, Workgroup -> true
+  | Workgroup, Device -> false
+
+(* How a test's threads map onto workgroups. [Inter] places every thread
+   in its own workgroup (the default, and what every pre-scope test
+   meant); [Intra] co-locates all threads in workgroup 0, so even
+   workgroup-scoped synchronization reaches every partner. *)
+type layout = Inter | Intra
+
+let default_layout = Inter
+let layout_name = function Inter -> "inter" | Intra -> "intra"
+
+let layout_of_string = function
+  | "inter" | "inter-workgroup" -> Some Inter
+  | "intra" | "intra-workgroup" -> Some Intra
+  | _ -> None
+
+let workgroup layout ~tid = match layout with Inter -> tid | Intra -> 0
+
+(* The scoped-visibility test at the heart of scoped synchronizes-with:
+   an operation at [scope] issued from workgroup [own] covers workgroup
+   [other] when the scope is device-wide or the workgroups coincide. *)
+let covers scope ~own ~other = scope = Device || own = other

@@ -1,0 +1,41 @@
+(** Memory scopes (paper §2; WebGPU/Vulkan workgroup vs device scope).
+
+    Every atomic operation and fence is issued at a scope. A
+    device-scoped operation synchronizes with any other workgroup; a
+    workgroup-scoped one only reaches threads in the same workgroup.
+    The pre-scope semantics of this codebase are exactly the
+    all-[Device] special case. *)
+
+type t = Workgroup | Device
+
+val name : t -> string
+(** ["wg"] and ["dev"] — the tokens used by the litmus surface syntax. *)
+
+val of_string : string -> t option
+(** Inverse of {!name}; also accepts the long forms ["workgroup"] and
+    ["device"]. *)
+
+val pp : Format.formatter -> t -> unit
+
+val wider_or_equal : t -> t -> bool
+(** [wider_or_equal a b] holds when scope [a] reaches at least as far as
+    [b] ([Device] covers everything; [Workgroup] only itself). *)
+
+type layout = Inter | Intra
+(** How a test's threads map onto workgroups: [Inter] gives every thread
+    its own workgroup (the default — all pre-scope tests behave this
+    way); [Intra] co-locates all threads in workgroup 0. *)
+
+val default_layout : layout
+
+val layout_name : layout -> string
+val layout_of_string : string -> layout option
+
+val workgroup : layout -> tid:int -> int
+(** [workgroup layout ~tid] is the workgroup thread [tid] runs in. *)
+
+val covers : t -> own:int -> other:int -> bool
+(** [covers scope ~own ~other]: does an operation at [scope] issued from
+    workgroup [own] reach workgroup [other]? True when [scope = Device]
+    or [own = other]. Scoped synchronizes-with requires [covers] in both
+    directions between the release and acquire sides. *)

@@ -22,9 +22,9 @@ type report = { verdicts : verdict list; failures : int }
    such candidate is inconsistent. Returns the forbidden cycle (or
    atomicity violation) of an exhibiting candidate, preferring one whose
    only defect is the cycle. *)
-let forbidden_evidence m t =
+let forbidden_evidence ?layout m t =
   let exhibiting =
-    Enumerate.fold t ~init:[] ~f:(fun acc x ->
+    Enumerate.fold ?layout t ~init:[] ~f:(fun acc x ->
         if t.Litmus.target (Litmus.outcome_of_execution t x) then x :: acc else acc)
   in
   match exhibiting with
@@ -39,10 +39,10 @@ let forbidden_evidence m t =
           | v :: _ -> Ok ("RMW atomicity violation: " ^ v)
           | [] -> Error "exhibiting candidates are neither cyclic nor atomicity-violating"))
 
-let conformance ?engine t =
+let conformance ?engine ?layout t =
   let m = t.Litmus.model in
   let base = { test = t.Litmus.name; model = m; role = "conformance"; ok = false; detail = "" } in
-  match Outcome.witness ?engine m t with
+  match Outcome.witness ?engine ?layout m t with
   | Some x ->
       {
         base with
@@ -52,14 +52,14 @@ let conformance ?engine t =
             (Litmus.outcome_to_string (Litmus.outcome_of_execution t x));
       }
   | None -> (
-      match forbidden_evidence m t with
+      match forbidden_evidence ?layout m t with
       | Ok evidence -> { base with ok = true; detail = evidence }
       | Error reason -> { base with detail = reason })
 
-let mutant ?engine ?(role = "mutant") t =
+let mutant ?engine ?layout ?(role = "mutant") t =
   let m = t.Litmus.model in
   let base = { test = t.Litmus.name; model = m; role; ok = false; detail = "" } in
-  match Outcome.witness ?engine m t with
+  match Outcome.witness ?engine ?layout m t with
   | None ->
       {
         base with

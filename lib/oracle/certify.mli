@@ -35,12 +35,18 @@ type report = {
   failures : int;  (** number of verdicts with [ok = false] *)
 }
 
-val conformance : ?engine:Engine.t -> Mcm_litmus.Litmus.t -> verdict
+val conformance :
+  ?engine:Engine.t -> ?layout:Mcm_memmodel.Scope.layout -> Mcm_litmus.Litmus.t -> verdict
 (** [conformance t] certifies that [t]'s target is disallowed under
     [t.model] and non-vacuous (some candidate execution — necessarily
     inconsistent — exhibits it). Evidence: the forbidden cycle. *)
 
-val mutant : ?engine:Engine.t -> ?role:string -> Mcm_litmus.Litmus.t -> verdict
+val mutant :
+  ?engine:Engine.t ->
+  ?layout:Mcm_memmodel.Scope.layout ->
+  ?role:string ->
+  Mcm_litmus.Litmus.t ->
+  verdict
 (** [mutant t] certifies that [t]'s target is allowed under [t.model]
     (evidence: a witness outcome) and non-vacuous: no whole-thread-
     at-a-time serial execution exhibits it, so killing the mutant

@@ -10,17 +10,18 @@ let of_string s =
   | "propagate" | "propagation" | "prune" -> Some Propagate
   | _ -> None
 
-let fold_consistent engine m t ~init ~f =
+let fold_consistent ?layout engine m t ~init ~f =
   match engine with
-  | Enumerate -> Enumerate.fold_consistent m t ~init ~f
-  | Propagate -> Propagate.fold_consistent m t ~init ~f
+  | Enumerate -> Enumerate.fold_consistent ?layout m t ~init ~f
+  | Propagate -> Propagate.fold_consistent ?layout m t ~init ~f
 
-let iter_consistent engine m t ~f =
+let iter_consistent ?layout engine m t ~f =
   match engine with
-  | Enumerate -> Enumerate.iter t ~f:(fun x -> if Mcm_memmodel.Model.consistent m x then f x)
-  | Propagate -> Propagate.iter_consistent m t ~f
+  | Enumerate ->
+      Enumerate.iter ?layout t ~f:(fun x -> if Mcm_memmodel.Model.consistent m x then f x)
+  | Propagate -> Propagate.iter_consistent ?layout m t ~f
 
-let count_consistent engine m t =
+let count_consistent ?layout engine m t =
   match engine with
-  | Enumerate -> Enumerate.count_consistent m t
-  | Propagate -> Propagate.count_consistent m t
+  | Enumerate -> Enumerate.count_consistent ?layout m t
+  | Propagate -> Propagate.count_consistent ?layout m t

@@ -24,6 +24,7 @@ val of_string : string -> t option
     ["brute"], ["brute-force"], ["propagation"], ["prune"]. *)
 
 val fold_consistent :
+  ?layout:Mcm_memmodel.Scope.layout ->
   t ->
   Mcm_memmodel.Model.t ->
   Mcm_litmus.Litmus.t ->
@@ -33,9 +34,15 @@ val fold_consistent :
 (** Dispatches to the selected engine's consistent fold. *)
 
 val iter_consistent :
-  t -> Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> f:(Mcm_memmodel.Execution.t -> unit) -> unit
+  ?layout:Mcm_memmodel.Scope.layout ->
+  t ->
+  Mcm_memmodel.Model.t ->
+  Mcm_litmus.Litmus.t ->
+  f:(Mcm_memmodel.Execution.t -> unit) ->
+  unit
 (** Dispatches to the selected engine's consistent iteration; exceptions
     raised by [f] escape (used for first-witness early exit). *)
 
-val count_consistent : t -> Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> int
+val count_consistent :
+  ?layout:Mcm_memmodel.Scope.layout -> t -> Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> int
 (** Dispatches to the selected engine's consistent count. *)

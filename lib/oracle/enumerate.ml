@@ -12,8 +12,8 @@ type space = {
   writes_by_loc : (int * int list) list;  (* per location, write ids in id order *)
 }
 
-let space t =
-  let compiled = Litmus.compile t in
+let space ?layout t =
+  let compiled = Litmus.compile ?layout t in
   let events = compiled.Litmus.events in
   let reads = ref [] and by_loc = Hashtbl.create 4 in
   Array.iter
@@ -41,8 +41,8 @@ let rf_choices sp r =
       let ws = try List.assoc l sp.writes_by_loc with Not_found -> [] in
       None :: List.filter_map (fun w -> if w = r then None else Some (Some w)) ws
 
-let fold t ~init ~f =
-  let sp = space t in
+let fold ?layout t ~init ~f =
+  let sp = space ?layout t in
   let n = Array.length sp.events in
   let rf = Array.make n None in
   let acc = ref init in
@@ -74,13 +74,13 @@ let fold t ~init ~f =
   over_rf sp.reads;
   !acc
 
-let iter t ~f = fold t ~init:() ~f:(fun () x -> f x)
+let iter ?layout t ~f = fold ?layout t ~init:() ~f:(fun () x -> f x)
 
-let fold_consistent m t ~init ~f =
-  fold t ~init ~f:(fun acc x -> if Model.consistent m x then f acc x else acc)
+let fold_consistent ?layout m t ~init ~f =
+  fold ?layout t ~init ~f:(fun acc x -> if Model.consistent m x then f acc x else acc)
 
-let count t =
-  let sp = space t in
+let count ?layout t =
+  let sp = space ?layout t in
   let factorial k =
     let rec go acc i = if i <= 1 then acc else go (acc * i) (i - 1) in
     go 1 k
@@ -88,4 +88,4 @@ let count t =
   List.fold_left (fun acc r -> acc * List.length (rf_choices sp r)) 1 sp.reads
   * List.fold_left (fun acc (_, ws) -> acc * factorial (List.length ws)) 1 sp.writes_by_loc
 
-let count_consistent m t = fold_consistent m t ~init:0 ~f:(fun k _ -> k + 1)
+let count_consistent ?layout m t = fold_consistent ?layout m t ~init:0 ~f:(fun k _ -> k + 1)

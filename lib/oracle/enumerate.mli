@@ -10,6 +10,11 @@
     beyond the accumulator and candidate spaces in the hundreds of
     thousands stay flat in memory.
 
+    Every entry point takes [?layout] (default
+    {!Mcm_memmodel.Scope.Inter}), the workgroup layout the test is
+    compiled under; it decides which fence pairs can synchronise when
+    fences carry workgroup scope.
+
     Candidate counts are exactly
     [Π_reads (1 + same-location writes other than the read itself)
      × Π_locations (writes to the location)!]
@@ -33,7 +38,7 @@ type space = {
       (** per location (ascending), write ids in id order *)
 }
 
-val space : Mcm_litmus.Litmus.t -> space
+val space : ?layout:Mcm_memmodel.Scope.layout -> Mcm_litmus.Litmus.t -> space
 (** [space t] compiles [t] and lays out its candidate space. *)
 
 val rf_choices : space -> int -> int option list
@@ -41,15 +46,25 @@ val rf_choices : space -> int -> int option list
     initial state first ([None]), then every same-location write other
     than [r] itself in id order (an RMW cannot read its own write). *)
 
-val fold : Mcm_litmus.Litmus.t -> init:'a -> f:('a -> Mcm_memmodel.Execution.t -> 'a) -> 'a
+val fold :
+  ?layout:Mcm_memmodel.Scope.layout ->
+  Mcm_litmus.Litmus.t ->
+  init:'a ->
+  f:('a -> Mcm_memmodel.Execution.t -> 'a) ->
+  'a
 (** [fold t ~init ~f] folds [f] over every candidate execution of [t],
     in a fixed deterministic order. Consistency is {e not} filtered. *)
 
-val iter : Mcm_litmus.Litmus.t -> f:(Mcm_memmodel.Execution.t -> unit) -> unit
+val iter :
+  ?layout:Mcm_memmodel.Scope.layout ->
+  Mcm_litmus.Litmus.t ->
+  f:(Mcm_memmodel.Execution.t -> unit) ->
+  unit
 (** [iter t ~f] is [fold] ignoring the accumulator. Exceptions raised by
     [f] escape, which is how {!Outcome.witness} exits early. *)
 
 val fold_consistent :
+  ?layout:Mcm_memmodel.Scope.layout ->
   Mcm_memmodel.Model.t ->
   Mcm_litmus.Litmus.t ->
   init:'a ->
@@ -58,11 +73,12 @@ val fold_consistent :
 (** [fold_consistent m t] restricts {!fold} to the candidates consistent
     under [m] — the executions the platform is allowed to produce. *)
 
-val count : Mcm_litmus.Litmus.t -> int
+val count : ?layout:Mcm_memmodel.Scope.layout -> Mcm_litmus.Litmus.t -> int
 (** [count t] is the size of [t]'s candidate space, computed from the
     choice product without enumerating. Agrees with counting via
     {!fold}. *)
 
-val count_consistent : Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> int
+val count_consistent :
+  ?layout:Mcm_memmodel.Scope.layout -> Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> int
 (** [count_consistent m t] enumerates and counts the candidates
     consistent under [m]. *)

@@ -13,16 +13,16 @@ let mem s o = List.mem o s
 let subset a b = List.for_all (fun o -> mem b o) a
 let equal (a : set) (b : set) = a = b
 
-let allowed ?(engine = Engine.default) m t =
-  Engine.fold_consistent engine m t ~init:[] ~f:(fun acc x ->
+let allowed ?(engine = Engine.default) ?layout m t =
+  Engine.fold_consistent ?layout engine m t ~init:[] ~f:(fun acc x ->
       Litmus.outcome_of_execution t x :: acc)
   |> of_outcomes
 
-let allowed_grid ?(engine = Engine.default) ?domains points =
+let allowed_grid ?(engine = Engine.default) ?layout ?domains points =
   let arr = Array.of_list points in
   let compute i =
     let m, t = arr.(i) in
-    allowed ~engine m t
+    allowed ~engine ?layout m t
   in
   match domains with
   | None | Some 1 -> List.init (Array.length arr) compute
@@ -32,21 +32,21 @@ let allowed_grid ?(engine = Engine.default) ?domains points =
 
 exception Found of Execution.t
 
-let witness ?(engine = Engine.default) m t =
+let witness ?(engine = Engine.default) ?layout m t =
   match
-    Engine.iter_consistent engine m t ~f:(fun x ->
+    Engine.iter_consistent ?layout engine m t ~f:(fun x ->
         if t.Litmus.target (Litmus.outcome_of_execution t x) then raise (Found x))
   with
   | () -> None
   | exception Found x -> Some x
 
-let target_allowed ?engine m t = witness ?engine m t <> None
+let target_allowed ?engine ?layout m t = witness ?engine ?layout m t <> None
 
-let counterexample ?engine m t o =
-  if mem (allowed ?engine m t) o then None
+let counterexample ?engine ?layout m t o =
+  if mem (allowed ?engine ?layout m t) o then None
   else
     let producing =
-      Enumerate.fold t ~init:[] ~f:(fun acc x ->
+      Enumerate.fold ?layout t ~init:[] ~f:(fun acc x ->
           if Litmus.outcome_of_execution t x = o then x :: acc else acc)
     in
     match producing with

@@ -19,12 +19,18 @@ type set
     computed in any order — serially or sharded across a domain pool —
     are structurally equal iff they contain the same outcomes. *)
 
-val allowed : ?engine:Engine.t -> Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> set
+val allowed :
+  ?engine:Engine.t ->
+  ?layout:Mcm_memmodel.Scope.layout ->
+  Mcm_memmodel.Model.t ->
+  Mcm_litmus.Litmus.t ->
+  set
 (** [allowed m t] visits every candidate execution of [t] consistent
     under [m] (through [engine]) and projects them onto outcomes. *)
 
 val allowed_grid :
   ?engine:Engine.t ->
+  ?layout:Mcm_memmodel.Scope.layout ->
   ?domains:int ->
   (Mcm_memmodel.Model.t * Mcm_litmus.Litmus.t) list ->
   set list
@@ -44,13 +50,19 @@ val mem : set -> Mcm_litmus.Litmus.outcome -> bool
 val subset : set -> set -> bool
 val equal : set -> set -> bool
 
-val target_allowed : ?engine:Engine.t -> Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> bool
+val target_allowed :
+  ?engine:Engine.t ->
+  ?layout:Mcm_memmodel.Scope.layout ->
+  Mcm_memmodel.Model.t ->
+  Mcm_litmus.Litmus.t ->
+  bool
 (** [target_allowed m t] holds when some consistent candidate under [m]
     exhibits [t]'s target behaviour. Short-circuits at the first
     witness rather than building the full set. *)
 
 val witness :
   ?engine:Engine.t ->
+  ?layout:Mcm_memmodel.Scope.layout ->
   Mcm_memmodel.Model.t ->
   Mcm_litmus.Litmus.t ->
   Mcm_memmodel.Execution.t option
@@ -61,6 +73,7 @@ val witness :
 
 val counterexample :
   ?engine:Engine.t ->
+  ?layout:Mcm_memmodel.Scope.layout ->
   Mcm_memmodel.Model.t ->
   Mcm_litmus.Litmus.t ->
   Mcm_litmus.Litmus.outcome ->

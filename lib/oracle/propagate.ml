@@ -3,6 +3,7 @@ module Execution = Mcm_memmodel.Execution
 module Relation = Mcm_memmodel.Relation
 module Model = Mcm_memmodel.Model
 module Litmus = Mcm_litmus.Litmus
+module Scope = Mcm_memmodel.Scope
 module Closure = Relation.Closure
 
 type stats = { explored : int; pruned : int; consistent : int }
@@ -29,8 +30,8 @@ type stats = { explored : int; pruned : int; consistent : int }
    needed, and the surviving leaves stream in exactly the order
    Enumerate.fold_consistent produces them. *)
 
-let search m t ~on_leaf =
-  let sp = Enumerate.space t in
+let search ?layout m t ~on_leaf =
+  let sp = Enumerate.space ?layout t in
   let events = sp.Enumerate.events in
   let n = Array.length events in
   let po, po_loc = Execution.static_po events in
@@ -71,7 +72,12 @@ let search m t ~on_leaf =
       for f_r = 0 to n - 1 do
         if Event.is_fence events.(f_r) then
           for f_a = 0 to n - 1 do
-            if Event.is_fence events.(f_a) && events.(f_r).Event.tid <> events.(f_a).Event.tid
+            let er = events.(f_r) and ea = events.(f_a) in
+            if
+              Event.is_fence ea
+              && er.Event.tid <> ea.Event.tid
+              && Scope.covers er.Event.scope ~own:er.Event.wg ~other:ea.Event.wg
+              && Scope.covers ea.Event.scope ~own:ea.Event.wg ~other:er.Event.wg
             then begin
               let posw = ref [] in
               for a = 0 to n - 1 do
@@ -165,17 +171,17 @@ let search m t ~on_leaf =
   over_rf sp.Enumerate.reads root;
   { explored = !explored; pruned = !pruned; consistent = !consistent }
 
-let fold_consistent m t ~init ~f =
+let fold_consistent ?layout m t ~init ~f =
   let acc = ref init in
-  let (_ : stats) = search m t ~on_leaf:(fun x -> acc := f !acc x) in
+  let (_ : stats) = search ?layout m t ~on_leaf:(fun x -> acc := f !acc x) in
   !acc
 
-let iter_consistent m t ~f =
-  let (_ : stats) = search m t ~on_leaf:f in
+let iter_consistent ?layout m t ~f =
+  let (_ : stats) = search ?layout m t ~on_leaf:f in
   ()
 
-let count_consistent m t =
+let count_consistent ?layout m t =
   (* The walk itself counts leaves; no execution needs retaining. *)
-  (search m t ~on_leaf:ignore).consistent
+  (search ?layout m t ~on_leaf:ignore).consistent
 
-let stats m t = search m t ~on_leaf:ignore
+let stats ?layout m t = search ?layout m t ~on_leaf:ignore

@@ -32,6 +32,7 @@ type stats = {
 }
 
 val fold_consistent :
+  ?layout:Mcm_memmodel.Scope.layout ->
   Mcm_memmodel.Model.t ->
   Mcm_litmus.Litmus.t ->
   init:'a ->
@@ -43,16 +44,22 @@ val fold_consistent :
     {!Enumerate.fold_consistent} execution-for-execution. *)
 
 val iter_consistent :
-  Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> f:(Mcm_memmodel.Execution.t -> unit) -> unit
+  ?layout:Mcm_memmodel.Scope.layout ->
+  Mcm_memmodel.Model.t ->
+  Mcm_litmus.Litmus.t ->
+  f:(Mcm_memmodel.Execution.t -> unit) ->
+  unit
 (** [iter_consistent m t] is {!fold_consistent} ignoring the
     accumulator. Exceptions raised by [f] escape, which is how
     {!Outcome.witness} exits at the first hit. *)
 
-val count_consistent : Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> int
+val count_consistent :
+  ?layout:Mcm_memmodel.Scope.layout -> Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> int
 (** [count_consistent m t] counts the consistent candidates without
     materialising them. Agrees with {!Enumerate.count_consistent}. *)
 
-val stats : Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> stats
+val stats :
+  ?layout:Mcm_memmodel.Scope.layout -> Mcm_memmodel.Model.t -> Mcm_litmus.Litmus.t -> stats
 (** [stats m t] runs the search and reports how much of the candidate
     space was actually visited — the pruning factor
     [Enumerate.count t / explored] is the engine's asymptotic win. *)

@@ -46,8 +46,8 @@ let default_tests () =
   let names = List.map (fun t -> t.Litmus.name) suite in
   suite @ List.filter (fun t -> not (List.mem t.Litmus.name names)) Library.all
 
-let explain ?engine t o =
-  match Outcome.counterexample ?engine t.Litmus.model t o with
+let explain ?engine ?layout t o =
+  match Outcome.counterexample ?engine ?layout t.Litmus.model t o with
   | Some e -> e
   | None -> "(outcome is allowed — explanation requested in error)"
 
@@ -83,13 +83,23 @@ let check ?engine ?(ctx = Request.serial) ?(iterations = 2) ?(seed = 20230325) ?
   let envs = match envs with Some e -> e | None -> default_envs () in
   let tests = match tests with Some t -> t | None -> default_tests () in
   let tests = Array.of_list tests in
-  (* Stage 1, one task per test: the allowed set under the test's own
-     model, plus the serial-outcome check covering skipped instances.
-     Not a campaign cell (no simulation), so it uses the bare grid map. *)
+  (* Each env fixes a thread layout; the oracle must be queried at the
+     same layout the engines execute under or scoped fences would make
+     its allowed sets inexact (an intra-workgroup run of a
+     workgroup-fenced test allows strictly fewer outcomes). *)
+  let layouts = List.sort_uniq compare (List.map (fun (_, env) -> Runner.layout_of_env env) envs) in
+  let layouts = if layouts = [] then [ Mcm_memmodel.Scope.default_layout ] else layouts in
+  (* Stage 1, one task per (test, layout): the allowed set under the
+     test's own model, plus the serial-outcome check covering skipped
+     instances. Not a campaign cell (no simulation), so it uses the bare
+     grid map. *)
+  let nlayouts = List.length layouts in
+  let layout_arr = Array.of_list layouts in
   let stage1 =
-    Grid.map ctx ~n:(Array.length tests) ~f:(fun i ->
-        let t = tests.(i) in
-        let allowed = Outcome.allowed ?engine t.Litmus.model t in
+    Grid.map ctx ~n:(Array.length tests * nlayouts) ~f:(fun i ->
+        let t = tests.(i / nlayouts) in
+        let layout = layout_arr.(i mod nlayouts) in
+        let allowed = Outcome.allowed ?engine ~layout t.Litmus.model t in
         let seq_violations =
           List.filter_map
             (fun o ->
@@ -101,11 +111,15 @@ let check ?engine ?(ctx = Request.serial) ?(iterations = 2) ?(seed = 20230325) ?
                     v_device = "-";
                     v_env = "-";
                     v_outcome = o;
-                    v_explanation = explain ?engine t o;
+                    v_explanation = explain ?engine ~layout t o;
                   })
             (List.sort_uniq compare (Classify.sequential_outcomes t))
         in
         (allowed, seq_violations))
+  in
+  let allowed_for ti layout =
+    let rec idx j = if layout_arr.(j) = layout then j else idx (j + 1) in
+    fst stage1.((ti * nlayouts) + idx 0)
   in
   let sequential_violations = List.concat_map snd (Array.to_list stage1) in
   (* Stage 2, one task per (test × device × env) grid point. *)
@@ -135,9 +149,9 @@ let check ?engine ?(ctx = Request.serial) ?(iterations = 2) ?(seed = 20230325) ?
   let points =
     Array.mapi
       (fun gi (result, observed) ->
-        let ti, device, env_name, _env = grid.(gi) in
+        let ti, device, env_name, env = grid.(gi) in
         let t = tests.(ti) in
-        let allowed = fst stage1.(ti) in
+        let allowed = allowed_for ti (Runner.layout_of_env env) in
         let violations =
           List.filter_map
             (fun o ->
@@ -149,7 +163,7 @@ let check ?engine ?(ctx = Request.serial) ?(iterations = 2) ?(seed = 20230325) ?
                     v_device = Device.name device;
                     v_env = env_name;
                     v_outcome = o;
-                    v_explanation = explain ?engine t o;
+                    v_explanation = explain ?engine ~layout:(Runner.layout_of_env env) t o;
                   })
             observed
         in

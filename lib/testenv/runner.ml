@@ -6,8 +6,18 @@ module Device = Mcm_gpu.Device
 module Instance = Mcm_gpu.Instance
 module Kernel = Mcm_gpu.Kernel
 module Timing = Mcm_gpu.Timing
+module Scope = Mcm_memmodel.Scope
 
 type engine = Request.engine = Interpreter | Kernel
+
+(* The env's scope axis decides the thread layout the engines see: the
+   inter-workgroup environment puts every role in its own workgroup (so
+   workgroup-scoped fences cannot order across roles), the
+   intra-workgroup environment puts all roles in one. *)
+let layout_of_env (env : Params.t) =
+  match env.Params.scope with
+  | Params.Inter_workgroup -> Scope.Inter
+  | Params.Intra_workgroup -> Scope.Intra
 
 type result = {
   kills : int;
@@ -204,6 +214,7 @@ type prefab = {
   p_weak : Instance.weak_params;
   p_horizon : float;
   p_iteration_ns : float;
+  p_layout : Scope.layout;
   p_kernel : Kernel.t option;
 }
 
@@ -242,14 +253,15 @@ let build_prefab ~plan ~engine ~device ~env ~test =
       ~threads_per_workgroup:env.Params.threads_per_workgroup ~instrs_per_thread
       ~stress_intensity:(Params.stress_intensity env)
   in
+  let layout = layout_of_env env in
   let kernel =
     match engine with
     | Interpreter -> None
     | Kernel ->
         Some
           (match plan with
-          | Request.Per_cell -> Kernel.compile ~weak ~bugs ~test
-          | Request.Schema -> Kernel.compile_cached ~weak ~bugs ~test)
+          | Request.Per_cell -> Kernel.compile ~layout ~weak ~bugs ~test ()
+          | Request.Schema -> Kernel.compile_cached ~layout ~weak ~bugs ~test ())
   in
   {
     p_test = test;
@@ -262,6 +274,7 @@ let build_prefab ~plan ~engine ~device ~env ~test =
     p_weak = weak;
     p_horizon = horizon;
     p_iteration_ns = iteration_ns;
+    p_layout = layout;
     p_kernel = kernel;
   }
 
@@ -337,7 +350,9 @@ let campaign ~engine ~plan ~classify ~collect ~device ~env ~test ~seed =
     let exec, keep =
       match kernel with
       | None ->
-          ( (fun s -> Instance.run ~prng:(Prng.split prng) ~weak ~bugs ~test ~starts:s),
+          ( (fun s ->
+              Instance.run ~layout:pf.p_layout ~prng:(Prng.split prng) ~weak ~bugs ~test
+                ~starts:s ()),
             fun o -> o )
       | Some k ->
           let ws = acquire_ws k in

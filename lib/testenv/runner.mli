@@ -76,6 +76,13 @@ val amplification : Mcm_gpu.Device.t -> Params.t -> roles:int -> float
 (** The weak-memory amplification the campaign will apply — exposed for
     reports and ablation benches. *)
 
+val layout_of_env : Params.t -> Mcm_memmodel.Scope.layout
+(** The thread layout the engines execute under: {!Params.Inter_workgroup}
+    environments give every role its own workgroup
+    ({!Mcm_memmodel.Scope.Inter}), {!Params.Intra_workgroup} puts all
+    roles in one ({!Mcm_memmodel.Scope.Intra}). The oracle must be
+    queried at the same layout for its allowed sets to be exact. *)
+
 (** Per-behaviour outcome counts of a campaign, the breakdown MCS testing
     tools report (see {!Mcm_litmus.Classify}). [skipped] counts instances
     short-circuited by the weak-memory horizon; their roles never

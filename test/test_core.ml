@@ -144,7 +144,7 @@ let test_mutant_programs_differ () =
             let fences t =
               Array.fold_left
                 (fun acc instrs ->
-                  acc + List.length (List.filter (fun i -> i = Instr.Fence) instrs))
+                  acc + List.length (List.filter Instr.is_fence instrs))
                 0 t.Litmus.threads
             in
             check (mutant.Litmus.name ^ " fewer fences") true (fences mutant < fences conf)
@@ -178,7 +178,7 @@ let test_corr_rmw_upgrades_second_read_only () =
 (* Template derivation machinery.                                         *)
 
 let test_derive_rejects_ill_formed () =
-  let threads = [| [ Instr.Store { loc = 5; value = 1 } ] |] in
+  let threads = [| [ (Instr.store ~loc:5 ~value:1 ()) ] |] in
   match
     Template.derive ~name:"bad" ~family:"t" ~model:Model.Sc_per_location ~nlocs:1
       ~pattern:(fun _ _ -> true) ~polarity:Template.Conformance threads
@@ -188,7 +188,7 @@ let test_derive_rejects_ill_formed () =
 
 let test_derive_empty_conformance_set () =
   (* A pattern nothing matches yields an empty conformance set. *)
-  let threads = [| [ Instr.Load { reg = 0; loc = 0 } ]; [ Instr.Store { loc = 0; value = 1 } ] |] in
+  let threads = [| [ (Instr.load ~reg:0 ~loc:0 ()) ]; [ (Instr.store ~loc:0 ~value:1 ()) ] |] in
   match
     Template.derive ~name:"empty" ~family:"t" ~model:Model.Sc_per_location ~nlocs:1
       ~pattern:(fun _ _ -> false) ~polarity:Template.Conformance threads
@@ -197,8 +197,8 @@ let test_derive_empty_conformance_set () =
   | Ok _ -> Alcotest.fail "expected empty target error"
 
 let test_derive_first_falls_through () =
-  let good = [| [ Instr.Load { reg = 0; loc = 0 } ]; [ Instr.Store { loc = 0; value = 1 } ] |] in
-  let bad = [| [ Instr.Store { loc = 9; value = 1 } ] |] in
+  let good = [| [ (Instr.load ~reg:0 ~loc:0 ()) ]; [ (Instr.store ~loc:0 ~value:1 ()) ] |] in
+  let bad = [| [ (Instr.store ~loc:9 ~value:1 ()) ] |] in
   match
     Template.derive_first ~name:"fallthrough" ~family:"t" ~model:Model.Sc_per_location ~nlocs:1
       ~pattern:(fun x rels ->
@@ -210,7 +210,7 @@ let test_derive_first_falls_through () =
   | Error e -> Alcotest.failf "unexpected error: %s" e
 
 let test_observer_ladder () =
-  let threads = [| [ Instr.Store { loc = 0; value = 1 } ] |] in
+  let threads = [| [ (Instr.store ~loc:0 ~value:1 ()) ] |] in
   let ladder = Template.observer_ladder ~obs_loc:0 threads in
   check_int "three variants" 3 (List.length ladder);
   let with_required = Template.observer_ladder ~require_observer:true ~obs_loc:0 threads in

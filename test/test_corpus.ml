@@ -63,7 +63,7 @@ let test_shape_strict () =
   fails ~mentions:"events must be in" "3x2x2";
   fails ~mentions:"locations must be in" "2x4x0";
   (* JSON round-trip *)
-  let s = { Shape.threads = 3; events = 5; locs = 2; rmw = true; fence = false } in
+  let s = { Shape.threads = 3; events = 5; locs = 2; rmw = true; fence = false; wg_fence = false } in
   match Shape.of_json (Mcm_util.Jsonw.Obj (Shape.fields s)) with
   | Ok s' -> check_bool "json round-trip" true (s = s')
   | Error e -> Alcotest.failf "shape json round-trip: %s" e

@@ -43,7 +43,7 @@ let run_many ?(n = 4000) ?(bugs = Bug.none) ?(weak = wild) ?(starts = None) test
             Array.map (fun _ -> Prng.float g 30.) (near_starts test)
       in
       ignore i;
-      Instance.run ~prng:(Prng.split g) ~weak ~bugs ~test ~starts)
+      Instance.run ~prng:(Prng.split g) ~weak ~bugs ~test ~starts ())
 
 (* -------------------------------------------------------------------- *)
 (* Profiles                                                               *)
@@ -168,7 +168,7 @@ let test_determinism () =
   let run seed =
     let g = Prng.create seed in
     List.init 100 (fun _ ->
-        Instance.run ~prng:(Prng.split g) ~weak:wild ~bugs:Bug.none ~test ~starts:[| 0.; 10. |])
+        Instance.run ~prng:(Prng.split g) ~weak:wild ~bugs:Bug.none ~test ~starts:[| 0.; 10. |] ())
   in
   check "same seed same outcomes" true (run 5 = run 5);
   check "different seeds differ somewhere" true (run 5 <> run 6)
@@ -194,7 +194,7 @@ let test_starts_length_checked () =
     (fun () ->
       ignore
         (Instance.run ~prng:(Prng.create 1) ~weak:wild ~bugs:Bug.none ~test:Library.mp
-           ~starts:[| 0. |]))
+           ~starts:[| 0. |] ()))
 
 (* -------------------------------------------------------------------- *)
 (* Bug injections produce their violations.                               *)
@@ -273,7 +273,7 @@ let prop_outcome_shape =
   QCheck.Test.make ~count:100 ~name:"outcomes have the test's shape" QCheck.int (fun seed ->
       let test = Library.mp_relacq in
       let o =
-        Instance.run ~prng:(Prng.create seed) ~weak:wild ~bugs:Bug.none ~test ~starts:[| 0.; 5. |]
+        Instance.run ~prng:(Prng.create seed) ~weak:wild ~bugs:Bug.none ~test ~starts:[| 0.; 5. |] ()
       in
       Array.length o.Litmus.regs = 2 && Array.length o.Litmus.final = 2)
 
@@ -282,7 +282,7 @@ let prop_corr_coherent_without_bug =
       let g = Prng.create seed in
       let starts = [| Prng.float g 20.; Prng.float g 20. |] in
       let o =
-        Instance.run ~prng:g ~weak:wild ~bugs:Bug.none ~test:Library.corr ~starts
+        Instance.run ~prng:g ~weak:wild ~bugs:Bug.none ~test:Library.corr ~starts ()
       in
       not (Library.corr.Litmus.target o))
 
@@ -301,16 +301,16 @@ let arbitrary_program =
       | 0 ->
           let reg = !tid_regs in
           incr tid_regs;
-          return (Mcm_litmus.Instr.Load { reg; loc })
+          return (Mcm_litmus.(Instr.load ~reg ~loc ()))
       | 1 ->
           incr value_counter;
-          return (Mcm_litmus.Instr.Store { loc; value = !value_counter })
+          return (Mcm_litmus.(Instr.store ~loc ~value:!value_counter ()))
       | 2 ->
           let reg = !tid_regs in
           incr tid_regs;
           incr value_counter;
-          return (Mcm_litmus.Instr.Rmw { reg; loc; value = !value_counter })
-      | _ -> return Mcm_litmus.Instr.Fence
+          return (Mcm_litmus.(Instr.rmw ~reg ~loc ~value:!value_counter ()))
+      | _ -> return (Mcm_litmus.Instr.fence ())
     in
     let gen_thread =
       let* len = int_range 1 3 in
@@ -350,7 +350,7 @@ let prop_simulator_within_model =
         let starts =
           Array.init (Litmus.nthreads test) (fun _ -> Prng.float g 60.)
         in
-        let o = Instance.run ~prng:(Prng.split g) ~weak:wild ~bugs:Bug.none ~test ~starts in
+        let o = Instance.run ~prng:(Prng.split g) ~weak:wild ~bugs:Bug.none ~test ~starts () in
         if not (List.mem o allowed) then ok := false
       done;
       !ok)
@@ -362,7 +362,7 @@ let prop_values_from_program =
       let test = Library.mp_co in
       let o =
         Instance.run ~prng:g ~weak:wild ~bugs:Bug.none ~test
-          ~starts:[| Prng.float g 40.; Prng.float g 40. |]
+          ~starts:[| Prng.float g 40.; Prng.float g 40. |] ()
       in
       let ok v = v = 0 || v = 1 || v = 2 in
       ok o.Litmus.regs.(1).(0) && ok o.Litmus.regs.(1).(1) && ok o.Litmus.final.(0))

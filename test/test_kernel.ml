@@ -37,16 +37,16 @@ let arbitrary_program =
       | 0 ->
           let reg = !tid_regs in
           incr tid_regs;
-          return (Instr.Load { reg; loc })
+          return ((Instr.load ~reg ~loc ()))
       | 1 ->
           incr value_counter;
-          return (Instr.Store { loc; value = !value_counter })
+          return ((Instr.store ~loc ~value:!value_counter ()))
       | 2 ->
           let reg = !tid_regs in
           incr tid_regs;
           incr value_counter;
-          return (Instr.Rmw { reg; loc; value = !value_counter })
-      | _ -> return Instr.Fence
+          return ((Instr.rmw ~reg ~loc ~value:!value_counter ()))
+      | _ -> return (Instr.fence ())
     in
     let gen_thread =
       let* len = int_range 1 4 in
@@ -101,7 +101,7 @@ let prop_kernel_bit_identical =
       QCheck.assume (Litmus.well_formed test = Ok ());
       let g = Prng.create seed in
       let weak, bugs = random_config g in
-      let kernel = Kernel.compile ~weak ~bugs ~test in
+      let kernel = Kernel.compile ~weak ~bugs ~test () in
       let ws = Kernel.workspace kernel in
       let ok = ref true in
       for _ = 1 to 30 do
@@ -109,7 +109,7 @@ let prop_kernel_bit_identical =
         let g_int = Prng.of_int64 (Prng.state g) in
         let g_ker = Prng.of_int64 (Prng.state g) in
         ignore (Prng.next_int64 g);
-        let o_int = Instance.run ~prng:g_int ~weak ~bugs ~test ~starts in
+        let o_int = Instance.run ~prng:g_int ~weak ~bugs ~test ~starts () in
         let o_ker = Kernel.run kernel ws ~prng:g_ker ~starts in
         if o_int <> o_ker then begin
           Printf.eprintf "outcome mismatch on:\n%s\ninterp: %s\nkernel: %s\n%!"
@@ -133,7 +133,7 @@ let prop_run_next_matches_split =
       QCheck.assume (Litmus.well_formed test = Ok ());
       let g = Prng.create seed in
       let weak, bugs = random_config g in
-      let kernel = Kernel.compile ~weak ~bugs ~test in
+      let kernel = Kernel.compile ~weak ~bugs ~test () in
       let ws = Kernel.workspace kernel in
       let starts = Array.init (Litmus.nthreads test) (fun _ -> Prng.float g 60.) in
       let parent_int = Prng.of_int64 (Prng.state g) in
@@ -141,7 +141,7 @@ let prop_run_next_matches_split =
       Kernel.set_parent ws parent_ker;
       let ok = ref true in
       for _ = 1 to 10 do
-        let o_int = Instance.run ~prng:(Prng.split parent_int) ~weak ~bugs ~test ~starts in
+        let o_int = Instance.run ~prng:(Prng.split parent_int) ~weak ~bugs ~test ~starts () in
         let o_ker = Kernel.run_next kernel ws ~starts in
         if o_int <> o_ker then ok := false
       done;
@@ -150,7 +150,7 @@ let prop_run_next_matches_split =
 let test_snapshot_is_deep_copy () =
   let test = Library.mp in
   let weak = Instance.effective_params Profile.nvidia ~amplification:1. in
-  let kernel = Kernel.compile ~weak ~bugs:Bug.none ~test in
+  let kernel = Kernel.compile ~weak ~bugs:Bug.none ~test () in
   let ws = Kernel.workspace kernel in
   let o1 = Kernel.run kernel ws ~prng:(Prng.create 1) ~starts:[| 0.; 0. |] in
   let snap = Kernel.snapshot ws in
@@ -161,8 +161,8 @@ let test_snapshot_is_deep_copy () =
 
 let test_workspace_ownership_checked () =
   let weak = Instance.effective_params Profile.amd ~amplification:0. in
-  let k1 = Kernel.compile ~weak ~bugs:Bug.none ~test:Library.mp in
-  let k2 = Kernel.compile ~weak ~bugs:Bug.none ~test:Library.sb in
+  let k1 = Kernel.compile ~weak ~bugs:Bug.none ~test:Library.mp () in
+  let k2 = Kernel.compile ~weak ~bugs:Bug.none ~test:Library.sb () in
   let ws2 = Kernel.workspace k2 in
   Alcotest.check_raises "foreign workspace rejected"
     (Invalid_argument "Kernel.run: workspace belongs to another kernel") (fun () ->
@@ -170,7 +170,7 @@ let test_workspace_ownership_checked () =
 
 let test_starts_length_checked () =
   let weak = Instance.effective_params Profile.amd ~amplification:0. in
-  let k = Kernel.compile ~weak ~bugs:Bug.none ~test:Library.mp in
+  let k = Kernel.compile ~weak ~bugs:Bug.none ~test:Library.mp () in
   let ws = Kernel.workspace k in
   Alcotest.check_raises "wrong starts" (Invalid_argument "Kernel.run: starts length mismatch")
     (fun () -> ignore (Kernel.run k ws ~prng:(Prng.create 1) ~starts:[| 0. |]))

@@ -201,22 +201,22 @@ let test_final_memory_in_outcome () =
 (* IR helpers.                                                           *)
 
 let test_instr_helpers () =
-  check "load uses loc" true (Instr.uses_loc (Instr.Load { reg = 0; loc = 3 }) = Some 3);
-  check "fence uses no loc" true (Instr.uses_loc Instr.Fence = None);
-  check "store defines no reg" true (Instr.defines_reg (Instr.Store { loc = 0; value = 1 }) = None);
-  check "rmw defines reg" true (Instr.defines_reg (Instr.Rmw { reg = 2; loc = 0; value = 1 }) = Some 2);
-  check "fence not memory access" false (Instr.is_memory_access Instr.Fence);
-  check "rmw is memory access" true (Instr.is_memory_access (Instr.Rmw { reg = 0; loc = 0; value = 1 }))
+  check "load uses loc" true (Instr.uses_loc ((Instr.load ~reg:0 ~loc:3 ())) = Some 3);
+  check "fence uses no loc" true (Instr.uses_loc (Instr.fence ()) = None);
+  check "store defines no reg" true (Instr.defines_reg ((Instr.store ~loc:0 ~value:1 ())) = None);
+  check "rmw defines reg" true (Instr.defines_reg ((Instr.rmw ~reg:2 ~loc:0 ~value:1 ())) = Some 2);
+  check "fence not memory access" false (Instr.is_memory_access (Instr.fence ()));
+  check "rmw is memory access" true (Instr.is_memory_access ((Instr.rmw ~reg:0 ~loc:0 ~value:1 ())))
 
 let test_instr_pp () =
   let names l = Litmus.loc_name l in
   Alcotest.(check string)
     "load" "r0 = atomicLoad(x)"
-    (Instr.to_string ~loc_names:names (Instr.Load { reg = 0; loc = 0 }));
+    (Instr.to_string ~loc_names:names ((Instr.load ~reg:0 ~loc:0 ())));
   Alcotest.(check string)
     "store" "atomicStore(y, 2)"
-    (Instr.to_string ~loc_names:names (Instr.Store { loc = 1; value = 2 }));
-  Alcotest.(check string) "fence" "storageBarrier()" (Instr.to_string ~loc_names:names Instr.Fence)
+    (Instr.to_string ~loc_names:names ((Instr.store ~loc:1 ~value:2 ())));
+  Alcotest.(check string) "fence" "storageBarrier()" (Instr.to_string ~loc_names:names (Instr.fence ()))
 
 let test_nregs () =
   let nregs = Litmus.nregs Library.corr in
@@ -231,7 +231,7 @@ let test_well_formed_rejects () =
     {
       Library.corr with
       Litmus.threads =
-        [| [ Instr.Load { reg = 0; loc = 0 }; Instr.Load { reg = 0; loc = 0 } ]; [] |];
+        [| [ (Instr.load ~reg:0 ~loc:0 ()); (Instr.load ~reg:0 ~loc:0 ()) ]; [] |];
     }
   in
   check "register written twice" true (Litmus.well_formed double_reg |> Result.is_error);
@@ -239,12 +239,12 @@ let test_well_formed_rejects () =
     {
       Library.corr with
       Litmus.threads =
-        [| [ Instr.Store { loc = 0; value = 1 }; Instr.Store { loc = 0; value = 1 } ] |];
+        [| [ (Instr.store ~loc:0 ~value:1 ()); (Instr.store ~loc:0 ~value:1 ()) ] |];
     }
   in
   check "duplicate stored value" true (Litmus.well_formed dup_value |> Result.is_error);
   let zero_value =
-    { Library.corr with Litmus.threads = [| [ Instr.Store { loc = 0; value = 0 } ] |] }
+    { Library.corr with Litmus.threads = [| [ (Instr.store ~loc:0 ~value:0 ()) ] |] }
   in
   check "stored zero" true (Litmus.well_formed zero_value |> Result.is_error)
 
@@ -305,7 +305,7 @@ let test_parse_rmw_and_exchange () =
   | Error e -> Alcotest.failf "parse failed: %s" e
   | Ok t -> (
       match t.Litmus.threads.(0) with
-      | [ Instr.Rmw { reg = 0; loc = 0; value = 1 } ] -> ()
+      | [ Instr.Rmw { reg = 0; loc = 0; value = 1; _ } ] -> ()
       | _ -> Alcotest.fail "expected an exchange instruction")
 
 let test_parse_condition_operators () =

@@ -12,7 +12,8 @@ let check_int = Alcotest.(check int)
 (* -------------------------------------------------------------------- *)
 (* Event helpers                                                          *)
 
-let ev id tid idx kind = { Event.id; tid; idx; kind }
+let ev id tid idx kind =
+  { Event.id; tid; idx; wg = tid; scope = Mcm_memmodel.Scope.Device; kind }
 
 let test_event_predicates () =
   let r = ev 0 0 0 (Event.Read { loc = 0 }) in

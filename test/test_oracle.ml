@@ -524,16 +524,16 @@ let gen_program st =
         | 0 ->
             let r = !reg in
             incr reg;
-            Instr.Load { reg = r; loc = int_bound (nlocs - 1) st }
+            Instr.load ~reg:r ~loc:(int_bound (nlocs - 1) st) ()
         | 1 ->
             let l = int_bound (nlocs - 1) st in
-            Instr.Store { loc = l; value = fresh_value l }
+            Instr.store ~loc:l ~value:(fresh_value l) ()
         | 2 ->
             let r = !reg in
             incr reg;
             let l = int_bound (nlocs - 1) st in
-            Instr.Rmw { reg = r; loc = l; value = fresh_value l }
-        | _ -> Instr.Fence)
+            Instr.rmw ~reg:r ~loc:l ~value:(fresh_value l) ()
+        | _ -> Instr.fence ())
   in
   let threads = Array.init 2 thread in
   {
@@ -614,17 +614,17 @@ let gen_program_wide st =
             decr reads_left;
             let r = !reg in
             incr reg;
-            Instr.Load { reg = r; loc }
+            Instr.load ~reg:r ~loc ()
         | 1 when stores_left.(loc) > 0 ->
             stores_left.(loc) <- stores_left.(loc) - 1;
-            Instr.Store { loc; value = fresh_value loc }
+            Instr.store ~loc ~value:(fresh_value loc) ()
         | 2 when !reads_left > 0 && stores_left.(loc) > 0 ->
             decr reads_left;
             stores_left.(loc) <- stores_left.(loc) - 1;
             let r = !reg in
             incr reg;
-            Instr.Rmw { reg = r; loc; value = fresh_value loc }
-        | _ -> Instr.Fence)
+            Instr.rmw ~reg:r ~loc ~value:(fresh_value loc) ()
+        | _ -> Instr.fence ())
   in
   let threads = Array.init nthreads thread in
   {

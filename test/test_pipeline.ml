@@ -120,16 +120,17 @@ let prop_key_matches_legacy_cell_key =
 (* Key stability: pinned hex vectors.                                     *)
 
 (* These hashes are the on-disk contract: they freeze Key.code_version,
-   Kernel.code_version (v2: schema images + cross-cell memoization —
-   the deliberate re-addressing that keeps schema-era results distinct
-   from pre-schema stores), the canonical field order, and every
-   serialized component. If one of these changes value, every existing
-   campaign store goes cold — bump a code version deliberately rather
-   than chasing the new hex. *)
+   Kernel.code_version (v3: scoped instructions, the scope event lane
+   and the layout scalar — the deliberate re-addressing that keeps
+   scoped results distinct from pre-scope stores), the canonical field
+   order, and every serialized component. If one of these changes
+   value, every existing campaign store goes cold — bump a code version
+   deliberately rather than chasing the new hex. *)
 let test_pinned_key_vectors () =
-  (* The vectors below embed kernelVersion:2; freezing the version here
+  (* The vectors below embed kernelVersion:3; freezing the version here
      makes an accidental bump (which would cold every store) explicit. *)
-  Alcotest.(check int) "kernel code version" 2 Mcm_gpu.Kernel.code_version;
+  Alcotest.(check int) "kernel code version" 3 Mcm_gpu.Kernel.code_version;
+  Alcotest.(check string) "key code version" "mcm-cell-v2" Key.code_version;
   let device = Device.make Profile.nvidia in
   let env = Params.scaled Params.pte_baseline 0.02 in
   let test = (Option.get (Suite.find "MP-CO-m")).Suite.test in
@@ -141,10 +142,10 @@ let test_pinned_key_vectors () =
         expected
         (Key.to_hex (Request.key ~kind (req engine))))
     [
-      ("run", Request.Kernel, "d2670c5b881a95f4");
-      ("histogram", Request.Kernel, "258ca242af3f2b6d");
-      ("outcomes", Request.Kernel, "ee8cd655bc324826");
-      ("run", Request.Interpreter, "00fdbbd155eacf4b");
+      ("run", Request.Kernel, "5de209034e1279ab");
+      ("histogram", Request.Kernel, "591379a9abf17eb2");
+      ("outcomes", Request.Kernel, "68f73b6798747693");
+      ("run", Request.Interpreter, "aa9ffae92502a120");
     ]
 
 (* -------------------------------------------------------------------- *)

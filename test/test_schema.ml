@@ -38,16 +38,16 @@ let arbitrary_program =
       | 0 ->
           let reg = !tid_regs in
           incr tid_regs;
-          return (Instr.Load { reg; loc })
+          return ((Instr.load ~reg ~loc ()))
       | 1 ->
           incr value_counter;
-          return (Instr.Store { loc; value = !value_counter })
+          return ((Instr.store ~loc ~value:!value_counter ()))
       | 2 ->
           let reg = !tid_regs in
           incr tid_regs;
           incr value_counter;
-          return (Instr.Rmw { reg; loc; value = !value_counter })
-      | _ -> return Instr.Fence
+          return ((Instr.rmw ~reg ~loc ~value:!value_counter ()))
+      | _ -> return (Instr.fence ())
     in
     let gen_thread =
       let* len = int_range 1 4 in
@@ -111,12 +111,12 @@ let prop_schema_bit_identical =
       QCheck.assume (Litmus.well_formed t1 = Ok () && Litmus.well_formed t2 = Ok ());
       let g = Prng.create seed in
       let variants = variants_of (t1, t2) g in
-      let schema = Kernel.Schema.compile ~variants in
+      let schema = Kernel.Schema.compile ~variants () in
       let sws = Kernel.Schema.workspace schema in
       let refs =
         Array.map
           (fun (weak, bugs, test) ->
-            let k = Kernel.compile ~weak ~bugs ~test in
+            let k = Kernel.compile ~weak ~bugs ~test () in
             (k, Kernel.workspace k))
           variants
       in
@@ -162,7 +162,7 @@ let prop_schema_run_next_matches_split =
       QCheck.assume (Litmus.well_formed t1 = Ok () && Litmus.well_formed t2 = Ok ());
       let g = Prng.create seed in
       let variants = variants_of (t1, t2) g in
-      let schema = Kernel.Schema.compile ~variants in
+      let schema = Kernel.Schema.compile ~variants () in
       let sws = Kernel.Schema.workspace schema in
       let starts_of test = Array.init (Litmus.nthreads test) (fun _ -> Prng.float g 60.) in
       let starts = Array.map (fun (_, _, test) -> starts_of test) variants in
@@ -174,7 +174,7 @@ let prop_schema_run_next_matches_split =
         let v = (run * 5) mod Array.length variants in
         let weak, bugs, test = variants.(v) in
         let o_ref =
-          Instance.run ~prng:(Prng.split parent_ref) ~weak ~bugs ~test ~starts:starts.(v)
+          Instance.run ~prng:(Prng.split parent_ref) ~weak ~bugs ~test ~starts:starts.(v) ()
         in
         let o_sch = Kernel.Schema.run_next schema sws ~variant:v ~starts:starts.(v) in
         if o_ref <> o_sch then ok := false
@@ -192,11 +192,11 @@ let prop_compile_cached_identical =
       let g = Prng.create seed in
       let weak1, bugs1 = random_config g in
       let weak2, bugs2 = random_config g in
-      let fresh = Kernel.compile ~weak:weak1 ~bugs:bugs1 ~test in
-      let cached1 = Kernel.compile_cached ~weak:weak1 ~bugs:bugs1 ~test in
+      let fresh = Kernel.compile ~weak:weak1 ~bugs:bugs1 ~test () in
+      let cached1 = Kernel.compile_cached ~weak:weak1 ~bugs:bugs1 ~test () in
       (* A second cell differing only in scalars must rebind onto the
          same image. *)
-      let cached2 = Kernel.compile_cached ~weak:weak2 ~bugs:bugs2 ~test in
+      let cached2 = Kernel.compile_cached ~weak:weak2 ~bugs:bugs2 ~test () in
       let shares = Kernel.image_id cached1 = Kernel.image_id cached2 in
       let ws_fresh = Kernel.workspace fresh in
       let ws_cached = Kernel.workspace cached1 in
@@ -213,7 +213,7 @@ let prop_compile_cached_identical =
       (* adopt: a workspace sized for one kernel of the image fits the
          other; running after adoption stays identical. *)
       Kernel.adopt ws_cached cached2;
-      let k2 = Kernel.compile ~weak:weak2 ~bugs:bugs2 ~test in
+      let k2 = Kernel.compile ~weak:weak2 ~bugs:bugs2 ~test () in
       let ws2 = Kernel.workspace k2 in
       for _ = 1 to 5 do
         let starts = Array.init (Litmus.nthreads test) (fun _ -> Prng.float g 60.) in
@@ -281,7 +281,7 @@ let test_engine_counters_monotone () =
       Litmus.name = "counters-probe";
       family = "probe";
       model = Mcm_memmodel.Model.Relacq_sc_per_location;
-      threads = [| [ Instr.Store { loc = 0; value = 1 } ]; [ Instr.Load { reg = 0; loc = 0 } ] |];
+      threads = [| [ (Instr.store ~loc:0 ~value:1 ()) ]; [ (Instr.load ~reg:0 ~loc:0 ()) ] |];
       nlocs = 1;
       target = (fun _ -> false);
       target_desc = "-";
@@ -306,9 +306,9 @@ let test_engine_counters_monotone () =
 let test_schema_errors () =
   Alcotest.check_raises "empty column rejected"
     (Invalid_argument "Kernel.Schema.compile: no variants") (fun () ->
-      ignore (Kernel.Schema.compile ~variants:[||]));
+      ignore (Kernel.Schema.compile ~variants:[||] ()));
   let weak = Instance.effective_params Profile.amd ~amplification:0. in
-  let schema = Kernel.Schema.compile ~variants:[| (weak, Bug.none, Library.mp) |] in
+  let schema = Kernel.Schema.compile ~variants:[| (weak, Bug.none, Library.mp) |] () in
   let ws = Kernel.Schema.workspace schema in
   Alcotest.check_raises "variant out of range"
     (Invalid_argument "Kernel.Schema: variant out of range") (fun () ->
@@ -317,7 +317,7 @@ let test_schema_errors () =
     (Invalid_argument "Kernel.Schema: variant out of range") (fun () ->
       ignore
         (Kernel.Schema.run schema ws ~variant:1 ~prng:(Prng.create 1) ~starts:[| 0.; 0. |]));
-  let other = Kernel.Schema.compile ~variants:[| (weak, Bug.none, Library.sb) |] in
+  let other = Kernel.Schema.compile ~variants:[| (weak, Bug.none, Library.sb) |] () in
   let foreign = Kernel.Schema.workspace other in
   Alcotest.check_raises "foreign schema workspace rejected"
     (Invalid_argument "Kernel.run: workspace belongs to another kernel") (fun () ->

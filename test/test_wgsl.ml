@@ -78,14 +78,14 @@ let test_instruction_lowering () =
   let loc_exprs l = Printf.sprintf "loc_%d" l in
   Alcotest.(check string)
     "load" "let r0 = atomicLoad(&test_locations.value[loc_0]);"
-    (Wgsl.instruction ~loc_exprs (Instr.Load { reg = 0; loc = 0 }));
+    (Wgsl.instruction ~loc_exprs ((Instr.load ~reg:0 ~loc:0 ())));
   Alcotest.(check string)
     "store" "atomicStore(&test_locations.value[loc_1], 2u);"
-    (Wgsl.instruction ~loc_exprs (Instr.Store { loc = 1; value = 2 }));
+    (Wgsl.instruction ~loc_exprs ((Instr.store ~loc:1 ~value:2 ())));
   Alcotest.(check string)
     "rmw" "let r1 = atomicExchange(&test_locations.value[loc_0], 3u);"
-    (Wgsl.instruction ~loc_exprs (Instr.Rmw { reg = 1; loc = 0; value = 3 }));
-  Alcotest.(check string) "fence" "storageBarrier();" (Wgsl.instruction ~loc_exprs Instr.Fence)
+    (Wgsl.instruction ~loc_exprs ((Instr.rmw ~reg:1 ~loc:0 ~value:3 ())));
+  Alcotest.(check string) "fence" "storageBarrier();" (Wgsl.instruction ~loc_exprs (Instr.fence ()))
 
 let test_permutation_in_shader () =
   let src = Wgsl.shader Library.mp ~env in
@@ -123,7 +123,7 @@ let prop_all_values_emitted =
               match i with
               | Instr.Store { value; _ } | Instr.Rmw { value; _ } ->
                   contains src (Printf.sprintf "%du" value)
-              | Instr.Load _ | Instr.Fence -> true)
+              | Instr.Load _ | Instr.Fence _ -> true)
             instrs)
         test.Litmus.threads)
 
